@@ -1,0 +1,52 @@
+//! Per-estimate wall clock for every estimator — the microbenchmark
+//! behind the paper's §6.2 runtime comparison (LSH-SS sub-second vs RS
+//! minutes at full scale). Also the idealized-vs-angular JU ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vsj_core::{EstimationContext, Estimator, LshS, LshSs, RsCross, RsPop, UniformLsh};
+use vsj_datasets::DblpLike;
+use vsj_lsh::{LshIndex, LshParams};
+use vsj_sampling::Xoshiro256;
+
+fn bench_estimators(c: &mut Criterion) {
+    let collection = DblpLike::with_size(4000).generate(13);
+    let n = collection.len();
+    let index = LshIndex::build(
+        &collection,
+        LshParams::new(20, 1).with_seed(7).with_threads(4),
+    );
+    let ctx = EstimationContext::with_index(&collection, &index);
+
+    let estimators: Vec<(&str, Box<dyn Estimator>)> = vec![
+        ("lsh_ss", Box::new(LshSs::with_defaults(n))),
+        ("lsh_ss_d", Box::new(LshSs::dampened_with_defaults(n))),
+        ("lsh_s", Box::new(LshS::paper_default(n))),
+        ("ju", Box::new(UniformLsh::idealized())),
+        ("ju_angular", Box::new(UniformLsh::angular())),
+        ("rs_pop", Box::new(RsPop::paper_default(n))),
+        (
+            "rs_cross",
+            Box::new(RsCross::with_pair_budget((n as u64) * 3 / 2)),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("estimate");
+    group.sample_size(20);
+    for tau in [0.5f64, 0.9] {
+        for (name, est) in &estimators {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("tau{tau}")),
+                &tau,
+                |b, &tau| {
+                    let mut rng = Xoshiro256::seeded(99);
+                    b.iter(|| est.estimate(black_box(&ctx), tau, &mut rng))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

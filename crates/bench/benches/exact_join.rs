@@ -1,0 +1,49 @@
+//! Exact-join throughput: naive O(n²) vs prefix-filtering All-Pairs
+//! across thresholds. All-Pairs should pull ahead sharply at high τ —
+//! the regime where ground truth for the accuracy experiments is
+//! otherwise unaffordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vsj_datasets::DblpLike;
+use vsj_exact::{AllPairs, ExactJoin};
+use vsj_vector::Cosine;
+
+fn bench_exact_join(c: &mut Criterion) {
+    let collection = DblpLike::with_size(1500).generate(17);
+    let mut group = c.benchmark_group("exact_join");
+    group.sample_size(10);
+    for tau in [0.5f64, 0.7, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("naive_1t", format!("tau{tau}")),
+            &tau,
+            |b, &tau| {
+                let join = ExactJoin::new(&collection, Cosine).with_threads(1);
+                b.iter(|| join.count(black_box(tau)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_4t", format!("tau{tau}")),
+            &tau,
+            |b, &tau| {
+                let join = ExactJoin::new(&collection, Cosine).with_threads(4);
+                b.iter(|| join.count(black_box(tau)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allpairs", format!("tau{tau}")),
+            &tau,
+            |b, &tau| b.iter(|| AllPairs::new(tau).count(black_box(&collection))),
+        );
+    }
+    // The multi-threshold single pass the harness actually uses.
+    group.bench_function("naive_multi_10taus_4t", |b| {
+        let join = ExactJoin::new(&collection, Cosine).with_threads(4);
+        let taus: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        b.iter(|| join.count_multi(black_box(&taus)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_join);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Hash-family throughput: SimHash vs MinHash, single function and
+//! composite `g`, across document densities. The per-vector hashing cost
+//! is what the paper's index-build times (App. C.1: 4.7–5.6 s at full
+//! scale) are made of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vsj_lsh::{Composite, LshFamily, LshFunction, MinHashFamily, SimHashFamily};
+use vsj_sampling::{Rng, Xoshiro256};
+use vsj_vector::SparseVector;
+
+fn random_vectors(n: usize, nnz: usize, dims: u32, seed: u64) -> Vec<SparseVector> {
+    let mut rng = Xoshiro256::seeded(seed);
+    (0..n)
+        .map(|_| {
+            let entries: Vec<(u32, f32)> = (0..nnz)
+                .map(|_| {
+                    (
+                        rng.below(u64::from(dims)) as u32,
+                        rng.next_f64() as f32 + 0.1,
+                    )
+                })
+                .collect();
+            SparseVector::from_entries(entries).expect("finite entries")
+        })
+        .collect()
+}
+
+fn bench_single_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_function");
+    // DBLP-like short docs and NYT-like long docs.
+    for &(label, nnz) in &[("nnz14", 14usize), ("nnz232", 232)] {
+        let vectors = random_vectors(256, nnz, 100_000, 1);
+        group.throughput(Throughput::Elements(vectors.len() as u64));
+        let sim = SimHashFamily::new().function(7, 0);
+        group.bench_with_input(BenchmarkId::new("simhash", label), &vectors, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in vs {
+                    acc ^= sim.hash(black_box(v));
+                }
+                acc
+            })
+        });
+        let min = MinHashFamily::new().function(7, 0);
+        group.bench_with_input(BenchmarkId::new("minhash", label), &vectors, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in vs {
+                    acc ^= min.hash(black_box(v));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composite_g");
+    let vectors = random_vectors(256, 14, 56_000, 2);
+    for &k in &[10usize, 20, 50] {
+        group.throughput(Throughput::Elements(vectors.len() as u64));
+        let g = Composite::derive(SimHashFamily::new(), 3, 0, k);
+        group.bench_with_input(BenchmarkId::new("simhash_key", k), &vectors, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in vs {
+                    acc ^= vsj_lsh::BucketHasher::key(&g, black_box(v));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_function, bench_composite);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! LSH index construction cost vs `k` and thread count — the build-time
+//! side of the paper's Appendix C.1 ("4.7 s to build the DBLP index").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vsj_datasets::DblpLike;
+use vsj_lsh::{LshIndex, LshParams};
+
+fn bench_build(c: &mut Criterion) {
+    let collection = DblpLike::with_size(4000).generate(11);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &k in &[10usize, 20] {
+        group.throughput(Throughput::Elements(collection.len() as u64));
+        for &threads in &[1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), format!("t{threads}")),
+                &collection,
+                |b, coll| {
+                    b.iter(|| {
+                        LshIndex::build(
+                            black_box(coll),
+                            LshParams::new(k, 1).with_seed(5).with_threads(threads),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

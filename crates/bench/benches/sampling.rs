@@ -1,0 +1,102 @@
+//! Sampling-substrate microbenchmarks: the alias table that makes
+//! SampleH O(1) per draw (vs the linear scan it replaces), pair
+//! sampling, and the RNG itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vsj_sampling::{sample_distinct_pair, AliasTable, Rng, Xoshiro256};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256::seeded(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= rng.next_u64();
+            }
+            acc
+        })
+    });
+    group.bench_function("xoshiro_below", |b| {
+        let mut rng = Xoshiro256::seeded(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= rng.below(black_box(1_000_003));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_alias_vs_linear(c: &mut Criterion) {
+    // The ablation DESIGN.md calls out: alias table vs linear CDF scan
+    // for weighted bucket selection, at LSH-plausible bucket counts.
+    let mut group = c.benchmark_group("weighted_choice");
+    for &buckets in &[1_000usize, 100_000] {
+        let weights: Vec<f64> = (0..buckets)
+            .map(|i| ((i * 2654435761) % 1000 + 1) as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let alias = AliasTable::new(&weights).expect("positive weights");
+        group.throughput(Throughput::Elements(256));
+        group.bench_with_input(BenchmarkId::new("alias", buckets), &(), |b, ()| {
+            let mut rng = Xoshiro256::seeded(3);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..256 {
+                    acc ^= alias.sample(&mut rng);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", buckets), &(), |b, ()| {
+            let mut rng = Xoshiro256::seeded(3);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..256 {
+                    let mut target = rng.next_f64() * total;
+                    let mut chosen = weights.len() - 1;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if target < w {
+                            chosen = i;
+                            break;
+                        }
+                        target -= w;
+                    }
+                    acc ^= chosen;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_sampling");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("distinct_pair_n1e6", |b| {
+        let mut rng = Xoshiro256::seeded(4);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                let (i, j) = sample_distinct_pair(&mut rng, black_box(1_000_000));
+                acc ^= i ^ j;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_alias_vs_linear,
+    bench_pair_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--trials N] [--seed S] [--out DIR] [--threads T]
+//!
+//! experiments:
+//!   table1       Table 1: stratum probabilities on DBLP
+//!   table2       Table 2: α and β on NYT and PUBMED
+//!   selectivity  §6.2 inline: J and selectivity vs τ on DBLP
+//!   fig2         Figure 2: accuracy/variance on DBLP
+//!   fig3         Figure 3: accuracy/variance on NYT
+//!   fig4         Figure 4: impact of k (LSH-SS vs LSH-S)
+//!   fig5 fig6    Appendix C.2.1: δ sweep (both run together)
+//!   fig7 fig8    Appendix C.2.2: m sweep (both run together)
+//!   fig9         Figure 9 / Appendix C.4: PUBMED, k = 5
+//!   ksize        §6.3 inline: table size vs k
+//!   runtime      §6.2/6.3: per-estimate wall clock
+//!   cs           Appendix C.3: dampening factor sweep
+//!   ablations    collision model / LSH-S variant / multi-table / LC baseline
+//!   all          everything above
+//! ```
+//!
+//! `--scale` multiplies the laptop-scale dataset fractions (1.0 ≈ 12K
+//! DBLP vectors); `--trials` defaults to the paper's 100.
+
+use std::process::ExitCode;
+
+use vsj_bench::experiments::{
+    ablations,
+    accuracy::{self, AccuracyFigure},
+    cs, fig4, fig56, fig78, ksize, runtime, selectivity, table1, table2,
+};
+use vsj_bench::workload::RunConfig;
+
+fn usage() -> &'static str {
+    "usage: repro <experiment> [--scale F] [--trials N] [--seed S] [--out DIR] [--threads T]\n\
+     experiments: table1 table2 selectivity fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ksize runtime cs ablations all"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(experiment) = args.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut config = RunConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        let parse_f64 = |v: Option<&String>| v.and_then(|s| s.parse::<f64>().ok());
+        let parse_u64 = |v: Option<&String>| v.and_then(|s| s.parse::<u64>().ok());
+        match flag {
+            "--scale" => match parse_f64(value) {
+                Some(f) if f > 0.0 => config.scale = f,
+                _ => return fail(&format!("--scale needs a positive number\n{}", usage())),
+            },
+            "--trials" => match parse_u64(value) {
+                Some(t) if t > 0 => config.trials = t as usize,
+                _ => return fail(&format!("--trials needs a positive integer\n{}", usage())),
+            },
+            "--seed" => match parse_u64(value) {
+                Some(s) => config.seed = s,
+                _ => return fail(&format!("--seed needs an integer\n{}", usage())),
+            },
+            "--out" => match value {
+                Some(dir) => config.out_dir = dir.into(),
+                None => return fail(&format!("--out needs a directory\n{}", usage())),
+            },
+            "--threads" => match parse_u64(value) {
+                Some(t) if t > 0 => config.threads = Some(t as usize),
+                _ => return fail(&format!("--threads needs a positive integer\n{}", usage())),
+            },
+            other => return fail(&format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 2;
+    }
+
+    let run_one = |id: &str, config: &RunConfig| -> bool {
+        match id {
+            "table1" => table1::run(config),
+            "table2" => table2::run(config),
+            "selectivity" => selectivity::run(config),
+            "fig2" => accuracy::run(AccuracyFigure::Fig2, config),
+            "fig3" => accuracy::run(AccuracyFigure::Fig3, config),
+            "fig9" => accuracy::run(AccuracyFigure::Fig9, config),
+            "fig4" => fig4::run(config),
+            "fig5" | "fig6" => fig56::run(config),
+            "fig7" | "fig8" => fig78::run(config),
+            "ksize" => ksize::run(config),
+            "runtime" => runtime::run(config),
+            "cs" => cs::run(config),
+            "ablations" => ablations::run(config),
+            _ => return false,
+        }
+        true
+    };
+
+    match experiment.as_str() {
+        "all" => {
+            for id in [
+                "selectivity",
+                "table1",
+                "table2",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig7",
+                "fig9",
+                "ksize",
+                "runtime",
+                "cs",
+                "ablations",
+            ] {
+                println!("\n################ {id} ################");
+                assert!(run_one(id, &config), "internal: unknown id {id}");
+            }
+            ExitCode::SUCCESS
+        }
+        id => {
+            if run_one(id, &config) {
+                ExitCode::SUCCESS
+            } else {
+                fail(&format!("unknown experiment {id:?}\n{}", usage()))
+            }
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,143 @@
+//! Figures 2, 3 and 9: relative error (over / under) and STD across the
+//! threshold range.
+//!
+//! * Figure 2 — DBLP, k = 20: LSH-SS, LSH-SS(D), RS(pop), RS(cross).
+//! * Figure 3 — NYT, k = 20: same estimators.
+//! * Figure 9 — PUBMED, k = 5: LSH-SS vs RS(pop).
+//!
+//! Expected shapes (§6.2, App. C.4): LSH-SS stays accurate over the whole
+//! range and almost never overestimates; LSH-SS(D) trades bounded
+//! overestimation for less underestimation; RS fluctuates between huge
+//! overestimates and −100% at high τ, with variance orders of magnitude
+//! above LSH-SS.
+
+use vsj_core::{Estimator, LshSs, RsCross, RsPop};
+use vsj_datasets::Dataset;
+
+use crate::report::{pct, CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// Which figure to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyFigure {
+    /// Figure 2 (DBLP).
+    Fig2,
+    /// Figure 3 (NYT).
+    Fig3,
+    /// Figure 9 (PUBMED, k = 5, LSH-SS vs RS(pop) only).
+    Fig9,
+}
+
+impl AccuracyFigure {
+    fn dataset(self) -> Dataset {
+        match self {
+            Self::Fig2 => Dataset::Dblp,
+            Self::Fig3 => Dataset::Nyt,
+            Self::Fig9 => Dataset::Pubmed,
+        }
+    }
+
+    fn id(self) -> &'static str {
+        match self {
+            Self::Fig2 => "fig2",
+            Self::Fig3 => "fig3",
+            Self::Fig9 => "fig9",
+        }
+    }
+}
+
+/// Runs the experiment and emits the three panels.
+pub fn run(figure: AccuracyFigure, config: &RunConfig) {
+    let dataset = figure.dataset();
+    let k = dataset.paper_k();
+    let workload = Workload::build(dataset, k, config);
+    let n = workload.n();
+    println!(
+        "[{}] dataset={} n={} k={} trials={}",
+        figure.id(),
+        dataset.name(),
+        n,
+        k,
+        config.trials
+    );
+
+    let estimators: Vec<Box<dyn Estimator>> = match figure {
+        AccuracyFigure::Fig9 => vec![
+            Box::new(LshSs::with_defaults(n)),
+            Box::new(RsPop::paper_default(n)),
+        ],
+        _ => vec![
+            Box::new(LshSs::with_defaults(n)),
+            Box::new(LshSs::dampened_with_defaults(n)),
+            Box::new(RsPop::paper_default(n)),
+            Box::new(RsCross::with_pair_budget((n as u64) * 3 / 2)),
+        ],
+    };
+    let names: Vec<String> = estimators.iter().map(|e| e.name()).collect();
+    let taus = crate::tau_grid();
+    let profiles =
+        super::run_error_profiles(&workload, &estimators, &taus, config.trials, config.seed);
+
+    let sink = CsvSink::new(&config.out_dir);
+    let header: Vec<&str> = std::iter::once("tau")
+        .chain(names.iter().map(String::as_str))
+        .collect();
+
+    // Panel (a): mean overestimation %.
+    let mut over = Table::new(
+        format!("{} (a): relative error of overestimations (%)", figure.id()),
+        &header,
+    );
+    // Panel (b): mean underestimation %.
+    let mut under = Table::new(
+        format!(
+            "{} (b): relative error of underestimations (%)",
+            figure.id()
+        ),
+        &header,
+    );
+    // Panel (c): STD of raw estimates.
+    let mut std_t = Table::new(format!("{} (c): STD of estimates", figure.id()), &header);
+
+    for (ti, &tau) in taus.iter().enumerate() {
+        let mut row_over = vec![format!("{tau:.1}")];
+        let mut row_under = vec![format!("{tau:.1}")];
+        let mut row_std = vec![format!("{tau:.1}")];
+        for row in &profiles {
+            let p = &row[ti];
+            row_over.push(if p.over.count() == 0 {
+                "-".into()
+            } else {
+                pct(p.over.mean())
+            });
+            row_under.push(if p.under.count() == 0 {
+                "-".into()
+            } else {
+                pct(p.under.mean())
+            });
+            row_std.push(format!("{:.3e}", p.estimates.std()));
+        }
+        over.row(row_over);
+        under.row(row_under);
+        std_t.row(row_std);
+    }
+    over.emit(&sink, &format!("{}_overestimation", figure.id()));
+    under.emit(&sink, &format!("{}_underestimation", figure.id()));
+    std_t.emit(&sink, &format!("{}_std", figure.id()));
+
+    // Reference line for the reader: truth per τ.
+    let mut truth_t = Table::new(
+        format!("{}: ground truth J(τ)", figure.id()),
+        &["tau", "J", "selectivity"],
+    );
+    for &tau in &taus {
+        let j = workload.truth.join_size(tau).unwrap_or(0);
+        let sel = workload.truth.selectivity(tau).unwrap_or(0.0);
+        truth_t.row(vec![
+            format!("{tau:.1}"),
+            crate::fmt_count(j as f64),
+            format!("{sel:.3e}"),
+        ]);
+    }
+    truth_t.emit(&sink, &format!("{}_truth", figure.id()));
+}

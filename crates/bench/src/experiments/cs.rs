@@ -1,0 +1,73 @@
+//! Appendix C.3: impact of the dampened scale-up factor `c_s`.
+//!
+//! The paper's observations on DBLP: `c_s = 1` (full scaling) swings to
+//! +100–900% overestimation at high τ; `c_s = 0.5` narrows that;
+//! `c_s = 0.1` keeps errors under ~62%; smaller `c_s` means more
+//! underestimation (the safe bound is the `c_s → 0` limit). The paper's
+//! own experiments use the adaptive `c_s = n_L/δ`.
+
+use vsj_core::{Dampening, Estimator, LshSs, LshSsConfig};
+use vsj_datasets::Dataset;
+
+use crate::report::{pct, CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// Runs the experiment.
+pub fn run(config: &RunConfig) {
+    let dataset = Dataset::Dblp;
+    let workload = Workload::build(dataset, dataset.paper_k(), config);
+    let n = workload.n();
+    println!("[cs] dataset=dblp n={n} dampening sweep");
+
+    let base = LshSsConfig::paper_defaults(n);
+    let variants: Vec<(String, Dampening)> = vec![
+        ("safe bound (cs→0)".into(), Dampening::SafeLowerBound),
+        ("cs = 0.1".into(), Dampening::Constant(0.1)),
+        ("cs = 0.5".into(), Dampening::Constant(0.5)),
+        ("cs = 1.0".into(), Dampening::Constant(1.0)),
+        ("cs = nL/δ".into(), Dampening::NlOverDelta),
+    ];
+    let estimators: Vec<Box<dyn Estimator>> = variants
+        .iter()
+        .map(|&(_, dampening)| {
+            Box::new(LshSs {
+                config: LshSsConfig { dampening, ..base },
+            }) as Box<dyn Estimator>
+        })
+        .collect();
+
+    // The grey area where dampening matters: mid-to-high τ.
+    let taus = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let profiles =
+        super::run_error_profiles(&workload, &estimators, &taus, config.trials, config.seed);
+
+    let sink = CsvSink::new(&config.out_dir);
+    let mut table = Table::new(
+        "Appendix C.3: over/under-estimation vs dampening factor cs",
+        &["cs", "tau", "over% (mean)", "over% (max)", "under% (mean)"],
+    );
+    for ((label, _), row) in variants.iter().zip(&profiles) {
+        for (p, &tau) in row.iter().zip(&taus) {
+            table.row(vec![
+                label.clone(),
+                format!("{tau:.1}"),
+                if p.over.count() == 0 {
+                    "-".into()
+                } else {
+                    pct(p.over.mean())
+                },
+                if p.over.count() == 0 {
+                    "-".into()
+                } else {
+                    pct(p.over.max())
+                },
+                if p.under.count() == 0 {
+                    "-".into()
+                } else {
+                    pct(p.under.mean())
+                },
+            ]);
+        }
+    }
+    table.emit(&sink, "cs");
+}

@@ -1,0 +1,85 @@
+//! Figure 4: impact of the number of hash functions `k` on DBLP at
+//! τ = 0.5 and τ = 0.8, LSH-SS vs LSH-S.
+//!
+//! Expected shape (§6.3): LSH-SS is insensitive to `k` ("will work with
+//! any reasonable choice"); LSH-S is highly sensitive because its
+//! conditional-probability estimates degrade as `f(s) = s^k` sharpens.
+
+use vsj_core::{EstimationContext, Estimator, LshS, LshSs};
+use vsj_datasets::Dataset;
+use vsj_lsh::{LshIndex, LshParams};
+use vsj_sampling::{ErrorProfile, Xoshiro256};
+
+use crate::report::{pct, CsvSink, Table};
+use crate::workload::{load_or_compute_truth, RunConfig};
+
+/// Figure 4's k sweep.
+pub const KS: [usize; 5] = [10, 20, 30, 40, 50];
+/// Figure 4's thresholds (panels a and b).
+pub const TAUS: [f64; 2] = [0.5, 0.8];
+
+/// Runs the experiment.
+pub fn run(config: &RunConfig) {
+    let dataset = Dataset::Dblp;
+    let fraction = (crate::workload::default_fraction(dataset) * config.scale).min(1.0);
+    let collection = dataset.generate(fraction, config.seed);
+    let truth = load_or_compute_truth(&collection, dataset, config);
+    let n = collection.len();
+    println!("[fig4] dataset=dblp n={n} k sweep {KS:?}");
+
+    let sink = CsvSink::new(&config.out_dir);
+    for (panel, &tau) in TAUS.iter().enumerate() {
+        let truth_j = truth.join_size(tau).expect("tau on grid") as f64;
+        let mut table = Table::new(
+            format!(
+                "fig4({}): relative error vs k at τ = {tau}",
+                ['a', 'b'][panel]
+            ),
+            &[
+                "k",
+                "LSH-SS over%",
+                "LSH-SS under%",
+                "LSH-S over%",
+                "LSH-S under%",
+            ],
+        );
+        for (ki, &k) in KS.iter().enumerate() {
+            // Rebuild the index at each k (the paper assumes a pre-built
+            // index; the sweep asks how sensitive the estimators are to
+            // whatever k that index happens to have).
+            let index = LshIndex::build(
+                &collection,
+                LshParams::new(k, 1)
+                    .with_seed(config.seed ^ (k as u64) << 8)
+                    .with_threads(config.threads()),
+            );
+            let ctx = EstimationContext::with_index(&collection, &index);
+            let estimators: Vec<Box<dyn Estimator>> = vec![
+                Box::new(LshSs::with_defaults(n)),
+                Box::new(LshS::paper_default(n)),
+            ];
+            let mut cells = vec![format!("{k}")];
+            for (ei, est) in estimators.iter().enumerate() {
+                let mut profile = ErrorProfile::new();
+                let mut rng = Xoshiro256::seeded(config.seed)
+                    .fork((panel as u64) << 40 | (ki as u64) << 20 | ei as u64);
+                for _ in 0..config.trials {
+                    let e = est.estimate(&ctx, tau, &mut rng);
+                    profile.record(e.value, truth_j);
+                }
+                cells.push(if profile.over.count() == 0 {
+                    "-".into()
+                } else {
+                    pct(profile.over.mean())
+                });
+                cells.push(if profile.under.count() == 0 {
+                    "-".into()
+                } else {
+                    pct(profile.under.mean())
+                });
+            }
+            table.row(cells);
+        }
+        table.emit(&sink, &format!("fig4_tau{}", tau));
+    }
+}

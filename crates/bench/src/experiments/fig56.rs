@@ -1,0 +1,80 @@
+//! Figures 5 and 6 (Appendix C.2.1): sensitivity to the answer-size
+//! threshold `δ` in SampleL.
+//!
+//! δ ∈ {0.5·log n, log n, 2·log n, √n} at `m_H = m_L = n`, plus RS(pop)
+//! with `m = 1.5n` as the reference. Figure 5 reports the average
+//! absolute relative error across the 10-τ grid; Figure 6 counts τ values
+//! with ≥10× over/under-estimation. Expected shape: δ > 2·log n
+//! under-estimates grossly (`δ = √n` "is too conservative"), the log n
+//! regime is flat.
+
+use vsj_core::{Dampening, Estimator, LshSs, LshSsConfig, RsPop};
+use vsj_datasets::Dataset;
+
+use crate::report::{CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// Named δ choices of Figure 5.
+pub fn delta_choices(n: usize) -> Vec<(String, u64)> {
+    let log_n = (n as f64).log2();
+    vec![
+        ("0.5 log n".into(), (0.5 * log_n).round().max(1.0) as u64),
+        ("log n".into(), log_n.round().max(1.0) as u64),
+        ("2 log n".into(), (2.0 * log_n).round() as u64),
+        ("sqrt n".into(), (n as f64).sqrt().round() as u64),
+    ]
+}
+
+/// Runs both figures (they share the trial data).
+pub fn run(config: &RunConfig) {
+    let dataset = Dataset::Dblp;
+    let workload = Workload::build(dataset, dataset.paper_k(), config);
+    let n = workload.n();
+    println!("[fig5/6] dataset=dblp n={n} δ sweep");
+
+    let mut estimators: Vec<Box<dyn Estimator>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (label, delta) in delta_choices(n) {
+        estimators.push(Box::new(LshSs {
+            config: LshSsConfig {
+                m_h: n as u64,
+                m_l: n as u64,
+                delta,
+                dampening: Dampening::SafeLowerBound,
+            },
+        }));
+        labels.push(format!("LSH-SS δ={label}"));
+    }
+    estimators.push(Box::new(RsPop::paper_default(n)));
+    labels.push("RS(pop) m=1.5n".into());
+
+    let taus = crate::tau_grid();
+    let profiles =
+        super::run_error_profiles(&workload, &estimators, &taus, config.trials, config.seed);
+
+    let sink = CsvSink::new(&config.out_dir);
+    let mut fig5 = Table::new(
+        "fig5: average |relative error| varying δ (m = n)",
+        &["configuration", "avg |rel err|"],
+    );
+    let mut fig6 = Table::new(
+        "fig6: # of τ with ≥10x error varying δ",
+        &["configuration", "big underest.", "big overest."],
+    );
+    for (label, row) in labels.iter().zip(&profiles) {
+        // Figure 5: mean absolute relative error across the τ grid.
+        let avg: f64 = row.iter().map(|p| p.mean_abs_error(0.0)).sum::<f64>() / row.len() as f64;
+        fig5.row(vec![label.clone(), format!("{avg:.2}")]);
+        // Figure 6: a τ counts as "big" when ≥ half its trials blew the
+        // 10x bound (the paper plots per-τ verdicts, not per-trial).
+        let big_under = row.iter().filter(|p| p.big_under * 2 >= p.trials()).count();
+        let big_over = row.iter().filter(|p| p.big_over * 2 >= p.trials()).count();
+        fig6.row(vec![
+            label.clone(),
+            format!("{big_under}"),
+            format!("{big_over}"),
+        ]);
+    }
+    fig5.emit(&sink, "fig5");
+    fig6.emit(&sink, "fig6");
+}

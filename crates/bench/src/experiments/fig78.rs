@@ -1,0 +1,99 @@
+//! Figures 7 and 8 (Appendix C.2.2): sensitivity to the sample-size
+//! budget `m` (with `δ = log n` fixed).
+//!
+//! `m = f₁(n)` for f₁ ∈ {√n, n/log n, 0.5n, n, 2n, n·log n}; LSH-SS uses
+//! `m_H = m_L = f₁(n)`, RS(pop) uses `1.5·f₁(n)`. Expected shape:
+//! `m < 0.5n` causes serious underestimation for both; at `n log n`
+//! LSH-SS has no big errors left (at a log n runtime premium).
+
+use vsj_core::{Dampening, Estimator, LshSs, LshSsConfig, RsPop};
+use vsj_datasets::Dataset;
+
+use crate::report::{CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// Named m choices of Figure 7.
+pub fn m_choices(n: usize) -> Vec<(String, u64)> {
+    let nf = n as f64;
+    let log_n = nf.log2();
+    vec![
+        ("sqrt(n)".into(), nf.sqrt().round().max(4.0) as u64),
+        ("n/log n".into(), (nf / log_n).round() as u64),
+        ("0.5n".into(), (0.5 * nf).round() as u64),
+        ("n".into(), n as u64),
+        ("2n".into(), 2 * n as u64),
+        ("n log n".into(), (nf * log_n).round() as u64),
+    ]
+}
+
+/// Runs both figures.
+pub fn run(config: &RunConfig) {
+    let dataset = Dataset::Dblp;
+    let workload = Workload::build(dataset, dataset.paper_k(), config);
+    let n = workload.n();
+    let delta = (n as f64).log2().round() as u64;
+    println!("[fig7/8] dataset=dblp n={n} m sweep (δ = log n = {delta})");
+
+    let taus = crate::tau_grid();
+    let sink = CsvSink::new(&config.out_dir);
+    let mut fig7 = Table::new(
+        "fig7: average |relative error| varying sample size m (δ = log n)",
+        &["m", "LSH-SS", "RS(pop)"],
+    );
+    let mut fig8 = Table::new(
+        "fig8: # of τ with ≥10x error varying m",
+        &[
+            "m",
+            "LSH-SS over",
+            "RS(pop) over",
+            "LSH-SS under",
+            "RS(pop) under",
+        ],
+    );
+
+    for (label, m) in m_choices(n) {
+        let estimators: Vec<Box<dyn Estimator>> = vec![
+            Box::new(LshSs {
+                config: LshSsConfig {
+                    m_h: m,
+                    m_l: m,
+                    delta,
+                    dampening: Dampening::SafeLowerBound,
+                },
+            }),
+            Box::new(RsPop::new((m * 3 / 2).max(1))),
+        ];
+        let profiles = super::run_error_profiles(
+            &workload,
+            &estimators,
+            &taus,
+            config.trials,
+            config.seed ^ m,
+        );
+        let avg = |row: &Vec<vsj_sampling::ErrorProfile>| -> f64 {
+            row.iter().map(|p| p.mean_abs_error(0.0)).sum::<f64>() / row.len() as f64
+        };
+        fig7.row(vec![
+            label.clone(),
+            format!("{:.2}", avg(&profiles[0])),
+            format!("{:.2}", avg(&profiles[1])),
+        ]);
+        let count_big = |row: &Vec<vsj_sampling::ErrorProfile>, over: bool| -> usize {
+            row.iter()
+                .filter(|p| {
+                    let hits = if over { p.big_over } else { p.big_under };
+                    hits * 2 >= p.trials()
+                })
+                .count()
+        };
+        fig8.row(vec![
+            label,
+            format!("{}", count_big(&profiles[0], true)),
+            format!("{}", count_big(&profiles[1], true)),
+            format!("{}", count_big(&profiles[0], false)),
+            format!("{}", count_big(&profiles[1], false)),
+        ]);
+    }
+    fig7.emit(&sink, "fig7");
+    fig8.emit(&sink, "fig8");
+}

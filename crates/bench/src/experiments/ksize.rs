@@ -1,0 +1,45 @@
+//! The §6.3 inline table: LSH table memory vs `k` on DBLP.
+//!
+//! The paper reports 3.2 MB (k=10) growing to 16.5 MB (k=50) at
+//! n = 794K — driven by bucket count growth plus larger `g` values. The
+//! accounting (g values + bucket counts + vector ids) is implemented in
+//! `vsj_lsh::stats`; shape, not absolute MB, is the reproduction target
+//! at laptop scale.
+
+use vsj_datasets::Dataset;
+use vsj_lsh::{stats::table_stats, LshIndex, LshParams};
+
+use crate::report::{CsvSink, Table};
+use crate::workload::RunConfig;
+
+/// The paper's k sweep.
+pub const KS: [usize; 5] = [10, 20, 30, 40, 50];
+
+/// Runs the experiment.
+pub fn run(config: &RunConfig) {
+    let dataset = Dataset::Dblp;
+    let fraction = (crate::workload::default_fraction(dataset) * config.scale).min(1.0);
+    let collection = dataset.generate(fraction, config.seed);
+    println!("[ksize] dataset=dblp n={}", collection.len());
+    let mut table = Table::new(
+        "§6.3: LSH table size vs k on DBLP",
+        &["k", "buckets", "N_H", "max bucket", "size (KB)"],
+    );
+    for &k in &KS {
+        let index = LshIndex::build(
+            &collection,
+            LshParams::new(k, 1)
+                .with_seed(config.seed)
+                .with_threads(config.threads()),
+        );
+        let st = table_stats(index.table(0));
+        table.row(vec![
+            format!("{k}"),
+            crate::fmt_count(st.num_buckets as f64),
+            crate::fmt_count(st.nh as f64),
+            format!("{}", st.max_bucket),
+            format!("{:.1}", st.memory_bytes as f64 / 1024.0),
+        ]);
+    }
+    table.emit(&CsvSink::new(&config.out_dir), "ksize");
+}

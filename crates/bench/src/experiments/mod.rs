@@ -1,0 +1,89 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(&RunConfig)`; the `repro` binary dispatches by experiment id.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod cs;
+pub mod fig4;
+pub mod fig56;
+pub mod fig78;
+pub mod ksize;
+pub mod runtime;
+pub mod selectivity;
+pub mod table1;
+pub mod table2;
+
+use vsj_core::{EstimationContext, Estimator};
+use vsj_sampling::{ErrorProfile, Xoshiro256};
+
+use crate::workload::Workload;
+
+/// Runs `trials` estimates per `(estimator, τ)` cell and accumulates the
+/// paper's error accounting. RNG streams are forked per cell so estimator
+/// order cannot perturb results.
+pub fn run_error_profiles(
+    workload: &Workload,
+    estimators: &[Box<dyn Estimator>],
+    taus: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<Vec<ErrorProfile>> {
+    let ctx = EstimationContext::with_index(&workload.collection, &workload.index);
+    let base = Xoshiro256::seeded(seed);
+    estimators
+        .iter()
+        .enumerate()
+        .map(|(ei, est)| {
+            taus.iter()
+                .enumerate()
+                .map(|(ti, &tau)| {
+                    let truth = workload
+                        .truth
+                        .join_size(tau)
+                        .expect("truth grid covers the experiment taus")
+                        as f64;
+                    let mut profile = ErrorProfile::new();
+                    let mut rng = base.fork((ei as u64) << 32 | ti as u64);
+                    for _ in 0..trials {
+                        let e = est.estimate(&ctx, tau, &mut rng);
+                        profile.record(e.value, truth);
+                    }
+                    profile
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::RunConfig;
+    use vsj_core::RsPop;
+    use vsj_datasets::Dataset;
+
+    #[test]
+    fn error_profiles_shape() {
+        let tmp = std::env::temp_dir().join("vsj_expmod_test");
+        let config = RunConfig {
+            scale: 0.015,
+            trials: 3,
+            seed: 3,
+            out_dir: tmp.clone(),
+            threads: Some(2),
+        };
+        let w = Workload::build(Dataset::Dblp, 6, &config);
+        let estimators: Vec<Box<dyn Estimator>> =
+            vec![Box::new(RsPop::new(50)), Box::new(RsPop::new(100))];
+        let taus = [0.2, 0.8];
+        let profiles = run_error_profiles(&w, &estimators, &taus, 3, 9);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].len(), 2);
+        for row in &profiles {
+            for p in row {
+                assert_eq!(p.trials(), 3);
+            }
+        }
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

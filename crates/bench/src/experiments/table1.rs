@@ -1,0 +1,46 @@
+//! Table 1 (§5): the stratum probabilities on DBLP as τ varies.
+//!
+//! `P(T)` collapses with τ while `P(T|H)` stays workable and `P(H|T)`
+//! grows — the empirical facts motivating stratified sampling.
+
+use vsj_core::probabilities::StratumProbabilities;
+use vsj_datasets::Dataset;
+use vsj_vector::Cosine;
+
+use crate::report::{sci, CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// The paper's Table 1 threshold column.
+pub const TAUS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Runs the experiment.
+pub fn run(config: &RunConfig) {
+    let workload = Workload::build(Dataset::Dblp, Dataset::Dblp.paper_k(), config);
+    println!(
+        "[table1] dataset=dblp n={} k={}",
+        workload.n(),
+        workload.index.params().k
+    );
+    let mut table = Table::new(
+        "Table 1: stratum probabilities on DBLP",
+        &["tau", "P(T)", "P(T|H)", "P(H|T)", "P(T|L)", "regime"],
+    );
+    for &tau in &TAUS {
+        let p = StratumProbabilities::compute_exact(
+            &workload.collection,
+            workload.index.table(0),
+            &Cosine,
+            tau,
+            config.threads(),
+        );
+        table.row(vec![
+            format!("{tau:.1}"),
+            sci(p.p_t()),
+            sci(p.alpha()),
+            sci(p.p_h_given_t()),
+            sci(p.beta()),
+            format!("{:?}", p.regime(workload.n())),
+        ]);
+    }
+    table.emit(&CsvSink::new(&config.out_dir), "table1");
+}

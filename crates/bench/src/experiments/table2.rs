@@ -1,0 +1,72 @@
+//! Table 2 (Appendix C): `α = P(T|H)` and `β = P(T|L)` on NYT and
+//! PUBMED, with the model boundary values `log n/n` (high-τ α floor /
+//! low-τ β floor) and `1/n` (high-τ β ceiling) the §5.2 analysis assumes.
+
+use vsj_core::probabilities::StratumProbabilities;
+use vsj_datasets::Dataset;
+use vsj_vector::Cosine;
+
+use crate::report::{sci, CsvSink, Table};
+use crate::workload::{RunConfig, Workload};
+
+/// The paper's Table 2 threshold column.
+pub const TAUS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Runs the experiment.
+pub fn run(config: &RunConfig) {
+    let sink = CsvSink::new(&config.out_dir);
+    let mut table = Table::new(
+        "Table 2: α and β in NYT and PUBMED",
+        &["tau", "NYT α", "NYT β", "PUBMED α", "PUBMED β"],
+    );
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut footers: Vec<(String, f64, f64)> = Vec::new();
+    for dataset in [Dataset::Nyt, Dataset::Pubmed] {
+        let workload = Workload::build(dataset, dataset.paper_k(), config);
+        println!(
+            "[table2] dataset={} n={} k={}",
+            dataset.name(),
+            workload.n(),
+            workload.index.params().k
+        );
+        let mut col = Vec::new();
+        for &tau in &TAUS {
+            let p = StratumProbabilities::compute_exact(
+                &workload.collection,
+                workload.index.table(0),
+                &Cosine,
+                tau,
+                config.threads(),
+            );
+            col.push((p.alpha(), p.beta()));
+        }
+        let n = workload.n() as f64;
+        footers.push((dataset.name().to_string(), n.log2() / n, 1.0 / n));
+        columns.push(col);
+    }
+    for (i, &tau) in TAUS.iter().enumerate() {
+        table.row(vec![
+            format!("{tau:.1}"),
+            sci(columns[0][i].0),
+            sci(columns[0][i].1),
+            sci(columns[1][i].0),
+            sci(columns[1][i].1),
+        ]);
+    }
+    // Boundary rows, as in the paper's footer lines.
+    table.row(vec![
+        "log n/n".into(),
+        sci(footers[0].1),
+        sci(footers[0].1),
+        sci(footers[1].1),
+        sci(footers[1].1),
+    ]);
+    table.row(vec![
+        "1/n".into(),
+        sci(footers[0].2),
+        sci(footers[0].2),
+        sci(footers[1].2),
+        sci(footers[1].2),
+    ]);
+    table.emit(&sink, "table2");
+}

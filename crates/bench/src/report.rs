@@ -1,0 +1,215 @@
+//! Report output: aligned text tables and CSV files.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// An in-memory table: header row plus data rows, rendered right-aligned
+/// to stdout and dumped verbatim to CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).expect("string write");
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.header) {
+            write!(line, "{h:>w$}  ", w = w).expect("string write");
+        }
+        writeln!(out, "{}", line.trim_end()).expect("string write");
+        writeln!(out, "{}", "-".repeat(line.trim_end().len())).expect("string write");
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                write!(line, "{cell:>w$}  ", w = w).expect("string write");
+            }
+            writeln!(out, "{}", line.trim_end()).expect("string write");
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows, comma-separated, quotes only when
+    /// needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+        .expect("string write");
+        for row in &self.rows {
+            writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            )
+            .expect("string write");
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<name>.csv` through the sink.
+    pub fn emit(&self, sink: &CsvSink, name: &str) {
+        println!("{}", self.render());
+        if let Err(e) = sink.write(name, &self.to_csv()) {
+            eprintln!("warning: failed to write CSV {name}: {e}");
+        }
+    }
+}
+
+/// Destination directory for CSV artifacts (`results/` by default).
+#[derive(Debug, Clone)]
+pub struct CsvSink {
+    dir: PathBuf,
+}
+
+impl CsvSink {
+    /// Creates a sink rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `<name>.csv`.
+    pub fn write(&self, name: &str, content: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.dir.join(format!("{name}.csv")), content)
+    }
+}
+
+/// Percentage formatting used across reports (one decimal, sign for the
+/// under-estimation panels).
+pub fn pct(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    format!("{:.1}", x * 100.0)
+}
+
+/// Scientific-notation formatting for probabilities (Table 1/2 style).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x.abs() >= 0.001 {
+        format!("{x:.5}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["tau", "value"]);
+        t.row(vec!["0.1".into(), "12345".into()]);
+        t.row(vec!["0.95".into(), "7".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("tau"));
+        // Right alignment: the short value is padded.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["plain".into(), "has,comma".into()]);
+        t.row(vec!["has\"quote".into(), "fine".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn sink_writes_files() {
+        let dir = std::env::temp_dir().join("vsj_csv_test");
+        let sink = CsvSink::new(&dir);
+        sink.write("t", "a,b\n1,2\n").unwrap();
+        let back = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(back.starts_with("a,b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3");
+        assert_eq!(pct(f64::INFINITY), "inf");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(0.04), "0.04000");
+        assert!(sci(3.9e-7).contains('e'));
+    }
+}

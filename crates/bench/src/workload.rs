@@ -1,0 +1,169 @@
+//! Workload assembly: dataset → index → ground truth, with disk caching.
+//!
+//! Ground truth is the only O(n²) step of a run; it is cached under
+//! `results/cache/` keyed by the collection's content hash so parameter
+//! sweeps over the same corpus pay it once.
+
+use std::path::PathBuf;
+
+use vsj_datasets::{io::content_hash, Dataset};
+use vsj_exact::GroundTruth;
+use vsj_lsh::{LshIndex, LshParams};
+use vsj_vector::{Cosine, VectorCollection};
+
+/// Shared run options parsed from the CLI.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Multiplier on each dataset's default laptop-scale fraction.
+    pub scale: f64,
+    /// Trials per configuration (the paper uses 100).
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSVs and caches.
+    pub out_dir: PathBuf,
+    /// Worker threads for ground truth / hashing (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            trials: 100,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+            threads: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The cache directory.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.out_dir.join("cache")
+    }
+
+    /// Thread count resolved to a concrete number.
+    pub fn threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+    }
+}
+
+/// Laptop-scale default fraction of each corpus (of the paper's full n).
+/// DBLP ≈ 12K, NYT ≈ 3.0K, PUBMED ≈ 5.0K vectors at `scale = 1`; the NYT
+/// and PUBMED documents are an order of magnitude denser, which is what
+/// bounds their exact-join budgets.
+pub fn default_fraction(dataset: Dataset) -> f64 {
+    match dataset {
+        Dataset::Dblp => 0.015,
+        Dataset::Nyt => 0.02,
+        Dataset::Pubmed => 0.0125,
+    }
+}
+
+/// A fully assembled workload.
+pub struct Workload {
+    /// Which corpus.
+    pub dataset: Dataset,
+    /// The vectors.
+    pub collection: VectorCollection,
+    /// SimHash index (`k` per the request, 1 table unless stated).
+    pub index: LshIndex,
+    /// Exact cosine join sizes on the paper's τ grid.
+    pub truth: GroundTruth,
+}
+
+impl Workload {
+    /// Builds (or loads from cache) the workload for a dataset.
+    pub fn build(dataset: Dataset, k: usize, config: &RunConfig) -> Self {
+        Self::build_with_tables(dataset, k, 1, config)
+    }
+
+    /// As [`Self::build`] with an ℓ-table index.
+    pub fn build_with_tables(dataset: Dataset, k: usize, l: usize, config: &RunConfig) -> Self {
+        let fraction = (default_fraction(dataset) * config.scale).min(1.0);
+        let collection = dataset.generate(fraction, config.seed);
+        let index = LshIndex::build(
+            &collection,
+            LshParams::new(k, l)
+                .with_seed(config.seed ^ 0xA5A5)
+                .with_threads(config.threads()),
+        );
+        let truth = load_or_compute_truth(&collection, dataset, config);
+        Self {
+            dataset,
+            collection,
+            index,
+            truth,
+        }
+    }
+
+    /// Database size `n`.
+    pub fn n(&self) -> usize {
+        self.collection.len()
+    }
+}
+
+/// Ground truth with cache round-trip.
+pub fn load_or_compute_truth(
+    collection: &VectorCollection,
+    dataset: Dataset,
+    config: &RunConfig,
+) -> GroundTruth {
+    let taus = crate::tau_grid();
+    let key = content_hash(collection);
+    let path = config
+        .cache_dir()
+        .join(format!("truth_{}_{key:016x}.tsv", dataset.name()));
+    if let Ok(cached) = GroundTruth::load(&path) {
+        if cached.n() == collection.len() && taus.iter().all(|&t| cached.join_size(t).is_some()) {
+            return cached;
+        }
+    }
+    eprintln!(
+        "[workload] computing exact join sizes for {} (n = {}) …",
+        dataset.name(),
+        collection.len()
+    );
+    let truth = GroundTruth::compute(collection, &Cosine, &taus, config.threads());
+    if let Err(e) = truth.save(&path) {
+        eprintln!("warning: could not cache ground truth: {e}");
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = RunConfig::default();
+        assert_eq!(c.trials, 100);
+        assert!(c.threads() >= 1);
+        assert!(c.cache_dir().ends_with("cache"));
+    }
+
+    #[test]
+    fn tiny_workload_builds_and_caches() {
+        let tmp = std::env::temp_dir().join("vsj_workload_test");
+        let config = RunConfig {
+            scale: 0.02, // ≈ 240 vectors of DBLP
+            trials: 1,
+            seed: 7,
+            out_dir: tmp.clone(),
+            threads: Some(2),
+        };
+        let w = Workload::build(Dataset::Dblp, 8, &config);
+        assert_eq!(w.n(), w.collection.len());
+        assert!(w.n() >= 64);
+        assert_eq!(w.index.params().k, 8);
+        assert!(w.truth.join_size(0.5).is_some());
+        // Second build hits the cache (same content hash).
+        let w2 = Workload::build(Dataset::Dblp, 8, &config);
+        assert_eq!(w2.truth.entries(), w.truth.entries());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

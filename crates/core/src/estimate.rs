@@ -1,0 +1,104 @@
+//! The estimate type shared by all estimators.
+
+/// How an estimate was formed — consumers (query optimizers, the
+/// experiment harness) treat a safe lower bound differently from a fully
+/// scaled estimate, exactly as §5.1.2 of the paper prescribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateKind {
+    /// Every component was scaled by its sampling fraction with the
+    /// estimator's full guarantees in force.
+    Scaled,
+    /// At least one component is an *unscaled* positive count: the value
+    /// is a safe lower bound on that component (Algorithm 1, line 10).
+    SafeLowerBound,
+    /// At least one component used a dampened scale-up factor `c_s`
+    /// (LSH-SS(D), Theorem 2).
+    Dampened,
+    /// Closed-form, no sampling (the JU estimator of Eq. 4).
+    Analytic,
+}
+
+/// A join-size estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated number of joining pairs `Ĵ` (always finite, ≥ 0).
+    pub value: f64,
+    /// How the value was formed.
+    pub kind: EstimateKind,
+}
+
+impl Estimate {
+    /// A scaled estimate, clamped to the valid range `[0, M]`.
+    pub fn scaled(value: f64, total_pairs: u64) -> Self {
+        Self {
+            value: clamp_estimate(value, total_pairs),
+            kind: EstimateKind::Scaled,
+        }
+    }
+
+    /// An estimate containing a safe-lower-bound component.
+    pub fn lower_bounded(value: f64, total_pairs: u64) -> Self {
+        Self {
+            value: clamp_estimate(value, total_pairs),
+            kind: EstimateKind::SafeLowerBound,
+        }
+    }
+
+    /// An estimate containing a dampened component.
+    pub fn dampened(value: f64, total_pairs: u64) -> Self {
+        Self {
+            value: clamp_estimate(value, total_pairs),
+            kind: EstimateKind::Dampened,
+        }
+    }
+
+    /// A closed-form estimate.
+    pub fn analytic(value: f64, total_pairs: u64) -> Self {
+        Self {
+            value: clamp_estimate(value, total_pairs),
+            kind: EstimateKind::Analytic,
+        }
+    }
+}
+
+/// Clamps a raw estimator output into the feasible join-size range:
+/// negative values (possible for the analytic estimators when `N_H` is
+/// below its expectation) truncate to 0, values above `M` to `M`, and
+/// non-finite intermediate results (empty-sample degeneracies) to 0.
+pub fn clamp_estimate(value: f64, total_pairs: u64) -> f64 {
+    if !value.is_finite() {
+        return 0.0;
+    }
+    value.clamp(0.0, total_pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_rules() {
+        assert_eq!(clamp_estimate(-5.0, 100), 0.0);
+        assert_eq!(clamp_estimate(150.0, 100), 100.0);
+        assert_eq!(clamp_estimate(42.0, 100), 42.0);
+        assert_eq!(clamp_estimate(f64::NAN, 100), 0.0);
+        assert_eq!(clamp_estimate(f64::INFINITY, 100), 0.0);
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Estimate::scaled(1.0, 10).kind, EstimateKind::Scaled);
+        assert_eq!(
+            Estimate::lower_bounded(1.0, 10).kind,
+            EstimateKind::SafeLowerBound
+        );
+        assert_eq!(Estimate::dampened(1.0, 10).kind, EstimateKind::Dampened);
+        assert_eq!(Estimate::analytic(1.0, 10).kind, EstimateKind::Analytic);
+    }
+
+    #[test]
+    fn constructors_clamp() {
+        assert_eq!(Estimate::analytic(-3.0, 10).value, 0.0);
+        assert_eq!(Estimate::scaled(1e12, 10).value, 10.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! LSH-S: sample-weighted conditional probabilities (§4.3 of the paper).
+//!
+//! JU's weakness is the uniformity assumption — real similarity
+//! distributions are heavily skewed toward 0. LSH-S replaces the
+//! uniform-measure integrals with a *sample* of pairs. The paper sketches
+//! two variants and evaluates the second:
+//!
+//! * [`LshSVariant::Direct`] — estimate `P(H|T)` and `P(H|F)` by directly
+//!   counting, among sampled true (resp. false) pairs, how many share a
+//!   bucket ("the first method" of §4.3).
+//! * [`LshSVariant::Weighted`] — weight the *analytic* collision curve
+//!   by the sampled similarity values (Eqs. 5–6):
+//!   `P̂(H|T) = Σ_{(u,v)∈S_T} f(sim(u,v)) / |S_T|`, `f(s) = p(s)^k`.
+//!
+//! Both plug into Eq. 1. Both inherit random sampling's high-threshold
+//! problem — `S_T` is empty almost surely when the selectivity is tiny —
+//! which is exactly the failure mode Figure 4 shows and LSH-SS repairs.
+
+use crate::estimate::Estimate;
+use crate::uniform::CollisionModel;
+use vsj_lsh::LshTable;
+use vsj_sampling::{sample_distinct_pair, Rng};
+use vsj_vector::{Similarity, VectorCollection};
+
+/// Which §4.3 variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LshSVariant {
+    /// Count same-bucket fractions among sampled true/false pairs.
+    Direct,
+    /// Weight `f(s) = p(s)^k` by sampled similarities (Eqs. 5–6) — the
+    /// variant the paper reports as LSH-S.
+    Weighted,
+}
+
+/// The LSH-S estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshS {
+    /// Pair sample size.
+    pub samples: u64,
+    /// Variant (the paper's default is `Weighted`).
+    pub variant: LshSVariant,
+    /// Collision model for the weighted variant's `f(s)`.
+    pub model: CollisionModel,
+}
+
+impl LshS {
+    /// The paper's configuration: weighted variant, idealized `f(s)=s^k`,
+    /// `m = n` samples.
+    pub fn paper_default(n: usize) -> Self {
+        Self {
+            samples: n as u64,
+            variant: LshSVariant::Weighted,
+            model: CollisionModel::Idealized,
+        }
+    }
+
+    /// Estimates the join size at `τ` using the bucket-counted `table`.
+    pub fn estimate<S, R>(
+        &self,
+        collection: &VectorCollection,
+        measure: &S,
+        table: &LshTable,
+        tau: f64,
+        rng: &mut R,
+    ) -> Estimate
+    where
+        S: Similarity,
+        R: Rng + ?Sized,
+    {
+        let n = collection.len() as u64;
+        let m_total = table.total_pairs();
+        if n < 2 {
+            return Estimate::scaled(0.0, m_total);
+        }
+        let k = table.hasher().k();
+        let f = |s: f64| self.model.p(s).powi(k as i32);
+
+        // One pass of uniform pair samples, split into S_T and S_F.
+        let mut t_count = 0u64; // |S_T|
+        let mut f_count = 0u64; // |S_F|
+        let mut t_stat = 0.0f64; // Σ f(sim) or same-bucket count over S_T
+        let mut f_stat = 0.0f64; // likewise over S_F
+        for _ in 0..self.samples {
+            let (i, j) = sample_distinct_pair(rng, n);
+            let (i, j) = (i as u32, j as u32);
+            let s = collection.sim(measure, i, j);
+            let contribution = match self.variant {
+                LshSVariant::Weighted => f(s),
+                LshSVariant::Direct => f64::from(u8::from(table.same_bucket(i, j))),
+            };
+            if s >= tau {
+                t_count += 1;
+                t_stat += contribution;
+            } else {
+                f_count += 1;
+                f_stat += contribution;
+            }
+        }
+
+        // P̂(H|T), P̂(H|F); when a stratum was never sampled fall back to
+        // the analytic uniform-measure value — the documented degradation
+        // path at extreme thresholds.
+        let p_h_given_t = if t_count > 0 {
+            t_stat / t_count as f64
+        } else {
+            analytic_conditional(&f, tau, 1.0)
+        };
+        let p_h_given_f = if f_count > 0 {
+            f_stat / f_count as f64
+        } else {
+            analytic_conditional(&f, 0.0, tau)
+        };
+
+        let denom = p_h_given_t - p_h_given_f;
+        if denom <= 0.0 {
+            // The sample carried no bucket signal (e.g. every sampled
+            // pair equally (un)likely to collide): no usable estimate.
+            return Estimate::scaled(0.0, m_total);
+        }
+        let nh = table.nh() as f64;
+        let value = (nh - m_total as f64 * p_h_given_f) / denom;
+        Estimate::scaled(value, m_total)
+    }
+}
+
+/// Mean of `f` over `[lo, hi]` (midpoint rule, 512 cells) — the uniform
+/// fallback when a stratum has no samples.
+fn analytic_conditional(f: &impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return f(lo.clamp(0.0, 1.0));
+    }
+    let cells = 512;
+    let h = (hi - lo) / cells as f64;
+    let sum: f64 = (0..cells).map(|i| f(lo + h * (i as f64 + 0.5))).sum();
+    sum / cells as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vsj_lsh::{Composite, MinHashFamily};
+    use vsj_sampling::Xoshiro256;
+    use vsj_vector::{Jaccard, SparseVector};
+
+    /// Collection with graded Jaccard overlap (sliding windows) plus
+    /// duplicate clusters.
+    fn corpus() -> VectorCollection {
+        let mut rng = Xoshiro256::seeded(7);
+        let mut vectors = Vec::new();
+        for _ in 0..500 {
+            let start = rng.below(300) as u32;
+            let len = 8 + rng.below(8) as u32;
+            vectors.push(SparseVector::binary_from_members(
+                (start..start + len).collect(),
+            ));
+        }
+        // Duplicate cluster for a τ≈1 tail.
+        for _ in 0..6 {
+            vectors.push(SparseVector::binary_from_members((1000..1012).collect()));
+        }
+        VectorCollection::from_vectors(vectors)
+    }
+
+    fn exact(coll: &VectorCollection, tau: f64) -> u64 {
+        let n = coll.len() as u32;
+        let mut c = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if Jaccard.sim(coll.vector(a), coll.vector(b)) >= tau {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    fn minhash_table(coll: &VectorCollection, k: usize) -> LshTable {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 3, 0, k));
+        LshTable::build(coll, hasher, Some(1))
+    }
+
+    #[test]
+    fn weighted_variant_reasonable_at_low_tau() {
+        // MinHash + Jaccard is the setting where f(s) = s^k is exact, so
+        // LSH-S should be in the right regime at thresholds where true
+        // pairs are sampled.
+        let coll = corpus();
+        let table = minhash_table(&coll, 6);
+        let tau = 0.25;
+        let truth = exact(&coll, tau) as f64;
+        assert!(
+            truth > 50.0,
+            "fixture needs joining mass at τ={tau}: {truth}"
+        );
+        let est = LshS {
+            samples: 40_000,
+            variant: LshSVariant::Weighted,
+            model: CollisionModel::Idealized,
+        };
+        let mut rng = Xoshiro256::seeded(1);
+        let mut vals = Vec::new();
+        for _ in 0..10 {
+            vals.push(est.estimate(&coll, &Jaccard, &table, tau, &mut rng).value);
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(
+            mean > truth * 0.3 && mean < truth * 3.0,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn direct_variant_also_works_at_low_tau() {
+        let coll = corpus();
+        let table = minhash_table(&coll, 6);
+        let tau = 0.25;
+        let truth = exact(&coll, tau) as f64;
+        let est = LshS {
+            samples: 40_000,
+            variant: LshSVariant::Direct,
+            model: CollisionModel::Idealized,
+        };
+        let mut rng = Xoshiro256::seeded(2);
+        let mut vals = Vec::new();
+        for _ in 0..10 {
+            vals.push(est.estimate(&coll, &Jaccard, &table, tau, &mut rng).value);
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(
+            mean > truth * 0.2 && mean < truth * 5.0,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn high_tau_estimates_are_unreliable_by_design() {
+        // §6.2: "LSH-S has large errors at high thresholds … because the
+        // estimations of conditional probabilities are not reliable due
+        // to insufficient number of true pairs sampled." With no true
+        // pair in the sample the weighted variant falls back to the
+        // uniform-measure conditional — i.e. JU behaviour, typically far
+        // from truth on skewed data. The contract here is graceful
+        // degradation: finite, clamped, no panic.
+        let coll = corpus();
+        let table = minhash_table(&coll, 12);
+        let est = LshS {
+            samples: 200, // too few to hit the thin τ=0.95 tail
+            variant: LshSVariant::Weighted,
+            model: CollisionModel::Idealized,
+        };
+        let mut rng = Xoshiro256::seeded(3);
+        let e = est.estimate(&coll, &Jaccard, &table, 0.95, &mut rng);
+        assert!(e.value.is_finite() && e.value >= 0.0);
+        assert!(e.value <= coll.total_pairs() as f64);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let est = LshS::paper_default(34_000);
+        assert_eq!(est.samples, 34_000);
+        assert_eq!(est.variant, LshSVariant::Weighted);
+    }
+
+    #[test]
+    fn degenerate_collection() {
+        let coll = VectorCollection::from_vectors(vec![SparseVector::binary_from_members(vec![1])]);
+        let table = minhash_table(&coll, 4);
+        let est = LshS::paper_default(1);
+        let mut rng = Xoshiro256::seeded(4);
+        assert_eq!(
+            est.estimate(&coll, &Jaccard, &table, 0.5, &mut rng).value,
+            0.0
+        );
+    }
+
+    #[test]
+    fn analytic_conditional_is_mean_of_f() {
+        let f = |s: f64| s * s;
+        // Mean of s² on [0,1] is 1/3.
+        assert!((analytic_conditional(&f, 0.0, 1.0) - 1.0 / 3.0).abs() < 1e-5);
+        // Degenerate interval returns the point value.
+        assert!((analytic_conditional(&f, 0.5, 0.5) - 0.25).abs() < 1e-12);
+    }
+}

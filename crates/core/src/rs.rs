@@ -1,0 +1,310 @@
+//! Random-sampling baselines (§3.1 of the paper).
+//!
+//! * [`RsPop`] — `RS(pop)`: draw `m` unordered pairs uniformly (with
+//!   replacement) from the population of `M = C(n,2)` pairs, count those
+//!   with `sim ≥ τ`, scale by `M/m`.
+//! * [`RsCross`] — `RS(cross)`: draw `⌈√m⌉` *records* and evaluate all
+//!   pairs among them (cross sampling of Haas et al. \[10\]). Same budget in
+//!   similarity evaluations, very different variance structure: pair
+//!   samples are dependent, but each record contributes to many pairs.
+//!
+//! Both are unbiased at every `τ` and both collapse at high thresholds:
+//! with selectivity `1e-7` and `m = n` samples, the hit count is almost
+//! always 0 (estimate 0) and occasionally 1 (estimate `M/m ≫ J`) — the
+//! fluctuation Figures 2–3 of the paper display.
+
+use crate::estimate::Estimate;
+use vsj_sampling::{pair_count, sample_distinct_pair, Rng};
+use vsj_vector::{Similarity, VectorCollection};
+
+/// Uniform pair sampling, `RS(pop)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsPop {
+    /// Number of pair samples `m`. The paper's experiments use
+    /// `m = 1.5 n` to match LSH-SS's total budget.
+    pub samples: u64,
+}
+
+impl RsPop {
+    /// Creates the estimator.
+    pub fn new(samples: u64) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        Self { samples }
+    }
+
+    /// The paper's budget-matched default: `m = 1.5 n`.
+    pub fn paper_default(n: usize) -> Self {
+        Self::new(((n as f64) * 1.5).ceil() as u64)
+    }
+
+    /// Estimates the self-join size at `τ`.
+    pub fn estimate<S, R>(
+        &self,
+        collection: &VectorCollection,
+        measure: &S,
+        tau: f64,
+        rng: &mut R,
+    ) -> Estimate
+    where
+        S: Similarity,
+        R: Rng + ?Sized,
+    {
+        let n = collection.len() as u64;
+        let m_total = pair_count(n);
+        if n < 2 {
+            return Estimate::scaled(0.0, m_total);
+        }
+        let mut hits = 0u64;
+        for _ in 0..self.samples {
+            let (i, j) = sample_distinct_pair(rng, n);
+            if collection.sim(measure, i as u32, j as u32) >= tau {
+                hits += 1;
+            }
+        }
+        Estimate::scaled(
+            hits as f64 * (m_total as f64 / self.samples as f64),
+            m_total,
+        )
+    }
+}
+
+/// Cross sampling, `RS(cross)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsCross {
+    /// Number of records drawn; all `C(records, 2)` pairs among them are
+    /// evaluated.
+    pub records: usize,
+}
+
+impl RsCross {
+    /// Creates the estimator from a record count.
+    pub fn new(records: usize) -> Self {
+        assert!(records >= 2, "cross sampling needs at least two records");
+        Self { records }
+    }
+
+    /// Budget-matched construction: `⌈√m⌉` records for a target of `m`
+    /// pair comparisons (the paper's `d·n` with `d = 1.5`).
+    pub fn with_pair_budget(m: u64) -> Self {
+        Self::new(((m as f64).sqrt().ceil() as usize).max(2))
+    }
+
+    /// Estimates the self-join size at `τ`.
+    pub fn estimate<S, R>(
+        &self,
+        collection: &VectorCollection,
+        measure: &S,
+        tau: f64,
+        rng: &mut R,
+    ) -> Estimate
+    where
+        S: Similarity,
+        R: Rng + ?Sized,
+    {
+        let n = collection.len();
+        let m_total = pair_count(n as u64);
+        if n < 2 {
+            return Estimate::scaled(0.0, m_total);
+        }
+        let r = self.records.min(n);
+        // Sample r distinct record ids (Floyd's algorithm keeps this O(r)
+        // even when r ≈ n).
+        let mut chosen: Vec<u32> = Vec::with_capacity(r);
+        let mut seen = std::collections::HashSet::with_capacity(r);
+        for j in (n - r)..n {
+            let t = rng.below_usize(j + 1);
+            let pick = if seen.contains(&t) { j } else { t };
+            seen.insert(pick);
+            chosen.push(pick as u32);
+        }
+        let mut hits = 0u64;
+        for a in 0..chosen.len() {
+            for b in (a + 1)..chosen.len() {
+                if collection.sim(measure, chosen[a], chosen[b]) >= tau {
+                    hits += 1;
+                }
+            }
+        }
+        let sampled_pairs = pair_count(r as u64);
+        if sampled_pairs == 0 {
+            return Estimate::scaled(0.0, m_total);
+        }
+        Estimate::scaled(
+            hits as f64 * (m_total as f64 / sampled_pairs as f64),
+            m_total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_sampling::Xoshiro256;
+    use vsj_vector::{Cosine, SparseVector};
+
+    fn corpus(n: u32) -> VectorCollection {
+        VectorCollection::from_vectors(
+            (0..n)
+                .map(|i| {
+                    let entries: Vec<(u32, f32)> = (0..5u32)
+                        .map(|w| ((i.wrapping_mul(2654435761).wrapping_add(w * 97)) % 40, 1.0))
+                        .collect();
+                    SparseVector::from_entries(entries).unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    fn exact(coll: &VectorCollection, tau: f64) -> u64 {
+        let n = coll.len() as u32;
+        let mut c = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if coll.sim(&Cosine, a, b) >= tau {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn rs_pop_unbiased_at_moderate_tau() {
+        let coll = corpus(200);
+        let truth = exact(&coll, 0.4) as f64;
+        assert!(truth > 100.0, "fixture needs joining pairs, got {truth}");
+        let est = RsPop::new(60_000);
+        let mut rng = Xoshiro256::seeded(1);
+        let mut sum = 0.0;
+        let trials = 20;
+        for _ in 0..trials {
+            sum += est.estimate(&coll, &Cosine, 0.4, &mut rng).value;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn rs_pop_fluctuates_at_high_tau() {
+        // The §3.1 failure mode: tiny selectivity ⇒ estimates are either
+        // 0 or enormous. Wide vocabulary keeps vectors nearly orthogonal;
+        // a single planted duplicate pair carries the τ=0.999 join.
+        let mut vectors: Vec<SparseVector> = (0..300u32)
+            .map(|i| {
+                let entries: Vec<(u32, f32)> = (0..5u32)
+                    .map(|w| {
+                        (
+                            (i.wrapping_mul(2654435761).wrapping_add(w * 977)) % 40_000,
+                            1.0,
+                        )
+                    })
+                    .collect();
+                SparseVector::from_entries(entries).unwrap()
+            })
+            .collect();
+        vectors.push(vectors[0].clone());
+        let coll = VectorCollection::from_vectors(vectors);
+        let truth = exact(&coll, 0.999);
+        assert!((1..=3).contains(&truth), "tail must be thin: {truth}");
+        let est = RsPop::new(100);
+        let mut rng = Xoshiro256::seeded(2);
+        let mut zeros = 0;
+        let mut huge = 0;
+        for _ in 0..50 {
+            let v = est.estimate(&coll, &Cosine, 0.999, &mut rng).value;
+            if v == 0.0 {
+                zeros += 1;
+            } else if v > truth as f64 * 50.0 {
+                huge += 1;
+            }
+        }
+        assert!(zeros > 40, "expected mostly-zero estimates, got {zeros}");
+        assert_eq!(zeros + huge, 50, "estimates must be all-or-nothing");
+    }
+
+    #[test]
+    fn rs_cross_unbiased_at_moderate_tau() {
+        let coll = corpus(200);
+        let truth = exact(&coll, 0.4) as f64;
+        let est = RsCross::new(80);
+        let mut rng = Xoshiro256::seeded(3);
+        let mut sum = 0.0;
+        let trials = 60;
+        for _ in 0..trials {
+            sum += est.estimate(&coll, &Cosine, 0.4, &mut rng).value;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.15,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn rs_cross_record_budget() {
+        let c = RsCross::with_pair_budget(10_000);
+        assert_eq!(c.records, 100);
+        let c2 = RsCross::with_pair_budget(1);
+        assert_eq!(c2.records, 2);
+    }
+
+    #[test]
+    fn rs_cross_caps_records_at_n() {
+        let coll = corpus(10);
+        let est = RsCross::new(500); // more records than vectors
+        let mut rng = Xoshiro256::seeded(4);
+        // With r capped at n the sample is the whole population: estimate
+        // must equal the exact count.
+        let v = est.estimate(&coll, &Cosine, 0.3, &mut rng).value;
+        assert_eq!(v, exact(&coll, 0.3) as f64);
+    }
+
+    #[test]
+    fn degenerate_collections() {
+        let empty = VectorCollection::new();
+        let mut rng = Xoshiro256::seeded(5);
+        assert_eq!(
+            RsPop::new(10)
+                .estimate(&empty, &Cosine, 0.5, &mut rng)
+                .value,
+            0.0
+        );
+        assert_eq!(
+            RsCross::new(2)
+                .estimate(&empty, &Cosine, 0.5, &mut rng)
+                .value,
+            0.0
+        );
+    }
+
+    #[test]
+    fn paper_default_budget() {
+        assert_eq!(RsPop::paper_default(1000).samples, 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        RsPop::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two records")]
+    fn one_record_rejected() {
+        RsCross::new(1);
+    }
+
+    #[test]
+    fn estimates_never_exceed_m() {
+        let coll = corpus(20);
+        let m = coll.total_pairs() as f64;
+        let mut rng = Xoshiro256::seeded(6);
+        for _ in 0..20 {
+            let v = RsPop::new(3).estimate(&coll, &Cosine, 0.0, &mut rng).value;
+            assert!(v <= m);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Binary container format for vector collections.
+//!
+//! Generated corpora feed ground-truth computations that cost O(n²); the
+//! experiment harness caches both, keyed by the corpus content. This
+//! module provides the compact, versioned, endian-stable serialization
+//! those caches use, plus the content hash for the cache key.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "VSJC"
+//! version u32      (currently 1)
+//! n       u64      vector count
+//! per vector:
+//!   nnz   u32
+//!   nnz × u32      dimension indices (sorted)
+//!   nnz × f32      weights
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+
+use vsj_sampling::SplitMix64;
+use vsj_vector::{SparseVector, VectorCollection};
+
+const MAGIC: &[u8; 4] = b"VSJC";
+const VERSION: u32 = 1;
+
+/// Errors from decoding a collection container.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Not a VSJC container.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u32),
+    /// The payload ended early or a vector violated its invariants.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "collection I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a VSJC collection file"),
+            Self::BadVersion(v) => write!(f, "unsupported VSJC version {v}"),
+            Self::Corrupt(msg) => write!(f, "corrupt VSJC payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Encodes a collection into the container format.
+pub fn encode(collection: &VectorCollection) -> Bytes {
+    let total_nnz: usize = collection.vectors().iter().map(SparseVector::nnz).sum();
+    let mut buf = BytesMut::with_capacity(16 + collection.len() * 4 + total_nnz * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(collection.len() as u64);
+    for (_, v) in collection.iter() {
+        buf.put_u32_le(v.nnz() as u32);
+        for &i in v.indices() {
+            buf.put_u32_le(i);
+        }
+        for &w in v.values() {
+            buf.put_f32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a container back into a collection.
+///
+/// # Errors
+/// Returns [`IoError`] on malformed input; all vector invariants are
+/// re-validated (the file may have been edited or truncated).
+pub fn decode(mut data: Bytes) -> Result<VectorCollection, IoError> {
+    if data.remaining() < 16 {
+        return Err(IoError::Corrupt("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let n = data.get_u64_le() as usize;
+    let mut vectors = Vec::with_capacity(n);
+    for vi in 0..n {
+        if data.remaining() < 4 {
+            return Err(IoError::Corrupt(format!("vector {vi}: nnz truncated")));
+        }
+        let nnz = data.get_u32_le() as usize;
+        if data.remaining() < nnz * 8 {
+            return Err(IoError::Corrupt(format!("vector {vi}: payload truncated")));
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(data.get_u32_le());
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            values.push(data.get_f32_le());
+        }
+        let v = SparseVector::from_sorted(indices, values)
+            .map_err(|e| IoError::Corrupt(format!("vector {vi}: {e}")))?;
+        vectors.push(v);
+    }
+    if data.has_remaining() {
+        return Err(IoError::Corrupt(format!(
+            "{} trailing bytes",
+            data.remaining()
+        )));
+    }
+    Ok(VectorCollection::from_vectors(vectors))
+}
+
+/// Writes a collection container (creating parent directories).
+pub fn save(collection: &VectorCollection, path: &Path) -> Result<(), IoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode(collection))?;
+    Ok(())
+}
+
+/// Reads a collection container.
+pub fn load(path: &Path) -> Result<VectorCollection, IoError> {
+    decode(Bytes::from(std::fs::read(path)?))
+}
+
+/// Order-sensitive 64-bit content hash of a collection — the cache key
+/// that ties ground-truth files to the exact corpus they were computed on.
+pub fn content_hash(collection: &VectorCollection) -> u64 {
+    let mut acc = 0xC0FF_EE00_D15E_A5E5u64 ^ collection.len() as u64;
+    for (_, v) in collection.iter() {
+        acc = SplitMix64::mix(acc ^ v.nnz() as u64);
+        for (i, w) in v.iter() {
+            acc = SplitMix64::mix(acc ^ (u64::from(i) << 32 | u64::from(w.to_bits())));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::DblpLike;
+
+    fn sample() -> VectorCollection {
+        DblpLike::with_size(120).generate(5)
+    }
+
+    #[test]
+    fn roundtrip_preserves_collection() {
+        let coll = sample();
+        let decoded = decode(encode(&coll)).unwrap();
+        assert_eq!(coll.len(), decoded.len());
+        for (a, b) in coll.vectors().iter().zip(decoded.vectors()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vsj_io_test");
+        let path = dir.join("sub").join("coll.vsjc");
+        let coll = sample();
+        save(&coll, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(content_hash(&coll), content_hash(&loaded));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = encode(&sample()).to_vec();
+        data[0] = b'X';
+        assert!(matches!(decode(Bytes::from(data)), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut data = encode(&sample()).to_vec();
+        data[4] = 99;
+        assert!(matches!(
+            decode(Bytes::from(data)),
+            Err(IoError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = encode(&sample()).to_vec();
+        for cut in [10, data.len() / 2, data.len() - 1] {
+            let r = decode(Bytes::copy_from_slice(&data[..cut]));
+            assert!(r.is_err(), "truncation at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut data = encode(&sample()).to_vec();
+        data.push(0);
+        assert!(matches!(
+            decode(Bytes::from(data)),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn content_hash_is_sensitive() {
+        let a = sample();
+        let b = DblpLike::with_size(120).generate(6); // different seed
+        assert_eq!(content_hash(&a), content_hash(&a));
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn empty_collection_roundtrip() {
+        let empty = VectorCollection::new();
+        let decoded = decode(encode(&empty)).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic evaluation datasets.
+//!
+//! The paper evaluates on three real corpora (Appendix C.1): DBLP
+//! (794,016 binary author/title vectors, ~56K dims, 3–219 features,
+//! avg 14), NYTimes (149,649 TF-IDF vectors, ~100K dims, avg 232
+//! features) and PubMed (400,151 TF-IDF vectors, ~140K dims). Those files
+//! are not redistributable, so this crate builds statistical analogues:
+//!
+//! * [`zipf`] — the power-law word-frequency model underlying all three
+//!   corpora;
+//! * [`textgen`] — a bag-of-words corpus generator: Zipf vocabulary,
+//!   log-normal document lengths, binary or TF-IDF weighting (IDF from
+//!   the *generated* corpus, not an approximation);
+//! * [`dupes`] — near-duplicate cluster planting. This is the load-bearing
+//!   part of the substitution: the paper's high-threshold joins are
+//!   dominated by near-duplicate records (42K pairs at τ=0.9 in DBLP,
+//!   selectivity ~1e-7), and estimators are stressed exactly by that thin
+//!   high-similarity tail. Clusters with per-cluster mutation rates spread
+//!   the tail across the whole τ ∈ [0.5, 1.0] range;
+//! * [`dblp`] / [`nyt`] / [`pubmed`] — presets matching each corpus's
+//!   published statistics, scalable by a fraction of the original `n`;
+//! * [`io`] — a compact binary container for generated collections so
+//!   ground truth can be cached against a content hash.
+//!
+//! Determinism: generation is a pure function of `(preset, scale, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod dupes;
+pub mod io;
+pub mod nyt;
+pub mod preset;
+pub mod pubmed;
+pub mod textgen;
+pub mod zipf;
+
+pub use dblp::DblpLike;
+pub use nyt::NytLike;
+pub use pubmed::PubmedLike;
+pub use textgen::{LengthModel, TextModel, Weighting};
+pub use zipf::Zipf;
+
+use vsj_vector::VectorCollection;
+
+/// Registry of the three paper datasets, keyed by name — the interface
+/// the experiment harness uses (`repro fig2 --dataset dblp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// DBLP-like: binary bag-of-words, short documents.
+    Dblp,
+    /// NYTimes-like: TF-IDF, long documents.
+    Nyt,
+    /// PubMed-like: TF-IDF, largely dissimilar records.
+    Pubmed,
+}
+
+impl Dataset {
+    /// Parses a dataset name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "dblp" => Some(Self::Dblp),
+            "nyt" | "nytimes" => Some(Self::Nyt),
+            "pubmed" => Some(Self::Pubmed),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dblp => "dblp",
+            Self::Nyt => "nyt",
+            Self::Pubmed => "pubmed",
+        }
+    }
+
+    /// The paper's full-size `n` for this corpus.
+    pub fn full_size(self) -> usize {
+        match self {
+            Self::Dblp => 794_016,
+            Self::Nyt => 149_649,
+            Self::Pubmed => 400_151,
+        }
+    }
+
+    /// The `k` the paper uses on this dataset (20 for DBLP/NYT; 5 for the
+    /// largely-dissimilar PubMed, per Appendix C.4).
+    pub fn paper_k(self) -> usize {
+        match self {
+            Self::Dblp | Self::Nyt => 20,
+            Self::Pubmed => 5,
+        }
+    }
+
+    /// Generates the scaled dataset: `n = full_size · scale` vectors.
+    pub fn generate(self, scale: f64, seed: u64) -> VectorCollection {
+        match self {
+            Self::Dblp => DblpLike::scaled(scale).generate(seed),
+            Self::Nyt => NytLike::scaled(scale).generate(seed),
+            Self::Pubmed => PubmedLike::scaled(scale).generate(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        for d in [Dataset::Dblp, Dataset::Nyt, Dataset::Pubmed] {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("NYTimes"), Some(Dataset::Nyt));
+        assert_eq!(Dataset::from_name("unknown"), None);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(Dataset::Dblp.full_size(), 794_016);
+        assert_eq!(Dataset::Pubmed.paper_k(), 5);
+        assert_eq!(Dataset::Nyt.paper_k(), 20);
+    }
+}

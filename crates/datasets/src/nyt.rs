@@ -1,0 +1,124 @@
+//! NYTimes-like corpus: TF-IDF weighted news articles.
+//!
+//! Target statistics (Appendix C.1): 149,649 articles, ~100K-dimensional
+//! TF-IDF vectors, average 232 features. News corpora carry a visible
+//! near-duplicate population (wire stories republished with light edits),
+//! which is what keeps P(T|H) ≈ 0.7 across the threshold range in the
+//! paper's Table 2.
+
+use crate::preset::CorpusPreset;
+use crate::textgen::Weighting;
+use vsj_vector::VectorCollection;
+
+/// Generator for NYT-like collections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NytLike {
+    preset: CorpusPreset,
+    n: usize,
+    vocab: usize,
+}
+
+impl NytLike {
+    /// The preset recipe.
+    pub fn preset() -> CorpusPreset {
+        CorpusPreset {
+            full_size: 149_649,
+            full_vocab: 102_000,
+            min_vocab: 4_000,
+            zipf_exponent: 1.0,
+            mean_tokens: 290.0, // ≈232 distinct features after tf merging
+            sigma_tokens: 0.45,
+            min_tokens: 40,
+            max_tokens: 2_500,
+            weighting: Weighting::TfIdf,
+            dup_seed_fraction: 0.10,
+            dup_max_copies: 2,
+            dup_mutation: (0.0, 0.30),
+        }
+    }
+
+    /// A generator producing `full_size · scale` vectors.
+    pub fn scaled(scale: f64) -> Self {
+        let preset = Self::preset();
+        Self {
+            n: preset.size_for_scale(scale),
+            vocab: preset.vocab_for_scale(scale),
+            preset,
+        }
+    }
+
+    /// A generator producing exactly `n` vectors.
+    pub fn with_size(n: usize) -> Self {
+        let preset = Self::preset();
+        let scale = (n as f64 / preset.full_size as f64).clamp(1e-6, 1.0);
+        Self {
+            n,
+            vocab: preset.vocab_for_scale(scale),
+            preset,
+        }
+    }
+
+    /// Number of vectors this generator will produce.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when configured for zero vectors (never via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vocabulary size in use.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Generates the collection.
+    pub fn generate(&self, seed: u64) -> VectorCollection {
+        self.preset.generate_n(self.n, self.vocab, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::{check_shape, check_similarity_tail};
+
+    #[test]
+    fn shape_matches_paper_statistics() {
+        let coll = NytLike::with_size(400).generate(42);
+        // TF-IDF (not binary), long documents.
+        check_shape(&coll, 400, false, (120.0, 300.0));
+    }
+
+    #[test]
+    fn has_near_duplicate_tail() {
+        let coll = NytLike::with_size(300).generate(5);
+        check_similarity_tail(&coll, 0.8, 3, 0.02);
+    }
+
+    #[test]
+    fn weights_are_tfidf_like() {
+        let coll = NytLike::with_size(100).generate(1);
+        // Weight dispersion: a pure-binary corpus has a single distinct
+        // weight; TF-IDF must produce many.
+        let mut distinct = std::collections::HashSet::new();
+        for (_, v) in coll.iter() {
+            for (_, w) in v.iter() {
+                distinct.insert(w.to_bits());
+            }
+        }
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct weights",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = NytLike::with_size(120).generate(3);
+        let b = NytLike::with_size(120).generate(3);
+        assert_eq!(a.vectors(), b.vectors());
+    }
+}

@@ -1,0 +1,131 @@
+//! PubMed-like corpus: TF-IDF abstracts, largely dissimilar.
+//!
+//! Target statistics (Appendix C.1): 400,151 abstracts, ~140K-dimensional
+//! TF-IDF vectors. The paper singles PubMed out as "largely dissimilar"
+//! (Appendix C.4): its near-duplicate population is thin and loose, which
+//! is why small `k` (5) works best there — the bucket stratum needs help
+//! capturing enough mass. The preset keeps the duplicate tail an order of
+//! magnitude thinner than NYT's and biases mutation rates upward.
+
+use crate::preset::CorpusPreset;
+use crate::textgen::Weighting;
+use vsj_vector::VectorCollection;
+
+/// Generator for PubMed-like collections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PubmedLike {
+    preset: CorpusPreset,
+    n: usize,
+    vocab: usize,
+}
+
+impl PubmedLike {
+    /// The preset recipe.
+    pub fn preset() -> CorpusPreset {
+        CorpusPreset {
+            full_size: 400_151,
+            full_vocab: 141_000,
+            min_vocab: 5_000,
+            zipf_exponent: 1.05,
+            mean_tokens: 130.0,
+            sigma_tokens: 0.40,
+            min_tokens: 20,
+            max_tokens: 1_200,
+            weighting: Weighting::TfIdf,
+            dup_seed_fraction: 0.015,
+            dup_max_copies: 2,
+            dup_mutation: (0.05, 0.45),
+        }
+    }
+
+    /// A generator producing `full_size · scale` vectors.
+    pub fn scaled(scale: f64) -> Self {
+        let preset = Self::preset();
+        Self {
+            n: preset.size_for_scale(scale),
+            vocab: preset.vocab_for_scale(scale),
+            preset,
+        }
+    }
+
+    /// A generator producing exactly `n` vectors.
+    pub fn with_size(n: usize) -> Self {
+        let preset = Self::preset();
+        let scale = (n as f64 / preset.full_size as f64).clamp(1e-6, 1.0);
+        Self {
+            n,
+            vocab: preset.vocab_for_scale(scale),
+            preset,
+        }
+    }
+
+    /// Number of vectors this generator will produce.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when configured for zero vectors (never via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vocabulary size in use.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Generates the collection.
+    pub fn generate(&self, seed: u64) -> VectorCollection {
+        self.preset.generate_n(self.n, self.vocab, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nyt::NytLike;
+    use crate::preset::check_shape;
+    use vsj_vector::{Cosine, Similarity, VectorCollection};
+
+    fn tail_fraction(coll: &VectorCollection, tau: f64) -> f64 {
+        let n = coll.len() as u32;
+        let mut high = 0u64;
+        let mut total = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                total += 1;
+                if Cosine.sim(coll.vector(a), coll.vector(b)) >= tau {
+                    high += 1;
+                }
+            }
+        }
+        high as f64 / total as f64
+    }
+
+    #[test]
+    fn shape_matches_paper_statistics() {
+        let coll = PubmedLike::with_size(400).generate(42);
+        check_shape(&coll, 400, false, (60.0, 140.0));
+    }
+
+    #[test]
+    fn dissimilarity_thinner_than_nyt() {
+        // The defining property: PubMed's high-τ tail is much thinner
+        // than NYT's at matched size.
+        let pm = PubmedLike::with_size(500).generate(11);
+        let nyt = NytLike::with_size(500).generate(11);
+        let pm_tail = tail_fraction(&pm, 0.7);
+        let nyt_tail = tail_fraction(&nyt, 0.7);
+        assert!(
+            pm_tail < nyt_tail / 2.0,
+            "pubmed tail {pm_tail} not ≪ nyt tail {nyt_tail}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PubmedLike::with_size(150).generate(8);
+        let b = PubmedLike::with_size(150).generate(8);
+        assert_eq!(a.vectors(), b.vectors());
+    }
+}

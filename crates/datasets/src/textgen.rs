@@ -1,0 +1,288 @@
+//! Bag-of-words corpus generation.
+//!
+//! A document is a multiset of tokens drawn from a Zipf vocabulary with a
+//! log-normally distributed length; the corpus is then weighted either as
+//! binary presence vectors (DBLP) or TF-IDF vectors (NYT, PubMed), with
+//! IDF computed from the *generated* corpus — the same pipeline the
+//! paper's real datasets went through.
+
+use crate::zipf::Zipf;
+use vsj_sampling::{gauss::standard_normal, Rng};
+use vsj_vector::{SparseVector, SparseVectorBuilder, VectorCollection};
+
+/// Document-length model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthModel {
+    /// Fixed length.
+    Fixed(usize),
+    /// `exp(N(mu, sigma²))`, rounded, clamped to `[min, max]`. Matches the
+    /// heavy-tailed length profiles the paper reports (DBLP: avg 14,
+    /// min 3, max 219).
+    LogNormal {
+        /// Mean of the underlying normal (log-tokens).
+        mu: f64,
+        /// Std of the underlying normal.
+        sigma: f64,
+        /// Smallest permitted token count.
+        min: usize,
+        /// Largest permitted token count.
+        max: usize,
+    },
+}
+
+impl LengthModel {
+    /// Draws a document length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            Self::Fixed(n) => n,
+            Self::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                let z = standard_normal(rng);
+                let len = (mu + sigma * z).exp().round() as usize;
+                len.clamp(min, max)
+            }
+        }
+    }
+}
+
+/// Term-weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weighting {
+    /// Presence/absence (set semantics) — the DBLP configuration.
+    Binary,
+    /// `(1 + ln tf) · ln(1 + N/df)`, IDF from the generated corpus.
+    TfIdf,
+}
+
+/// Corpus generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextModel {
+    /// Vocabulary size (dimensionality bound).
+    pub vocab: usize,
+    /// Zipf exponent of the word-frequency law.
+    pub zipf_exponent: f64,
+    /// Document length model.
+    pub length: LengthModel,
+    /// Weighting scheme.
+    pub weighting: Weighting,
+}
+
+impl TextModel {
+    /// Generates `n` documents as raw token multisets
+    /// (`(dimension, term frequency)` lists).
+    pub fn generate_token_docs<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<(u32, u32)>> {
+        let zipf = Zipf::new(self.vocab, self.zipf_exponent);
+        let mut docs = Vec::with_capacity(n);
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for _ in 0..n {
+            let len = self.length.sample(rng);
+            counts.clear();
+            for _ in 0..len {
+                *counts.entry(zipf.sample(rng)).or_insert(0) += 1;
+            }
+            let mut doc: Vec<(u32, u32)> = counts.iter().map(|(&d, &c)| (d, c)).collect();
+            doc.sort_unstable_by_key(|&(d, _)| d);
+            docs.push(doc);
+        }
+        docs
+    }
+
+    /// Weights token documents into vectors according to the configured
+    /// scheme. Exposed separately so duplicate planting can operate on the
+    /// token level (mutating *words*, like a real near-duplicate record)
+    /// before weighting.
+    pub fn weight_docs(&self, docs: &[Vec<(u32, u32)>]) -> VectorCollection {
+        match self.weighting {
+            Weighting::Binary => docs
+                .iter()
+                .map(|doc| SparseVector::binary_from_members(doc.iter().map(|&(d, _)| d).collect()))
+                .collect(),
+            Weighting::TfIdf => {
+                let n = docs.len();
+                let mut df = vec![0u32; self.vocab];
+                for doc in docs {
+                    for &(d, _) in doc {
+                        df[d as usize] += 1;
+                    }
+                }
+                docs.iter()
+                    .map(|doc| {
+                        let mut b = SparseVectorBuilder::with_capacity(doc.len());
+                        for &(d, tf) in doc {
+                            let idf = (1.0 + n as f64 / f64::from(df[d as usize].max(1))).ln();
+                            let w = (1.0 + f64::from(tf).ln()) * idf;
+                            b.add(d, w as f32);
+                        }
+                        b.build().expect("finite tf-idf weights")
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Full pipeline: tokens → weighted collection.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> VectorCollection {
+        let docs = self.generate_token_docs(n, rng);
+        self.weight_docs(&docs)
+    }
+}
+
+/// Derives the log-normal `(mu, sigma)` hitting a target mean length with
+/// a given shape parameter sigma: `E[len] = exp(mu + sigma²/2)` ⇒
+/// `mu = ln(mean) − sigma²/2`.
+pub fn lognormal_for_mean(mean: f64, sigma: f64) -> (f64, f64) {
+    assert!(mean > 0.0 && sigma >= 0.0);
+    ((mean.ln()) - sigma * sigma / 2.0, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_sampling::Xoshiro256;
+
+    fn model(weighting: Weighting) -> TextModel {
+        let (mu, sigma) = lognormal_for_mean(14.0, 0.5);
+        TextModel {
+            vocab: 2000,
+            zipf_exponent: 1.05,
+            length: LengthModel::LogNormal {
+                mu,
+                sigma,
+                min: 3,
+                max: 219,
+            },
+            weighting,
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_is_hit() {
+        let (mu, sigma) = lognormal_for_mean(14.0, 0.5);
+        let lm = LengthModel::LogNormal {
+            mu,
+            sigma,
+            min: 1,
+            max: 10_000,
+        };
+        let mut rng = Xoshiro256::seeded(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| lm.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 14.0).abs() < 0.5, "mean length {mean}");
+    }
+
+    #[test]
+    fn lengths_respect_clamps() {
+        let lm = LengthModel::LogNormal {
+            mu: 2.0,
+            sigma: 2.0,
+            min: 3,
+            max: 50,
+        };
+        let mut rng = Xoshiro256::seeded(2);
+        for _ in 0..5000 {
+            let l = lm.sample(&mut rng);
+            assert!((3..=50).contains(&l));
+        }
+    }
+
+    #[test]
+    fn fixed_length_is_fixed() {
+        let mut rng = Xoshiro256::seeded(3);
+        assert_eq!(LengthModel::Fixed(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn binary_corpus_is_binary_with_sane_stats() {
+        let mut rng = Xoshiro256::seeded(4);
+        let coll = model(Weighting::Binary).generate(500, &mut rng);
+        let stats = coll.stats();
+        assert_eq!(stats.n, 500);
+        assert!(stats.is_binary);
+        assert!(stats.min_nnz >= 1); // dedup can shrink below `min` tokens
+        assert!(stats.max_nnz <= 219);
+        // Mean features slightly below mean tokens (duplicate words merge).
+        assert!(
+            stats.avg_nnz > 7.0 && stats.avg_nnz < 15.0,
+            "avg_nnz {}",
+            stats.avg_nnz
+        );
+    }
+
+    #[test]
+    fn tfidf_corpus_has_positive_weights() {
+        let mut rng = Xoshiro256::seeded(5);
+        let coll = model(Weighting::TfIdf).generate(300, &mut rng);
+        assert!(!coll.stats().is_binary);
+        for (_, v) in coll.iter() {
+            for (_, w) in v.iter() {
+                assert!(w > 0.0 && w.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn tfidf_downweights_frequent_words() {
+        // Rank-0 (most frequent) should get smaller idf than a rare rank.
+        let mut rng = Xoshiro256::seeded(6);
+        let m = model(Weighting::TfIdf);
+        let docs = m.generate_token_docs(2000, &mut rng);
+        let coll = m.weight_docs(&docs);
+        // Collect average weight of dimension 0 vs a high dimension where
+        // present with tf == 1 (pure idf comparison).
+        let mut w_frequent: Vec<f32> = Vec::new();
+        let mut w_rare: Vec<f32> = Vec::new();
+        for (id, doc) in docs.iter().enumerate() {
+            for &(d, tf) in doc {
+                if tf != 1 {
+                    continue;
+                }
+                let w = coll.vector(id as u32).get(d);
+                if d == 0 {
+                    w_frequent.push(w);
+                } else if d > 500 {
+                    w_rare.push(w);
+                }
+            }
+        }
+        assert!(!w_frequent.is_empty() && !w_rare.is_empty());
+        let avg = |v: &[f32]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&w_frequent) < avg(&w_rare),
+            "frequent word weight {} !< rare {}",
+            avg(&w_frequent),
+            avg(&w_rare)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model(Weighting::TfIdf);
+        let a = m.generate(50, &mut Xoshiro256::seeded(9));
+        let b = m.generate(50, &mut Xoshiro256::seeded(9));
+        for (x, y) in a.vectors().iter().zip(b.vectors()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn token_docs_are_sorted_and_deduped() {
+        let m = model(Weighting::Binary);
+        let docs = m.generate_token_docs(100, &mut Xoshiro256::seeded(10));
+        for doc in &docs {
+            for w in doc.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            for &(_, tf) in doc {
+                assert!(tf >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+//!
+//! Word frequencies in all three of the paper's corpora follow a power
+//! law: `P(rank r) ∝ r^(−s)`. Sampling is O(1) per draw via an alias
+//! table over the full vocabulary (built once per generator, O(V)).
+
+use vsj_sampling::{AliasTable, Rng};
+
+/// A Zipf(`s`) distribution over ranks `0..n` (rank 0 most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    alias: AliasTable,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is not finite and positive.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty vocabulary");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "Zipf exponent must be positive and finite"
+        );
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+        let alias = AliasTable::new(&weights).expect("positive Zipf weights");
+        Self { alias, exponent }
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary(&self) -> usize {
+        self.alias.len()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws a rank in `0..n` with `P(r) ∝ (r+1)^(−s)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.alias.sample(rng) as u32
+    }
+
+    /// Theoretical probability of rank `r`.
+    pub fn probability(&self, r: u32) -> f64 {
+        ((r + 1) as f64).powf(-self.exponent) / self.alias.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_sampling::Xoshiro256;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = Xoshiro256::seeded(1);
+        let draws = 100_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 mass of Zipf(1.1, 1000): Σ_{r≤10} r^-1.1 / Σ_{r≤1000} ≈ 0.38.
+        let frac = head as f64 / draws as f64;
+        assert!(frac > 0.30 && frac < 0.50, "head fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_matches_theoretical_probabilities() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = Xoshiro256::seeded(2);
+        let draws = 400_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for r in [0u32, 1, 5, 20, 49] {
+            let emp = counts[r as usize] as f64 / draws as f64;
+            let theory = z.probability(r);
+            assert!(
+                (emp - theory).abs() < 0.01 + theory * 0.1,
+                "rank {r}: empirical {emp:.5} vs theory {theory:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(200, 1.3);
+        let total: f64 = (0..200).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = Xoshiro256::seeded(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_probabilities() {
+        let z = Zipf::new(100, 0.9);
+        for r in 0..99 {
+            assert!(z.probability(r) > z.probability(r + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocabulary_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_exponent_rejected() {
+        Zipf::new(10, -1.0);
+    }
+}

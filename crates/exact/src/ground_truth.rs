@@ -1,0 +1,270 @@
+//! Cached ground-truth join sizes.
+//!
+//! Every experiment in the harness compares estimates against the exact
+//! `J(τ)` at a grid of thresholds (the paper uses τ ∈ {0.1, …, 1.0}).
+//! Computing `J` is the expensive part of a run — O(n²) — so the harness
+//! computes it once per (dataset, scale) and caches it as a small text
+//! file. This module owns that representation.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::naive::ExactJoin;
+use vsj_vector::{pairs_of, Similarity, VectorCollection};
+
+/// Exact join sizes at a sorted grid of thresholds for one collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Database size `n` the truth was computed on.
+    n: usize,
+    /// `(τ, J(τ))`, sorted ascending by τ.
+    entries: Vec<(f64, u64)>,
+}
+
+/// Error from parsing a ground-truth file.
+#[derive(Debug)]
+pub enum GroundTruthError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GroundTruthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "ground truth I/O error: {e}"),
+            Self::Parse { line, message } => {
+                write!(f, "ground truth parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroundTruthError {}
+
+impl From<std::io::Error> for GroundTruthError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl GroundTruth {
+    /// Computes exact join sizes at the given thresholds with the
+    /// threaded naive join (one pairwise pass for all thresholds).
+    pub fn compute<S: Similarity + Sync + Clone>(
+        collection: &VectorCollection,
+        measure: &S,
+        thresholds: &[f64],
+        threads: usize,
+    ) -> Self {
+        let join = ExactJoin::new(collection, measure.clone()).with_threads(threads);
+        let counts = join.count_multi(thresholds);
+        let mut entries: Vec<(f64, u64)> = thresholds.iter().copied().zip(counts).collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("thresholds finite"));
+        Self {
+            n: collection.len(),
+            entries,
+        }
+    }
+
+    /// Constructs from precomputed `(τ, J)` pairs (e.g. from All-Pairs
+    /// runs at individual thresholds).
+    pub fn from_entries(n: usize, mut entries: Vec<(f64, u64)>) -> Self {
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("thresholds finite"));
+        Self { n, entries }
+    }
+
+    /// Database size the truth refers to.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total pairs `M = C(n, 2)`.
+    pub fn total_pairs(&self) -> u64 {
+        pairs_of(self.n as u64)
+    }
+
+    /// All `(τ, J)` entries, ascending in τ.
+    pub fn entries(&self) -> &[(f64, u64)] {
+        &self.entries
+    }
+
+    /// `J(τ)` for a threshold in the grid (within 1e-9), or `None`.
+    pub fn join_size(&self, tau: f64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(t, _)| (t - tau).abs() < 1e-9)
+            .map(|&(_, j)| j)
+    }
+
+    /// Join selectivity `J(τ)/M` for a grid threshold.
+    pub fn selectivity(&self, tau: f64) -> Option<f64> {
+        let m = self.total_pairs();
+        self.join_size(tau)
+            .map(|j| if m == 0 { 0.0 } else { j as f64 / m as f64 })
+    }
+
+    /// Serializes to the cache format: a header line `n <n>` then one
+    /// `τ<TAB>J` line per entry.
+    pub fn to_cache_string(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "n\t{}", self.n).expect("string write");
+        for &(tau, j) in &self.entries {
+            writeln!(out, "{tau:.6}\t{j}").expect("string write");
+        }
+        out
+    }
+
+    /// Parses the cache format.
+    ///
+    /// # Errors
+    /// Returns [`GroundTruthError::Parse`] on malformed content.
+    pub fn from_cache_string(s: &str) -> Result<Self, GroundTruthError> {
+        let mut lines = s.lines().enumerate();
+        let (_, header) = lines.next().ok_or(GroundTruthError::Parse {
+            line: 1,
+            message: "empty file".into(),
+        })?;
+        let n = header
+            .strip_prefix("n\t")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or(GroundTruthError::Parse {
+                line: 1,
+                message: format!("expected 'n\\t<count>', got {header:?}"),
+            })?;
+        let mut entries = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let tau = parts
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(|| GroundTruthError::Parse {
+                    line: i + 1,
+                    message: "missing τ".into(),
+                })?;
+            let j = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| GroundTruthError::Parse {
+                    line: i + 1,
+                    message: "missing count".into(),
+                })?;
+            entries.push((tau, j));
+        }
+        Ok(Self::from_entries(n, entries))
+    }
+
+    /// Writes the cache file (creating parent directories).
+    pub fn save(&self, path: &Path) -> Result<(), GroundTruthError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_cache_string())?;
+        Ok(())
+    }
+
+    /// Loads a cache file.
+    pub fn load(path: &Path) -> Result<Self, GroundTruthError> {
+        Self::from_cache_string(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_vector::{Cosine, SparseVector};
+
+    fn corpus(n: u32) -> VectorCollection {
+        VectorCollection::from_vectors(
+            (0..n)
+                .map(|i| {
+                    let entries: Vec<(u32, f32)> = (0..4u32)
+                        .map(|w| ((i.wrapping_mul(7919).wrapping_add(w * 104729)) % 32, 1.0))
+                        .collect();
+                    SparseVector::from_entries(entries).unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn compute_and_lookup() {
+        let coll = corpus(50);
+        let taus = [0.5, 0.1, 0.9];
+        let gt = GroundTruth::compute(&coll, &Cosine, &taus, 1);
+        assert_eq!(gt.n(), 50);
+        // Entries sorted ascending.
+        assert!(gt.entries().windows(2).all(|w| w[0].0 <= w[1].0));
+        // Lookups match direct joins.
+        let join = ExactJoin::new(&coll, Cosine).with_threads(1);
+        for &t in &taus {
+            assert_eq!(gt.join_size(t), Some(join.count(t)));
+        }
+        assert_eq!(gt.join_size(0.33), None);
+    }
+
+    #[test]
+    fn selectivity_normalizes_by_total_pairs() {
+        let coll = corpus(40);
+        let gt = GroundTruth::compute(&coll, &Cosine, &[0.0], 1);
+        // τ = 0 admits every pair: selectivity 1.
+        assert!((gt.selectivity(0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(gt.total_pairs(), 40 * 39 / 2);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let coll = corpus(30);
+        let gt = GroundTruth::compute(&coll, &Cosine, &[0.1, 0.5, 0.9], 1);
+        let s = gt.to_cache_string();
+        let back = GroundTruth::from_cache_string(&s).unwrap();
+        assert_eq!(back.n(), gt.n());
+        assert_eq!(back.entries().len(), gt.entries().len());
+        for (a, b) in back.entries().iter().zip(gt.entries()) {
+            assert!((a.0 - b.0).abs() < 1e-9);
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vsj_gt_test");
+        let path = dir.join("nested").join("truth.tsv");
+        let coll = corpus(20);
+        let gt = GroundTruth::compute(&coll, &Cosine, &[0.2, 0.8], 1);
+        gt.save(&path).unwrap();
+        let loaded = GroundTruth::load(&path).unwrap();
+        assert_eq!(loaded.join_size(0.2), gt.join_size(0.2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(GroundTruth::from_cache_string("").is_err());
+        assert!(GroundTruth::from_cache_string("not a header\n").is_err());
+        assert!(GroundTruth::from_cache_string("n\t10\n0.5 missing_tab\n").is_err());
+        assert!(GroundTruth::from_cache_string("n\t10\n0.5\tnot_a_number\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let gt = GroundTruth::from_cache_string("n\t5\n0.100000\t3\n\n0.900000\t1\n").unwrap();
+        assert_eq!(gt.join_size(0.1), Some(3));
+        assert_eq!(gt.join_size(0.9), Some(1));
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let gt = GroundTruth::from_entries(10, vec![(0.9, 1), (0.1, 7)]);
+        assert_eq!(gt.entries()[0], (0.1, 7));
+    }
+}

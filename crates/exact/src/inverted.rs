@@ -1,0 +1,209 @@
+//! Inverted index over sparse-vector dimensions.
+//!
+//! Substrate for the All-Pairs join and any candidate-generation scheme:
+//! maps each dimension to the postings `(vector id, weight)` of vectors
+//! containing it. Also provides the document-frequency reordering that
+//! prefix filtering relies on (frequent dimensions are the expensive ones
+//! to index, so All-Pairs wants them in the *unindexed* prefix).
+
+use vsj_vector::{SparseVector, VectorCollection, VectorId};
+
+/// One posting: a vector containing the dimension, with its weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// Vector id.
+    pub id: VectorId,
+    /// The vector's weight on this dimension.
+    pub weight: f32,
+}
+
+/// Dimension → postings map, dense over `0..dimensionality`.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    lists: Vec<Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// Builds the full index of a collection.
+    pub fn build(collection: &VectorCollection) -> Self {
+        let dim = collection.stats().dimensionality as usize;
+        let mut lists = vec![Vec::new(); dim];
+        for (id, v) in collection.iter() {
+            for (d, w) in v.iter() {
+                lists[d as usize].push(Posting { id, weight: w });
+            }
+        }
+        Self { lists }
+    }
+
+    /// Creates an empty index over `dim` dimensions (postings appended
+    /// incrementally — the All-Pairs pattern).
+    pub fn with_dimensionality(dim: usize) -> Self {
+        Self {
+            lists: vec![Vec::new(); dim],
+        }
+    }
+
+    /// Appends a posting to a dimension's list.
+    ///
+    /// # Panics
+    /// Panics if `dim` is out of range.
+    #[inline]
+    pub fn push(&mut self, dim: u32, id: VectorId, weight: f32) {
+        self.lists[dim as usize].push(Posting { id, weight });
+    }
+
+    /// Postings of a dimension (empty slice when out of range).
+    #[inline]
+    pub fn postings(&self, dim: u32) -> &[Posting] {
+        self.lists.get(dim as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of dimensions covered.
+    pub fn dimensionality(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Document frequency of each dimension.
+    pub fn document_frequencies(&self) -> Vec<u32> {
+        self.lists.iter().map(|l| l.len() as u32).collect()
+    }
+
+    /// Total postings stored.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+/// A remapping of dimension ids by descending document frequency: the new
+/// dimension 0 is the most frequent one. All-Pairs runs on remapped
+/// collections so that "prefix" (early dimensions) = "frequent".
+#[derive(Debug, Clone)]
+pub struct FrequencyOrder {
+    /// `new_of[old] = new` dimension id.
+    new_of: Vec<u32>,
+}
+
+impl FrequencyOrder {
+    /// Computes the ordering from a collection.
+    pub fn from_collection(collection: &VectorCollection) -> Self {
+        let dim = collection.stats().dimensionality as usize;
+        let mut freq = vec![0u32; dim];
+        for (_, v) in collection.iter() {
+            for &d in v.indices() {
+                freq[d as usize] += 1;
+            }
+        }
+        let mut by_freq: Vec<u32> = (0..dim as u32).collect();
+        // Descending frequency; ties by dimension id for determinism.
+        by_freq.sort_by_key(|&d| (std::cmp::Reverse(freq[d as usize]), d));
+        let mut new_of = vec![0u32; dim];
+        for (new, &old) in by_freq.iter().enumerate() {
+            new_of[old as usize] = new as u32;
+        }
+        Self { new_of }
+    }
+
+    /// New id of an old dimension.
+    #[inline]
+    pub fn remap(&self, old: u32) -> u32 {
+        self.new_of[old as usize]
+    }
+
+    /// Remaps a whole vector (weights unchanged, cosine invariant).
+    pub fn remap_vector(&self, v: &SparseVector) -> SparseVector {
+        SparseVector::from_entries(v.iter().map(|(d, w)| (self.remap(d), w)).collect())
+            .expect("remapping preserves validity")
+    }
+
+    /// Remaps a whole collection.
+    pub fn remap_collection(&self, collection: &VectorCollection) -> VectorCollection {
+        collection
+            .vectors()
+            .iter()
+            .map(|v| self.remap_vector(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_vector::Cosine;
+
+    fn sv(entries: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_entries(entries.to_vec()).expect("valid test vector")
+    }
+
+    fn fixture() -> VectorCollection {
+        VectorCollection::from_vectors(vec![
+            sv(&[(0, 1.0), (2, 2.0)]),
+            sv(&[(0, 3.0)]),
+            sv(&[(1, 1.0), (2, 1.0)]),
+        ])
+    }
+
+    #[test]
+    fn postings_are_complete() {
+        let idx = InvertedIndex::build(&fixture());
+        assert_eq!(idx.dimensionality(), 3);
+        assert_eq!(idx.total_postings(), 5);
+        assert_eq!(idx.postings(0).len(), 2);
+        assert_eq!(idx.postings(1).len(), 1);
+        assert_eq!(idx.postings(2).len(), 2);
+        assert_eq!(idx.postings(0)[1], Posting { id: 1, weight: 3.0 });
+        assert!(idx.postings(99).is_empty());
+    }
+
+    #[test]
+    fn document_frequencies_match() {
+        let idx = InvertedIndex::build(&fixture());
+        assert_eq!(idx.document_frequencies(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn incremental_index_accumulates() {
+        let mut idx = InvertedIndex::with_dimensionality(4);
+        idx.push(2, 7, 0.5);
+        idx.push(2, 9, 1.5);
+        assert_eq!(idx.postings(2).len(), 2);
+        assert_eq!(idx.total_postings(), 2);
+    }
+
+    #[test]
+    fn frequency_order_puts_frequent_first() {
+        let coll = fixture();
+        let order = FrequencyOrder::from_collection(&coll);
+        // Dims 0 and 2 have frequency 2, dim 1 has 1. Ties by id: 0 -> 0,
+        // 2 -> 1, 1 -> 2.
+        assert_eq!(order.remap(0), 0);
+        assert_eq!(order.remap(2), 1);
+        assert_eq!(order.remap(1), 2);
+    }
+
+    #[test]
+    fn remap_preserves_cosine() {
+        let coll = fixture();
+        let order = FrequencyOrder::from_collection(&coll);
+        let remapped = order.remap_collection(&coll);
+        for a in 0..coll.len() as u32 {
+            for b in 0..coll.len() as u32 {
+                let s1 = coll.sim(&Cosine, a, b);
+                let s2 = remapped.sim(&Cosine, a, b);
+                assert!((s1 - s2).abs() < 1e-12, "cosine changed by remap");
+            }
+        }
+    }
+
+    #[test]
+    fn remap_is_a_bijection() {
+        let coll = fixture();
+        let order = FrequencyOrder::from_collection(&coll);
+        let mut seen = [false; 3];
+        for old in 0..3u32 {
+            let new = order.remap(old) as usize;
+            assert!(!seen[new], "dimension {new} mapped twice");
+            seen[new] = true;
+        }
+    }
+}

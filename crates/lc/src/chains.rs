@@ -1,0 +1,206 @@
+//! Lattice level counts by iterative bucket refinement.
+//!
+//! For a fixed chain of position subsets `P₁ ⊂ … ⊂ P_L` (a maximal-chain
+//! fragment of the subset lattice LC analyzes), `C_ℓ` is the number of
+//! unordered pairs whose signatures agree on every position of `P_ℓ`.
+//! Because the chain is nested, `C_ℓ` is computable by refining buckets
+//! one position at a time — O(n) hashing per level instead of O(n²)
+//! pairwise comparison.
+//!
+//! For an LSH family with collision curve `p(s)`,
+//! `E[C_ℓ] = Σ_pairs p(sim)^ℓ = M · E[p(s)^ℓ]`, so averaged chain counts
+//! are unbiased estimates of the collision moments the solver inverts.
+
+use std::collections::HashMap;
+
+use vsj_lsh::SignatureMatrix;
+use vsj_sampling::{pair_count, Rng, SplitMix64};
+
+/// Level counts along one or more random chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainCounts {
+    /// `counts[ℓ-1]` = average number of pairs agreeing on the first `ℓ`
+    /// chain positions (averaged over chains).
+    pub counts: Vec<f64>,
+    /// Number of chains averaged.
+    pub chains: usize,
+    /// Total pairs `M` of the underlying collection.
+    pub total_pairs: u64,
+}
+
+impl ChainCounts {
+    /// Collision-moment estimates `m_ℓ = C_ℓ / M` for `ℓ = 1..=L`.
+    /// Empty when the collection has fewer than 2 rows.
+    pub fn moments(&self) -> Vec<f64> {
+        if self.total_pairs == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c / self.total_pairs as f64)
+            .collect()
+    }
+}
+
+/// Counts pairs agreeing on the first `ℓ` positions of `chains` random
+/// position orders, for `ℓ = 1..=levels`.
+///
+/// # Panics
+/// Panics if `levels` exceeds the signature length or is zero.
+pub fn chain_moments<R: Rng + ?Sized>(
+    signatures: &SignatureMatrix,
+    levels: usize,
+    chains: usize,
+    rng: &mut R,
+) -> ChainCounts {
+    assert!(levels >= 1, "need at least one level");
+    assert!(
+        levels <= signatures.k(),
+        "levels {levels} exceed signature length {}",
+        signatures.k()
+    );
+    assert!(chains >= 1, "need at least one chain");
+    let n = signatures.len();
+    let total_pairs = pair_count(n as u64);
+    let mut sums = vec![0.0f64; levels];
+
+    let mut positions: Vec<usize> = (0..signatures.k()).collect();
+    // Running fold key per vector, refined level by level.
+    let mut keys = vec![0u64; n];
+    let mut groups: HashMap<u64, u64> = HashMap::new();
+
+    for chain in 0..chains {
+        rng.shuffle(&mut positions);
+        // Identical starting key for every vector (any per-vector term
+        // would prevent all collisions); distinct per chain so chains stay
+        // independent even under identical position orders.
+        let chain_base = SplitMix64::mix(0x1CE1_CE1C_E1CE_1CE1 ^ chain as u64);
+        keys.fill(chain_base);
+        for (level, &pos) in positions.iter().take(levels).enumerate() {
+            groups.clear();
+            for (i, key) in keys.iter_mut().enumerate() {
+                let h = signatures.row(i)[pos];
+                *key = SplitMix64::mix(*key ^ SplitMix64::mix(h.wrapping_add(level as u64)));
+                *groups.entry(*key).or_insert(0) += 1;
+            }
+            let pairs: u64 = groups.values().map(|&b| pair_count(b)).sum();
+            sums[level] += pairs as f64;
+        }
+    }
+
+    ChainCounts {
+        counts: sums.into_iter().map(|s| s / chains as f64).collect(),
+        chains,
+        total_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_lsh::{MinHashFamily, SignatureMatrix};
+    use vsj_sampling::Xoshiro256;
+    use vsj_vector::{Jaccard, Similarity, SparseVector, VectorCollection};
+
+    fn set(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    fn overlapping_collection() -> VectorCollection {
+        // 20 sets with graded overlap against a common core.
+        let mut vectors = Vec::new();
+        for i in 0..20u32 {
+            let mut m: Vec<u32> = (0..8).collect(); // shared core
+            m.extend((0..i).map(|j| 100 + i * 20 + j)); // private tail
+            vectors.push(set(&m));
+        }
+        VectorCollection::from_vectors(vectors)
+    }
+
+    #[test]
+    fn counts_are_monotone_nonincreasing_in_level() {
+        let coll = overlapping_collection();
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 3, 16);
+        let mut rng = Xoshiro256::seeded(1);
+        let cc = chain_moments(&sigs, 10, 4, &mut rng);
+        for w in cc.counts.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "agreeing on more positions cannot add pairs: {:?}",
+                cc.counts
+            );
+        }
+    }
+
+    #[test]
+    fn moments_match_exact_expectation() {
+        // For MinHash, E[C_ℓ]/M = E[J^ℓ] over pairs (J = Jaccard). With
+        // many chains on a small collection the estimate must converge to
+        // the exact moment.
+        let coll = overlapping_collection();
+        let k = 24;
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 5, k);
+        let mut rng = Xoshiro256::seeded(2);
+        let cc = chain_moments(&sigs, 4, 200, &mut rng);
+        let moments = cc.moments();
+        let n = coll.len() as u32;
+        for (ell, &m_est) in moments.iter().enumerate() {
+            let ell = ell + 1;
+            let mut exact = 0.0f64;
+            let mut pairs = 0u64;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    exact += Jaccard.sim(coll.vector(a), coll.vector(b)).powi(ell as i32);
+                    pairs += 1;
+                }
+            }
+            exact /= pairs as f64;
+            // Signature sampling noise: k positions per signature bound
+            // the per-pair accuracy; tolerance widens with ℓ.
+            assert!(
+                (m_est - exact).abs() < 0.05 + 0.05 * exact,
+                "moment {ell}: estimated {m_est:.4} vs exact {exact:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sets_always_agree() {
+        let coll = VectorCollection::from_vectors(vec![set(&[1, 2, 3]); 5]);
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 7, 12);
+        let mut rng = Xoshiro256::seeded(3);
+        let cc = chain_moments(&sigs, 12, 2, &mut rng);
+        for &c in &cc.counts {
+            assert!((c - 10.0).abs() < 1e-9, "all C(5,2)=10 pairs must agree");
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_agree() {
+        let coll = VectorCollection::from_vectors(
+            (0..10).map(|i| set(&[1000 * i, 1000 * i + 1])).collect(),
+        );
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 9, 16);
+        let mut rng = Xoshiro256::seeded(4);
+        let cc = chain_moments(&sigs, 6, 4, &mut rng);
+        // Level ≥ 2: two agreeing MinHashes for disjoint sets ~ never.
+        assert!(cc.counts[2] < 0.5, "{:?}", cc.counts);
+    }
+
+    #[test]
+    fn empty_collection_yields_zero_moments() {
+        let coll = VectorCollection::new();
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 1, 8);
+        let mut rng = Xoshiro256::seeded(5);
+        let cc = chain_moments(&sigs, 4, 2, &mut rng);
+        assert!(cc.moments().iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed signature length")]
+    fn too_many_levels_rejected() {
+        let coll = overlapping_collection();
+        let sigs = SignatureMatrix::build(&coll, MinHashFamily::new(), 1, 4);
+        chain_moments(&sigs, 5, 1, &mut Xoshiro256::seeded(0));
+    }
+}

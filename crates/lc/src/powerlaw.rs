@@ -1,0 +1,142 @@
+//! Power-law fitting of the recovered similarity distribution.
+//!
+//! The original LC's titular idea: pair counts as a function of
+//! similarity follow a power law `count(s) ≈ a·s^b` (with `b < 0` — most
+//! pairs are dissimilar). After the solver recovers grid masses, LC(ξ)
+//! fits `log count = log a + b·log s` over the grid cells with at least
+//! `ξ` pairs (the minimum support — cells below it are too noisy to
+//! trust) and reads the join size off the *fitted* curve, which
+//! extrapolates sensibly into the sparse high-similarity region.
+
+/// A fitted power law `count(s) = a·s^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Scale factor `a` (> 0).
+    pub a: f64,
+    /// Exponent `b` (typically negative).
+    pub b: f64,
+    /// Number of grid cells used in the fit.
+    pub support_cells: usize,
+}
+
+impl PowerLawFit {
+    /// Least-squares fit of `log count` against `log s` over cells with
+    /// `count ≥ min_support`. Returns `None` if fewer than 2 cells
+    /// qualify (no line to fit).
+    pub fn fit(grid: &[f64], counts: &[f64], min_support: f64) -> Option<Self> {
+        assert_eq!(grid.len(), counts.len(), "grid/count length mismatch");
+        let pts: Vec<(f64, f64)> = grid
+            .iter()
+            .zip(counts)
+            .filter(|(&s, &c)| s > 0.0 && c >= min_support && c > 0.0)
+            .map(|(&s, &c)| (s.ln(), c.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None; // all cells at the same similarity
+        }
+        let b = (n * sxy - sx * sy) / denom;
+        let a = ((sy - b * sx) / n).exp();
+        Some(Self {
+            a,
+            b,
+            support_cells: pts.len(),
+        })
+    }
+
+    /// The fitted count at similarity `s`.
+    pub fn count_at(&self, s: f64) -> f64 {
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.a * s.powf(self.b)
+    }
+
+    /// Integrates the fitted counts over grid cells at or above `τ`.
+    pub fn tail_count(&self, grid: &[f64], tau: f64) -> f64 {
+        grid.iter()
+            .filter(|&&s| s >= tau)
+            .map(|&s| self.count_at(s))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|j| (j as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn exact_power_law_is_recovered() {
+        let g = grid(20);
+        let counts: Vec<f64> = g.iter().map(|&s| 50.0 * s.powf(-2.5)).collect();
+        let fit = PowerLawFit::fit(&g, &counts, 0.0).unwrap();
+        assert!((fit.a - 50.0).abs() < 1e-6, "a = {}", fit.a);
+        assert!((fit.b + 2.5).abs() < 1e-9, "b = {}", fit.b);
+        assert_eq!(fit.support_cells, 20);
+    }
+
+    #[test]
+    fn min_support_excludes_noisy_cells() {
+        let g = grid(10);
+        let mut counts: Vec<f64> = g.iter().map(|&s| 100.0 * s.powf(-1.0)).collect();
+        // Corrupt the low-count tail cells.
+        counts[8] = 0.001;
+        counts[9] = 0.002;
+        let fit = PowerLawFit::fit(&g, &counts, 1.0).unwrap();
+        assert_eq!(fit.support_cells, 8);
+        assert!((fit.b + 1.0).abs() < 1e-9, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn too_few_cells_returns_none() {
+        let g = grid(5);
+        let counts = vec![0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(PowerLawFit::fit(&g, &counts, 1.0).is_none());
+        assert!(PowerLawFit::fit(&[], &[], 0.0).is_none());
+    }
+
+    #[test]
+    fn tail_count_sums_fitted_cells() {
+        let g = grid(10);
+        let counts: Vec<f64> = g.iter().map(|&s| 10.0 * s.powf(-1.0)).collect();
+        let fit = PowerLawFit::fit(&g, &counts, 0.0).unwrap();
+        let manual: f64 = g.iter().filter(|&&s| s >= 0.7).map(|&s| 10.0 / s).sum();
+        assert!((fit.tail_count(&g, 0.7) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_at_zero_similarity_is_zero() {
+        let fit = PowerLawFit {
+            a: 5.0,
+            b: -1.0,
+            support_cells: 2,
+        };
+        assert_eq!(fit.count_at(0.0), 0.0);
+        assert_eq!(fit.count_at(-0.5), 0.0);
+    }
+
+    #[test]
+    fn noisy_power_law_recovered_approximately() {
+        let g = grid(25);
+        // ±20% deterministic "noise".
+        let counts: Vec<f64> = g
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| 200.0 * s.powf(-1.8) * (1.0 + 0.2 * ((i as f64 * 2.7).sin())))
+            .collect();
+        let fit = PowerLawFit::fit(&g, &counts, 0.0).unwrap();
+        assert!((fit.b + 1.8).abs() < 0.2, "b = {}", fit.b);
+    }
+}

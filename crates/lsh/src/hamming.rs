@@ -1,0 +1,214 @@
+//! Bit-sampling LSH for Hamming distance (Indyk & Motwani, STOC 1998 —
+//! reference \[12\] of the paper).
+//!
+//! For binary vectors over a fixed universe `{0,1}^d`, one function picks
+//! a random coordinate `i` and returns `v[i]`. For any pair,
+//! `P(h(u) = h(v)) = 1 − d_H(u,v)/d` — Definition 3 holds exactly for the
+//! **Hamming similarity** `sim_H(u,v) = 1 − d_H(u,v)/d`.
+//!
+//! The paper's framework is measure-agnostic ("the proposed algorithms
+//! can easily support other similarity measures by using an appropriate
+//! LSH family", §4.1); this family is the third instantiation (after
+//! SimHash/cosine and MinHash/Jaccard) and plugs into the same tables,
+//! strata and estimators.
+//!
+//! Caveat for sparse data: `d` is the declared universe size. Sparse
+//! vectors agree on almost every coordinate (both zero), so Hamming
+//! similarity of two random sparse vectors is close to 1 — a property of
+//! the measure, not a bug; the tests pin it.
+
+use crate::family::{LshFamily, LshFunction};
+use vsj_sampling::SplitMix64;
+use vsj_vector::SparseVector;
+
+/// The bit-sampling family over `{0,1}^d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammingFamily {
+    /// Universe size `d` (coordinates are `0..d`).
+    pub dimensionality: u32,
+}
+
+impl HammingFamily {
+    /// Creates the family for a `d`-dimensional binary universe.
+    ///
+    /// # Panics
+    /// Panics if `d = 0`.
+    pub fn new(dimensionality: u32) -> Self {
+        assert!(dimensionality > 0, "universe must be non-empty");
+        Self { dimensionality }
+    }
+}
+
+/// One sampled coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammingFunction {
+    coordinate: u32,
+}
+
+impl HammingFunction {
+    /// The sampled coordinate (exposed for diagnostics).
+    pub fn coordinate(&self) -> u32 {
+        self.coordinate
+    }
+}
+
+impl LshFunction for HammingFunction {
+    #[inline]
+    fn hash(&self, v: &SparseVector) -> u64 {
+        // Presence test: nonzero weight counts as 1 (binary semantics).
+        u64::from(v.get(self.coordinate) != 0.0)
+    }
+}
+
+impl LshFamily for HammingFamily {
+    type Func = HammingFunction;
+
+    fn function(&self, seed: u64, id: u64) -> HammingFunction {
+        // Uniform coordinate via multiply-shift on a mixed word (bias
+        // < 2⁻³² for any realistic d).
+        let h = SplitMix64::mix3(seed, 0x4A4D_4D49_4E47u64, id);
+        let coordinate = ((u128::from(h) * u128::from(self.dimensionality)) >> 64) as u32;
+        HammingFunction { coordinate }
+    }
+
+    #[inline]
+    fn collision_probability(&self, s: f64) -> f64 {
+        // sim_H itself: P(collision) = 1 − d_H/d = sim_H.
+        s.clamp(0.0, 1.0)
+    }
+
+    #[inline]
+    fn similarity_for_probability(&self, p: f64) -> f64 {
+        p.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+}
+
+/// Hamming similarity `1 − d_H(u,v)/d` between the *support sets* of two
+/// sparse vectors over a `d`-dimensional universe — the measure this
+/// family is locality-sensitive for.
+pub fn hamming_similarity(u: &SparseVector, v: &SparseVector, dimensionality: u32) -> f64 {
+    assert!(dimensionality > 0, "universe must be non-empty");
+    // d_H = |support(u) Δ support(v)| = |u| + |v| − 2·|u ∩ v|.
+    let inter = u.intersection_size(v);
+    let dist = u.nnz() + v.nnz() - 2 * inter;
+    1.0 - dist as f64 / f64::from(dimensionality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    #[test]
+    fn coordinates_are_in_range_and_spread() {
+        let fam = HammingFamily::new(1000);
+        let mut seen_above_half = 0;
+        for id in 0..2000u64 {
+            let f = fam.function(3, id);
+            assert!(f.coordinate() < 1000);
+            seen_above_half += u32::from(f.coordinate() >= 500);
+        }
+        // Roughly uniform coordinate selection.
+        assert!(
+            (800..1200).contains(&seen_above_half),
+            "biased coordinates: {seen_above_half}/2000 above midpoint"
+        );
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let fam = HammingFamily::new(64);
+        let v = set(&[3, 17, 40]);
+        for id in 0..100 {
+            let f = fam.function(1, id);
+            assert_eq!(f.hash(&v), f.hash(&v.clone()));
+        }
+    }
+
+    #[test]
+    fn collision_rate_matches_hamming_similarity() {
+        // Definition 3, exactly: over many functions the collision rate
+        // converges to 1 − d_H/d.
+        let d = 128u32;
+        let fam = HammingFamily::new(d);
+        let cases = [
+            (
+                set(&(0..20).collect::<Vec<_>>()),
+                set(&(10..30).collect::<Vec<_>>()),
+            ), // d_H = 20
+            (set(&[1, 2, 3]), set(&[1, 2, 3])), // d_H = 0
+            (
+                set(&(0..10).collect::<Vec<_>>()),
+                set(&(50..60).collect::<Vec<_>>()),
+            ), // d_H = 20
+        ];
+        for (i, (a, b)) in cases.iter().enumerate() {
+            let expected = hamming_similarity(a, b, d);
+            let m = 20_000u64;
+            let collisions = (0..m)
+                .filter(|&id| {
+                    let f = fam.function(i as u64, id);
+                    f.hash(a) == f.hash(b)
+                })
+                .count();
+            let rate = collisions as f64 / m as f64;
+            assert!(
+                (rate - expected).abs() < 0.01,
+                "case {i}: rate {rate:.4} vs sim_H {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_vectors_are_hamming_close() {
+        // The documented caveat: random sparse supports agree almost
+        // everywhere in a big universe.
+        let d = 1_000_000u32;
+        let a = set(&[1, 2, 3]);
+        let b = set(&[500_000, 500_001]);
+        assert!(hamming_similarity(&a, &b, d) > 0.999);
+    }
+
+    #[test]
+    fn hamming_similarity_extremes() {
+        let d = 10;
+        let a = set(&[0, 1, 2]);
+        assert_eq!(hamming_similarity(&a, &a, d), 1.0);
+        let full = set(&(0..10).collect::<Vec<_>>());
+        let empty = SparseVector::empty();
+        assert_eq!(hamming_similarity(&full, &empty, d), 0.0);
+    }
+
+    #[test]
+    fn table_integration() {
+        use crate::signature::Composite;
+        use crate::table::LshTable;
+        use std::sync::Arc;
+        use vsj_vector::VectorCollection;
+
+        // Duplicates collide at any k; distinct sparse sets in a small
+        // universe separate with moderate k.
+        let coll = VectorCollection::from_vectors(vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3]),
+            set(&(20..40).collect::<Vec<_>>()),
+        ]);
+        let hasher = Arc::new(Composite::derive(HammingFamily::new(64), 5, 0, 48));
+        let t = LshTable::build(&coll, hasher, Some(1));
+        assert!(t.same_bucket(0, 1));
+        assert!(!t.same_bucket(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_universe_rejected() {
+        HammingFamily::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! MinHash: Broder's min-wise independent permutation LSH for Jaccard
+//! similarity (SEQUENCES 1997; reference \[4\] of the paper).
+//!
+//! One function is `h_π(A) = min_{a ∈ A} π(a)` for a random permutation
+//! `π` of the element universe. For any two sets,
+//! `P(h_π(A) = h_π(B)) = |A ∩ B| / |A ∪ B|` — Definition 3 holds
+//! **exactly**, which makes MinHash the family the paper's idealized
+//! analysis (`f(s) = s^k`) describes without approximation. The workspace
+//! uses it for:
+//!
+//! * the Lattice Counting baseline (LC is defined on Min-Hash signatures,
+//!   §3.2);
+//! * validating the idealized estimator formulas in tests (SimHash only
+//!   satisfies the angular curve).
+//!
+//! The permutation is approximated by the keyed hash
+//! `π(a) = mix3(seed, id, a)` — the standard practice; min-wise
+//! independence holds up to the hash's quality, which the tests quantify.
+
+use crate::family::{LshFamily, LshFunction};
+use vsj_sampling::SplitMix64;
+use vsj_vector::SparseVector;
+
+/// The MinHash family over the coordinate *sets* of sparse vectors
+/// (weights are ignored — Jaccard is a set measure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinHashFamily;
+
+impl MinHashFamily {
+    /// Creates the family.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// One min-wise function `h(A) = min_{a∈A} mix3(seed, id, a)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinHashFunction {
+    seed: u64,
+    id: u64,
+}
+
+/// Hash value reserved for the empty set: no element attains `u64::MAX`
+/// under `mix3` with meaningful probability, and two empty sets (Jaccard 1
+/// by our convention) must collide.
+pub const EMPTY_SET_HASH: u64 = u64::MAX;
+
+impl LshFunction for MinHashFunction {
+    #[inline]
+    fn hash(&self, v: &SparseVector) -> u64 {
+        let mut min = EMPTY_SET_HASH;
+        for &dim in v.indices() {
+            let h = SplitMix64::mix3(self.seed, self.id, u64::from(dim));
+            if h < min {
+                min = h;
+            }
+        }
+        min
+    }
+}
+
+impl LshFamily for MinHashFamily {
+    type Func = MinHashFunction;
+
+    fn function(&self, seed: u64, id: u64) -> MinHashFunction {
+        MinHashFunction { seed, id }
+    }
+
+    #[inline]
+    fn collision_probability(&self, s: f64) -> f64 {
+        s.clamp(0.0, 1.0)
+    }
+
+    #[inline]
+    fn similarity_for_probability(&self, p: f64) -> f64 {
+        p.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "minhash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_vector::{Jaccard, Similarity};
+
+    fn set(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    #[test]
+    fn hash_is_min_over_members() {
+        let fam = MinHashFamily::new();
+        let f = fam.function(1, 0);
+        let v = set(&[10, 20, 30]);
+        let expected = [10u32, 20, 30]
+            .iter()
+            .map(|&d| SplitMix64::mix3(1, 0, u64::from(d)))
+            .min()
+            .unwrap();
+        assert_eq!(f.hash(&v), expected);
+    }
+
+    #[test]
+    fn empty_set_gets_sentinel() {
+        let fam = MinHashFamily::new();
+        let f = fam.function(1, 0);
+        assert_eq!(f.hash(&SparseVector::empty()), EMPTY_SET_HASH);
+        // Two empty sets always collide (Jaccard 1 by convention).
+        assert_eq!(
+            f.hash(&SparseVector::empty()),
+            f.hash(&SparseVector::empty())
+        );
+    }
+
+    #[test]
+    fn subset_min_never_below_superset_min() {
+        let fam = MinHashFamily::new();
+        let sub = set(&[5, 9]);
+        let sup = set(&[5, 9, 100, 200]);
+        for id in 0..50 {
+            let f = fam.function(3, id);
+            assert!(f.hash(&sup) <= f.hash(&sub));
+        }
+    }
+
+    #[test]
+    fn weights_are_ignored() {
+        let fam = MinHashFamily::new();
+        let a = SparseVector::from_entries(vec![(1, 5.0), (2, 0.25)]).unwrap();
+        let b = set(&[1, 2]);
+        for id in 0..20 {
+            let f = fam.function(7, id);
+            assert_eq!(f.hash(&a), f.hash(&b));
+        }
+    }
+
+    #[test]
+    fn collision_rate_equals_jaccard() {
+        // Definition 3, exactly: empirical collision rate over many
+        // functions ≈ Jaccard similarity, for several overlap levels.
+        let fam = MinHashFamily::new();
+        let cases = [
+            (
+                set(&(0..10).collect::<Vec<_>>()),
+                set(&(5..15).collect::<Vec<_>>()),
+            ), // J = 5/15
+            (
+                set(&(0..20).collect::<Vec<_>>()),
+                set(&(0..20).collect::<Vec<_>>()),
+            ), // J = 1
+            (set(&[1, 2, 3]), set(&[4, 5, 6])), // J = 0
+            (
+                set(&(0..16).collect::<Vec<_>>()),
+                set(&(8..16).collect::<Vec<_>>()),
+            ), // J = 8/16
+        ];
+        for (i, (a, b)) in cases.iter().enumerate() {
+            let expected = Jaccard.sim(a, b);
+            let m = 6000u64;
+            let collisions = (0..m)
+                .filter(|&id| {
+                    let f = fam.function(i as u64, id);
+                    f.hash(a) == f.hash(b)
+                })
+                .count();
+            let rate = collisions as f64 / m as f64;
+            assert!(
+                (rate - expected).abs() < 0.03,
+                "case {i}: rate {rate:.4} vs jaccard {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_essentially_never_collide() {
+        let fam = MinHashFamily::new();
+        let a = set(&(0..50).collect::<Vec<_>>());
+        let b = set(&(100..150).collect::<Vec<_>>());
+        let collisions = (0..2000u64)
+            .filter(|&id| {
+                let f = fam.function(99, id);
+                f.hash(&a) == f.hash(&b)
+            })
+            .count();
+        assert_eq!(collisions, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Approximate similarity search on top of the LSH index.
+//!
+//! The paper's premise is that the LSH index *already exists* for
+//! similarity search ("the proposed solution only needs minimal addition
+//! to the existing LSH index", §1). This module supplies that existing
+//! application: candidate generation by bucket probing across the ℓ
+//! tables, followed by exact verification — the classic
+//! Indyk–Motwani / Charikar pipeline.
+
+use crate::index::LshIndex;
+use vsj_vector::{Similarity, SparseVector, VectorCollection, VectorId};
+
+/// A searcher borrowing an index and its collection.
+pub struct SimilaritySearcher<'a, S> {
+    index: &'a LshIndex,
+    collection: &'a VectorCollection,
+    measure: S,
+}
+
+/// One verified search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Id of the matching vector.
+    pub id: VectorId,
+    /// Its exact similarity to the query.
+    pub similarity: f64,
+}
+
+impl<'a, S: Similarity> SimilaritySearcher<'a, S> {
+    /// Creates a searcher.
+    ///
+    /// # Panics
+    /// Panics if the index and collection disagree on size.
+    pub fn new(index: &'a LshIndex, collection: &'a VectorCollection, measure: S) -> Self {
+        assert_eq!(
+            index.len(),
+            collection.len(),
+            "index and collection must cover the same vectors"
+        );
+        Self {
+            index,
+            collection,
+            measure,
+        }
+    }
+
+    /// Ids sharing a bucket with `query` in at least one table, deduped,
+    /// *without* verification. Exposed so callers can measure candidate
+    /// quality (and so tests can assert the recall/precision split).
+    pub fn candidates(&self, query: &SparseVector) -> Vec<VectorId> {
+        let mut out = Vec::new();
+        for t in self.index.tables() {
+            let key = t.query_key(query);
+            if let Some(bucket) = t.bucket_by_key(key) {
+                out.extend_from_slice(&bucket.members);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Range query: all indexed vectors with `sim(query, v) ≥ τ` *among
+    /// the LSH candidates* (approximate: recall < 1 is possible, precision
+    /// is 1 by verification). Results sorted by descending similarity.
+    pub fn range_query(&self, query: &SparseVector, tau: f64) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self
+            .candidates(query)
+            .into_iter()
+            .filter_map(|id| {
+                let s = self.measure.sim(query, self.collection.vector(id));
+                (s >= tau).then_some(SearchHit { id, similarity: s })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .expect("similarities are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Top-`k` most similar candidates (verified), excluding `exclude`
+    /// (pass the query's own id for self-queries).
+    pub fn top_k(
+        &self,
+        query: &SparseVector,
+        k: usize,
+        exclude: Option<VectorId>,
+    ) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self
+            .candidates(query)
+            .into_iter()
+            .filter(|&id| Some(id) != exclude)
+            .map(|id| SearchHit {
+                id,
+                similarity: self.measure.sim(query, self.collection.vector(id)),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .expect("similarities are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{LshIndex, LshParams};
+    use vsj_vector::Cosine;
+
+    /// Clustered directions: three groups of near-identical vectors.
+    fn clustered() -> VectorCollection {
+        let mut vectors = Vec::new();
+        for g in 0..3u32 {
+            for i in 0..5u32 {
+                vectors.push(
+                    SparseVector::from_entries(vec![
+                        (g, 10.0),
+                        (1000 + g * 100 + i, 0.2), // tiny per-vector noise
+                    ])
+                    .unwrap(),
+                );
+            }
+        }
+        VectorCollection::from_vectors(vectors)
+    }
+
+    fn searcher_fixture() -> (VectorCollection, LshIndex) {
+        let coll = clustered();
+        // ℓ = 4 tables at k = 6 gives high recall on these tight clusters.
+        let idx = LshIndex::build(&coll, LshParams::new(6, 4).with_seed(2).with_threads(1));
+        (coll, idx)
+    }
+
+    #[test]
+    fn candidates_contain_own_cluster() {
+        let (coll, idx) = searcher_fixture();
+        let s = SimilaritySearcher::new(&idx, &coll, Cosine);
+        // Query = member 0 (cluster 0); its 4 cluster-mates must be among
+        // candidates (they agree on the dominant direction).
+        let cands = s.candidates(coll.vector(0));
+        for mate in 0..5u32 {
+            assert!(
+                cands.contains(&mate),
+                "cluster mate {mate} missing: {cands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_query_verifies_exactly() {
+        let (coll, idx) = searcher_fixture();
+        let s = SimilaritySearcher::new(&idx, &coll, Cosine);
+        let hits = s.range_query(coll.vector(0), 0.9);
+        assert!(!hits.is_empty());
+        for h in &hits {
+            // Precision 1: every reported hit truly satisfies τ.
+            assert!(h.similarity >= 0.9);
+            assert!((Cosine.sim(coll.vector(0), coll.vector(h.id)) - h.similarity).abs() < 1e-12);
+        }
+        // Sorted descending.
+        for w in hits.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+        // No cross-cluster vector can pass τ = 0.9 (clusters are nearly
+        // orthogonal).
+        for h in &hits {
+            assert!(h.id < 5, "cross-cluster hit {h:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_excludes_self_and_ranks() {
+        let (coll, idx) = searcher_fixture();
+        let s = SimilaritySearcher::new(&idx, &coll, Cosine);
+        let hits = s.top_k(coll.vector(0), 3, Some(0));
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.id != 0));
+        assert!(hits.iter().all(|h| h.id < 5), "top-3 must be cluster mates");
+    }
+
+    #[test]
+    fn novel_query_vector_works() {
+        // A query not in the collection, pointing at cluster 1.
+        let (coll, idx) = searcher_fixture();
+        let s = SimilaritySearcher::new(&idx, &coll, Cosine);
+        let q = SparseVector::from_entries(vec![(1, 5.0)]).unwrap();
+        let hits = s.range_query(&q, 0.95);
+        assert!(!hits.is_empty());
+        for h in hits {
+            assert!(
+                (5..10).contains(&h.id),
+                "expected cluster-1 ids, got {}",
+                h.id
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same vectors")]
+    fn size_mismatch_panics() {
+        let (coll, idx) = searcher_fixture();
+        let smaller = VectorCollection::from_vectors(coll.vectors()[..3].to_vec());
+        let _ = SimilaritySearcher::new(&idx, &smaller, Cosine);
+    }
+}

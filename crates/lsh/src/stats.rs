@@ -1,0 +1,185 @@
+//! Bucket statistics and memory accounting.
+//!
+//! §6.3 of the paper reports the space an LSH table adds: *"When k = 20,
+//! there are about 480K non-empty buckets which add 7.5M of space for the
+//! g function values, bucket counts, and vector ids"*. [`TableStats`]
+//! reproduces that accounting: per non-empty bucket, the stored `g` value
+//! and the bucket count; per indexed vector, one id. The `repro ksize`
+//! experiment prints the same table shape (size vs. `k`).
+
+use crate::index::LshIndex;
+use crate::table::LshTable;
+use vsj_sampling::Summary;
+
+/// Statistics of a single LSH table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Indexed vectors `n`.
+    pub n: usize,
+    /// Hash functions `k`.
+    pub k: usize,
+    /// Non-empty buckets `n_g`.
+    pub num_buckets: usize,
+    /// Same-bucket pairs `N_H`.
+    pub nh: u64,
+    /// Largest bucket count `max_j b_j`.
+    pub max_bucket: usize,
+    /// Mean bucket count.
+    pub mean_bucket: f64,
+    /// Buckets with exactly one member (contribute nothing to `S_H`).
+    pub singleton_buckets: usize,
+    /// Estimated bytes for `g` values + bucket counts + vector ids, per
+    /// the paper's accounting.
+    pub memory_bytes: u64,
+}
+
+/// Bytes to store one `g` value for a family: SimHash signatures are `k`
+/// bits (packed); other families store `k` 64-bit hashes.
+fn g_value_bytes(family: &str, k: usize) -> u64 {
+    match family {
+        "simhash" => k.div_ceil(8) as u64,
+        _ => 8 * k as u64,
+    }
+}
+
+/// Per-bucket count field (u32 — the paper's datasets all fit).
+const COUNT_BYTES: u64 = 4;
+/// Per-vector id (u32).
+const ID_BYTES: u64 = 4;
+
+/// Computes statistics for one table.
+pub fn table_stats(table: &LshTable) -> TableStats {
+    let mut max_bucket = 0usize;
+    let mut singleton_buckets = 0usize;
+    let mut sizes = Summary::new();
+    for b in table.buckets() {
+        let c = b.count();
+        max_bucket = max_bucket.max(c);
+        singleton_buckets += usize::from(c == 1);
+        sizes.push(c as f64);
+    }
+    let k = table.hasher().k();
+    let family = table.hasher().family_name();
+    let memory_bytes = table.num_buckets() as u64 * (g_value_bytes(family, k) + COUNT_BYTES)
+        + table.len() as u64 * ID_BYTES;
+    TableStats {
+        n: table.len(),
+        k,
+        num_buckets: table.num_buckets(),
+        nh: table.nh(),
+        max_bucket,
+        mean_bucket: sizes.mean(),
+        singleton_buckets,
+        memory_bytes,
+    }
+}
+
+/// Statistics of a whole index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Per-table statistics.
+    pub tables: Vec<TableStats>,
+    /// Total estimated memory across tables.
+    pub total_memory_bytes: u64,
+}
+
+/// Computes statistics for every table of an index.
+pub fn index_stats(index: &LshIndex) -> IndexStats {
+    let tables: Vec<TableStats> = index.tables().iter().map(table_stats).collect();
+    let total_memory_bytes = tables.iter().map(|t| t.memory_bytes).sum();
+    IndexStats {
+        tables,
+        total_memory_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{LshIndex, LshParams};
+    use crate::minhash::MinHashFamily;
+    use vsj_vector::{SparseVector, VectorCollection};
+
+    fn set(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    fn fixture() -> VectorCollection {
+        VectorCollection::from_vectors(vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3]),
+            set(&[7, 8]),
+            set(&[100, 200, 300]),
+        ])
+    }
+
+    #[test]
+    fn stats_match_known_table() {
+        let coll = fixture();
+        let idx = LshIndex::build_with_family(
+            &coll,
+            MinHashFamily::new(),
+            LshParams::new(16, 1).with_seed(1).with_threads(1),
+        );
+        let st = table_stats(idx.table(0));
+        assert_eq!(st.n, 5);
+        assert_eq!(st.k, 16);
+        assert_eq!(st.num_buckets, 3); // triple + two singletons
+        assert_eq!(st.nh, 3); // C(3,2)
+        assert_eq!(st.max_bucket, 3);
+        assert_eq!(st.singleton_buckets, 2);
+        assert!((st.mean_bucket - 5.0 / 3.0).abs() < 1e-12);
+        // minhash: 3 buckets * (16*8 + 4) + 5 * 4 = 3*132 + 20 = 416.
+        assert_eq!(st.memory_bytes, 416);
+    }
+
+    #[test]
+    fn simhash_g_values_are_bit_packed() {
+        let coll = fixture();
+        let idx = LshIndex::build(&coll, LshParams::new(20, 1).with_seed(3).with_threads(1));
+        let st = table_stats(idx.table(0));
+        // 20 bits -> 3 bytes per g value.
+        let expected = st.num_buckets as u64 * (3 + 4) + 5 * 4;
+        assert_eq!(st.memory_bytes, expected);
+    }
+
+    #[test]
+    fn memory_grows_with_k() {
+        // The §6.3 shape: more hash functions split vectors into more
+        // buckets, so storage grows with k.
+        let mut vectors = Vec::new();
+        for i in 0..400u32 {
+            vectors.push(set(&[i % 23, (i * 3) % 23, (i * 7) % 23, 50 + i % 11]));
+        }
+        let coll = VectorCollection::from_vectors(vectors);
+        let mut prev = 0u64;
+        for k in [2usize, 6, 12, 24] {
+            let idx = LshIndex::build(&coll, LshParams::new(k, 1).with_seed(5).with_threads(1));
+            let st = table_stats(idx.table(0));
+            assert!(
+                st.memory_bytes >= prev,
+                "memory shrank going to k={k}: {} -> {}",
+                prev,
+                st.memory_bytes
+            );
+            prev = st.memory_bytes;
+        }
+    }
+
+    #[test]
+    fn index_stats_aggregates() {
+        let coll = fixture();
+        let idx = LshIndex::build_with_family(
+            &coll,
+            MinHashFamily::new(),
+            LshParams::new(8, 3).with_seed(7).with_threads(1),
+        );
+        let st = index_stats(&idx);
+        assert_eq!(st.tables.len(), 3);
+        assert_eq!(
+            st.total_memory_bytes,
+            st.tables.iter().map(|t| t.memory_bytes).sum::<u64>()
+        );
+    }
+}

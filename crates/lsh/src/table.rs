@@ -1,0 +1,640 @@
+//! A single LSH table `D_g` with bucket counts — §4.1.1 of the paper.
+//!
+//! The paper's extension over a vanilla LSH table is tiny but essential:
+//! each bucket `B_j` carries its member count `b_j`, from which the table
+//! exposes
+//!
+//! * `N_H = Σ_j C(b_j, 2)` — the number of *same-bucket pairs*, an exact
+//!   constant of the table (not an estimate);
+//! * weighted bucket sampling with `weight(B_j) = C(b_j, 2)`, giving a
+//!   uniform pair from stratum `S_H` (SampleH, Algorithm 1 lines 3–4);
+//! * rejection sampling of a uniform pair from stratum `S_L`
+//!   (SampleL line 3).
+//!
+//! Construction hashes all vectors in parallel (the only data-parallel
+//! step; grouping is a sequential hash-map pass).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::family::BucketHasher;
+use vsj_sampling::{AliasTable, Rng};
+use vsj_vector::{pairs_of, SparseVector, VectorCollection, VectorId};
+
+/// One bucket: its folded key and the ids of its members. The paper's
+/// bucket count `b_j` is `members.len()`.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Folded `g`-value identifying the bucket.
+    pub key: u64,
+    /// Ids of the vectors hashed here.
+    pub members: Vec<VectorId>,
+}
+
+impl Bucket {
+    /// The bucket count `b_j`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Same-bucket pairs contributed by this bucket: `C(b_j, 2)`.
+    #[inline]
+    pub fn pair_weight(&self) -> u64 {
+        pairs_of(self.members.len() as u64)
+    }
+}
+
+/// A bucket-counted LSH table over a vector collection.
+pub struct LshTable {
+    hasher: Arc<dyn BucketHasher>,
+    buckets: Vec<Bucket>,
+    /// Bucket index by key (the "standard hashing" of §4.1: only existing
+    /// buckets are stored).
+    by_key: HashMap<u64, u32>,
+    /// Bucket key of each vector id — O(1) `B(v)` lookup without
+    /// re-hashing the vector.
+    vector_keys: Vec<u64>,
+    /// `N_H = Σ_j C(b_j, 2)`.
+    nh: u64,
+    /// Lazily (re)built alias table over buckets with
+    /// `weight(B_j) = C(b_j, 2)`; invalidated by [`LshTable::insert`].
+    alias: RwLock<PairAlias>,
+}
+
+/// Cached weighted-bucket sampler state.
+struct PairAlias {
+    /// False after an insertion until the next rebuild.
+    valid: bool,
+    /// `None` when no bucket holds ≥ 2 vectors.
+    table: Option<AliasTable>,
+    /// Indices (into `buckets`) corresponding to the alias columns.
+    columns: Vec<u32>,
+}
+
+impl PairAlias {
+    fn rebuild(buckets: &[Bucket]) -> Self {
+        let mut weights = Vec::new();
+        let mut columns = Vec::new();
+        for (idx, b) in buckets.iter().enumerate() {
+            let w = b.pair_weight();
+            if w > 0 {
+                weights.push(w as f64);
+                columns.push(idx as u32);
+            }
+        }
+        let table = if weights.is_empty() {
+            None
+        } else {
+            Some(AliasTable::new(&weights).expect("positive C(b,2) weights"))
+        };
+        Self {
+            valid: true,
+            table,
+            columns,
+        }
+    }
+}
+
+impl LshTable {
+    /// Builds the table, hashing vectors across `threads` threads
+    /// (`None` = all available cores).
+    pub fn build(
+        collection: &VectorCollection,
+        hasher: Arc<dyn BucketHasher>,
+        threads: Option<usize>,
+    ) -> Self {
+        let n = collection.len();
+        let mut vector_keys = vec![0u64; n];
+
+        let threads = threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+            .max(1);
+        let chunk = n.div_ceil(threads).max(1);
+        if threads == 1 || n < 1024 {
+            for (i, v) in collection.vectors().iter().enumerate() {
+                vector_keys[i] = hasher.key(v);
+            }
+        } else {
+            let vectors = collection.vectors();
+            crossbeam::thread::scope(|scope| {
+                for (slot_chunk, vec_chunk) in
+                    vector_keys.chunks_mut(chunk).zip(vectors.chunks(chunk))
+                {
+                    let hasher = &hasher;
+                    scope.spawn(move |_| {
+                        for (slot, v) in slot_chunk.iter_mut().zip(vec_chunk) {
+                            *slot = hasher.key(v);
+                        }
+                    });
+                }
+            })
+            .expect("hashing threads must not panic");
+        }
+
+        // Group ids by key. Reserve assuming mostly-distinct keys (true at
+        // the k values the paper uses).
+        let mut groups: HashMap<u64, Vec<VectorId>> = HashMap::with_capacity(n);
+        for (id, &key) in vector_keys.iter().enumerate() {
+            groups.entry(key).or_default().push(id as VectorId);
+        }
+
+        let mut buckets: Vec<Bucket> = groups
+            .into_iter()
+            .map(|(key, members)| Bucket { key, members })
+            .collect();
+        // Deterministic bucket order regardless of hash-map iteration.
+        buckets.sort_unstable_by_key(|b| b.key);
+
+        let mut by_key = HashMap::with_capacity(buckets.len());
+        let mut nh = 0u64;
+        for (idx, b) in buckets.iter().enumerate() {
+            by_key.insert(b.key, idx as u32);
+            nh += b.pair_weight();
+        }
+        let alias = RwLock::new(PairAlias::rebuild(&buckets));
+
+        Self {
+            hasher,
+            buckets,
+            by_key,
+            vector_keys,
+            nh,
+            alias,
+        }
+    }
+
+    /// Appends one vector to the table (the incremental-maintenance path
+    /// a live similarity-search deployment uses). Returns the id assigned
+    /// — always `previous len()`, so the caller must push the vector onto
+    /// its collection in the same order.
+    ///
+    /// `N_H` and bucket counts are updated in O(1); the weighted-bucket
+    /// sampler is invalidated and lazily rebuilt (O(#buckets)) on the next
+    /// stratum-H sample, so bulk loads pay one rebuild, not one per
+    /// insert.
+    pub fn insert(&mut self, v: &SparseVector) -> VectorId {
+        let id = u32::try_from(self.vector_keys.len()).expect("table exceeds u32 ids");
+        let key = self.hasher.key(v);
+        self.vector_keys.push(key);
+        match self.by_key.get(&key) {
+            Some(&idx) => {
+                let bucket = &mut self.buckets[idx as usize];
+                // New pairs formed with existing members: b_j of them.
+                self.nh += bucket.members.len() as u64;
+                bucket.members.push(id);
+            }
+            None => {
+                let idx = u32::try_from(self.buckets.len()).expect("bucket count exceeds u32");
+                self.buckets.push(Bucket {
+                    key,
+                    members: vec![id],
+                });
+                self.by_key.insert(key, idx);
+            }
+        }
+        self.alias.get_mut().valid = false;
+        id
+    }
+
+    /// Number of indexed vectors `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vector_keys.len()
+    }
+
+    /// True when no vector is indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vector_keys.is_empty()
+    }
+
+    /// Number of non-empty buckets `n_g`.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total pairs `M = C(n, 2)`.
+    #[inline]
+    pub fn total_pairs(&self) -> u64 {
+        pairs_of(self.len() as u64)
+    }
+
+    /// `N_H = Σ_j C(b_j, 2)` — pairs in the same bucket.
+    #[inline]
+    pub fn nh(&self) -> u64 {
+        self.nh
+    }
+
+    /// `N_L = M − N_H` — pairs in different buckets.
+    #[inline]
+    pub fn nl(&self) -> u64 {
+        self.total_pairs() - self.nh
+    }
+
+    /// The composite hasher `g` of this table.
+    #[inline]
+    pub fn hasher(&self) -> &Arc<dyn BucketHasher> {
+        &self.hasher
+    }
+
+    /// Bucket key of an indexed vector (`B(v)` of the paper).
+    #[inline]
+    pub fn key_of(&self, id: VectorId) -> u64 {
+        self.vector_keys[id as usize]
+    }
+
+    /// Bucket key of an *arbitrary* (possibly non-indexed) vector,
+    /// computed through `g`.
+    #[inline]
+    pub fn query_key(&self, v: &SparseVector) -> u64 {
+        self.hasher.key(v)
+    }
+
+    /// Whether two indexed vectors share a bucket — the event `H`.
+    #[inline]
+    pub fn same_bucket(&self, a: VectorId, b: VectorId) -> bool {
+        self.vector_keys[a as usize] == self.vector_keys[b as usize]
+    }
+
+    /// The bucket with the given key, if present.
+    pub fn bucket_by_key(&self, key: u64) -> Option<&Bucket> {
+        self.by_key.get(&key).map(|&i| &self.buckets[i as usize])
+    }
+
+    /// All buckets (sorted by key).
+    #[inline]
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Bucket count `b_j` for a key (0 when the bucket does not exist).
+    pub fn bucket_count(&self, key: u64) -> usize {
+        self.bucket_by_key(key).map_or(0, Bucket::count)
+    }
+
+    /// Draws a uniform pair from stratum `S_H` (same bucket): bucket with
+    /// probability `C(b_j,2)/N_H`, then a uniform distinct pair within it
+    /// (Algorithm 1, SampleH lines 3–4). `None` when `N_H = 0`.
+    pub fn sample_same_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        // Fast path: cache valid (always, unless insert() ran since the
+        // last rebuild).
+        if !self.alias.read().valid {
+            let mut guard = self.alias.write();
+            if !guard.valid {
+                *guard = PairAlias::rebuild(&self.buckets);
+            }
+        }
+        let cache = self.alias.read();
+        let alias = cache.table.as_ref()?;
+        let bucket = &self.buckets[cache.columns[alias.sample(rng)] as usize];
+        let b = bucket.members.len();
+        debug_assert!(b >= 2);
+        let i = rng.below_usize(b);
+        let mut j = rng.below_usize(b - 1);
+        if j >= i {
+            j += 1;
+        }
+        Some((bucket.members[i], bucket.members[j]))
+    }
+
+    /// Draws a uniform pair from stratum `S_L` (different buckets) by
+    /// rejection from the full pair population (SampleL line 3). `None`
+    /// when `N_L = 0` (all vectors in one bucket).
+    ///
+    /// Expected draws per sample is `M / N_L`; for any useful `k` this is
+    /// ≈ 1 because `N_H ≪ M`.
+    pub fn sample_cross_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        if self.nl() == 0 {
+            return None;
+        }
+        let n = self.len() as u64;
+        loop {
+            let (i, j) = vsj_sampling::sample_distinct_pair(rng, n);
+            let (i, j) = (i as VectorId, j as VectorId);
+            if !self.same_bucket(i, j) {
+                return Some((i, j));
+            }
+        }
+    }
+
+    /// Draws a uniform pair from the full population and reports its
+    /// stratum — used by estimators that classify rather than reject.
+    pub fn sample_any_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (VectorId, VectorId, bool) {
+        let n = self.len() as u64;
+        let (i, j) = vsj_sampling::sample_distinct_pair(rng, n);
+        let (i, j) = (i as VectorId, j as VectorId);
+        (i, j, self.same_bucket(i, j))
+    }
+}
+
+impl std::fmt::Debug for LshTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LshTable")
+            .field("n", &self.len())
+            .field("k", &self.hasher.k())
+            .field("family", &self.hasher.family_name())
+            .field("buckets", &self.num_buckets())
+            .field("nh", &self.nh)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashFamily;
+    use crate::signature::Composite;
+    use crate::simhash::SimHashFamily;
+    use vsj_sampling::Xoshiro256;
+
+    fn set(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    /// Three exact-duplicate groups of sizes 3, 2, 1 — with MinHash these
+    /// hash identically, giving a fully predictable table.
+    fn clustered_collection() -> VectorCollection {
+        VectorCollection::from_vectors(vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3]),
+            set(&[10, 20]),
+            set(&[10, 20]),
+            set(&[500, 600, 700]),
+        ])
+    }
+
+    fn minhash_table(coll: &VectorCollection, k: usize) -> LshTable {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 42, 0, k));
+        LshTable::build(coll, hasher, Some(1))
+    }
+
+    #[test]
+    fn duplicates_share_buckets_nh_exact() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        // Duplicate groups must collide; distinct sets at k=16 essentially
+        // never collide.
+        assert!(t.same_bucket(0, 1));
+        assert!(t.same_bucket(1, 2));
+        assert!(t.same_bucket(3, 4));
+        assert!(!t.same_bucket(0, 3));
+        assert!(!t.same_bucket(0, 5));
+        // NH = C(3,2) + C(2,2)... = 3 + 1 = 4.
+        assert_eq!(t.nh(), 4);
+        assert_eq!(t.total_pairs(), 15);
+        assert_eq!(t.nl(), 11);
+        assert_eq!(t.num_buckets(), 3);
+    }
+
+    #[test]
+    fn bucket_counts_accessible_by_key() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        let key = t.key_of(0);
+        assert_eq!(t.bucket_count(key), 3);
+        let b = t.bucket_by_key(key).unwrap();
+        assert_eq!(b.pair_weight(), 3);
+        let mut members = b.members.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2]);
+        assert_eq!(t.bucket_count(key ^ 0xFFFF), 0);
+    }
+
+    #[test]
+    fn query_key_matches_indexed_key() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        for (id, v) in coll.iter() {
+            assert_eq!(t.query_key(v), t.key_of(id));
+        }
+    }
+
+    #[test]
+    fn same_bucket_pair_sampling_is_pair_uniform() {
+        // Stratum SH has 4 pairs: (0,1),(0,2),(1,2),(3,4). Each must be
+        // drawn with probability 1/4 (bucket weighted C(b,2), pair uniform
+        // within bucket).
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        let mut rng = Xoshiro256::seeded(1);
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let trials = 80_000;
+        for _ in 0..trials {
+            let (a, b) = t.sample_same_bucket_pair(&mut rng).unwrap();
+            assert!(t.same_bucket(a, b));
+            assert_ne!(a, b);
+            let key = (a.min(b), a.max(b));
+            *counts.entry(key).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "expected exactly 4 same-bucket pairs");
+        for (pair, c) in counts {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.25).abs() < 0.01, "pair {pair:?} frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn cross_bucket_pairs_never_collide() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        let mut rng = Xoshiro256::seeded(2);
+        for _ in 0..5000 {
+            let (a, b) = t.sample_cross_bucket_pair(&mut rng).unwrap();
+            assert!(!t.same_bucket(a, b));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn cross_bucket_sampling_is_uniform_over_sl() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        let mut rng = Xoshiro256::seeded(3);
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let trials = 110_000;
+        for _ in 0..trials {
+            let (a, b) = t.sample_cross_bucket_pair(&mut rng).unwrap();
+            *counts.entry((a.min(b), a.max(b))).or_default() += 1;
+        }
+        assert_eq!(counts.len() as u64, t.nl());
+        let expected = trials as f64 / t.nl() as f64;
+        for (pair, c) in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "pair {pair:?} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn sample_any_pair_classification_matches_table() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 16);
+        let mut rng = Xoshiro256::seeded(4);
+        let mut same = 0u64;
+        let trials = 60_000u64;
+        for _ in 0..trials {
+            let (a, b, in_same) = t.sample_any_pair(&mut rng);
+            assert_eq!(in_same, t.same_bucket(a, b));
+            same += u64::from(in_same);
+        }
+        // P(H) = NH/M = 4/15.
+        let rate = same as f64 / trials as f64;
+        assert!((rate - 4.0 / 15.0).abs() < 0.01, "P(H) = {rate}");
+    }
+
+    #[test]
+    fn all_identical_vectors_have_no_stratum_l() {
+        let coll = VectorCollection::from_vectors(vec![set(&[1]); 4]);
+        let t = minhash_table(&coll, 8);
+        assert_eq!(t.nh(), 6);
+        assert_eq!(t.nl(), 0);
+        let mut rng = Xoshiro256::seeded(5);
+        assert!(t.sample_cross_bucket_pair(&mut rng).is_none());
+        assert!(t.sample_same_bucket_pair(&mut rng).is_some());
+    }
+
+    #[test]
+    fn all_distinct_vectors_have_no_stratum_h() {
+        // At k=32 MinHash, pairwise-disjoint sets never collide.
+        let coll =
+            VectorCollection::from_vectors((0..8).map(|i| set(&[i * 10, i * 10 + 1])).collect());
+        let t = minhash_table(&coll, 32);
+        assert_eq!(t.nh(), 0);
+        assert_eq!(t.num_buckets(), 8);
+        let mut rng = Xoshiro256::seeded(6);
+        assert!(t.sample_same_bucket_pair(&mut rng).is_none());
+        assert!(t.sample_cross_bucket_pair(&mut rng).is_some());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // 2000 random-ish sets, both thread counts must agree exactly.
+        let coll = VectorCollection::from_vectors(
+            (0..2000u32)
+                .map(|i| set(&[i % 37, (i * 7) % 37, (i * 13) % 37]))
+                .collect(),
+        );
+        let hasher = || Arc::new(Composite::derive(SimHashFamily::new(), 9, 0, 12));
+        let seq = LshTable::build(&coll, hasher(), Some(1));
+        let par = LshTable::build(&coll, hasher(), Some(4));
+        assert_eq!(seq.nh(), par.nh());
+        assert_eq!(seq.num_buckets(), par.num_buckets());
+        for id in 0..coll.len() as u32 {
+            assert_eq!(seq.key_of(id), par.key_of(id));
+        }
+    }
+
+    #[test]
+    fn simhash_table_groups_similar_vectors() {
+        // Two tight direction clusters; with k=4 bits the clusters should
+        // produce large same-bucket mass across the cluster members.
+        let mut vectors = Vec::new();
+        for i in 0..20 {
+            // Cluster A around dimension 0; tiny per-vector noise dim.
+            vectors.push(SparseVector::from_entries(vec![(0, 10.0), (100 + i, 0.1)]).unwrap());
+            // Cluster B around dimension 1.
+            vectors.push(SparseVector::from_entries(vec![(1, 10.0), (200 + i, 0.1)]).unwrap());
+        }
+        let coll = VectorCollection::from_vectors(vectors);
+        let hasher = Arc::new(Composite::derive(SimHashFamily::new(), 3, 0, 4));
+        let t = LshTable::build(&coll, hasher, Some(1));
+        // Within-cluster pairs in same bucket should far outnumber
+        // cross-cluster ones.
+        let (mut within_same, mut cross_same) = (0u64, 0u64);
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                if t.same_bucket(a, b) {
+                    if a % 2 == b % 2 {
+                        within_same += 1;
+                    } else {
+                        cross_same += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            within_same > 5 * cross_same.max(1),
+            "within {within_same} vs cross {cross_same}"
+        );
+    }
+
+    #[test]
+    fn insert_matches_batch_build() {
+        // Building incrementally must produce the same table state as a
+        // batch build over the final collection.
+        let coll = clustered_collection();
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 42, 0, 16));
+        let batch = LshTable::build(&coll, hasher(), Some(1));
+
+        let empty = VectorCollection::new();
+        let mut incremental = LshTable::build(&empty, hasher(), Some(1));
+        for (expected_id, v) in coll.iter() {
+            assert_eq!(incremental.insert(v), expected_id);
+        }
+        assert_eq!(incremental.len(), batch.len());
+        assert_eq!(incremental.nh(), batch.nh());
+        assert_eq!(incremental.num_buckets(), batch.num_buckets());
+        for id in 0..coll.len() as u32 {
+            assert_eq!(incremental.key_of(id), batch.key_of(id));
+        }
+    }
+
+    #[test]
+    fn insert_updates_nh_incrementally() {
+        let empty = VectorCollection::new();
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 7, 0, 8));
+        let mut t = LshTable::build(&empty, hasher, Some(1));
+        let v = set(&[1, 2, 3]);
+        t.insert(&v);
+        assert_eq!(t.nh(), 0);
+        t.insert(&v);
+        assert_eq!(t.nh(), 1); // C(2,2)
+        t.insert(&v);
+        assert_eq!(t.nh(), 3); // C(3,2)
+        t.insert(&set(&[9, 10]));
+        assert_eq!(t.nh(), 3);
+        assert_eq!(t.total_pairs(), 6);
+        assert_eq!(t.nl(), 3);
+    }
+
+    #[test]
+    fn sampling_sees_inserted_pairs() {
+        // The lazily rebuilt alias must cover pairs created by insert().
+        let empty = VectorCollection::new();
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 9, 0, 8));
+        let mut t = LshTable::build(&empty, hasher, Some(1));
+        let mut rng = Xoshiro256::seeded(8);
+        assert!(t.sample_same_bucket_pair(&mut rng).is_none());
+        t.insert(&set(&[5, 6]));
+        t.insert(&set(&[5, 6]));
+        // After insertion the (0,1) pair must be drawable.
+        let (a, b) = t.sample_same_bucket_pair(&mut rng).expect("pair exists");
+        assert_eq!((a.min(b), a.max(b)), (0, 1));
+        // Insert a third copy: all three pairs drawable.
+        t.insert(&set(&[5, 6]));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let (a, b) = t.sample_same_bucket_pair(&mut rng).unwrap();
+            seen.insert((a.min(b), a.max(b)));
+        }
+        assert_eq!(seen.len(), 3, "pairs seen: {seen:?}");
+    }
+
+    #[test]
+    fn debug_output_mentions_family() {
+        let coll = clustered_collection();
+        let t = minhash_table(&coll, 8);
+        let s = format!("{t:?}");
+        assert!(s.contains("minhash"), "{s}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Adaptive sampling (Lipton, Naughton & Schneider, SIGMOD 1990).
+//!
+//! Reference \[15\] of the paper. The idea: instead of fixing the *sample*
+//! size, fix the *answer* size — keep drawing until `δ` positive samples
+//! have been seen (then the scaled estimate is reliable; Theorems 2.1/2.2
+//! of \[15\]) or until a sample budget `m_L` is exhausted (then no guarantee
+//! is possible).
+//!
+//! The paper's twist (§5.1.2) is what happens on budget exhaustion:
+//! instead of the loose upper bound of \[15\], `SampleL` returns the raw
+//! positive count as a **safe lower bound** (`Ĵ_L = n_L ≤ J_L` always), or
+//! optionally a *dampened* scale-up `c_s · n_L · (N_L / m_L)` trading the
+//! safety for less underestimation (Theorem 2 quantifies the trade).
+//!
+//! This module implements the generic loop over an arbitrary Bernoulli
+//! oracle; the estimator crate instantiates it with "draw a pair from
+//! stratum L, test `sim ≥ τ`".
+
+/// Outcome of an adaptive sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptiveOutcome {
+    /// The answer-size threshold `δ` was reached after `samples` draws:
+    /// the scaled estimate `positives * population / samples` carries the
+    /// guarantees of Lipton et al.
+    Scaled {
+        /// Estimated number of positives in the population.
+        estimate: f64,
+        /// Positive draws observed (= δ).
+        positives: u64,
+        /// Total draws consumed.
+        samples: u64,
+    },
+    /// The sample budget ran out with fewer than `δ` positives. The
+    /// reliable statement is only `J ≥ positives`.
+    Exhausted {
+        /// Positive draws observed (< δ).
+        positives: u64,
+        /// Total draws consumed (= the budget).
+        samples: u64,
+    },
+}
+
+impl AdaptiveOutcome {
+    /// The paper's conservative reading (Algorithm 1 line 10/12): scaled
+    /// estimate when reliable, otherwise the safe lower bound `n_L`.
+    pub fn safe_estimate(&self) -> f64 {
+        match *self {
+            Self::Scaled { estimate, .. } => estimate,
+            Self::Exhausted { positives, .. } => positives as f64,
+        }
+    }
+
+    /// The dampened reading (Algorithm 1 line 10 comment): on exhaustion,
+    /// scale up by the full factor `population/samples` multiplied by the
+    /// dampening constant `0 < c_s ≤ 1`. `c_s = 1` recovers plain scaling;
+    /// `c_s → 0` recovers the safe lower bound.
+    pub fn dampened_estimate(&self, population: u64, cs: f64) -> f64 {
+        match *self {
+            Self::Scaled { estimate, .. } => estimate,
+            Self::Exhausted { positives, samples } => {
+                if samples == 0 {
+                    return 0.0;
+                }
+                cs * positives as f64 * (population as f64 / samples as f64)
+            }
+        }
+    }
+
+    /// Positive draws regardless of outcome.
+    pub fn positives(&self) -> u64 {
+        match *self {
+            Self::Scaled { positives, .. } | Self::Exhausted { positives, .. } => positives,
+        }
+    }
+
+    /// Draws consumed regardless of outcome.
+    pub fn samples(&self) -> u64 {
+        match *self {
+            Self::Scaled { samples, .. } | Self::Exhausted { samples, .. } => samples,
+        }
+    }
+
+    /// True when the run ended by reaching `δ` (the guaranteed case).
+    pub fn is_reliable(&self) -> bool {
+        matches!(self, Self::Scaled { .. })
+    }
+}
+
+/// The adaptive sampling loop: parameters `δ` (answer-size threshold) and
+/// `m_L` (max samples), both in units of draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSampler {
+    /// Answer-size threshold `δ`: stop as soon as this many positives are
+    /// seen. The paper uses `δ = log₂ n`.
+    pub target_positives: u64,
+    /// Sample budget `m_L`. The paper uses `m_L = n`.
+    pub max_samples: u64,
+}
+
+impl AdaptiveSampler {
+    /// Creates a sampler with the given `δ` and `m_L`.
+    pub fn new(target_positives: u64, max_samples: u64) -> Self {
+        Self {
+            target_positives,
+            max_samples,
+        }
+    }
+
+    /// The paper's defaults for a database of `n` vectors:
+    /// `δ = max(1, ⌈log₂ n⌉)`, `m_L = n`.
+    pub fn paper_defaults(n: usize) -> Self {
+        Self {
+            target_positives: log2_ceil(n).max(1),
+            max_samples: n as u64,
+        }
+    }
+
+    /// Runs the loop against `population` total units, drawing from
+    /// `oracle` (returns whether the draw was positive). Mirrors
+    /// `SampleL` of Algorithm 1: `while n_L < δ and i < m_L`.
+    pub fn run<F: FnMut() -> bool>(&self, population: u64, mut oracle: F) -> AdaptiveOutcome {
+        let mut positives = 0u64;
+        let mut samples = 0u64;
+        while positives < self.target_positives && samples < self.max_samples {
+            if oracle() {
+                positives += 1;
+            }
+            samples += 1;
+        }
+        if positives >= self.target_positives && samples > 0 {
+            AdaptiveOutcome::Scaled {
+                estimate: positives as f64 * (population as f64 / samples as f64),
+                positives,
+                samples,
+            }
+        } else {
+            AdaptiveOutcome::Exhausted { positives, samples }
+        }
+    }
+}
+
+/// `⌈log₂ n⌉` as used for the paper's `δ = log n` default (all logarithms
+/// in the paper are base 2; returns 0 for n ≤ 1).
+pub fn log2_ceil(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        u64::from((usize::BITS - (n - 1).leading_zeros()).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Xoshiro256};
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+        // DBLP-scale: log2(800_000) ≈ 19.6 -> 20.
+        assert_eq!(log2_ceil(800_000), 20);
+    }
+
+    #[test]
+    fn paper_defaults_shape() {
+        let s = AdaptiveSampler::paper_defaults(34_000);
+        assert_eq!(s.max_samples, 34_000);
+        assert_eq!(s.target_positives, 16); // ceil(log2 34000) = 16
+    }
+
+    #[test]
+    fn reaches_target_and_scales() {
+        // Deterministic oracle: every 10th draw positive.
+        let mut i = 0u64;
+        let sampler = AdaptiveSampler::new(5, 1_000_000);
+        let out = sampler.run(1_000_000, || {
+            i += 1;
+            i % 10 == 0
+        });
+        match out {
+            AdaptiveOutcome::Scaled {
+                estimate,
+                positives,
+                samples,
+            } => {
+                assert_eq!(positives, 5);
+                assert_eq!(samples, 50);
+                // 5/50 of 1M = 100k — matches the oracle's 10% rate.
+                assert!((estimate - 100_000.0).abs() < 1e-9);
+            }
+            other => panic!("expected Scaled, got {other:?}"),
+        }
+        assert!(out.is_reliable());
+        assert_eq!(out.safe_estimate(), 100_000.0);
+    }
+
+    #[test]
+    fn exhaustion_returns_lower_bound() {
+        // Oracle that never fires.
+        let sampler = AdaptiveSampler::new(3, 100);
+        let out = sampler.run(1_000_000, || false);
+        assert_eq!(
+            out,
+            AdaptiveOutcome::Exhausted {
+                positives: 0,
+                samples: 100
+            }
+        );
+        assert!(!out.is_reliable());
+        assert_eq!(out.safe_estimate(), 0.0);
+    }
+
+    #[test]
+    fn exhaustion_with_partial_positives() {
+        // Example 1 of the paper: N_L = 1e6, one true pair, 10 samples.
+        // If the true pair is not drawn: estimate 0; never 100_000.
+        let sampler = AdaptiveSampler::new(10, 10);
+        let mut calls = 0u64;
+        let out = sampler.run(1_000_000, || {
+            calls += 1;
+            calls == 4 // exactly one positive among the ten draws
+        });
+        assert_eq!(out.positives(), 1);
+        assert_eq!(out.samples(), 10);
+        // Safe reading: 1. The catastrophic naive scale-up would be 100000.
+        assert_eq!(out.safe_estimate(), 1.0);
+        // Dampened with cs = 0.1: 0.1 * 1 * (1e6/10) = 10_000.
+        assert!((out.dampened_estimate(1_000_000, 0.1) - 10_000.0).abs() < 1e-9);
+        // cs = 1 recovers full scaling.
+        assert!((out.dampened_estimate(1_000_000, 1.0) - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted_empty() {
+        let sampler = AdaptiveSampler::new(5, 0);
+        let out = sampler.run(100, || panic!("oracle must not be called"));
+        assert_eq!(
+            out,
+            AdaptiveOutcome::Exhausted {
+                positives: 0,
+                samples: 0
+            }
+        );
+        assert_eq!(out.dampened_estimate(100, 0.5), 0.0);
+    }
+
+    #[test]
+    fn zero_target_scales_immediately_nonsense_guard() {
+        // δ = 0 means "no evidence required" — the loop must not divide by
+        // zero; it reports Exhausted with zero samples instead of Scaled.
+        let sampler = AdaptiveSampler::new(0, 10);
+        let out = sampler.run(100, || true);
+        assert!(!out.is_reliable());
+    }
+
+    #[test]
+    fn stochastic_oracle_estimate_converges() {
+        // True rate 2%: with δ=256 the scaled estimate has relative σ
+        // ≈ 1/√256 ≈ 6%, so 25% is >4σ — essentially every run should land.
+        let mut ok = 0;
+        for seed in 0..20 {
+            let mut rng = Xoshiro256::seeded(seed);
+            let sampler = AdaptiveSampler::new(256, 1_000_000);
+            let population = 500_000u64;
+            let out = sampler.run(population, || rng.bernoulli(0.02));
+            let truth = 0.02 * population as f64;
+            if (out.safe_estimate() - truth).abs() / truth < 0.25 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 19, "only {ok}/20 runs within 25%");
+    }
+
+    #[test]
+    fn expected_samples_tracks_inverse_rate() {
+        // E[samples to δ positives] = δ/p; check within 20%.
+        let mut rng = Xoshiro256::seeded(99);
+        let sampler = AdaptiveSampler::new(100, u64::MAX);
+        let p = 0.05;
+        let out = sampler.run(1, || rng.bernoulli(p));
+        let expected = 100.0 / p;
+        let got = out.samples() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.2,
+            "samples {got} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The concentration-bound constants behind the paper's guarantees.
+//!
+//! Theorems 1–3 of the paper size the samples as `m_H = c·n`, `m_L = c'·n`
+//! with constants derived from Chernoff bounds (all logarithms base 2):
+//!
+//! * Theorem 1 (high τ): `c = 1/(log₂e · ε²)`;
+//! * Lemma 1 / Theorem 3 (low τ): `c = 4/(log₂e · ε²)`,
+//!   `c' = max(c, 1/(1−ε))`;
+//! * Theorem 2 (dampened SampleL): Chebyshev bound
+//!   `P(|Ĵ_L − J_L| ≥ ε'·J_L) ≤ (1/ε²)·(1−β)/(m_L·β)` with
+//!   `ε' = 1 − (1−ε)·c_s`.
+//!
+//! These are used by tests (to pick sample sizes that make statistical
+//! assertions sound), by the estimator defaults, and by the `bench` crate
+//! to annotate experiment output with the theoretical guarantee in force.
+
+/// `log₂(e)` — the paper's `log e` (its logs are base 2).
+pub const LOG2_E: f64 = std::f64::consts::LOG2_E;
+
+/// Chernoff constant of Theorem 1: `c = 1/(log₂e · ε²)`.
+///
+/// # Panics
+/// Panics unless `0 < ε < 1` (the theorem's hypothesis).
+pub fn theorem1_c(epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "ε must be in (0,1), got {epsilon}"
+    );
+    1.0 / (LOG2_E * epsilon * epsilon)
+}
+
+/// Chernoff constant of Lemma 1 / Theorem 3: `c = 4/(log₂e · ε²)`.
+///
+/// # Panics
+/// Panics unless `0 < ε < 1`.
+pub fn theorem3_c(epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "ε must be in (0,1), got {epsilon}"
+    );
+    4.0 / (LOG2_E * epsilon * epsilon)
+}
+
+/// Sample-size constant `c'` of Theorem 3: `max(c, 1/(1−ε))`.
+pub fn theorem3_c_prime(epsilon: f64) -> f64 {
+    theorem3_c(epsilon).max(1.0 / (1.0 - epsilon))
+}
+
+/// Chebyshev failure-probability bound of Theorem 2:
+/// `P(|Ĵ_L − J_L| ≥ ε'·J_L) ≤ (1/ε²)·(1−β)/(m_L·β)`.
+///
+/// Returns the right-hand side (may exceed 1, in which case the bound is
+/// vacuous — exactly the regime where the paper discards Ĵ_L).
+///
+/// # Panics
+/// Panics if `β ∉ (0,1]`, `ε ≤ 0`, or `m_L = 0`.
+pub fn theorem2_failure_bound(epsilon: f64, beta: f64, m_l: u64) -> f64 {
+    assert!(beta > 0.0 && beta <= 1.0, "β must be in (0,1], got {beta}");
+    assert!(epsilon > 0.0, "ε must be positive");
+    assert!(m_l > 0, "m_L must be positive");
+    (1.0 / (epsilon * epsilon)) * (1.0 - beta) / (m_l as f64 * beta)
+}
+
+/// The effective relative-error bound `ε' = 1 − (1−ε)·c_s` of Theorem 2
+/// (its general form; for overestimation the tighter `c_s(1+ε) − 1`
+/// applies — see [`theorem2_epsilon_prime_over`]).
+pub fn theorem2_epsilon_prime(epsilon: f64, cs: f64) -> f64 {
+    1.0 - (1.0 - epsilon) * cs
+}
+
+/// Overestimation-side error bound of Theorem 2: `ε' = c_s(1+ε) − 1`.
+pub fn theorem2_epsilon_prime_over(epsilon: f64, cs: f64) -> f64 {
+    cs * (1.0 + epsilon) - 1.0
+}
+
+/// Median-amplification failure bound (Appendix B.2.1): running `ℓ`
+/// independent estimators and taking the median, the probability that the
+/// median deviates is at most `2^(−ℓ/2)` "by the standard estimate of
+/// Chernoff" when each estimator fails with probability < 1/2.
+pub fn median_failure_bound(tables: usize) -> f64 {
+    0.5f64.powf(tables as f64 / 2.0)
+}
+
+/// Success probability floor of Theorem 1: `1 − 2/n`.
+pub fn theorem1_success_floor(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (1.0 - 2.0 / n as f64).max(0.0)
+    }
+}
+
+/// Success probability floor of Theorem 3: `1 − 3/n`.
+pub fn theorem3_success_floor(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (1.0 - 3.0 / n as f64).max(0.0)
+    }
+}
+
+/// The paper's threshold-regime classifier (§5.2): given measured
+/// `α = P(T|H)` and `β = P(T|L)` on a database of `n` vectors, report
+/// which theorem's hypotheses hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdRegime {
+    /// `α ≥ log n / n` and `β < 1/n`: Theorem 1 applies.
+    High,
+    /// `α ≥ log n / n` and `β ≥ log n / n`: Theorem 3 applies.
+    Low,
+    /// `1/n ≤ β < log n / n`: the "grey area" between the theorems
+    /// (§5.1.2's dampening discussion).
+    Grey,
+    /// `α < log n / n`: the LSH index is not concentrating true pairs —
+    /// outside the model's assumptions.
+    OutsideModel,
+}
+
+/// Classifies a `(α, β)` measurement. See [`ThresholdRegime`].
+pub fn classify_regime(alpha: f64, beta: f64, n: usize) -> ThresholdRegime {
+    let n = n as f64;
+    if n < 2.0 {
+        return ThresholdRegime::OutsideModel;
+    }
+    let log_n = n.log2();
+    if alpha < log_n / n {
+        ThresholdRegime::OutsideModel
+    } else if beta < 1.0 / n {
+        ThresholdRegime::High
+    } else if beta >= log_n / n {
+        ThresholdRegime::Low
+    } else {
+        ThresholdRegime::Grey
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_constant_matches_paper_shape() {
+        // c = 1/(log₂e · ε²): at ε = 0.5, c ≈ 2.77.
+        let c = theorem1_c(0.5);
+        assert!((c - 1.0 / (LOG2_E * 0.25)).abs() < 1e-12);
+        assert!(c > 2.7 && c < 2.8);
+    }
+
+    #[test]
+    fn theorem3_constant_is_4x_theorem1() {
+        let eps = 0.3;
+        assert!((theorem3_c(eps) - 4.0 * theorem1_c(eps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_c_prime_takes_max() {
+        // Small ε: Chernoff term dominates.
+        assert!((theorem3_c_prime(0.1) - theorem3_c(0.1)).abs() < 1e-12);
+        // ε → 1: the 1/(1-ε) term dominates.
+        assert!((theorem3_c_prime(0.99) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be in (0,1)")]
+    fn theorem1_rejects_bad_epsilon() {
+        theorem1_c(1.5);
+    }
+
+    #[test]
+    fn theorem2_bound_decreases_with_samples_and_beta() {
+        let b1 = theorem2_failure_bound(0.5, 0.001, 1000);
+        let b2 = theorem2_failure_bound(0.5, 0.001, 10_000);
+        let b3 = theorem2_failure_bound(0.5, 0.01, 1000);
+        assert!(b2 < b1);
+        assert!(b3 < b1);
+    }
+
+    #[test]
+    fn theorem2_epsilon_prime_interpolates() {
+        // cs = 1: ε' = ε (full scaling, original bound).
+        assert!((theorem2_epsilon_prime(0.3, 1.0) - 0.3).abs() < 1e-12);
+        // cs → 0: ε' → 1 (safe lower bound: up to 100% underestimation).
+        assert!((theorem2_epsilon_prime(0.3, 0.0) - 1.0).abs() < 1e-12);
+        // Bounds of the paper: 1 − cs < ε' < 1 for ε ∈ (0,1).
+        let cs = 0.4;
+        let ep = theorem2_epsilon_prime(0.3, cs);
+        assert!(ep > 1.0 - cs && ep < 1.0);
+        // Overestimation side is tighter: cs(1+ε) − 1 ≤ 1 − (1−ε)cs.
+        assert!(theorem2_epsilon_prime_over(0.3, cs) <= ep);
+    }
+
+    #[test]
+    fn median_bound_halves_per_two_tables() {
+        assert!((median_failure_bound(2) - 0.5).abs() < 1e-12);
+        assert!((median_failure_bound(4) - 0.25).abs() < 1e-12);
+        assert!(median_failure_bound(10) < 0.04);
+    }
+
+    #[test]
+    fn success_floors() {
+        assert!((theorem1_success_floor(1000) - 0.998).abs() < 1e-12);
+        assert!((theorem3_success_floor(1000) - 0.997).abs() < 1e-12);
+        assert_eq!(theorem1_success_floor(1), 0.0);
+        assert_eq!(theorem1_success_floor(0), 0.0);
+    }
+
+    #[test]
+    fn regime_classification_matches_table1() {
+        // DBLP example from the paper's §5.2.1 sanity check: n = 34,000,
+        // so log n/n ≈ 0.00044, 1/n ≈ 0.0000294.
+        let n = 34_000;
+        // τ = 0.9: α = 0.040, β = 1.3e-8 -> High.
+        assert_eq!(classify_regime(0.040, 1.3e-8, n), ThresholdRegime::High);
+        // τ = 0.1: α = 0.31, β = 0.082 -> Low.
+        assert_eq!(classify_regime(0.31, 0.082, n), ThresholdRegime::Low);
+        // τ = 0.5: β ≈ 0.000032 ≈ 1/n: grey area boundary.
+        assert_eq!(classify_regime(0.049, 0.000032, n), ThresholdRegime::Grey);
+        // Broken index: α below the floor.
+        assert_eq!(classify_regime(1e-9, 0.5, n), ThresholdRegime::OutsideModel);
+        assert_eq!(classify_regime(1.0, 0.0, 1), ThresholdRegime::OutsideModel);
+    }
+}

@@ -1,0 +1,181 @@
+//! Uniform sampling of unordered vector pairs and the pair ⟷ index
+//! bijection.
+//!
+//! The population of the VSJ problem is the set of `M = C(n,2)` unordered
+//! pairs `(i, j)`, `i < j`. Both `RS(pop)` and `SampleL` draw uniformly
+//! from (subsets of) this population. Two primitives live here:
+//!
+//! * [`sample_distinct_pair`] — a uniform unordered pair via two index
+//!   draws and a rejection of the diagonal (expected < 2 draws for n ≥ 2);
+//! * [`encode_pair`]/[`decode_pair`] — the triangular-number bijection
+//!   between pairs and `0..M`, which lets tests enumerate the population
+//!   and lets samplers draw *without* replacement if ever needed.
+
+use crate::rng::Rng;
+
+/// Number of unordered pairs `C(n, 2)` (overflow-safe for all `u64` n
+/// whose result fits; panics in debug on true overflow).
+#[inline]
+pub fn pair_count(n: u64) -> u64 {
+    if n % 2 == 0 {
+        (n / 2) * n.saturating_sub(1)
+    } else {
+        n * (n.saturating_sub(1) / 2)
+    }
+}
+
+/// Encodes the unordered pair `(i, j)` with `i < j` as a linear index in
+/// `0..C(n,2)`: `encode(i, j) = C(j, 2) + i`.
+///
+/// # Panics
+/// Panics if `i >= j`.
+#[inline]
+pub fn encode_pair(i: u64, j: u64) -> u64 {
+    assert!(i < j, "encode_pair requires i < j (got {i}, {j})");
+    pair_count(j) + i
+}
+
+/// Decodes a linear index back to its unordered pair `(i, j)`, `i < j`.
+/// Inverse of [`encode_pair`].
+#[inline]
+pub fn decode_pair(k: u64) -> (u64, u64) {
+    // j is the triangular root: largest j with C(j,2) <= k. Start from the
+    // floating-point estimate and correct — f64 sqrt loses precision for
+    // k near 2^63.
+    let mut j = ((1.0 + (1.0 + 8.0 * k as f64).sqrt()) / 2.0) as u64;
+    while pair_count(j) > k {
+        j -= 1;
+    }
+    while pair_count(j + 1) <= k {
+        j += 1;
+    }
+    let i = k - pair_count(j);
+    debug_assert!(i < j);
+    (i, j)
+}
+
+/// Draws an unordered pair `(i, j)` with `i != j`, uniform over the
+/// `C(n,2)` pairs, returned with `i < j`.
+///
+/// # Panics
+/// Panics if `n < 2` (no pair exists).
+#[inline]
+pub fn sample_distinct_pair<R: Rng + ?Sized>(rng: &mut R, n: u64) -> (u64, u64) {
+    assert!(n >= 2, "need at least two elements to sample a pair");
+    loop {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            return (a.min(b), a.max(b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_small() {
+        let n = 40u64;
+        let mut k_expected = 0u64;
+        for j in 1..n {
+            for i in 0..j {
+                let k = encode_pair(i, j);
+                assert_eq!(decode_pair(k), (i, j));
+                // Encoding is a bijection onto 0..C(n,2) in (j, i) order.
+                assert!(k < pair_count(n));
+                k_expected += 1;
+            }
+        }
+        assert_eq!(k_expected, pair_count(n));
+    }
+
+    #[test]
+    fn decode_handles_large_indices() {
+        // Near the top of the paper-scale population (n = 800k).
+        let n: u64 = 800_000;
+        let m = pair_count(n);
+        for k in [0, 1, m / 2, m - 2, m - 1] {
+            let (i, j) = decode_pair(k);
+            assert!(i < j && j < n, "k={k} -> ({i}, {j})");
+            assert_eq!(encode_pair(i, j), k);
+        }
+    }
+
+    #[test]
+    fn decode_handles_u32_scale() {
+        let n = u32::MAX as u64;
+        let m = pair_count(n);
+        let (i, j) = decode_pair(m - 1);
+        assert_eq!((i, j), (n - 2, n - 1));
+        assert_eq!(encode_pair(i, j), m - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "i < j")]
+    fn encode_rejects_diagonal() {
+        encode_pair(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn sample_pair_needs_two_elements() {
+        sample_distinct_pair(&mut Xoshiro256::seeded(0), 1);
+    }
+
+    #[test]
+    fn sampled_pairs_are_ordered_distinct_in_range() {
+        let mut rng = Xoshiro256::seeded(7);
+        for _ in 0..10_000 {
+            let (i, j) = sample_distinct_pair(&mut rng, 100);
+            assert!(i < j && j < 100);
+        }
+    }
+
+    #[test]
+    fn sampled_pairs_are_uniform() {
+        // χ²-style check on all C(5,2)=10 pairs.
+        let n = 5u64;
+        let m = pair_count(n) as usize;
+        let mut counts = vec![0u64; m];
+        let mut rng = Xoshiro256::seeded(11);
+        let trials = 200_000;
+        for _ in 0..trials {
+            let (i, j) = sample_distinct_pair(&mut rng, n);
+            counts[encode_pair(i, j) as usize] += 1;
+        }
+        let expected = trials as f64 / m as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "pair {k} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn pair_count_small_values() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(10), 45);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(k in 0u64..1_000_000_000_000) {
+            let (i, j) = decode_pair(k);
+            prop_assert!(i < j);
+            prop_assert_eq!(encode_pair(i, j), k);
+        }
+
+        #[test]
+        fn prop_encode_monotone_in_population(i in 0u64..5000, j in 1u64..5000) {
+            prop_assume!(i < j);
+            let k = encode_pair(i, j);
+            prop_assert!(k < pair_count(j + 1));
+            prop_assert!(k >= pair_count(j));
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Streaming summary statistics and the paper's error metrics.
+//!
+//! The evaluation protocol (§6.1) reports, over 100 repetitions per
+//! configuration: the average relative error of *overestimations* and of
+//! *underestimations* separately, and the standard deviation of the raw
+//! estimates. [`Summary`] is a Welford accumulator providing mean/variance
+//! in one numerically stable pass; [`ErrorProfile`] splits signed relative
+//! errors the way Figures 2–3 plot them.
+
+/// Signed relative error `(est − truth) / truth`, in fractional units
+/// (multiply by 100 for the paper's % axes). Conventions:
+/// * `truth = 0, est = 0` → error 0;
+/// * `truth = 0, est > 0` → `+∞` (reported as `f64::INFINITY`), since any
+///   overestimate of an empty join is unboundedly wrong in relative terms.
+///
+/// Underestimation is capped below by −1 ("capped by −100%", §5.2.1).
+#[inline]
+pub fn signed_relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth) / truth
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary (parallel reduction; Chan et al. update).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for < 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation — the paper's "STD σ" axis.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Split error accounting matching Figures 2(a)/2(b): overestimations and
+/// underestimations are averaged separately, and the raw estimates keep a
+/// joint [`Summary`] for the STD panel (Figure 2(c)).
+#[derive(Debug, Clone, Default)]
+pub struct ErrorProfile {
+    /// Relative errors of runs with `est > truth`, as positive fractions.
+    pub over: Summary,
+    /// Relative errors of runs with `est < truth`, as negative fractions
+    /// (≥ −1 by construction).
+    pub under: Summary,
+    /// Raw estimates of all runs.
+    pub estimates: Summary,
+    /// Runs whose estimate equalled the truth exactly.
+    pub exact_hits: u64,
+    /// |est/truth| ≥ 10 or truth/est ≥ 10 counts — the "big error"
+    /// criterion of Figures 6/8.
+    pub big_over: u64,
+    /// See [`Self::big_over`].
+    pub big_under: u64,
+}
+
+impl ErrorProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, estimate: f64, truth: f64) {
+        self.estimates.push(estimate);
+        let err = signed_relative_error(estimate, truth);
+        if err > 0.0 {
+            self.over.push(err);
+        } else if err < 0.0 {
+            self.under.push(err);
+        } else {
+            self.exact_hits += 1;
+        }
+        // Big-error counters (J^/J ≥ 10 or J/J^ ≥ 10), guarding zeros the
+        // same way the ratio reads: a zero estimate of a nonzero truth is a
+        // big underestimation; a nonzero estimate of a zero truth is a big
+        // overestimation.
+        if truth > 0.0 {
+            if estimate / truth >= 10.0 {
+                self.big_over += 1;
+            }
+            if estimate == 0.0 || truth / estimate >= 10.0 {
+                self.big_under += 1;
+            }
+        } else if estimate > 0.0 {
+            self.big_over += 1;
+        }
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.estimates.count()
+    }
+
+    /// Mean relative error over *all* trials using absolute values — the
+    /// "average (absolute) relative error" of Figures 5/7.
+    pub fn mean_abs_error(&self, truth: f64) -> f64 {
+        // Reconstructable from the split summaries only if we also track
+        // totals; simpler and exact: derive from parts.
+        let n = self.trials();
+        if n == 0 {
+            return 0.0;
+        }
+        let _ = truth;
+        let over_total = self.over.mean() * self.over.count() as f64;
+        let under_total = -self.under.mean() * self.under.count() as f64;
+        (over_total + under_total) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(signed_relative_error(0.0, 0.0), 0.0);
+        assert_eq!(signed_relative_error(5.0, 0.0), f64::INFINITY);
+        assert!((signed_relative_error(150.0, 100.0) - 0.5).abs() < 1e-12);
+        assert!((signed_relative_error(50.0, 100.0) + 0.5).abs() < 1e-12);
+        // Underestimation capped at -100%.
+        assert!((signed_relative_error(0.0, 100.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        let s: Summary = [3.0].into_iter().collect();
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Summary = all.iter().copied().collect();
+        let mut a: Summary = all[..37].iter().copied().collect();
+        let b: Summary = all[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.variance() - seq.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn error_profile_splits_over_under() {
+        let mut p = ErrorProfile::new();
+        let truth = 100.0;
+        p.record(150.0, truth); // +50%
+        p.record(80.0, truth); // -20%
+        p.record(100.0, truth); // exact
+        p.record(2000.0, truth); // big over (20x)
+        p.record(5.0, truth); // big under (20x)
+        assert_eq!(p.trials(), 5);
+        assert_eq!(p.exact_hits, 1);
+        assert_eq!(p.over.count(), 2);
+        assert_eq!(p.under.count(), 2);
+        assert_eq!(p.big_over, 1);
+        assert_eq!(p.big_under, 1);
+        assert!((p.over.mean() - (0.5 + 19.0) / 2.0).abs() < 1e-12);
+        assert!((p.under.mean() - (-0.2 - 0.95) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_profile_zero_truth() {
+        let mut p = ErrorProfile::new();
+        p.record(0.0, 0.0);
+        p.record(3.0, 0.0);
+        assert_eq!(p.exact_hits, 1);
+        assert_eq!(p.big_over, 1);
+        assert_eq!(p.over.count(), 1);
+        assert!(p.over.mean().is_infinite());
+    }
+
+    #[test]
+    fn error_profile_zero_estimate_counts_as_big_under() {
+        let mut p = ErrorProfile::new();
+        p.record(0.0, 50.0);
+        assert_eq!(p.big_under, 1);
+        assert!((p.under.mean() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_abs_error_combines_sides() {
+        let mut p = ErrorProfile::new();
+        p.record(150.0, 100.0); // +0.5
+        p.record(50.0, 100.0); // -0.5
+        assert!((p.mean_abs_error(100.0) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let s: Summary = xs.iter().copied().collect();
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var));
+        }
+
+        #[test]
+        fn prop_merge_associative(
+            xs in proptest::collection::vec(-100f64..100.0, 1..50),
+            ys in proptest::collection::vec(-100f64..100.0, 1..50),
+            zs in proptest::collection::vec(-100f64..100.0, 1..50),
+        ) {
+            let sx: Summary = xs.iter().copied().collect();
+            let sy: Summary = ys.iter().copied().collect();
+            let sz: Summary = zs.iter().copied().collect();
+            let mut left = sx;
+            left.merge(&sy);
+            left.merge(&sz);
+            let mut right_inner = sy;
+            right_inner.merge(&sz);
+            let mut right = sx;
+            right.merge(&right_inner);
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+            prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
+        }
+    }
+}

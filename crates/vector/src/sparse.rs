@@ -1,0 +1,592 @@
+//! Immutable sparse vectors with sorted coordinates.
+//!
+//! The representation is the classic coordinate-sorted pair of parallel
+//! arrays (`indices[i]` ↔ `values[i]`, strictly increasing indices). All
+//! pairwise kernels (dot product, overlap) are linear merges over the two
+//! sorted index arrays — the dominant inner loop of both the exact join and
+//! the sampling estimators, so it is kept allocation-free and branch-light.
+
+use std::fmt;
+
+/// An immutable sparse vector: strictly increasing `u32` dimension indices
+/// with `f32` weights.
+///
+/// Invariants (enforced by every constructor):
+/// * `indices.len() == values.len()`
+/// * `indices` strictly increasing (no duplicates)
+/// * every value is finite and non-zero (explicit zeros are dropped —
+///   a stored zero would silently distort norms cached downstream)
+///
+/// The L2 norm is precomputed at construction: cosine similarity
+/// (`dot(u,v) / (‖u‖·‖v‖)`, §1 of the paper) is evaluated billions of times
+/// by the exact-join ground truth, and recomputing norms would double its
+/// cost.
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SparseVector {
+    indices: Box<[u32]>,
+    values: Box<[f32]>,
+    norm: f64,
+}
+
+impl fmt::Debug for SparseVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SparseVector[")?;
+        for (i, (ix, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ix}:{v}")?;
+        }
+        write!(f, "] (‖·‖={:.4})", self.norm)
+    }
+}
+
+/// Error returned by the checked [`SparseVector`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseVectorError {
+    /// `indices` and `values` have different lengths.
+    LengthMismatch {
+        /// Number of indices supplied.
+        indices: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+    /// Indices are not strictly increasing at the reported position.
+    UnsortedIndices {
+        /// Position in the index array where monotonicity broke.
+        position: usize,
+    },
+    /// A weight is NaN or infinite at the reported position.
+    NonFiniteValue {
+        /// Position of the offending weight.
+        position: usize,
+    },
+}
+
+impl fmt::Display for SparseVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { indices, values } => write!(
+                f,
+                "index/value length mismatch: {indices} indices vs {values} values"
+            ),
+            Self::UnsortedIndices { position } => {
+                write!(f, "indices not strictly increasing at position {position}")
+            }
+            Self::NonFiniteValue { position } => {
+                write!(f, "non-finite value at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseVectorError {}
+
+impl SparseVector {
+    /// Builds a vector from pre-sorted parallel arrays.
+    ///
+    /// # Errors
+    /// Returns [`SparseVectorError`] if the invariants documented on the
+    /// type do not hold. Zero values are permitted here and silently
+    /// dropped.
+    pub fn from_sorted(indices: Vec<u32>, values: Vec<f32>) -> Result<Self, SparseVectorError> {
+        if indices.len() != values.len() {
+            return Err(SparseVectorError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        for (pos, w) in indices.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(SparseVectorError::UnsortedIndices { position: pos + 1 });
+            }
+        }
+        for (pos, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SparseVectorError::NonFiniteValue { position: pos });
+            }
+        }
+        let (indices, values): (Vec<u32>, Vec<f32>) = indices
+            .into_iter()
+            .zip(values)
+            .filter(|&(_, v)| v != 0.0)
+            .unzip();
+        Ok(Self::trusted(indices, values))
+    }
+
+    /// Builds a vector from arbitrary `(index, value)` entries: entries are
+    /// sorted and weights on duplicate indices are summed (the natural
+    /// semantics for bag-of-words accumulation).
+    ///
+    /// # Errors
+    /// Returns [`SparseVectorError::NonFiniteValue`] if any accumulated
+    /// weight is NaN/∞.
+    pub fn from_entries(mut entries: Vec<(u32, f32)>) -> Result<Self, SparseVectorError> {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match indices.last() {
+                Some(&last) if last == i => {
+                    *values.last_mut().expect("parallel arrays") += v;
+                }
+                _ => {
+                    indices.push(i);
+                    values.push(v);
+                }
+            }
+        }
+        for (pos, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SparseVectorError::NonFiniteValue { position: pos });
+            }
+        }
+        let (indices, values): (Vec<u32>, Vec<f32>) = indices
+            .into_iter()
+            .zip(values)
+            .filter(|&(_, v)| v != 0.0)
+            .unzip();
+        Ok(Self::trusted(indices, values))
+    }
+
+    /// Builds a binary vector (all weights 1.0) from set members.
+    /// Duplicate members are collapsed: this is the paper's "set as a
+    /// binary vector" representation (§1).
+    pub fn binary_from_members(mut members: Vec<u32>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        let values = vec![1.0f32; members.len()];
+        Self::trusted(members, values)
+    }
+
+    /// Internal constructor for inputs already known to satisfy the
+    /// invariants (sorted, deduplicated, finite, non-zero).
+    fn trusted(indices: Vec<u32>, values: Vec<f32>) -> Self {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(values.iter().all(|v| v.is_finite() && *v != 0.0));
+        let norm = values
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        Self {
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+            norm,
+        }
+    }
+
+    /// The empty vector (zero in every dimension).
+    pub fn empty() -> Self {
+        Self::trusted(Vec::new(), Vec::new())
+    }
+
+    /// Number of stored (non-zero) coordinates — the paper's "number of
+    /// features".
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if no coordinate is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Sorted dimension indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Weights parallel to [`Self::indices`].
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Precomputed L2 norm `‖u‖ = sqrt(Σ u[i]²)`.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Largest dimension index plus one, or 0 for the empty vector.
+    #[inline]
+    pub fn dim_bound(&self) -> u32 {
+        self.indices.last().map_or(0, |&i| i + 1)
+    }
+
+    /// Maximum stored weight (0 for the empty vector). Used by the
+    /// prefix-filtering exact join for its upper bounds.
+    #[inline]
+    pub fn max_value(&self) -> f32 {
+        self.values.iter().copied().fold(0.0f32, f32::max)
+    }
+
+    /// Iterates `(index, value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Weight at `dim` (0 when absent), by binary search.
+    pub fn get(&self, dim: u32) -> f32 {
+        match self.indices.binary_search(&dim) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// True if every stored weight equals 1.0 — the binary-vector (set)
+    /// special case for which the paper's SSJ baselines apply directly.
+    pub fn is_binary(&self) -> bool {
+        self.values.iter().all(|&v| v == 1.0)
+    }
+
+    /// Dot product `u·v = Σ u[i]·v[i]` via sorted-merge intersection,
+    /// accumulated in `f64`.
+    pub fn dot(&self, other: &Self) -> f64 {
+        // Iterate over the shorter vector and gallop on the longer one when
+        // the length ratio is extreme; plain merge otherwise. The plain
+        // merge is the hot path for text vectors of comparable length.
+        let (a, b) = if self.nnz() <= other.nnz() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if a.is_empty() {
+            return 0.0;
+        }
+        if b.nnz() / a.nnz().max(1) >= 32 {
+            return a.dot_galloping(b);
+        }
+        let mut acc = 0.0f64;
+        let (ai, av) = (&a.indices, &a.values);
+        let (bi, bv) = (&b.indices, &b.values);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ai.len() && j < bi.len() {
+            match ai[i].cmp(&bi[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += f64::from(av[i]) * f64::from(bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Dot product when `self` is much shorter than `other`: binary search
+    /// each of `self`'s coordinates inside the (shrinking) tail of `other`.
+    fn dot_galloping(&self, other: &Self) -> f64 {
+        let mut acc = 0.0f64;
+        let mut lo = 0usize;
+        for (idx, val) in self.iter() {
+            match other.indices[lo..].binary_search(&idx) {
+                Ok(pos) => {
+                    acc += f64::from(val) * f64::from(other.values[lo + pos]);
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= other.indices.len() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Size of the coordinate-set intersection `|u ∩ v|` (ignores weights).
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (ai, bi) = (&self.indices, &other.indices);
+        while i < ai.len() && j < bi.len() {
+            match ai[i].cmp(&bi[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Returns a copy scaled to unit L2 norm. The empty vector is returned
+    /// unchanged (there is no direction to preserve).
+    pub fn normalized(&self) -> Self {
+        if self.norm == 0.0 {
+            return self.clone();
+        }
+        let inv = 1.0 / self.norm;
+        let values: Vec<f32> = self
+            .values
+            .iter()
+            .map(|&v| (f64::from(v) * inv) as f32)
+            .collect();
+        // Renormalize exactly: rounding to f32 perturbs the norm slightly.
+        Self::trusted(self.indices.to_vec(), values)
+    }
+}
+
+/// Incremental builder accumulating `(dimension, weight)` entries, e.g. one
+/// token at a time when vectorizing a document.
+#[derive(Default, Debug, Clone)]
+pub struct SparseVectorBuilder {
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseVectorBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds `weight` to dimension `dim` (accumulates across calls).
+    pub fn add(&mut self, dim: u32, weight: f32) -> &mut Self {
+        self.entries.push((dim, weight));
+        self
+    }
+
+    /// Number of raw entries added so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finishes the vector, summing duplicate dimensions.
+    ///
+    /// # Errors
+    /// Propagates [`SparseVectorError::NonFiniteValue`] from accumulation.
+    pub fn build(self) -> Result<SparseVector, SparseVectorError> {
+        SparseVector::from_entries(self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(entries: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_entries(entries.to_vec()).expect("valid test vector")
+    }
+
+    #[test]
+    fn from_sorted_accepts_valid_input() {
+        let v = SparseVector::from_sorted(vec![1, 5, 9], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.indices(), &[1, 5, 9]);
+        assert!((v.norm() - f64::sqrt(1.0 + 4.0 + 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sorted_rejects_unsorted() {
+        let err = SparseVector::from_sorted(vec![5, 1], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SparseVectorError::UnsortedIndices { position: 1 });
+    }
+
+    #[test]
+    fn from_sorted_rejects_duplicates() {
+        let err = SparseVector::from_sorted(vec![3, 3], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SparseVectorError::UnsortedIndices { position: 1 });
+    }
+
+    #[test]
+    fn from_sorted_rejects_length_mismatch() {
+        let err = SparseVector::from_sorted(vec![1, 2], vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SparseVectorError::LengthMismatch {
+                indices: 2,
+                values: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_sorted_rejects_nan() {
+        let err = SparseVector::from_sorted(vec![1], vec![f32::NAN]).unwrap_err();
+        assert_eq!(err, SparseVectorError::NonFiniteValue { position: 0 });
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let v = SparseVector::from_sorted(vec![1, 2, 3], vec![1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_entries_sorts_and_accumulates() {
+        let v = sv(&[(7, 1.0), (2, 3.0), (7, 2.0)]);
+        assert_eq!(v.indices(), &[2, 7]);
+        assert_eq!(v.values(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn from_entries_cancellation_to_zero_drops_dimension() {
+        let v = sv(&[(4, 1.5), (4, -1.5), (9, 2.0)]);
+        assert_eq!(v.indices(), &[9]);
+    }
+
+    #[test]
+    fn binary_from_members_dedups() {
+        let v = SparseVector::binary_from_members(vec![9, 1, 9, 4]);
+        assert_eq!(v.indices(), &[1, 4, 9]);
+        assert!(v.is_binary());
+        assert!((v.norm() - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let e = SparseVector::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.norm(), 0.0);
+        assert_eq!(e.dim_bound(), 0);
+        assert_eq!(e.dot(&sv(&[(1, 1.0)])), 0.0);
+        assert_eq!(e.normalized(), e);
+    }
+
+    #[test]
+    fn dot_product_matches_dense_computation() {
+        let a = sv(&[(0, 1.0), (2, 2.0), (5, -1.0)]);
+        let b = sv(&[(1, 4.0), (2, 0.5), (5, 2.0)]);
+        // Only dims 2 and 5 overlap: 2.0*0.5 + (-1.0)*2.0 = -1.0
+        assert!((a.dot(&b) + 1.0).abs() < 1e-12);
+        assert!((b.dot(&a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_galloping_matches_merge() {
+        // Short probe vs long target triggers the galloping path (ratio ≥ 32).
+        let short = sv(&[(10, 1.0), (500, 2.0), (999, 3.0)]);
+        let long_entries: Vec<(u32, f32)> = (0..1000).map(|i| (i, (i % 7) as f32 + 1.0)).collect();
+        let long = sv(&long_entries);
+        let expected: f64 = short
+            .iter()
+            .map(|(i, v)| f64::from(v) * f64::from(long.get(i)))
+            .sum();
+        assert!((short.dot(&long) - expected).abs() < 1e-9);
+        assert!((long.dot(&short) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_size_counts_common_dims() {
+        let a = sv(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let b = sv(&[(2, 5.0), (3, 5.0), (4, 5.0)]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        assert_eq!(a.intersection_size(&SparseVector::empty()), 0);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = sv(&[(0, 3.0), (1, 4.0)]);
+        let n = v.normalized();
+        assert!((n.norm() - 1.0).abs() < 1e-6);
+        // Direction preserved: 3-4-5 triangle.
+        assert!((f64::from(n.get(0)) - 0.6).abs() < 1e-6);
+        assert!((f64::from(n.get(1)) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn get_returns_zero_for_absent_dims() {
+        let v = sv(&[(2, 7.0)]);
+        assert_eq!(v.get(1), 0.0);
+        assert_eq!(v.get(2), 7.0);
+        assert_eq!(v.get(3), 0.0);
+    }
+
+    #[test]
+    fn max_value_and_dim_bound() {
+        let v = sv(&[(3, 0.5), (10, 2.5), (20, 1.0)]);
+        assert_eq!(v.max_value(), 2.5);
+        assert_eq!(v.dim_bound(), 21);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut b = SparseVectorBuilder::with_capacity(4);
+        b.add(5, 1.0).add(5, 1.0).add(2, 3.0);
+        assert_eq!(b.len(), 3);
+        let v = b.build().unwrap();
+        assert_eq!(v.get(5), 2.0);
+        assert_eq!(v.get(2), 3.0);
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        let v = sv(&[(1, 2.0)]);
+        let s = format!("{v:?}");
+        assert!(s.contains("1:2"), "{s}");
+    }
+
+    // ---- property tests ---------------------------------------------------
+
+    fn arb_vector(max_dim: u32, max_nnz: usize) -> impl Strategy<Value = SparseVector> {
+        proptest::collection::vec((0..max_dim, -10.0f32..10.0), 0..max_nnz)
+            .prop_map(|entries| SparseVector::from_entries(entries).expect("finite entries"))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_is_symmetric(a in arb_vector(64, 24), b in arb_vector(64, 24)) {
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_dot_with_self_is_norm_squared(a in arb_vector(64, 24)) {
+            let d = a.dot(&a);
+            prop_assert!((d - a.norm() * a.norm()).abs() < 1e-6 * (1.0 + d.abs()));
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(a in arb_vector(64, 24), b in arb_vector(64, 24)) {
+            prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+        }
+
+        #[test]
+        fn prop_entries_roundtrip_sorted(a in arb_vector(128, 32)) {
+            let rebuilt = SparseVector::from_sorted(a.indices().to_vec(), a.values().to_vec())
+                .expect("vector invariants hold");
+            prop_assert_eq!(a, rebuilt);
+        }
+
+        #[test]
+        fn prop_normalized_is_unit_or_empty(a in arb_vector(64, 24)) {
+            let n = a.normalized();
+            if a.norm() > 0.0 {
+                prop_assert!((n.norm() - 1.0).abs() < 1e-5);
+            } else {
+                prop_assert!(n.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_intersection_bounded_by_nnz(a in arb_vector(64, 24), b in arb_vector(64, 24)) {
+            let i = a.intersection_size(&b);
+            prop_assert!(i <= a.nnz().min(b.nnz()));
+        }
+    }
+}

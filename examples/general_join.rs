@@ -1,0 +1,52 @@
+//! Non-self joins (Appendix B.2.2): estimating `|U ⋈_τ V|` across two
+//! different collections — e.g. matching a stream of incoming articles
+//! against an existing archive before ingestion.
+//!
+//! ```text
+//! cargo run --release --example general_join
+//! ```
+
+use std::sync::Arc;
+use vsj::lsh::Composite;
+use vsj::prelude::*;
+
+fn main() {
+    // Archive: NYT-like corpus. Incoming batch: a different seed of the
+    // same distribution (shared vocabulary ⇒ genuine cross matches), at a
+    // quarter of the size.
+    let archive = NytLike::with_size(3_000).generate(31);
+    let incoming = NytLike::with_size(750).generate(32);
+    println!(
+        "archive n₁ = {}, incoming n₂ = {}, cross pairs N = {}",
+        archive.len(),
+        incoming.len(),
+        archive.len() * incoming.len()
+    );
+
+    // Both sides must be hashed by the *same* composite g (B.2.2).
+    let hasher = Arc::new(Composite::derive(SimHashFamily::new(), 77, 0, 16));
+    let index = GeneralJoinIndex::build(&archive, &incoming, hasher, None);
+    println!(
+        "matched-key bucket pairs: N_H = {}, N_L = {}",
+        index.nh(),
+        index.nl()
+    );
+
+    let estimator = GeneralLshSs::with_defaults(archive.len(), incoming.len());
+    let baseline = GeneralRsPop { samples: 5_000 };
+    let mut rng = Xoshiro256::seeded(4);
+
+    println!("\n  tau   exact J   general LSH-SS   RS(pop)");
+    println!("  -----------------------------------------");
+    for tau in [0.4, 0.6, 0.8, 0.9] {
+        let truth = exact_general_join(&archive, &incoming, &Cosine, tau);
+        let est = estimator.estimate(&archive, &incoming, &index, &Cosine, tau, &mut rng);
+        let est_rs = baseline.estimate(&archive, &incoming, &Cosine, tau, &mut rng);
+        println!(
+            "  {tau:.1}  {truth:>8}  {:>15.0}  {:>8.0}",
+            est.value, est_rs.value
+        );
+    }
+    println!("\nthe stratified estimator tracks the thin high-τ tail that");
+    println!("uniform cross-pair sampling cannot hit at this budget.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: estimate a similarity-join size with LSH-SS and compare
+//! against the exact answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vsj::prelude::*;
+
+fn main() {
+    // A DBLP-like corpus: binary bag-of-words vectors with a planted
+    // near-duplicate tail (the regime the paper's evaluation stresses).
+    let n = 4_000;
+    println!("generating {n} DBLP-like vectors …");
+    let data = DblpLike::with_size(n).generate(42);
+    let stats = data.stats();
+    println!(
+        "  dims ≈ {}, avg features {:.1} (min {}, max {})",
+        stats.dimensionality, stats.avg_nnz, stats.min_nnz, stats.max_nnz
+    );
+
+    // The LSH index a similarity-search application would already have.
+    // (§6.3 of the paper: "slightly smaller k values … generally give
+    // better accuracy" — at this n, k = 12 keeps the bucket stratum from
+    // being over-selective.)
+    println!("building LSH index (k = 12) …");
+    let index = LshIndex::build(&data, LshParams::new(12, 1).with_seed(7));
+    let table = index.table(0);
+    println!(
+        "  {} buckets, N_H = {} same-bucket pairs out of M = {}",
+        table.num_buckets(),
+        table.nh(),
+        table.total_pairs()
+    );
+
+    // Estimate across the threshold range and compare with ground truth.
+    // Paper defaults are m_H = m_L = n, δ = log₂ n; at laptop n the
+    // low-τ "grey zone" (β just under log n/n, Appendix C.2) benefits
+    // from a larger SampleL budget, so give it 4n — still O(n).
+    let mut config = LshSsConfig::paper_defaults(n);
+    config.m_l = 4 * n as u64;
+    let estimator = LshSs { config };
+    let rs = RsPop::paper_default(n);
+    let mut rng = Xoshiro256::seeded(1);
+    let exact = ExactJoin::new(&data, Cosine);
+
+    println!("\n  tau   exact J    LSH-SS Ĵ    RS(pop) Ĵ");
+    println!("  ------------------------------------------");
+    for tau in [0.3, 0.5, 0.7, 0.9] {
+        let truth = exact.count(tau);
+        let est = estimator.estimate(&data, table, &Cosine, tau, &mut rng);
+        let est_rs = rs.estimate(&data, &Cosine, tau, &mut rng);
+        println!(
+            "  {tau:.1}  {truth:>9}  {:>10.0}  {:>10.0}",
+            est.value, est_rs.value
+        );
+    }
+    println!("\nLSH-SS stays close at every τ; RS(pop) collapses to 0 or");
+    println!("overshoots wildly once the selectivity drops below ~1/m.");
+}

@@ -1,0 +1,108 @@
+//! Cross-collection (non-self) join estimation, Appendix B.2.2 —
+//! integration across datasets, LSH, and the general estimators.
+
+use std::sync::Arc;
+use vsj::lsh::Composite;
+use vsj::prelude::*;
+
+fn two_collections() -> (VectorCollection, VectorCollection) {
+    // Same preset, different seeds: shared vocabulary gives genuine
+    // cross-collection similarity mass.
+    let u = DblpLike::with_size(400).generate(101);
+    let v = DblpLike::with_size(300).generate(102);
+    (u, v)
+}
+
+#[test]
+fn general_index_strata_partition_cross_pairs() {
+    let (u, v) = two_collections();
+    let hasher = Arc::new(Composite::derive(SimHashFamily::new(), 5, 0, 8));
+    let index = GeneralJoinIndex::build(&u, &v, hasher, Some(2));
+    let mut nh = 0u64;
+    for a in 0..u.len() as u32 {
+        for b in 0..v.len() as u32 {
+            if index.same_bucket(a, b) {
+                nh += 1;
+            }
+        }
+    }
+    assert_eq!(nh, index.nh());
+    assert_eq!(index.nh() + index.nl(), index.total_pairs());
+    assert_eq!(index.total_pairs(), (u.len() * v.len()) as u64);
+}
+
+#[test]
+fn general_lshss_tracks_exact_cross_join() {
+    let (u, v) = two_collections();
+    let hasher = Arc::new(Composite::derive(SimHashFamily::new(), 7, 0, 8));
+    let index = GeneralJoinIndex::build(&u, &v, hasher, Some(2));
+    // User-tuned budget: the cross population is n₁·n₂ ≈ 120K pairs, so
+    // give SampleL a few thousand draws to clear δ at mid-τ (Appendix
+    // C.2.2's m sweep is exactly about this dial).
+    let mut estimator = GeneralLshSs::with_defaults(u.len(), v.len());
+    estimator.config.m_l = 4 * (u.len() + v.len()) as u64;
+    let mut rng = Xoshiro256::seeded(3);
+    for tau in [0.3, 0.8] {
+        let truth = exact_general_join(&u, &v, &Cosine, tau) as f64;
+        if truth < 5.0 {
+            continue; // too thin for a stable ratio assertion
+        }
+        let mut sum = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            sum += estimator
+                .estimate(&u, &v, &index, &Cosine, tau, &mut rng)
+                .value;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            mean > truth * 0.25 && mean < truth * 4.0,
+            "τ={tau}: mean {mean} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn self_join_is_not_a_special_case_of_general_join() {
+    // U ⋈ U over ordered cross pairs counts each unordered pair twice
+    // plus the diagonal; the library keeps the two notions distinct.
+    let u = DblpLike::with_size(150).generate(7);
+    let cross = exact_general_join(&u, &u, &Cosine, 0.5);
+    let self_join = ExactJoin::new(&u, Cosine).with_threads(2).count(0.5);
+    let diagonal = u.len() as u64; // sim(x,x) = 1 ≥ 0.5
+    assert_eq!(cross, 2 * self_join + diagonal);
+}
+
+#[test]
+fn general_rs_agrees_with_general_lshss_on_easy_tau() {
+    let (u, v) = two_collections();
+    let hasher = Arc::new(Composite::derive(SimHashFamily::new(), 9, 0, 8));
+    let index = GeneralJoinIndex::build(&u, &v, hasher, Some(2));
+    let tau = 0.15;
+    let truth = exact_general_join(&u, &v, &Cosine, tau) as f64;
+    assert!(truth > 100.0, "low τ should join broadly: {truth}");
+    let mut rng = Xoshiro256::seeded(5);
+    let rs = GeneralRsPop { samples: 40_000 };
+    let ss = GeneralLshSs::with_defaults(u.len(), v.len());
+    let mean = |f: &mut dyn FnMut(&mut Xoshiro256) -> f64, rng: &mut Xoshiro256| {
+        let mut s = 0.0;
+        for _ in 0..10 {
+            s += f(rng);
+        }
+        s / 10.0
+    };
+    let m_rs = mean(
+        &mut |r| rs.estimate(&u, &v, &Cosine, tau, r).value,
+        &mut rng,
+    );
+    let m_ss = mean(
+        &mut |r| ss.estimate(&u, &v, &index, &Cosine, tau, r).value,
+        &mut rng,
+    );
+    for (name, m) in [("RS", m_rs), ("LSH-SS", m_ss)] {
+        assert!(
+            (m - truth).abs() / truth < 0.5,
+            "{name} mean {m} vs truth {truth}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate invariants of the stratification — the algebra §5 of the
+//! paper builds on must hold exactly on real tables over real generated
+//! data, not just in unit fixtures.
+
+use vsj::prelude::*;
+
+fn workload(n: usize, k: usize, seed: u64) -> (VectorCollection, LshIndex) {
+    let data = DblpLike::with_size(n).generate(seed);
+    let index = LshIndex::build(
+        &data,
+        LshParams::new(k, 1).with_seed(seed ^ 0xFF).with_threads(2),
+    );
+    (data, index)
+}
+
+#[test]
+fn strata_partition_the_pair_population() {
+    let (data, index) = workload(400, 10, 1);
+    let table = index.table(0);
+    // N_H + N_L = M, by enumeration.
+    let n = data.len() as u32;
+    let mut nh = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if table.same_bucket(a, b) {
+                nh += 1;
+            }
+        }
+    }
+    assert_eq!(nh, table.nh());
+    assert_eq!(table.nh() + table.nl(), data.total_pairs());
+}
+
+#[test]
+fn join_size_decomposes_over_strata_at_every_tau() {
+    let (data, index) = workload(350, 8, 3);
+    let table = index.table(0);
+    let n = data.len() as u32;
+    for tau in [0.2, 0.5, 0.8] {
+        let (mut jh, mut jl) = (0u64, 0u64);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if Cosine.sim(data.vector(a), data.vector(b)) >= tau {
+                    if table.same_bucket(a, b) {
+                        jh += 1;
+                    } else {
+                        jl += 1;
+                    }
+                }
+            }
+        }
+        let j = ExactJoin::new(&data, Cosine).with_threads(2).count(tau);
+        assert_eq!(jh + jl, j, "J = J_H + J_L must hold at τ={tau}");
+        // Consistency with the probability tooling.
+        let p = StratumProbabilities::compute_exact(&data, table, &Cosine, tau, 2);
+        assert_eq!(p.nt as u64, j);
+        assert_eq!(p.nht as u64, jh);
+    }
+}
+
+#[test]
+fn sampled_strata_estimates_match_enumeration() {
+    let (data, index) = workload(300, 8, 5);
+    let table = index.table(0);
+    let tau = 0.5;
+    let exactp = StratumProbabilities::compute_exact(&data, table, &Cosine, tau, 2);
+    let mut rng = Xoshiro256::seeded(7);
+    let sampled = StratumProbabilities::estimate_sampled(
+        &data, table, &Cosine, tau, 30_000, 60_000, &mut rng,
+    );
+    assert!(
+        (sampled.alpha() - exactp.alpha()).abs() < 0.03,
+        "α sampled {} vs exact {}",
+        sampled.alpha(),
+        exactp.alpha()
+    );
+    assert!(
+        (sampled.beta() - exactp.beta()).abs() < 0.02 + 0.3 * exactp.beta(),
+        "β sampled {} vs exact {}",
+        sampled.beta(),
+        exactp.beta()
+    );
+}
+
+#[test]
+fn ju_identity_holds_with_exact_conditionals() {
+    // Eq. 1 is an identity: feeding the *true* P(H|T), P(H|F) back into
+    // it must recover the exact join size. This validates the estimator
+    // algebra end-to-end against real tables.
+    let (data, index) = workload(300, 6, 9);
+    let table = index.table(0);
+    for tau in [0.3, 0.7] {
+        let p = StratumProbabilities::compute_exact(&data, table, &Cosine, tau, 2);
+        let (nt, nh, m) = (p.nt, p.nh, p.m);
+        if nt == 0.0 || nt == m {
+            continue;
+        }
+        let p_h_given_t = p.p_h_given_t();
+        let p_h_given_f = (nh - p.nht) / (m - nt);
+        let denom = p_h_given_t - p_h_given_f;
+        if denom.abs() < 1e-9 {
+            continue;
+        }
+        let reconstructed = (nh - m * p_h_given_f) / denom;
+        assert!(
+            (reconstructed - nt).abs() < 1e-6 * (1.0 + nt),
+            "Eq. 1 identity broken at τ={tau}: {reconstructed} vs {nt}"
+        );
+    }
+}
+
+#[test]
+fn virtual_stratum_supersets_single_tables() {
+    let data = DblpLike::with_size(300).generate(11);
+    let index = LshIndex::build(&data, LshParams::new(8, 3).with_seed(13).with_threads(2));
+    let n = data.len() as u32;
+    let mut union_nh = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mult = index.same_bucket_multiplicity(a, b);
+            assert_eq!(index.same_bucket_any(a, b), mult > 0);
+            union_nh += u64::from(mult > 0);
+        }
+    }
+    for t in index.tables() {
+        assert!(union_nh >= t.nh(), "union must superset table strata");
+    }
+    // The sampled union estimate converges to the enumerated value.
+    let mut rng = Xoshiro256::seeded(15);
+    let est = index.estimate_virtual_nh(&mut rng, 60_000);
+    if union_nh > 0 {
+        let rel = (est - union_nh as f64).abs() / union_nh as f64;
+        assert!(rel < 0.1, "virtual N_H estimate {est} vs exact {union_nh}");
+    }
+}
