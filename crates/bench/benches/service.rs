@@ -1,0 +1,147 @@
+//! Service-layer throughput: estimate queries/sec at 1/2/4/8 reader
+//! threads with one concurrent writer ingesting the whole time.
+//!
+//! Two read regimes are measured per thread count:
+//!
+//! * `cached` — the production shape: readers cycle a small τ grid with
+//!   a generous drift tolerance, so most answers come from the estimate
+//!   cache (this is the number that shows reader scaling);
+//! * `strict` — ε = 0: every published epoch (the writer forces one per
+//!   1024 ingests) invalidates all cached thresholds, so readers
+//!   continually pay fresh LSH-SS sampling passes.
+//!
+//! Emits a JSON summary line (prefixed `SERVICE_BENCH_JSON:`) for the
+//! perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench service`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vsj_datasets::DblpLike;
+use vsj_service::{EstimationEngine, ServiceConfig};
+use vsj_vector::SparseVector;
+
+const BASE_DOCS: usize = 4_000;
+const MEASURE: Duration = Duration::from_millis(500);
+const TAUS: [f64; 4] = [0.5, 0.7, 0.8, 0.9];
+
+struct Scenario {
+    name: &'static str,
+    cache_epsilon: u64,
+}
+
+fn build_engine(epsilon: u64) -> EstimationEngine {
+    let engine = EstimationEngine::new(
+        ServiceConfig::builder()
+            .shards(8)
+            .k(16)
+            .seed(3)
+            .cache_epsilon(epsilon)
+            .auto_publish_every(1_024)
+            .build(),
+    );
+    for (_, v) in DblpLike::with_size(BASE_DOCS).generate(1).iter() {
+        engine.insert(v.clone());
+    }
+    engine.publish();
+    engine
+}
+
+/// Runs `readers` estimate loops for `MEASURE` against a live engine
+/// with one concurrent writer; returns (total queries, writer ingests).
+fn run(engine: &EstimationEngine, readers: usize, writer_docs: &[SparseVector]) -> (u64, u64) {
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let ingests = AtomicU64::new(0);
+    thread::scope(|scope| {
+        let stop = &stop;
+        let queries = &queries;
+        let ingests = &ingests;
+        scope.spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                engine.insert(writer_docs[i % writer_docs.len()].clone());
+                ingests.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        });
+        for r in 0..readers {
+            scope.spawn(move || {
+                let mut local = 0u64;
+                let mut i = r; // desynchronize the τ cycles
+                while !stop.load(Ordering::Relaxed) {
+                    let answer = engine.estimate(TAUS[i % TAUS.len()]);
+                    assert!(answer.estimate.value >= 0.0);
+                    local += 1;
+                    i += 1;
+                }
+                queries.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        thread::sleep(MEASURE);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (
+        queries.load(Ordering::Relaxed),
+        ingests.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let writer_docs: Vec<SparseVector> = DblpLike::with_size(2_000).generate(2).vectors().to_vec();
+    let scenarios = [
+        Scenario {
+            name: "cached",
+            cache_epsilon: 4_096,
+        },
+        Scenario {
+            name: "strict",
+            cache_epsilon: 0,
+        },
+    ];
+
+    println!(
+        "service bench: n₀ = {BASE_DOCS} (DBLP-like), k = 16, 8 shards, {}ms per point\n",
+        MEASURE.as_millis()
+    );
+    println!(
+        "{:<10} {:>8} {:>14} {:>16} {:>14}",
+        "regime", "readers", "queries", "queries/sec", "ingests/sec"
+    );
+
+    let mut json_points = Vec::new();
+    for scenario in &scenarios {
+        for readers in [1usize, 2, 4, 8] {
+            // Fresh engine per point: cache state must not leak across
+            // thread counts.
+            let engine = build_engine(scenario.cache_epsilon);
+            let started = Instant::now();
+            let (queries, ingests) = run(&engine, readers, &writer_docs);
+            let secs = started.elapsed().as_secs_f64();
+            let qps = queries as f64 / secs;
+            let ips = ingests as f64 / secs;
+            println!(
+                "{:<10} {:>8} {:>14} {:>16.0} {:>14.0}",
+                scenario.name, readers, queries, qps, ips
+            );
+            json_points.push(format!(
+                concat!(
+                    "{{\"regime\":\"{}\",\"readers\":{},\"queries\":{},",
+                    "\"elapsed_secs\":{:.3},\"queries_per_sec\":{:.1},",
+                    "\"writer_ingests_per_sec\":{:.1}}}"
+                ),
+                scenario.name, readers, queries, secs, qps, ips
+            ));
+        }
+    }
+
+    // Machine-readable summary for the perf trajectory.
+    println!(
+        "\nSERVICE_BENCH_JSON:{{\"bench\":\"service_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        BASE_DOCS,
+        TAUS,
+        json_points.join(",")
+    );
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
+//! with a deliberately simple measurement loop: a short warm-up, then
+//! timed batches until a fixed measurement budget elapses, reporting the
+//! mean wall-clock time per iteration (and derived throughput). No
+//! statistics, no HTML reports; stdout only. Good enough to rank
+//! implementations and track orders of magnitude, which is what the
+//! harness needs offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            measurement: Duration::from_millis(400),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("bench", f);
+        group.finish();
+    }
+}
+
+/// Identifier `function_name/parameter` for a bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's measurement loop is
+    /// time-budgeted rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget per bench.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares throughput for subsequent benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches a routine under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.mean_ns);
+    }
+
+    /// Benches a routine that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (stdout spacing only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        let per_iter = format_ns(mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let rate = n as f64 / (mean_ns * 1e-9);
+                println!(
+                    "{}/{id:<28} {per_iter:>14}/iter   {:>14} elem/s",
+                    self.name,
+                    format_rate(rate)
+                );
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let rate = n as f64 / (mean_ns * 1e-9);
+                println!(
+                    "{}/{id:<28} {per_iter:>14}/iter   {:>14} B/s",
+                    self.name,
+                    format_rate(rate)
+                );
+            }
+            _ => println!("{}/{id:<28} {per_iter:>14}/iter", self.name),
+        }
+    }
+}
+
+/// Passed to bench closures; `iter` runs and times the routine.
+pub struct Bencher {
+    measurement: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≥ ~5% of the measurement budget.
+        let mut batch: u64 = 1;
+        let calibration_floor = self.measurement.as_secs_f64() * 0.05;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            if elapsed >= calibration_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        // Measurement: run whole batches until the budget elapses.
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            spent = started.elapsed();
+            iters += batch;
+            let _ = t;
+        }
+        self.mean_ns = spent.as_secs_f64() * 1e9 / iters.max(1) as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Declares a bench entry point running each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", "tau0.5").to_string(), "f/tau0.5");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

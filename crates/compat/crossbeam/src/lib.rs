@@ -1,0 +1,79 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the part the workspace uses is provided: `crossbeam::thread::scope`
+//! with spawn closures receiving a `&Scope` (crossbeam's signature),
+//! implemented on top of `std::thread::scope` (stable since 1.63).
+//!
+//! Semantics difference worth knowing: crossbeam's `scope` returns
+//! `Err(panic payload)` when a child thread panics, while std propagates
+//! the panic out of `scope` itself. Every call site in this workspace
+//! immediately `.expect(...)`s the result, so a child panic aborts the
+//! computation either way — the panic message just originates one frame
+//! earlier here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to spawn closures, mirroring
+    /// `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            self.inner.spawn(move || f(&me))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            for (slot, chunk) in sums.iter_mut().zip(data.chunks(2)) {
+                scope.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        })
+        .expect("threads must not panic");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

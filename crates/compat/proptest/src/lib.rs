@@ -1,0 +1,378 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no registry access, so this shim provides
+//! the subset of proptest the test suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`Strategy`] with `prop_map`, numeric range strategies, tuple
+//!   strategies up to arity 6, and [`collection::vec`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message;
+//!   generation is fully deterministic (seeded from the test name), so a
+//!   failure reproduces exactly on re-run.
+//! * **Fixed case count** (default 128) instead of adaptive forking.
+//! * `prop_assume!` rejections retry up to `16 × cases` times, then the
+//!   test passes vacuously on the cases it did run.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic generator driving value production (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator for a named test: same name, same stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for b in name.bytes() {
+            state = mix(state ^ u64::from(b));
+        }
+        Self { state }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix_no_add(self.state)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift; the bias is irrelevant for test-case generation.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn mix(z: u64) -> u64 {
+    mix_no_add(z.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+fn mix_no_add(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] rejections.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// A value generator: the minimal strategy abstraction.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end - self.start) ;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case (retried with fresh inputs) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let __strategies = ($($strat,)+);
+            let __max_attempts = u64::from(__config.cases) * 16;
+            let mut __accepted: u64 = 0;
+            let mut __attempts: u64 = 0;
+            while __accepted < u64::from(__config.cases) && __attempts < __max_attempts {
+                __attempts += 1;
+                let ($($arg,)+) = $crate::Strategy::generate(&__strategies, &mut __rng);
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::Rejected> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if __outcome.is_ok() {
+                    __accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let s = crate::Strategy::generate(&(1usize..4), &mut rng);
+            assert!((1..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = crate::collection::vec((0u32..50, 0.0f32..1.0), 1..20);
+        let mut a = crate::TestRng::for_test("same");
+        let mut b = crate::TestRng::for_test("same");
+        for _ in 0..50 {
+            assert_eq!(
+                crate::Strategy::generate(&strat, &mut a),
+                crate::Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_runs_and_binds_args(x in 0u64..100, ys in crate::collection::vec(0u32..10, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(ys.len() < 5, "len {}", ys.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+}

@@ -41,6 +41,7 @@ pub mod probabilities;
 mod proptests;
 pub mod rs;
 pub mod uniform;
+pub mod view;
 
 pub use estimate::{Estimate, EstimateKind};
 pub use estimator::{EstimationContext, Estimator};
@@ -49,3 +50,4 @@ pub use lshss::{Dampening, LshSs, LshSsConfig, LshSsEstimate};
 pub use multi_table::{MedianEstimator, VirtualBucketEstimator};
 pub use rs::{RsCross, RsPop};
 pub use uniform::{CollisionModel, UniformLsh};
+pub use view::IndexView;

@@ -18,7 +18,7 @@
 
 use crate::estimate::Estimate;
 use crate::uniform::CollisionModel;
-use vsj_lsh::LshTable;
+use crate::view::IndexView;
 use vsj_sampling::{sample_distinct_pair, Rng};
 use vsj_vector::{Similarity, VectorCollection};
 
@@ -55,24 +55,30 @@ impl LshS {
     }
 
     /// Estimates the join size at `τ` using the bucket-counted `table`.
-    pub fn estimate<S, R>(
+    pub fn estimate<V, S, R>(
         &self,
         collection: &VectorCollection,
         measure: &S,
-        table: &LshTable,
+        table: &V,
         tau: f64,
         rng: &mut R,
     ) -> Estimate
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
+        assert_eq!(
+            collection.len(),
+            table.len(),
+            "table must index exactly this collection"
+        );
         let n = collection.len() as u64;
         let m_total = table.total_pairs();
         if n < 2 {
             return Estimate::scaled(0.0, m_total);
         }
-        let k = table.hasher().k();
+        let k = table.k();
         let f = |s: f64| self.model.p(s).powi(k as i32);
 
         // One pass of uniform pair samples, split into S_T and S_F.
@@ -139,7 +145,7 @@ fn analytic_conditional(f: &impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vsj_lsh::{Composite, MinHashFamily};
+    use vsj_lsh::{Composite, LshTable, MinHashFamily};
     use vsj_sampling::Xoshiro256;
     use vsj_vector::{Jaccard, SparseVector};
 

@@ -24,7 +24,7 @@
 //! LSH-SS(D) uses `c_s = n_L/δ` (§6.1).
 
 use crate::estimate::{clamp_estimate, Estimate, EstimateKind};
-use vsj_lsh::LshTable;
+use crate::view::IndexView;
 use vsj_sampling::Rng;
 use vsj_sampling::{AdaptiveOutcome, AdaptiveSampler};
 use vsj_vector::{Similarity, VectorCollection};
@@ -135,15 +135,16 @@ impl LshSs {
     }
 
     /// Runs Algorithm 1 and returns the combined estimate.
-    pub fn estimate<S, R>(
+    pub fn estimate<V, S, R>(
         &self,
         collection: &VectorCollection,
-        table: &LshTable,
+        table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> Estimate
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
@@ -152,15 +153,16 @@ impl LshSs {
     }
 
     /// Runs Algorithm 1 and returns the full decomposition.
-    pub fn estimate_detailed<S, R>(
+    pub fn estimate_detailed<V, S, R>(
         &self,
         collection: &VectorCollection,
-        table: &LshTable,
+        table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> LshSsEstimate
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
@@ -198,15 +200,16 @@ impl LshSs {
     /// happened to draw this sample.
     ///
     /// Returned estimates are in the order of `taus`.
-    pub fn estimate_curve<S, R>(
+    pub fn estimate_curve<V, S, R>(
         &self,
         collection: &VectorCollection,
-        table: &LshTable,
+        table: &V,
         measure: &S,
         taus: &[f64],
         rng: &mut R,
     ) -> Vec<Estimate>
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
@@ -328,15 +331,16 @@ impl LshSs {
 
     /// `SampleH` (Algorithm 1): uniform sampling in `S_H`, scaled by
     /// `N_H/m_H`.
-    fn sample_h<S, R>(
+    fn sample_h<V, S, R>(
         &self,
         collection: &VectorCollection,
-        table: &LshTable,
+        table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> (f64, u64)
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
@@ -360,15 +364,16 @@ impl LshSs {
 
     /// `SampleL` (Algorithm 1): adaptive sampling in `S_L` with safe
     /// lower bound / dampening on exhaustion.
-    fn sample_l<S, R>(
+    fn sample_l<V, S, R>(
         &self,
         collection: &VectorCollection,
-        table: &LshTable,
+        table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> (f64, u64, u64, bool)
     where
+        V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
     {
@@ -409,7 +414,7 @@ impl LshSs {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vsj_lsh::{Composite, MinHashFamily, SimHashFamily};
+    use vsj_lsh::{Composite, LshTable, MinHashFamily, SimHashFamily};
     use vsj_sampling::Xoshiro256;
     use vsj_vector::{Cosine, Jaccard, SparseVector};
 

@@ -23,7 +23,7 @@
 //!   crate).
 
 use crate::estimate::Estimate;
-use vsj_lsh::LshTable;
+use crate::view::IndexView;
 use vsj_vector::AngularKernel;
 
 /// Which single-function collision curve `p(s)` to assume.
@@ -79,11 +79,12 @@ impl UniformLsh {
         }
     }
 
-    /// Estimates the join size from a bucket-counted table at `τ`.
-    pub fn estimate(&self, table: &LshTable, tau: f64) -> Estimate {
+    /// Estimates the join size from a bucket-counted table (or any other
+    /// [`IndexView`], e.g. a service snapshot) at `τ`.
+    pub fn estimate<V: IndexView + ?Sized>(&self, table: &V, tau: f64) -> Estimate {
         let m = table.total_pairs();
         let nh = table.nh() as f64;
-        let k = table.hasher().k();
+        let k = table.k();
         let tau = tau.clamp(0.0, 1.0);
 
         let value = match self.model {

@@ -47,6 +47,9 @@ impl Bucket {
     }
 }
 
+/// Position sentinel marking a removed id in [`LshTable::live_pos`].
+const DEAD: u32 = u32::MAX;
+
 /// A bucket-counted LSH table over a vector collection.
 pub struct LshTable {
     hasher: Arc<dyn BucketHasher>,
@@ -55,12 +58,23 @@ pub struct LshTable {
     /// buckets are stored).
     by_key: HashMap<u64, u32>,
     /// Bucket key of each vector id — O(1) `B(v)` lookup without
-    /// re-hashing the vector.
+    /// re-hashing the vector. Slots of removed ids keep their last key
+    /// (ids are never reused); liveness is tracked separately.
     vector_keys: Vec<u64>,
+    /// Dense list of live ids — the uniform-sampling population. While no
+    /// vector has ever been removed this is exactly `0..n` in order, so
+    /// index-based sampling is bit-identical to sampling ids directly.
+    live: Vec<VectorId>,
+    /// id → position in `live` (`DEAD` for removed ids).
+    live_pos: Vec<u32>,
+    /// Buckets whose member list is currently empty (only possible after
+    /// removals; kept in place so bucket indices stay stable).
+    empty_buckets: usize,
     /// `N_H = Σ_j C(b_j, 2)`.
     nh: u64,
     /// Lazily (re)built alias table over buckets with
-    /// `weight(B_j) = C(b_j, 2)`; invalidated by [`LshTable::insert`].
+    /// `weight(B_j) = C(b_j, 2)`; invalidated by [`LshTable::insert`] and
+    /// [`LshTable::remove`].
     alias: RwLock<PairAlias>,
 }
 
@@ -148,6 +162,38 @@ impl LshTable {
         // Deterministic bucket order regardless of hash-map iteration.
         buckets.sort_unstable_by_key(|b| b.key);
 
+        Self::from_grouped(hasher, vector_keys, buckets)
+    }
+
+    /// Builds the table from *precomputed* bucket keys — the snapshot
+    /// path of the service layer: hashing happened shard-locally at
+    /// ingest time, so assembling a global read view is a pure O(n)
+    /// grouping pass with no similarity-hash evaluations.
+    ///
+    /// The result is indistinguishable from
+    /// [`LshTable::build`] over a collection whose vectors hash to
+    /// exactly `vector_keys` (same buckets, same order, same `N_H`, same
+    /// sampling behavior for the same RNG stream).
+    pub fn from_parts(hasher: Arc<dyn BucketHasher>, vector_keys: Vec<u64>) -> Self {
+        let mut groups: HashMap<u64, Vec<VectorId>> = HashMap::with_capacity(vector_keys.len());
+        for (id, &key) in vector_keys.iter().enumerate() {
+            groups.entry(key).or_default().push(id as VectorId);
+        }
+        let mut buckets: Vec<Bucket> = groups
+            .into_iter()
+            .map(|(key, members)| Bucket { key, members })
+            .collect();
+        buckets.sort_unstable_by_key(|b| b.key);
+        Self::from_grouped(hasher, vector_keys, buckets)
+    }
+
+    /// Shared tail of [`LshTable::build`]/[`LshTable::from_parts`]:
+    /// buckets are already grouped, sorted by key, members in id order.
+    fn from_grouped(
+        hasher: Arc<dyn BucketHasher>,
+        vector_keys: Vec<u64>,
+        buckets: Vec<Bucket>,
+    ) -> Self {
         let mut by_key = HashMap::with_capacity(buckets.len());
         let mut nh = 0u64;
         for (idx, b) in buckets.iter().enumerate() {
@@ -155,12 +201,16 @@ impl LshTable {
             nh += b.pair_weight();
         }
         let alias = RwLock::new(PairAlias::rebuild(&buckets));
+        let n = vector_keys.len();
 
         Self {
             hasher,
             buckets,
             by_key,
             vector_keys,
+            live: (0..n as VectorId).collect(),
+            live_pos: (0..n as u32).collect(),
+            empty_buckets: 0,
             nh,
             alias,
         }
@@ -168,8 +218,9 @@ impl LshTable {
 
     /// Appends one vector to the table (the incremental-maintenance path
     /// a live similarity-search deployment uses). Returns the id assigned
-    /// — always `previous len()`, so the caller must push the vector onto
-    /// its collection in the same order.
+    /// — always `previous slots()` (equal to `previous len()` while
+    /// nothing was removed), so a caller without removals can push the
+    /// vector onto its collection in the same order.
     ///
     /// `N_H` and bucket counts are updated in O(1); the weighted-bucket
     /// sampler is invalidated and lazily rebuilt (O(#buckets)) on the next
@@ -179,9 +230,19 @@ impl LshTable {
         let id = u32::try_from(self.vector_keys.len()).expect("table exceeds u32 ids");
         let key = self.hasher.key(v);
         self.vector_keys.push(key);
+        let pos = u32::try_from(self.live.len()).expect("live population exceeds u32 positions");
+        // Position DEAD (u32::MAX) is the tombstone sentinel and must
+        // stay unreachable as a real position.
+        assert!(pos != DEAD, "live population exceeds u32 positions");
+        self.live_pos.push(pos);
+        self.live.push(id);
         match self.by_key.get(&key) {
             Some(&idx) => {
                 let bucket = &mut self.buckets[idx as usize];
+                if bucket.members.is_empty() {
+                    // Re-populating a bucket fully drained by remove().
+                    self.empty_buckets -= 1;
+                }
                 // New pairs formed with existing members: b_j of them.
                 self.nh += bucket.members.len() as u64;
                 bucket.members.push(id);
@@ -199,22 +260,84 @@ impl LshTable {
         id
     }
 
-    /// Number of indexed vectors `n`.
+    /// Removes a vector from the table, restoring `N_H` and the bucket
+    /// count exactly to what they would have been had the vector never
+    /// been inserted (`remove ∘ insert = identity` on every table
+    /// statistic; bucket *order* may differ, which sampling is oblivious
+    /// to). Returns `false` when the id was never assigned or is already
+    /// removed.
+    ///
+    /// Ids are never reused; the uniform-sampling population shrinks to
+    /// the live ids. Cost is O(b_j) for the member scan plus O(1)
+    /// bookkeeping; the weighted-bucket sampler is invalidated and
+    /// lazily rebuilt like in [`LshTable::insert`].
+    pub fn remove(&mut self, id: VectorId) -> bool {
+        let Some(&pos) = self.live_pos.get(id as usize) else {
+            return false;
+        };
+        if pos == DEAD {
+            return false;
+        }
+        // Drop from the dense live list (swap-remove keeps O(1)).
+        self.live.swap_remove(pos as usize);
+        if let Some(&moved) = self.live.get(pos as usize) {
+            self.live_pos[moved as usize] = pos;
+        }
+        self.live_pos[id as usize] = DEAD;
+
+        // Restore the bucket: b_j − 1 same-bucket pairs disappear.
+        let key = self.vector_keys[id as usize];
+        let idx = self.by_key[&key];
+        let bucket = &mut self.buckets[idx as usize];
+        let member_pos = bucket
+            .members
+            .iter()
+            .position(|&m| m == id)
+            .expect("live id must be in its bucket");
+        bucket.members.remove(member_pos);
+        self.nh -= bucket.members.len() as u64;
+        if bucket.members.is_empty() {
+            self.empty_buckets += 1;
+        }
+        self.alias.get_mut().valid = false;
+        true
+    }
+
+    /// Whether an id is currently live (assigned and not removed).
     #[inline]
-    pub fn len(&self) -> usize {
+    pub fn is_live(&self, id: VectorId) -> bool {
+        self.live_pos.get(id as usize).is_some_and(|&p| p != DEAD)
+    }
+
+    /// The live ids, in unspecified order (dense sampling population).
+    #[inline]
+    pub fn live_ids(&self) -> &[VectorId] {
+        &self.live
+    }
+
+    /// Total id slots ever assigned (`len()` plus removed ids). The next
+    /// [`LshTable::insert`] returns exactly this value as its id.
+    #[inline]
+    pub fn slots(&self) -> usize {
         self.vector_keys.len()
     }
 
-    /// True when no vector is indexed.
+    /// Number of indexed live vectors `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live vector is indexed.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.vector_keys.is_empty()
+        self.live.is_empty()
     }
 
     /// Number of non-empty buckets `n_g`.
     #[inline]
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.buckets.len() - self.empty_buckets
     }
 
     /// Total pairs `M = C(n, 2)`.
@@ -320,7 +443,10 @@ impl LshTable {
         let n = self.len() as u64;
         loop {
             let (i, j) = vsj_sampling::sample_distinct_pair(rng, n);
-            let (i, j) = (i as VectorId, j as VectorId);
+            // Dense-index → id indirection; identity while nothing was
+            // ever removed, so the pre-`remove` sampling stream is
+            // reproduced bit-for-bit.
+            let (i, j) = (self.live[i as usize], self.live[j as usize]);
             if !self.same_bucket(i, j) {
                 return Some((i, j));
             }
@@ -332,7 +458,7 @@ impl LshTable {
     pub fn sample_any_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (VectorId, VectorId, bool) {
         let n = self.len() as u64;
         let (i, j) = vsj_sampling::sample_distinct_pair(rng, n);
-        let (i, j) = (i as VectorId, j as VectorId);
+        let (i, j) = (self.live[i as usize], self.live[j as usize]);
         (i, j, self.same_bucket(i, j))
     }
 }
@@ -341,6 +467,7 @@ impl std::fmt::Debug for LshTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LshTable")
             .field("n", &self.len())
+            .field("slots", &self.slots())
             .field("k", &self.hasher.k())
             .field("family", &self.hasher.family_name())
             .field("buckets", &self.num_buckets())
@@ -636,5 +763,190 @@ mod tests {
         let t = minhash_table(&coll, 8);
         let s = format!("{t:?}");
         assert!(s.contains("minhash"), "{s}");
+    }
+
+    #[test]
+    fn pair_count_twins_agree() {
+        // `vsj_vector::pairs_of` and `vsj_sampling::pair_count` are
+        // deliberate dependency-free twins; this crate sees both, so pin
+        // their agreement here (divergence would skew M vs. N_L).
+        for n in (0..2000u64).chain([1 << 20, 1 << 32, 794_016]) {
+            assert_eq!(pairs_of(n), vsj_sampling::pair_count(n), "n = {n}");
+        }
+    }
+
+    // ---- removal ----------------------------------------------------------
+
+    #[test]
+    fn remove_restores_all_statistics() {
+        let coll = clustered_collection();
+        let mut t = minhash_table(&coll, 16);
+        let (nh, buckets, len) = (t.nh(), t.num_buckets(), t.len());
+        let dup = set(&[1, 2, 3]);
+        let id = t.insert(&dup); // joins the size-3 bucket
+        assert_eq!(t.nh(), nh + 3);
+        assert_eq!(t.len(), len + 1);
+        assert!(t.is_live(id));
+        assert!(t.remove(id));
+        assert_eq!(t.nh(), nh);
+        assert_eq!(t.num_buckets(), buckets);
+        assert_eq!(t.len(), len);
+        assert_eq!(t.total_pairs(), pairs_of(len as u64));
+        assert!(!t.is_live(id));
+        // Idempotent: a second remove is a no-op.
+        assert!(!t.remove(id));
+        assert!(!t.remove(9999));
+    }
+
+    #[test]
+    fn remove_drains_and_repopulates_buckets() {
+        let empty = VectorCollection::new();
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 3, 0, 8));
+        let mut t = LshTable::build(&empty, hasher, Some(1));
+        let a = t.insert(&set(&[1, 2]));
+        let b = t.insert(&set(&[1, 2]));
+        assert_eq!((t.nh(), t.num_buckets()), (1, 1));
+        assert!(t.remove(a));
+        assert!(t.remove(b));
+        assert_eq!((t.nh(), t.num_buckets(), t.len()), (0, 0, 0));
+        assert!(t.is_empty());
+        // Key space is remembered; a new duplicate re-populates the
+        // drained bucket rather than growing the bucket list.
+        let c = t.insert(&set(&[1, 2]));
+        assert_eq!((t.nh(), t.num_buckets(), t.len()), (0, 1, 1));
+        assert!(t.is_live(c));
+        assert_eq!(t.live_ids(), &[c]);
+        assert_eq!(t.slots(), 3);
+    }
+
+    #[test]
+    fn sampling_excludes_removed_ids() {
+        let coll = clustered_collection();
+        let mut t = minhash_table(&coll, 16);
+        assert!(t.remove(1)); // from the size-3 duplicate bucket
+        assert_eq!(t.nh(), 2); // C(2,2) + C(2,2)
+        let mut rng = Xoshiro256::seeded(7);
+        for _ in 0..2000 {
+            let (a, b) = t.sample_same_bucket_pair(&mut rng).unwrap();
+            assert!(a != 1 && b != 1, "sampled removed id in ({a},{b})");
+            let (a, b) = t.sample_cross_bucket_pair(&mut rng).unwrap();
+            assert!(a != 1 && b != 1, "sampled removed id in ({a},{b})");
+            let (a, b, _) = t.sample_any_pair(&mut rng);
+            assert!(a != 1 && b != 1, "sampled removed id in ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn cross_bucket_sampling_stays_uniform_after_removals() {
+        let coll = clustered_collection();
+        let mut t = minhash_table(&coll, 16);
+        t.remove(0);
+        let mut rng = Xoshiro256::seeded(11);
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let trials = 80_000;
+        for _ in 0..trials {
+            let (a, b) = t.sample_cross_bucket_pair(&mut rng).unwrap();
+            *counts.entry((a.min(b), a.max(b))).or_default() += 1;
+        }
+        assert_eq!(counts.len() as u64, t.nl());
+        let expected = trials as f64 / t.nl() as f64;
+        for (pair, c) in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "pair {pair:?} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_build() {
+        let coll = VectorCollection::from_vectors(
+            (0..500u32)
+                .map(|i| set(&[i % 23, (i * 5) % 23, (i * 11) % 23]))
+                .collect(),
+        );
+        let hasher = || Arc::new(Composite::derive(SimHashFamily::new(), 17, 0, 10));
+        let built = LshTable::build(&coll, hasher(), Some(1));
+        let keys: Vec<u64> = (0..coll.len() as u32).map(|id| built.key_of(id)).collect();
+        let assembled = LshTable::from_parts(hasher(), keys);
+        assert_eq!(assembled.nh(), built.nh());
+        assert_eq!(assembled.num_buckets(), built.num_buckets());
+        assert_eq!(assembled.len(), built.len());
+        for id in 0..coll.len() as u32 {
+            assert_eq!(assembled.key_of(id), built.key_of(id));
+        }
+        // Identical RNG stream ⇒ identical sample sequence: the two
+        // construction paths are observationally equivalent.
+        let mut r1 = Xoshiro256::seeded(3);
+        let mut r2 = Xoshiro256::seeded(3);
+        for _ in 0..500 {
+            assert_eq!(
+                built.sample_same_bucket_pair(&mut r1),
+                assembled.sample_same_bucket_pair(&mut r2)
+            );
+            assert_eq!(
+                built.sample_cross_bucket_pair(&mut r1),
+                assembled.sample_cross_bucket_pair(&mut r2)
+            );
+        }
+    }
+
+    mod removal_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Snapshot of every statistic `remove` promises to restore.
+        fn fingerprint(t: &LshTable) -> (u64, usize, usize, Vec<(u64, usize)>) {
+            let mut per_bucket: Vec<(u64, usize)> = t
+                .buckets()
+                .iter()
+                .filter(|b| b.count() > 0)
+                .map(|b| (b.key, b.count()))
+                .collect();
+            per_bucket.sort_unstable();
+            (t.nh(), t.num_buckets(), t.len(), per_bucket)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The satellite contract: `insert ∘ remove` is the identity
+            /// on `N_H` (and on every other table statistic).
+            #[test]
+            fn insert_then_remove_is_identity(
+                specs in proptest::collection::vec((0u32..40, 2u32..8), 0..30),
+                extra in proptest::collection::vec((0u32..40, 2u32..8), 1..12),
+                seed in 0u64..500,
+            ) {
+                let coll = VectorCollection::from_vectors(
+                    specs
+                        .iter()
+                        .map(|&(start, len)| {
+                            SparseVector::binary_from_members((start..start + len).collect())
+                        })
+                        .collect(),
+                );
+                let hasher = Arc::new(Composite::derive(MinHashFamily::new(), seed, 0, 8));
+                let mut t = LshTable::build(&coll, hasher, Some(1));
+                let before = fingerprint(&t);
+
+                let ids: Vec<_> = extra
+                    .iter()
+                    .map(|&(start, len)| {
+                        t.insert(&SparseVector::binary_from_members(
+                            (start..start + len).collect(),
+                        ))
+                    })
+                    .collect();
+                // Remove in a seed-dependent order, not necessarily LIFO.
+                let mut order = ids.clone();
+                let mut rng = Xoshiro256::seeded(seed);
+                rng.shuffle(&mut order);
+                for id in order {
+                    prop_assert!(t.remove(id));
+                }
+
+                prop_assert_eq!(fingerprint(&t), before);
+                prop_assert_eq!(t.slots(), specs.len() + extra.len());
+            }
+        }
     }
 }

@@ -180,7 +180,7 @@ mod tests {
         let sampler = AdaptiveSampler::new(5, 1_000_000);
         let out = sampler.run(1_000_000, || {
             i += 1;
-            i % 10 == 0
+            i.is_multiple_of(10)
         });
         match out {
             AdaptiveOutcome::Scaled {

@@ -38,5 +38,5 @@ pub mod stats;
 pub use adaptive::{AdaptiveOutcome, AdaptiveSampler};
 pub use alias::AliasTable;
 pub use pairs::{decode_pair, encode_pair, pair_count, sample_distinct_pair};
-pub use rng::{Rng, SplitMix64, Xoshiro256};
+pub use rng::{Rng, RngStreams, SplitMix64, Xoshiro256};
 pub use stats::{signed_relative_error, ErrorProfile, Summary};

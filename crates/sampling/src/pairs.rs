@@ -15,9 +15,12 @@ use crate::rng::Rng;
 
 /// Number of unordered pairs `C(n, 2)` (overflow-safe for all `u64` n
 /// whose result fits; panics in debug on true overflow).
+///
+/// Twin of `vsj_vector::pairs_of` — kept as two dependency-free copies
+/// on purpose; the `vsj-lsh` test suite pins their agreement.
 #[inline]
 pub fn pair_count(n: u64) -> u64 {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         (n / 2) * n.saturating_sub(1)
     } else {
         n * (n.saturating_sub(1) / 2)

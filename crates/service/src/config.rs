@@ -1,0 +1,177 @@
+//! Service configuration and builder.
+
+use vsj_core::LshSsConfig;
+
+/// Which LSH family the engine's shards hash with (and therefore which
+/// similarity measure estimates are computed under — the pairing the
+/// paper evaluates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexFamily {
+    /// Charikar's random-hyperplane family; estimates are over **cosine**
+    /// similarity (the paper's VSJ configuration).
+    #[default]
+    SimHash,
+    /// Broder's MinHash family; estimates are over **Jaccard** similarity
+    /// (the SSJ configuration, exact under Definition 3).
+    MinHash,
+}
+
+/// Tunables of an [`EstimationEngine`](crate::EstimationEngine).
+///
+/// Everything is fixed at engine construction: the hash functions (and
+/// hence every bucket key ever computed) derive from `(family, k, seed)`,
+/// so changing them would invalidate all shard state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of shards `S` the live index is partitioned into by id
+    /// hash. More shards mean less writer contention; reads are
+    /// unaffected (they go through snapshots).
+    pub shards: usize,
+    /// Composite width `k` (hash functions folded per bucket key).
+    pub k: usize,
+    /// LSH family (and similarity measure).
+    pub family: IndexFamily,
+    /// Master seed: derives the hash functions and every estimate RNG
+    /// stream.
+    pub seed: u64,
+    /// Estimate-cache drift tolerance ε: a cached estimate stays
+    /// servable until more than ε ingest operations (inserts + removes)
+    /// have been applied since the epoch it was computed at. `0` means
+    /// any mutation invalidates.
+    pub cache_epsilon: u64,
+    /// When `Some(b)`, the engine publishes a fresh snapshot
+    /// automatically after every `b` ingest operations; `None` leaves
+    /// publication entirely to explicit [`publish`] calls.
+    ///
+    /// [`publish`]: crate::EstimationEngine::publish
+    pub auto_publish_every: Option<u64>,
+    /// Fixed LSH-SS parameters, or `None` to use the paper's defaults
+    /// (`m_H = m_L = n`, `δ = log₂ n`) at each snapshot's live size `n`.
+    pub estimator: Option<LshSsConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            k: 20,
+            family: IndexFamily::SimHash,
+            seed: 0,
+            cache_epsilon: 0,
+            auto_publish_every: None,
+            estimator: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServiceConfig`] (validates on [`build`]).
+///
+/// [`build`]: ServiceConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the shard count `S` (≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the composite width `k` (≥ 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Sets the LSH family / similarity measure.
+    pub fn family(mut self, family: IndexFamily) -> Self {
+        self.config.family = family;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the cache drift tolerance ε.
+    pub fn cache_epsilon(mut self, epsilon: u64) -> Self {
+        self.config.cache_epsilon = epsilon;
+        self
+    }
+
+    /// Publishes a snapshot automatically every `batch` ingests (≥ 1).
+    pub fn auto_publish_every(mut self, batch: u64) -> Self {
+        self.config.auto_publish_every = Some(batch);
+        self
+    }
+
+    /// Pins the LSH-SS parameters instead of per-snapshot paper defaults.
+    pub fn estimator(mut self, config: LshSsConfig) -> Self {
+        self.config.estimator = Some(config);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    /// Panics on `shards == 0`, `k == 0`, or `auto_publish_every == Some(0)`.
+    pub fn build(self) -> ServiceConfig {
+        let c = self.config;
+        assert!(c.shards >= 1, "an engine needs at least one shard");
+        assert!(c.k >= 1, "k must be at least 1");
+        assert!(
+            c.auto_publish_every != Some(0),
+            "auto_publish_every must be at least 1"
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = ServiceConfig::builder()
+            .shards(4)
+            .k(12)
+            .family(IndexFamily::MinHash)
+            .seed(7)
+            .cache_epsilon(100)
+            .auto_publish_every(64)
+            .build();
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.k, 12);
+        assert_eq!(c.family, IndexFamily::MinHash);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.cache_epsilon, 100);
+        assert_eq!(c.auto_publish_every, Some(64));
+        assert!(c.estimator.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ServiceConfig::builder().shards(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        ServiceConfig::builder().k(0).build();
+    }
+}

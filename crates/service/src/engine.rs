@@ -1,0 +1,530 @@
+//! The concurrent estimation engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use vsj_core::{Estimate, LshSs, LshSsConfig};
+use vsj_lsh::{BucketHasher, Composite, MinHashFamily, SimHashFamily};
+use vsj_sampling::{RngStreams, SplitMix64, Xoshiro256};
+use vsj_vector::{Cosine, Jaccard, SparseVector};
+
+use crate::cache::{CacheEntry, CacheKey, EstimateCache};
+use crate::config::{IndexFamily, ServiceConfig};
+use crate::shard::{ShardState, ShardStats};
+use crate::snapshot::Snapshot;
+use crate::GlobalId;
+
+/// One answer from the service, with the provenance a query optimizer
+/// (or an SLA dashboard) needs to judge it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceEstimate {
+    /// The join-size estimate (value + how it was formed).
+    pub estimate: Estimate,
+    /// Epoch of the snapshot it was computed on.
+    pub epoch: u64,
+    /// Live vectors in that snapshot.
+    pub n: usize,
+    /// The threshold asked for.
+    pub tau: f64,
+    /// Whether the answer came from the estimate cache (no sampling
+    /// performed by this call).
+    pub cached: bool,
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Live vectors across all shards (may be ahead of the snapshot).
+    pub live: usize,
+    /// Total ingest operations (inserts + removes + upsert halves).
+    pub ingests: u64,
+    /// Snapshots published.
+    pub publishes: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+    /// Estimate-cache hits.
+    pub cache_hits: u64,
+    /// Estimate-cache misses.
+    pub cache_misses: u64,
+    /// Resident cache entries.
+    pub cache_entries: usize,
+    /// Estimate computations that actually sampled (cache misses served).
+    pub sampling_passes: u64,
+    /// Total pair draws across those passes.
+    pub sampled_pairs: u64,
+}
+
+/// A long-lived, concurrently usable VSJ size-estimation service.
+///
+/// * **Writes** (`insert` / `remove` / `upsert`) go to one of `S` shards
+///   chosen by a hash of the global id; each shard hashes the vector
+///   once (`k` LSH functions) and maintains its bucket counts
+///   incrementally under its own lock — writers on different shards
+///   never contend.
+/// * **Publication** (`publish`, or automatic every
+///   [`ServiceConfig::auto_publish_every`] ingests) takes a consistent
+///   cut across the shards and assembles an immutable epoch
+///   [`Snapshot`] — an O(n) merge of precomputed bucket keys, no
+///   re-hashing — then swaps it in as the current read view.
+/// * **Reads** (`estimate` / `estimate_batch`) clone the current
+///   snapshot `Arc` (readers never block writers or each other beyond
+///   that pointer read) and run the paper's LSH-SS estimator against
+///   it, through the [`IndexView`](vsj_core::IndexView) abstraction.
+/// * **The estimate cache** short-circuits repeated thresholds: answers
+///   stay servable until the data drifts more than ε ingests past the
+///   state they were computed on.
+///
+/// Determinism: an estimate at `(epoch, τ)` uses the RNG
+/// [`EstimationEngine::estimate_rng`] derives from the master seed, so
+/// the same engine state always returns the same value — and the value
+/// equals an offline [`LshSs`] run over the snapshot with that RNG.
+pub struct EstimationEngine {
+    config: ServiceConfig,
+    hasher: Arc<dyn BucketHasher>,
+    shards: Vec<Mutex<ShardState>>,
+    /// Current published snapshot; writers swap, readers clone the Arc.
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes publishes; holds the last published epoch.
+    publish_lock: Mutex<u64>,
+    next_id: AtomicU64,
+    ingests: AtomicU64,
+    publishes: AtomicU64,
+    sampling_passes: AtomicU64,
+    sampled_pairs: AtomicU64,
+    cache: Mutex<EstimateCache>,
+    streams: RngStreams,
+}
+
+impl EstimationEngine {
+    /// Builds an engine from a configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.shards >= 1, "an engine needs at least one shard");
+        assert!(config.k >= 1, "k must be at least 1");
+        assert!(
+            config.auto_publish_every != Some(0),
+            "auto_publish_every must be at least 1"
+        );
+        let hasher: Arc<dyn BucketHasher> = match config.family {
+            IndexFamily::SimHash => Arc::new(Composite::derive(
+                SimHashFamily::new(),
+                config.seed,
+                0,
+                config.k,
+            )),
+            IndexFamily::MinHash => Arc::new(Composite::derive(
+                MinHashFamily::new(),
+                config.seed,
+                0,
+                config.k,
+            )),
+        };
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(ShardState::new(hasher.clone())))
+            .collect();
+        Self {
+            config,
+            current: RwLock::new(Arc::new(Snapshot::empty(hasher.clone()))),
+            hasher,
+            shards,
+            publish_lock: Mutex::new(0),
+            next_id: AtomicU64::new(0),
+            ingests: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            sampling_passes: AtomicU64::new(0),
+            sampled_pairs: AtomicU64::new(0),
+            cache: Mutex::new(EstimateCache::default()),
+            streams: RngStreams::new(config.seed),
+        }
+    }
+
+    /// The engine's configuration.
+    #[inline]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn shard_of(&self, global: GlobalId) -> usize {
+        (SplitMix64::mix(global) % self.shards.len() as u64) as usize
+    }
+
+    // --- writes ----------------------------------------------------------
+
+    /// Ingests a vector, returning its engine-assigned global id. Not
+    /// visible to reads until the next [`publish`](Self::publish).
+    pub fn insert(&self, v: SparseVector) -> GlobalId {
+        let v = Arc::new(v);
+        loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            // A concurrent upsert may claim this id between our
+            // allocation and the shard lock (its fetch_max reservation
+            // is not atomic with our fetch_add); ids only grow, so
+            // retrying with a fresh id terminates.
+            if self.shards[self.shard_of(id)].lock().insert(id, v.clone()) {
+                self.after_ingest(1);
+                return id;
+            }
+        }
+    }
+
+    /// Ingests a batch, returning the assigned ids (one auto-publish
+    /// check per vector, same as sequential inserts).
+    pub fn insert_batch<I>(&self, vectors: I) -> Vec<GlobalId>
+    where
+        I: IntoIterator<Item = SparseVector>,
+    {
+        vectors.into_iter().map(|v| self.insert(v)).collect()
+    }
+
+    /// Removes a vector by global id; `false` when absent (or already
+    /// removed). Takes effect for reads at the next publish.
+    pub fn remove(&self, global: GlobalId) -> bool {
+        let removed = self.shards[self.shard_of(global)].lock().remove(global);
+        if removed {
+            self.after_ingest(1);
+        }
+        removed
+    }
+
+    /// Inserts or replaces the vector under a caller-chosen global id.
+    /// Returns `true` when an existing vector was replaced. The id is
+    /// reserved against future [`insert`](Self::insert) allocations.
+    pub fn upsert(&self, global: GlobalId, v: SparseVector) -> bool {
+        self.next_id.fetch_max(global + 1, Ordering::Relaxed);
+        let replaced = {
+            let mut shard = self.shards[self.shard_of(global)].lock();
+            let replaced = shard.remove(global);
+            let inserted = shard.insert(global, Arc::new(v));
+            debug_assert!(inserted, "id was just vacated");
+            replaced
+        };
+        self.after_ingest(if replaced { 2 } else { 1 });
+        replaced
+    }
+
+    /// Whether a global id is currently live in the mutable index (the
+    /// current snapshot may not reflect it yet).
+    pub fn contains(&self, global: GlobalId) -> bool {
+        self.shards[self.shard_of(global)].lock().contains(global)
+    }
+
+    fn after_ingest(&self, ops: u64) {
+        let count = self.ingests.fetch_add(ops, Ordering::Relaxed) + ops;
+        if let Some(batch) = self.config.auto_publish_every {
+            // Publish when the counter crosses a batch boundary. With
+            // multi-op ingests the crossing test (not `% == 0`) keeps
+            // the cadence even.
+            if count / batch > (count - ops) / batch {
+                self.publish();
+            }
+        }
+    }
+
+    // --- publication -----------------------------------------------------
+
+    /// Takes a consistent cut across all shards and publishes it as the
+    /// next epoch snapshot. Returns the new epoch. Concurrent publishers
+    /// are serialized; readers are never blocked (they keep the old
+    /// snapshot until the swap).
+    pub fn publish(&self) -> u64 {
+        let mut last_epoch = self.publish_lock.lock();
+        // Lock every shard (in index order) for the cut: ingest counter
+        // and live rows are read under the same freeze, so the snapshot
+        // is transactionally consistent.
+        let mut rows = Vec::new();
+        {
+            let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+            for g in &guards {
+                g.collect_live(&mut rows);
+            }
+            let ingested = self.ingests.load(Ordering::SeqCst);
+            drop(guards);
+            let epoch = *last_epoch + 1;
+            let snapshot = Arc::new(Snapshot::assemble(
+                epoch,
+                ingested,
+                self.hasher.clone(),
+                rows,
+            ));
+            *self.current.write() = snapshot;
+            *last_epoch = epoch;
+        }
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        *last_epoch
+    }
+
+    /// The current published snapshot (cheap: one `Arc` clone under a
+    /// briefly held read lock; sampling happens entirely lock-free
+    /// against the immutable snapshot).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.read().clone()
+    }
+
+    /// Epoch of the current snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    // --- reads -----------------------------------------------------------
+
+    /// The LSH-SS parameters used at live size `n` (the configured fixed
+    /// parameters, or the paper defaults derived from `n`).
+    pub fn estimator_config(&self, n: usize) -> LshSsConfig {
+        self.config
+            .estimator
+            .unwrap_or_else(|| LshSsConfig::paper_defaults(n))
+    }
+
+    /// The deterministic RNG an estimate at `(epoch, τ)` uses. Exposed
+    /// so offline runs can replicate service answers exactly:
+    /// `LshSs::estimate(snapshot.collection(), snapshot, measure, τ,
+    /// &mut engine.estimate_rng(epoch, τ))` equals
+    /// [`estimate`](Self::estimate) at that epoch.
+    pub fn estimate_rng(&self, epoch: u64, tau: f64) -> Xoshiro256 {
+        self.streams.subfamily(epoch).stream(tau.to_bits())
+    }
+
+    /// The deterministic RNG a batch estimate at `(epoch, τ-grid)` uses.
+    pub fn batch_rng(&self, epoch: u64, taus: &[f64]) -> Xoshiro256 {
+        let grid = taus.iter().fold(0x6A09_E667_F3BC_C909u64, |acc, t| {
+            SplitMix64::mix(acc ^ t.to_bits())
+        });
+        self.streams.subfamily(epoch).stream(grid)
+    }
+
+    /// Cache fingerprint of the estimator *policy*. With a fixed config
+    /// the exact parameters are hashed; with per-snapshot paper defaults
+    /// a constant is used — the defaults drift together with `n`, and
+    /// serving an answer computed under a ≤ ε-stale `n` is precisely the
+    /// staleness the drift tolerance already accepts.
+    fn fingerprint(&self) -> u64 {
+        match self.config.estimator {
+            None => 0x7A9E_7A9E_7A9E_7A9E,
+            Some(config) => {
+                let damp = match config.dampening {
+                    vsj_core::Dampening::SafeLowerBound => 0u64,
+                    vsj_core::Dampening::Constant(c) => 1 ^ c.to_bits().rotate_left(8),
+                    vsj_core::Dampening::NlOverDelta => 2,
+                };
+                let mut acc = SplitMix64::mix(config.m_h);
+                acc = SplitMix64::mix(acc ^ config.m_l);
+                acc = SplitMix64::mix(acc ^ config.delta);
+                SplitMix64::mix(acc ^ damp)
+            }
+        }
+    }
+
+    /// Estimates the join size at threshold `τ` against the current
+    /// snapshot, serving from the estimate cache when a previous answer
+    /// is within the configured drift tolerance ε.
+    pub fn estimate(&self, tau: f64) -> ServiceEstimate {
+        let snapshot = self.snapshot();
+        let est_config = self.estimator_config(snapshot.len());
+        let key = CacheKey {
+            tau_bits: tau.to_bits(),
+            config: self.fingerprint(),
+            batch: false,
+        };
+        let now = snapshot.ingested();
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .lookup(key, now, self.config.cache_epsilon)
+        {
+            return ServiceEstimate {
+                estimate: hit.estimate,
+                epoch: hit.epoch,
+                n: hit.n,
+                tau,
+                cached: true,
+            };
+        }
+        let (estimate, sampled) = self.compute(&snapshot, est_config, tau);
+        self.sampling_passes.fetch_add(1, Ordering::Relaxed);
+        self.sampled_pairs.fetch_add(sampled, Ordering::Relaxed);
+        self.cache.lock().store(
+            key,
+            CacheEntry {
+                estimate,
+                epoch: snapshot.epoch(),
+                ingested: now,
+                n: snapshot.len(),
+            },
+        );
+        ServiceEstimate {
+            estimate,
+            epoch: snapshot.epoch(),
+            n: snapshot.len(),
+            tau,
+            cached: false,
+        }
+    }
+
+    /// Estimates a whole threshold grid from **one** sampling pass
+    /// ([`LshSs::estimate_curve`]) unless every τ is already cached
+    /// within tolerance. Results are cached per τ, in a key space
+    /// separate from [`estimate`](Self::estimate): the two APIs sample
+    /// through different RNG streams ([`batch_rng`](Self::batch_rng) vs
+    /// [`estimate_rng`](Self::estimate_rng)), so each is individually
+    /// deterministic at a fixed epoch but their answers may differ —
+    /// both are unbiased draws of the same estimator.
+    pub fn estimate_batch(&self, taus: &[f64]) -> Vec<ServiceEstimate> {
+        if taus.is_empty() {
+            return Vec::new();
+        }
+        let snapshot = self.snapshot();
+        let est_config = self.estimator_config(snapshot.len());
+        let config_fp = self.fingerprint();
+        let now = snapshot.ingested();
+        // Fast path: only when *every* threshold can be served from
+        // cache (peek first — hits are recorded only if actually served,
+        // misses only for the batch that bypasses the cache).
+        {
+            let mut cache = self.cache.lock();
+            let hits: Option<Vec<ServiceEstimate>> = taus
+                .iter()
+                .map(|&tau| {
+                    cache
+                        .peek(
+                            CacheKey {
+                                tau_bits: tau.to_bits(),
+                                config: config_fp,
+                                batch: true,
+                            },
+                            now,
+                            self.config.cache_epsilon,
+                        )
+                        .map(|hit| ServiceEstimate {
+                            estimate: hit.estimate,
+                            epoch: hit.epoch,
+                            n: hit.n,
+                            tau,
+                            cached: true,
+                        })
+                })
+                .collect();
+            match hits {
+                Some(all) => {
+                    cache.record(taus.len() as u64, 0);
+                    return all;
+                }
+                None => cache.record(0, taus.len() as u64),
+            }
+        }
+        // Shared pass over the grid.
+        let est = LshSs { config: est_config };
+        let mut rng = self.batch_rng(snapshot.epoch(), taus);
+        let curve = match self.config.family {
+            IndexFamily::SimHash => est.estimate_curve(
+                snapshot.collection(),
+                snapshot.as_ref(),
+                &Cosine,
+                taus,
+                &mut rng,
+            ),
+            IndexFamily::MinHash => est.estimate_curve(
+                snapshot.collection(),
+                snapshot.as_ref(),
+                &Jaccard,
+                taus,
+                &mut rng,
+            ),
+        };
+        let sampled = if snapshot.table().nh() > 0 {
+            est_config.m_h
+        } else {
+            0
+        } + if snapshot.table().nl() > 0 {
+            est_config.m_l
+        } else {
+            0
+        };
+        self.sampling_passes.fetch_add(1, Ordering::Relaxed);
+        self.sampled_pairs.fetch_add(sampled, Ordering::Relaxed);
+        let mut cache = self.cache.lock();
+        taus.iter()
+            .zip(curve)
+            .map(|(&tau, estimate)| {
+                cache.store(
+                    CacheKey {
+                        tau_bits: tau.to_bits(),
+                        config: config_fp,
+                        batch: true,
+                    },
+                    CacheEntry {
+                        estimate,
+                        epoch: snapshot.epoch(),
+                        ingested: now,
+                        n: snapshot.len(),
+                    },
+                );
+                ServiceEstimate {
+                    estimate,
+                    epoch: snapshot.epoch(),
+                    n: snapshot.len(),
+                    tau,
+                    cached: false,
+                }
+            })
+            .collect()
+    }
+
+    fn compute(&self, snapshot: &Snapshot, est_config: LshSsConfig, tau: f64) -> (Estimate, u64) {
+        let est = LshSs { config: est_config };
+        let mut rng = self.estimate_rng(snapshot.epoch(), tau);
+        let detailed = match self.config.family {
+            IndexFamily::SimHash => {
+                est.estimate_detailed(snapshot.collection(), snapshot, &Cosine, tau, &mut rng)
+            }
+            IndexFamily::MinHash => {
+                est.estimate_detailed(snapshot.collection(), snapshot, &Jaccard, tau, &mut rng)
+            }
+        };
+        let sampled = if snapshot.table().nh() > 0 {
+            est_config.m_h
+        } else {
+            0
+        } + detailed.l_samples;
+        (detailed.estimate(), sampled)
+    }
+
+    /// Drops every cached estimate (forces recomputation).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    // --- observability ---------------------------------------------------
+
+    /// Point-in-time statistics (briefly locks each shard in turn).
+    pub fn stats(&self) -> EngineStats {
+        let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.lock().stats()).collect();
+        let (cache_hits, cache_misses, cache_entries) = self.cache.lock().stats();
+        EngineStats {
+            epoch: self.current_epoch(),
+            live: shards.iter().map(|s| s.live).sum(),
+            ingests: self.ingests.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            shards,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            sampling_passes: self.sampling_passes.load(Ordering::Relaxed),
+            sampled_pairs: self.sampled_pairs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for EstimationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EstimationEngine")
+            .field("shards", &self.shards.len())
+            .field("epoch", &stats.epoch)
+            .field("live", &stats.live)
+            .field("ingests", &stats.ingests)
+            .finish()
+    }
+}

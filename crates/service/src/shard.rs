@@ -1,0 +1,227 @@
+//! One shard of the mutable write side.
+//!
+//! Vectors are partitioned across shards by a hash of their global id,
+//! so concurrent writers touching different shards never contend. Each
+//! shard owns a shard-local [`LshTable`] (ids `0..slots` local to the
+//! shard) plus the vectors themselves; the expensive part of an ingest —
+//! evaluating the `k` hash functions — happens inside the shard lock of
+//! *only* that shard.
+//!
+//! Shards never serve reads. Read traffic goes through the immutable
+//! epoch snapshots the engine assembles from all shards (see
+//! `snapshot.rs`), which is what keeps the write path this simple.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vsj_lsh::{BucketHasher, LshTable};
+use vsj_vector::{SparseVector, VectorCollection, VectorId};
+
+use crate::GlobalId;
+
+/// Mutable state of one shard (always accessed under the shard's lock).
+pub(crate) struct ShardState {
+    /// Shard-local bucket-counted table; maintains the shard's `N_H`
+    /// incrementally through `insert`/`remove`.
+    table: LshTable,
+    /// Local id → vector (`None` once removed; slots are never reused,
+    /// matching the table's id discipline).
+    vectors: Vec<Option<Arc<SparseVector>>>,
+    /// Local id → global id.
+    globals: Vec<GlobalId>,
+    /// Global id → local id, live entries only.
+    by_global: HashMap<GlobalId, VectorId>,
+}
+
+/// Point-in-time statistics of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live vectors in the shard.
+    pub live: usize,
+    /// Id slots ever assigned (live + removed).
+    pub slots: usize,
+    /// Shard-local same-bucket pair count `N_H`.
+    pub nh: u64,
+    /// Non-empty shard-local buckets.
+    pub buckets: usize,
+}
+
+impl ShardState {
+    pub(crate) fn new(hasher: Arc<dyn BucketHasher>) -> Self {
+        Self {
+            table: LshTable::build(&VectorCollection::new(), hasher, Some(1)),
+            vectors: Vec::new(),
+            globals: Vec::new(),
+            by_global: HashMap::new(),
+        }
+    }
+
+    /// Hashes and indexes a vector under global id `global`. Returns
+    /// `false` (and leaves the shard untouched) when the id is already
+    /// live here.
+    pub(crate) fn insert(&mut self, global: GlobalId, v: Arc<SparseVector>) -> bool {
+        if self.by_global.contains_key(&global) {
+            return false;
+        }
+        let local = self.table.insert(&v);
+        self.vectors.push(Some(v));
+        self.globals.push(global);
+        self.by_global.insert(global, local);
+        true
+    }
+
+    /// Removes the vector with global id `global`; `false` when absent.
+    pub(crate) fn remove(&mut self, global: GlobalId) -> bool {
+        let Some(local) = self.by_global.remove(&global) else {
+            return false;
+        };
+        let removed = self.table.remove(local);
+        debug_assert!(removed, "by_global entry implies a live table id");
+        self.vectors[local as usize] = None;
+        self.maybe_compact();
+        true
+    }
+
+    /// Rebuilds the shard densely once tombstone slots dominate. Ids
+    /// are never reused inside an [`LshTable`], so a remove/upsert-heavy
+    /// workload would otherwise grow slot storage without bound; when
+    /// dead slots outnumber live vectors 3:1 (and the shard is past a
+    /// small floor), re-key the live rows into a fresh table — an O(live)
+    /// copy using the *stored* bucket keys, no re-hashing. Local ids are
+    /// private to the shard, so nothing outside observes the renumbering.
+    fn maybe_compact(&mut self) {
+        let live = self.table.len();
+        let slots = self.table.slots();
+        if slots < 64 || slots < live.saturating_mul(4) {
+            return;
+        }
+        let mut locals: Vec<VectorId> = self.table.live_ids().to_vec();
+        locals.sort_unstable(); // preserve insertion order for determinism
+        let keys: Vec<u64> = locals.iter().map(|&l| self.table.key_of(l)).collect();
+        let mut vectors = Vec::with_capacity(locals.len());
+        let mut globals = Vec::with_capacity(locals.len());
+        let mut by_global = HashMap::with_capacity(locals.len());
+        for (new_local, &old_local) in locals.iter().enumerate() {
+            vectors.push(self.vectors[old_local as usize].take());
+            let global = self.globals[old_local as usize];
+            globals.push(global);
+            by_global.insert(global, new_local as VectorId);
+        }
+        self.table = LshTable::from_parts(self.table.hasher().clone(), keys);
+        self.vectors = vectors;
+        self.globals = globals;
+        self.by_global = by_global;
+    }
+
+    /// Whether `global` is live in this shard.
+    pub(crate) fn contains(&self, global: GlobalId) -> bool {
+        self.by_global.contains_key(&global)
+    }
+
+    /// Appends this shard's live vectors to the snapshot accumulator as
+    /// `(global id, bucket key, vector)` rows. Keys come from the table
+    /// (computed once at ingest) — assembling a snapshot re-hashes
+    /// nothing.
+    pub(crate) fn collect_live(&self, out: &mut Vec<(GlobalId, u64, Arc<SparseVector>)>) {
+        out.reserve(self.table.len());
+        for &local in self.table.live_ids() {
+            let v = self.vectors[local as usize]
+                .as_ref()
+                .expect("live table id must have a vector")
+                .clone();
+            out.push((self.globals[local as usize], self.table.key_of(local), v));
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            live: self.table.len(),
+            slots: self.table.slots(),
+            nh: self.table.nh(),
+            buckets: self.table.num_buckets(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_lsh::{Composite, MinHashFamily};
+
+    fn shard() -> ShardState {
+        ShardState::new(Arc::new(Composite::derive(MinHashFamily::new(), 1, 0, 8)))
+    }
+
+    fn vec_of(members: &[u32]) -> Arc<SparseVector> {
+        Arc::new(SparseVector::binary_from_members(members.to_vec()))
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = shard();
+        assert!(s.insert(10, vec_of(&[1, 2])));
+        assert!(s.insert(20, vec_of(&[1, 2])));
+        assert!(!s.insert(10, vec_of(&[9])), "duplicate id rejected");
+        assert_eq!(s.stats().live, 2);
+        assert_eq!(s.stats().nh, 1, "duplicates share a minhash bucket");
+        assert!(s.contains(10));
+        assert!(s.remove(10));
+        assert!(!s.remove(10));
+        assert!(!s.contains(10));
+        let st = s.stats();
+        assert_eq!((st.live, st.slots, st.nh), (1, 2, 0));
+    }
+
+    #[test]
+    fn compaction_bounds_slot_growth_under_churn() {
+        // Steady-state upsert churn on a fixed key set: without
+        // compaction, slots would grow by one per operation forever.
+        let mut s = shard();
+        for round in 0..2_000u64 {
+            for id in 0..10u64 {
+                s.remove(id);
+                s.insert(id, vec_of(&[(id as u32) % 5, 60 + round as u32 % 3]));
+            }
+        }
+        let st = s.stats();
+        assert_eq!(st.live, 10);
+        // Compaction triggers (inside remove) at 64 slots for 10 live
+        // vectors; inserts between triggers add at most one round more.
+        assert!(
+            st.slots <= 128,
+            "slots {} not bounded by the compaction threshold",
+            st.slots
+        );
+        // State stays fully consistent after many compactions.
+        let mut rows = Vec::new();
+        s.collect_live(&mut rows);
+        rows.sort_by_key(|r| r.0);
+        assert_eq!(rows.len(), 10);
+        for (i, (global, key, v)) in rows.iter().enumerate() {
+            assert_eq!(*global, i as u64);
+            let hasher = Composite::derive(MinHashFamily::new(), 1, 0, 8);
+            use vsj_lsh::BucketHasher as _;
+            assert_eq!(*key, hasher.key(v), "stale key after compaction");
+        }
+    }
+
+    #[test]
+    fn collect_live_carries_keys_and_globals() {
+        let mut s = shard();
+        s.insert(5, vec_of(&[1, 2]));
+        s.insert(3, vec_of(&[3, 4]));
+        s.insert(8, vec_of(&[5, 6]));
+        s.remove(3);
+        let mut rows = Vec::new();
+        s.collect_live(&mut rows);
+        rows.sort_by_key(|r| r.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 5);
+        assert_eq!(rows[1].0, 8);
+        // Keys must match a fresh hash of the vector.
+        let hasher = Composite::derive(MinHashFamily::new(), 1, 0, 8);
+        use vsj_lsh::BucketHasher as _;
+        assert_eq!(rows[0].1, hasher.key(&rows[0].2));
+        assert_eq!(rows[1].1, hasher.key(&rows[1].2));
+    }
+}

@@ -1,0 +1,251 @@
+//! Epoch-consistent, immutable read views.
+//!
+//! A snapshot is a *frozen* `(collection, table)` pair assembled from a
+//! consistent cut across every shard, tagged with a monotonically
+//! increasing epoch. Readers clone an `Arc<Snapshot>` (a pointer copy)
+//! and then sample against it with zero coordination — writers can keep
+//! ingesting and publishing newer epochs; existing snapshots are never
+//! mutated and are freed when the last reader drops them.
+//!
+//! **Offline equivalence.** The snapshot table is built with
+//! [`LshTable::from_parts`] from the bucket keys the shards computed at
+//! ingest time, with vectors ordered by global id. This is exactly the
+//! table [`LshTable::build`] would produce over the same vectors with
+//! the same hasher, so any estimator run against a snapshot returns *the
+//! same value* as an offline run over an equivalently-ordered
+//! collection with the same RNG — the property the service's tests pin
+//! down, and the reason results from the live engine are directly
+//! comparable to the paper's offline numbers.
+
+use std::sync::Arc;
+
+use vsj_core::IndexView;
+use vsj_lsh::{BucketHasher, LshTable};
+use vsj_sampling::Rng;
+use vsj_vector::{SparseVector, VectorCollection, VectorId};
+
+use crate::GlobalId;
+
+/// An immutable epoch-consistent view of the engine's live data.
+pub struct Snapshot {
+    epoch: u64,
+    /// Ingest-counter value at the cut (drift reference for the cache).
+    ingested: u64,
+    collection: VectorCollection,
+    table: LshTable,
+    /// Snapshot index → global id (ascending).
+    ids: Vec<GlobalId>,
+}
+
+impl Snapshot {
+    /// Builds the empty epoch-0 snapshot.
+    pub(crate) fn empty(hasher: Arc<dyn BucketHasher>) -> Self {
+        Self {
+            epoch: 0,
+            ingested: 0,
+            collection: VectorCollection::new(),
+            table: LshTable::from_parts(hasher, Vec::new()),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Assembles a snapshot from shard rows (`global id`, precomputed
+    /// bucket key, vector). Rows may arrive in any order; they are
+    /// sorted by global id so the layout is independent of shard count
+    /// and removal history.
+    ///
+    /// Cost: O(n log n) for the sort plus an O(corpus bytes) copy of the
+    /// vector payloads into the owned [`VectorCollection`] (hashing is
+    /// *not* redone — keys were computed at ingest). Sharing the
+    /// `Arc<SparseVector>` payloads instead would make publication pure
+    /// pointer work, but requires a collection type over `Arc`s; tracked
+    /// as a ROADMAP open item.
+    pub(crate) fn assemble(
+        epoch: u64,
+        ingested: u64,
+        hasher: Arc<dyn BucketHasher>,
+        mut rows: Vec<(GlobalId, u64, Arc<SparseVector>)>,
+    ) -> Self {
+        rows.sort_unstable_by_key(|r| r.0);
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut keys = Vec::with_capacity(rows.len());
+        let mut vectors = Vec::with_capacity(rows.len());
+        for (global, key, v) in rows {
+            ids.push(global);
+            keys.push(key);
+            vectors.push((*v).clone());
+        }
+        Self {
+            epoch,
+            ingested,
+            collection: VectorCollection::from_vectors(vectors),
+            table: LshTable::from_parts(hasher, keys),
+            ids,
+        }
+    }
+
+    /// The snapshot's epoch (monotonically increasing per engine).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ingest operations applied engine-wide when this cut was taken.
+    #[inline]
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Number of vectors in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The frozen collection (aligned with [`Snapshot::table`]).
+    #[inline]
+    pub fn collection(&self) -> &VectorCollection {
+        &self.collection
+    }
+
+    /// The frozen bucket-counted table.
+    #[inline]
+    pub fn table(&self) -> &LshTable {
+        &self.table
+    }
+
+    /// Global id of a snapshot-local vector id.
+    #[inline]
+    pub fn global_of(&self, id: VectorId) -> GlobalId {
+        self.ids[id as usize]
+    }
+
+    /// All global ids, ascending (parallel to the collection).
+    #[inline]
+    pub fn global_ids(&self) -> &[GlobalId] {
+        &self.ids
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("n", &self.len())
+            .field("nh", &self.table.nh())
+            .field("ingested", &self.ingested)
+            .finish()
+    }
+}
+
+/// Snapshots are index views: estimators run against them directly.
+impl IndexView for Snapshot {
+    #[inline]
+    fn len(&self) -> usize {
+        Snapshot::len(self)
+    }
+
+    #[inline]
+    fn total_pairs(&self) -> u64 {
+        self.table.total_pairs()
+    }
+
+    #[inline]
+    fn nh(&self) -> u64 {
+        self.table.nh()
+    }
+
+    #[inline]
+    fn nl(&self) -> u64 {
+        self.table.nl()
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        self.table.hasher().k()
+    }
+
+    #[inline]
+    fn same_bucket(&self, a: VectorId, b: VectorId) -> bool {
+        self.table.same_bucket(a, b)
+    }
+
+    #[inline]
+    fn sample_same_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        self.table.sample_same_bucket_pair(rng)
+    }
+
+    #[inline]
+    fn sample_cross_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        self.table.sample_cross_bucket_pair(rng)
+    }
+
+    #[inline]
+    fn sample_any_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (VectorId, VectorId, bool) {
+        self.table.sample_any_pair(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_lsh::{Composite, MinHashFamily};
+
+    fn hasher() -> Arc<dyn BucketHasher> {
+        Arc::new(Composite::derive(MinHashFamily::new(), 2, 0, 8))
+    }
+
+    fn v(members: &[u32]) -> Arc<SparseVector> {
+        Arc::new(SparseVector::binary_from_members(members.to_vec()))
+    }
+
+    #[test]
+    fn assemble_sorts_by_global_id_and_matches_build() {
+        let rows = vec![
+            (30, hasher().key(&v(&[1, 2])), v(&[1, 2])),
+            (10, hasher().key(&v(&[1, 2])), v(&[1, 2])),
+            (20, hasher().key(&v(&[5, 6])), v(&[5, 6])),
+        ];
+        let snap = Snapshot::assemble(3, 7, hasher(), rows);
+        assert_eq!(snap.epoch(), 3);
+        assert_eq!(snap.ingested(), 7);
+        assert_eq!(snap.global_ids(), &[10, 20, 30]);
+        assert_eq!(snap.global_of(2), 30);
+        // Equivalent offline build: same vectors in global-id order.
+        let coll = VectorCollection::from_vectors(vec![
+            (*v(&[1, 2])).clone(),
+            (*v(&[5, 6])).clone(),
+            (*v(&[1, 2])).clone(),
+        ]);
+        let built = LshTable::build(&coll, hasher(), Some(1));
+        assert_eq!(snap.table().nh(), built.nh());
+        assert_eq!(snap.table().num_buckets(), built.num_buckets());
+        for id in 0..3u32 {
+            assert_eq!(snap.table().key_of(id), built.key_of(id));
+        }
+        // The two duplicates (globals 10 and 30 → locals 0 and 2) share
+        // a bucket in the snapshot view.
+        assert!(IndexView::same_bucket(&snap, 0, 2));
+        assert_eq!(IndexView::nh(&snap), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_epoch_zero() {
+        let snap = Snapshot::empty(hasher());
+        assert_eq!(snap.epoch(), 0);
+        assert!(snap.is_empty());
+        assert_eq!(IndexView::total_pairs(&snap), 0);
+    }
+}

@@ -44,13 +44,17 @@ pub type VectorId = u32;
 
 /// Number of unordered pairs `C(n, 2)` as an exact `u64`.
 ///
+/// Twin of `vsj_sampling::pair_count` — kept as two dependency-free
+/// copies on purpose (neither foundation crate depends on the other);
+/// the `vsj-lsh` test suite pins their agreement.
+///
 /// This is the paper's `M` (with `n = |V|`) and `N_H` building block
 /// (`N_H = Σ_j C(b_j, 2)`). Computed as `n * (n - 1) / 2` with the even
 /// factor divided first so the intermediate cannot overflow for any
 /// `n ≤ u32::MAX`.
 #[inline]
 pub fn pairs_of(n: u64) -> u64 {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         (n / 2) * n.saturating_sub(1)
     } else {
         n * (n.saturating_sub(1) / 2)

@@ -30,7 +30,14 @@
 //! * [`lc`] — the Lattice Counting baseline (Lee et al., VLDB 2009) adapted
 //!   to vectors.
 //! * [`core`] — the estimators: RS(pop), RS(cross), JU, LSH-S, **LSH-SS**,
-//!   LSH-SS(D), multi-table and general-join variants, probability tooling.
+//!   LSH-SS(D), multi-table and general-join variants, probability tooling;
+//!   plus the [`core::IndexView`] read abstraction estimators sample
+//!   through (an owned table, a service snapshot, or a test double).
+//! * [`service`] — the **online layer**: a concurrent
+//!   [`service::EstimationEngine`] with a sharded mutable index
+//!   (insert/remove/upsert on live data), copy-on-write epoch snapshots
+//!   serving any number of reader threads, and a drift-invalidated
+//!   estimate cache. See `examples/service.rs`.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +71,7 @@ pub use vsj_exact as exact;
 pub use vsj_lc as lc;
 pub use vsj_lsh as lsh;
 pub use vsj_sampling as sampling;
+pub use vsj_service as service;
 pub use vsj_vector as vector;
 
 /// One-stop imports for applications.
@@ -73,8 +81,8 @@ pub mod prelude {
         general_join::{exact_general_join, GeneralJoinIndex, GeneralLshSs, GeneralRsPop},
         optimal_k::OptimalKSearch,
         probabilities::StratumProbabilities,
-        CollisionModel, Dampening, Estimate, EstimateKind, EstimationContext, Estimator, LshS,
-        LshSVariant, LshSs, LshSsConfig, MedianEstimator, RsCross, RsPop, UniformLsh,
+        CollisionModel, Dampening, Estimate, EstimateKind, EstimationContext, Estimator, IndexView,
+        LshS, LshSVariant, LshSs, LshSsConfig, MedianEstimator, RsCross, RsPop, UniformLsh,
         VirtualBucketEstimator,
     };
     pub use vsj_datasets::{Dataset, DblpLike, NytLike, PubmedLike};
@@ -83,7 +91,11 @@ pub mod prelude {
     pub use vsj_lsh::{
         LshIndex, LshParams, LshTable, MinHashFamily, SimHashFamily, SimilaritySearcher,
     };
-    pub use vsj_sampling::{Rng, SplitMix64, Xoshiro256};
+    pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
+    pub use vsj_service::{
+        EngineStats, EstimationEngine, GlobalId, IndexFamily, ServiceConfig, ServiceEstimate,
+        Snapshot,
+    };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,
     };

@@ -1,0 +1,167 @@
+//! Concurrency smoke test for the estimation service: 4 reader threads
+//! query `estimate(0.7)` while a writer ingests batches; every answer a
+//! reader observes must correspond to a consistent published epoch (no
+//! torn reads) and epochs must be monotone per reader.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use vsj::prelude::*;
+
+#[test]
+fn readers_observe_only_consistent_monotone_epochs() {
+    let engine = EstimationEngine::new(
+        ServiceConfig::builder()
+            .shards(4)
+            .k(10)
+            .seed(21)
+            .family(IndexFamily::MinHash)
+            .cache_epsilon(64)
+            .auto_publish_every(100)
+            .build(),
+    );
+    let docs: Vec<SparseVector> = DblpLike::with_size(1_500).generate(33).vectors().to_vec();
+    let total_docs = docs.len();
+
+    let done = AtomicBool::new(false);
+    let mut logs: Vec<Vec<ServiceEstimate>> = Vec::new();
+
+    thread::scope(|scope| {
+        let engine = &engine;
+        let done = &done;
+
+        let writer = scope.spawn(move || {
+            for v in docs {
+                engine.insert(v);
+            }
+        });
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut log = Vec::new();
+                    let mut last_epoch = 0u64;
+                    // Keep polling until the writer is done, then take one
+                    // final reading so every reader sees a late epoch too.
+                    loop {
+                        let finished = done.load(Ordering::Relaxed);
+                        let answer = engine.estimate(0.7);
+                        assert!(answer.epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = answer.epoch;
+                        log.push(answer);
+                        if finished {
+                            break;
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+
+        writer.join().expect("writer panicked");
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            logs.push(r.join().expect("reader panicked"));
+        }
+    });
+
+    // Cross-reader consistency: one (n, value) per epoch — an answer
+    // labeled with epoch e was computed entirely against snapshot e.
+    let mut per_epoch: HashMap<u64, (usize, f64)> = HashMap::new();
+    let mut answers = 0u64;
+    for log in &logs {
+        assert!(!log.is_empty());
+        for a in log {
+            answers += 1;
+            assert!(a.estimate.value.is_finite() && a.estimate.value >= 0.0);
+            // n of epoch e is a prefix of the ingest sequence: ≤ total.
+            assert!(a.n <= total_docs);
+            let entry = per_epoch.entry(a.epoch).or_insert((a.n, a.estimate.value));
+            assert_eq!(entry.0, a.n, "torn read: epoch {} with two sizes", a.epoch);
+            assert_eq!(
+                entry.1, a.estimate.value,
+                "nondeterministic answer at epoch {}",
+                a.epoch
+            );
+        }
+    }
+    assert!(answers >= 4, "every reader answered at least once");
+
+    // The published sizes grow with the epochs (writer only inserts).
+    let mut epochs: Vec<_> = per_epoch.keys().copied().collect();
+    epochs.sort_unstable();
+    for w in epochs.windows(2) {
+        assert!(
+            per_epoch[&w[0]].0 <= per_epoch[&w[1]].0,
+            "snapshot size shrank between epochs {} and {}",
+            w[0],
+            w[1]
+        );
+    }
+
+    // After a final publish the service agrees with an offline LshSs run
+    // over the same snapshot (epoch-pinned determinism).
+    let epoch = engine.publish();
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.len(), total_docs);
+    // The last cached answer may legitimately still be within ε of the
+    // final cut; force a fresh, epoch-pinned computation.
+    engine.clear_cache();
+    let served = engine.estimate(0.7);
+    assert_eq!(served.epoch, epoch);
+    let estimator = LshSs {
+        config: engine.estimator_config(snapshot.len()),
+    };
+    let mut rng = engine.estimate_rng(epoch, 0.7);
+    let offline = estimator.estimate(
+        snapshot.collection(),
+        snapshot.table(),
+        &Jaccard,
+        0.7,
+        &mut rng,
+    );
+    assert_eq!(served.estimate, offline);
+}
+
+#[test]
+fn concurrent_writers_partition_cleanly() {
+    // Two writers, disjoint id ranges via upsert, plus concurrent
+    // removes: the final snapshot must contain exactly the surviving set.
+    let engine = EstimationEngine::new(
+        ServiceConfig::builder()
+            .shards(8)
+            .k(8)
+            .seed(5)
+            .family(IndexFamily::MinHash)
+            .build(),
+    );
+    thread::scope(|scope| {
+        let engine = &engine;
+        for w in 0..2u64 {
+            scope.spawn(move || {
+                for i in 0..400u64 {
+                    let id = w * 10_000 + i;
+                    engine.upsert(
+                        id,
+                        SparseVector::binary_from_members(vec![(id % 50) as u32, 60]),
+                    );
+                }
+                // Remove every fourth of our own ids.
+                for i in (0..400u64).step_by(4) {
+                    assert!(engine.remove(w * 10_000 + i));
+                }
+            });
+        }
+    });
+    engine.publish();
+    let snapshot = engine.snapshot();
+    assert_eq!(snapshot.len(), 2 * (400 - 100));
+    // Survivors are exactly the non-multiples of 4 in both ranges.
+    for &id in snapshot.global_ids() {
+        let i = id % 10_000;
+        assert!(i % 4 != 0, "removed id {id} leaked into the snapshot");
+    }
+    // Global ids ascending — the snapshot layout is canonical.
+    assert!(snapshot.global_ids().windows(2).all(|w| w[0] < w[1]));
+}
