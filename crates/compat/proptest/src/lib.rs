@@ -7,7 +7,10 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
 //! * [`Strategy`] with `prop_map`, numeric range strategies, tuple
-//!   strategies up to arity 6, and [`collection::vec`].
+//!   strategies up to arity 6, and [`collection::vec`],
+//! * [`Just`], [`Strategy::boxed`] / [`BoxedStrategy`], and the
+//!   [`prop_oneof!`] macro (uniform over its arms; the real crate's
+//!   `weight => strategy` arms are not supported).
 //!
 //! Differences from real proptest, by design:
 //!
@@ -106,6 +109,61 @@ pub trait Strategy {
         F: Fn(Self::Value) -> U,
     {
         Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so differently-shaped strategies of the
+    /// same value type can share a container (what [`prop_oneof!`] arms
+    /// need).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice over type-erased arms — what [`prop_oneof!`] builds.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof of zero arms");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
     }
 }
 
@@ -247,7 +305,19 @@ pub mod collection {
 
 /// Everything a `use proptest::prelude::*;` consumer expects.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Chooses uniformly among differently-shaped strategies producing the
+/// same value type. Unlike real proptest, arms are unweighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
 }
 
 /// Asserts a condition inside a [`proptest!`] body.
@@ -373,6 +443,25 @@ mod tests {
         #[test]
         fn prop_map_applies(doubled in (0u32..10).prop_map(|v| v * 2)) {
             prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            xs in crate::collection::vec(
+                prop_oneof![
+                    Just(0u32),
+                    (10u32..20).prop_map(|v| v),
+                    (2u32..5, 100u32..200).prop_map(|(a, b)| a * b),
+                ],
+                64..65,
+            )
+        ) {
+            for x in xs {
+                prop_assert!(
+                    x == 0 || (10..20).contains(&x) || (200..1000).contains(&x),
+                    "value {} from no arm", x
+                );
+            }
         }
     }
 }

@@ -1,21 +1,45 @@
-//! Binary container format for vector collections.
+//! Binary container formats for vector collections and other durable
+//! state.
 //!
 //! Generated corpora feed ground-truth computations that cost O(n²); the
-//! experiment harness caches both, keyed by the corpus content. This
-//! module provides the compact, versioned, endian-stable serialization
-//! those caches use, plus the content hash for the cache key.
+//! experiment harness caches both, keyed by the corpus content. The
+//! service layer additionally persists epoch snapshots through the same
+//! container. This module provides the compact, versioned, endian-stable
+//! serialization those consumers use, plus the content hash for cache
+//! keys.
 //!
-//! Layout (all little-endian):
+//! Two container versions exist; the reader negotiates between them:
+//!
+//! **v1** (legacy, still readable) — a bare vector payload:
 //!
 //! ```text
 //! magic   4 bytes  "VSJC"
-//! version u32      (currently 1)
+//! version u32      1
 //! n       u64      vector count
 //! per vector:
 //!   nnz   u32
 //!   nnz × u32      dimension indices (sorted)
 //!   nnz × f32      weights
 //! ```
+//!
+//! **v2** (current, written by [`encode`] and [`ContainerWriter`]) — a
+//! sectioned container with per-section checksums, so higher layers can
+//! store heterogeneous state (metadata, id maps, bucket keys, vector
+//! payloads) in one file and detect any byte of corruption:
+//!
+//! ```text
+//! magic    4 bytes  "VSJC"
+//! version  u32      2
+//! sections u32      section count
+//! per section:
+//!   tag      4 bytes   ASCII section identifier
+//!   len      u64       payload length in bytes
+//!   checksum u64       checksum64 of the payload
+//!   payload  len bytes
+//! ```
+//!
+//! A v2 collection file holds a single `COLL` section whose payload is
+//! exactly the v1 body (`n` + vectors).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
@@ -24,9 +48,14 @@ use vsj_sampling::SplitMix64;
 use vsj_vector::{SparseVector, VectorCollection};
 
 const MAGIC: &[u8; 4] = b"VSJC";
-const VERSION: u32 = 1;
+/// The legacy bare-collection container version.
+pub const VERSION_V1: u32 = 1;
+/// The current sectioned container version.
+pub const VERSION_V2: u32 = 2;
+/// Section tag of the vector payload in a v2 collection container.
+pub const SECTION_COLLECTION: [u8; 4] = *b"COLL";
 
-/// Errors from decoding a collection container.
+/// Errors from decoding a container.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying filesystem error.
@@ -35,6 +64,16 @@ pub enum IoError {
     BadMagic,
     /// Unsupported container version.
     BadVersion(u32),
+    /// A v2 section's payload does not match its stored checksum.
+    BadChecksum {
+        /// Tag of the offending section.
+        section: [u8; 4],
+    },
+    /// A required v2 section is absent.
+    MissingSection {
+        /// Tag of the absent section.
+        section: [u8; 4],
+    },
     /// The payload ended early or a vector violated its invariants.
     Corrupt(String),
 }
@@ -45,6 +84,16 @@ impl std::fmt::Display for IoError {
             Self::Io(e) => write!(f, "collection I/O error: {e}"),
             Self::BadMagic => write!(f, "not a VSJC collection file"),
             Self::BadVersion(v) => write!(f, "unsupported VSJC version {v}"),
+            Self::BadChecksum { section } => write!(
+                f,
+                "VSJC section {} failed its checksum",
+                String::from_utf8_lossy(section)
+            ),
+            Self::MissingSection { section } => write!(
+                f,
+                "VSJC container lacks required section {}",
+                String::from_utf8_lossy(section)
+            ),
             Self::Corrupt(msg) => write!(f, "corrupt VSJC payload: {msg}"),
         }
     }
@@ -58,63 +107,205 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Encodes a collection into the container format.
-pub fn encode(collection: &VectorCollection) -> Bytes {
+/// 64-bit checksum of a byte payload (FNV-1a folded through SplitMix64).
+///
+/// Not cryptographic — it exists to catch torn writes, truncation, and
+/// bit rot, the failure modes recovery must detect loudly.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::mix(h ^ data.len() as u64)
+}
+
+// --- v2 sectioned container ------------------------------------------------
+
+/// Builder for a v2 sectioned container.
+///
+/// Sections are written in the order they are added; each gets a length
+/// and a [`checksum64`] over its payload in the framing.
+#[derive(Debug, Default)]
+pub struct ContainerWriter {
+    sections: Vec<([u8; 4], Bytes)>,
+}
+
+impl ContainerWriter {
+    /// Starts an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section.
+    pub fn section(&mut self, tag: [u8; 4], payload: Bytes) -> &mut Self {
+        self.sections.push((tag, payload));
+        self
+    }
+
+    /// Assembles the container bytes.
+    pub fn finish(&self) -> Bytes {
+        let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut buf = BytesMut::with_capacity(12 + self.sections.len() * 24 + payload_total);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V2);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (tag, payload) in &self.sections {
+            buf.put_slice(tag);
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_u64_le(checksum64(payload.as_slice()));
+            buf.put_slice(payload.as_slice());
+        }
+        buf.freeze()
+    }
+}
+
+/// Parsed view of a v2 sectioned container: every section's checksum is
+/// verified at parse time, so a successful parse certifies byte-exact
+/// payloads.
+#[derive(Debug)]
+pub struct ContainerReader {
+    sections: Vec<([u8; 4], Bytes)>,
+}
+
+impl ContainerReader {
+    /// Parses and verifies a v2 container.
+    ///
+    /// # Errors
+    /// [`IoError::BadMagic`] / [`IoError::BadVersion`] on foreign input,
+    /// [`IoError::Corrupt`] on framing violations (truncation, trailing
+    /// bytes), [`IoError::BadChecksum`] when any section's payload does
+    /// not hash to its header checksum.
+    pub fn parse(mut data: Bytes) -> Result<Self, IoError> {
+        if data.remaining() < 12 {
+            return Err(IoError::Corrupt("header truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION_V2 {
+            return Err(IoError::BadVersion(version));
+        }
+        let count = data.get_u32_le() as usize;
+        let mut sections = Vec::with_capacity(count.min(64));
+        for si in 0..count {
+            if data.remaining() < 20 {
+                return Err(IoError::Corrupt(format!("section {si}: header truncated")));
+            }
+            let mut tag = [0u8; 4];
+            data.copy_to_slice(&mut tag);
+            let len = data.get_u64_le() as usize;
+            let checksum = data.get_u64_le();
+            if data.remaining() < len {
+                return Err(IoError::Corrupt(format!(
+                    "section {si}: payload truncated ({} of {len} bytes)",
+                    data.remaining()
+                )));
+            }
+            let mut payload = vec![0u8; len];
+            data.copy_to_slice(&mut payload);
+            let payload = Bytes::from(payload);
+            if checksum64(payload.as_slice()) != checksum {
+                return Err(IoError::BadChecksum { section: tag });
+            }
+            sections.push((tag, payload));
+        }
+        if data.has_remaining() {
+            return Err(IoError::Corrupt(format!(
+                "{} trailing bytes after last section",
+                data.remaining()
+            )));
+        }
+        Ok(Self { sections })
+    }
+
+    /// The tags present, in file order.
+    pub fn tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The first section with the given tag (fresh read cursor).
+    pub fn section(&self, tag: [u8; 4]) -> Option<Bytes> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.clone())
+    }
+
+    /// Like [`ContainerReader::section`] but an error when absent.
+    pub fn require(&self, tag: [u8; 4]) -> Result<Bytes, IoError> {
+        self.section(tag)
+            .ok_or(IoError::MissingSection { section: tag })
+    }
+}
+
+// --- vector payload (shared by v1 body and v2 COLL section) ----------------
+
+/// Encodes one vector's wire block (`nnz u32`, `nnz × u32` indices,
+/// `nnz × f32` weights) — the single definition of the per-vector
+/// layout, shared by collection payloads and the service WAL.
+pub fn encode_vector_into(buf: &mut BytesMut, v: &SparseVector) {
+    buf.put_u32_le(v.nnz() as u32);
+    for &i in v.indices() {
+        buf.put_u32_le(i);
+    }
+    for &w in v.values() {
+        buf.put_f32_le(w);
+    }
+}
+
+/// Decodes one vector's wire block (inverse of [`encode_vector_into`]),
+/// re-validating the vector invariants.
+pub fn decode_vector(data: &mut Bytes) -> Result<SparseVector, IoError> {
+    if data.remaining() < 4 {
+        return Err(IoError::Corrupt("nnz truncated".into()));
+    }
+    let nnz = data.get_u32_le() as usize;
+    if data.remaining() < nnz * 8 {
+        return Err(IoError::Corrupt("vector payload truncated".into()));
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(data.get_u32_le());
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(data.get_f32_le());
+    }
+    SparseVector::from_sorted(indices, values).map_err(|e| IoError::Corrupt(e.to_string()))
+}
+
+/// Encodes the bare vector payload (`n` + per-vector data) — the v1 body
+/// and the v2 `COLL` section payload.
+pub fn encode_vectors(collection: &VectorCollection) -> Bytes {
     let total_nnz: usize = collection.vectors().iter().map(SparseVector::nnz).sum();
-    let mut buf = BytesMut::with_capacity(16 + collection.len() * 4 + total_nnz * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    let mut buf = BytesMut::with_capacity(8 + collection.len() * 4 + total_nnz * 8);
     buf.put_u64_le(collection.len() as u64);
     for (_, v) in collection.iter() {
-        buf.put_u32_le(v.nnz() as u32);
-        for &i in v.indices() {
-            buf.put_u32_le(i);
-        }
-        for &w in v.values() {
-            buf.put_f32_le(w);
-        }
+        encode_vector_into(&mut buf, v);
     }
     buf.freeze()
 }
 
-/// Decodes a container back into a collection.
+/// Decodes a bare vector payload, re-validating every vector invariant.
 ///
 /// # Errors
-/// Returns [`IoError`] on malformed input; all vector invariants are
-/// re-validated (the file may have been edited or truncated).
-pub fn decode(mut data: Bytes) -> Result<VectorCollection, IoError> {
-    if data.remaining() < 16 {
-        return Err(IoError::Corrupt("header truncated".into()));
-    }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(IoError::BadMagic);
-    }
-    let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(IoError::BadVersion(version));
+/// [`IoError::Corrupt`] on truncation, trailing bytes, or invariant
+/// violations.
+pub fn decode_vectors(mut data: Bytes) -> Result<VectorCollection, IoError> {
+    if data.remaining() < 8 {
+        return Err(IoError::Corrupt("vector count truncated".into()));
     }
     let n = data.get_u64_le() as usize;
-    let mut vectors = Vec::with_capacity(n);
+    let mut vectors = Vec::with_capacity(n.min(1 << 20));
     for vi in 0..n {
-        if data.remaining() < 4 {
-            return Err(IoError::Corrupt(format!("vector {vi}: nnz truncated")));
-        }
-        let nnz = data.get_u32_le() as usize;
-        if data.remaining() < nnz * 8 {
-            return Err(IoError::Corrupt(format!("vector {vi}: payload truncated")));
-        }
-        let mut indices = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            indices.push(data.get_u32_le());
-        }
-        let mut values = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            values.push(data.get_f32_le());
-        }
-        let v = SparseVector::from_sorted(indices, values)
-            .map_err(|e| IoError::Corrupt(format!("vector {vi}: {e}")))?;
+        let v = decode_vector(&mut data).map_err(|e| match e {
+            IoError::Corrupt(msg) => IoError::Corrupt(format!("vector {vi}: {msg}")),
+            other => other,
+        })?;
         vectors.push(v);
     }
     if data.has_remaining() {
@@ -126,6 +317,57 @@ pub fn decode(mut data: Bytes) -> Result<VectorCollection, IoError> {
     Ok(VectorCollection::from_vectors(vectors))
 }
 
+// --- collection containers -------------------------------------------------
+
+/// Encodes a collection as a v2 container (one checksummed `COLL`
+/// section).
+pub fn encode(collection: &VectorCollection) -> Bytes {
+    let mut w = ContainerWriter::new();
+    w.section(SECTION_COLLECTION, encode_vectors(collection));
+    w.finish()
+}
+
+/// Encodes a collection in the legacy v1 layout (no checksums). Kept so
+/// the version-negotiation path stays exercised; new files should use
+/// [`encode`].
+pub fn encode_v1(collection: &VectorCollection) -> Bytes {
+    let body = encode_vectors(collection);
+    let mut buf = BytesMut::with_capacity(8 + body.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_V1);
+    buf.put_slice(body.as_slice());
+    buf.freeze()
+}
+
+/// Decodes a container back into a collection, negotiating the version:
+/// v1 files decode through the legacy bare-payload path, v2 files
+/// through the checksummed sectioned path.
+///
+/// # Errors
+/// Returns [`IoError`] on malformed input; all vector invariants are
+/// re-validated (the file may have been edited or truncated), and v2
+/// files additionally verify the `COLL` section checksum.
+pub fn decode(mut data: Bytes) -> Result<VectorCollection, IoError> {
+    if data.remaining() < 8 {
+        return Err(IoError::Corrupt("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    let mut peek = data.clone();
+    peek.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    match peek.get_u32_le() {
+        VERSION_V1 => {
+            data.copy_to_slice(&mut magic);
+            let _ = data.get_u32_le();
+            decode_vectors(data)
+        }
+        VERSION_V2 => decode_vectors(ContainerReader::parse(data)?.require(SECTION_COLLECTION)?),
+        v => Err(IoError::BadVersion(v)),
+    }
+}
+
 /// Writes a collection container (creating parent directories).
 pub fn save(collection: &VectorCollection, path: &Path) -> Result<(), IoError> {
     if let Some(parent) = path.parent() {
@@ -135,7 +377,7 @@ pub fn save(collection: &VectorCollection, path: &Path) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Reads a collection container.
+/// Reads a collection container (either version).
 pub fn load(path: &Path) -> Result<VectorCollection, IoError> {
     decode(Bytes::from(std::fs::read(path)?))
 }
@@ -170,6 +412,13 @@ mod tests {
         for (a, b) in coll.vectors().iter().zip(decoded.vectors()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn v1_files_still_decode() {
+        let coll = sample();
+        let decoded = decode(encode_v1(&coll)).unwrap();
+        assert_eq!(content_hash(&coll), content_hash(&decoded));
     }
 
     #[test]
@@ -220,6 +469,48 @@ mod tests {
     }
 
     #[test]
+    fn any_payload_flip_fails_the_checksum() {
+        let data = encode(&sample()).to_vec();
+        // Flip a byte at a spread of offsets past the container header;
+        // every one must surface as *some* decode error (checksum for
+        // payload bytes, framing for header bytes) — never a silent
+        // different collection.
+        for at in (8..data.len()).step_by(97) {
+            let mut broken = data.clone();
+            broken[at] ^= 0x40;
+            assert!(
+                decode(Bytes::from(broken)).is_err(),
+                "flip at byte {at} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn sectioned_container_roundtrip_and_lookup() {
+        let mut w = ContainerWriter::new();
+        w.section(*b"AAAA", Bytes::from(vec![1u8, 2, 3]));
+        w.section(*b"BBBB", Bytes::from(Vec::<u8>::new()));
+        w.section(*b"CCCC", Bytes::from(vec![9u8; 300]));
+        let r = ContainerReader::parse(w.finish()).unwrap();
+        assert_eq!(r.tags(), vec![*b"AAAA", *b"BBBB", *b"CCCC"]);
+        assert_eq!(r.section(*b"AAAA").unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(r.section(*b"BBBB").unwrap().len(), 0);
+        assert_eq!(r.section(*b"CCCC").unwrap().len(), 300);
+        assert!(r.section(*b"ZZZZ").is_none());
+        assert!(matches!(
+            r.require(*b"ZZZZ"),
+            Err(IoError::MissingSection { section }) if &section == b"ZZZZ"
+        ));
+    }
+
+    #[test]
+    fn checksum_is_position_sensitive() {
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+        assert_eq!(checksum64(b"vsj"), checksum64(b"vsj"));
+    }
+
+    #[test]
     fn content_hash_is_sensitive() {
         let a = sample();
         let b = DblpLike::with_size(120).generate(6); // different seed
@@ -232,5 +523,7 @@ mod tests {
         let empty = VectorCollection::new();
         let decoded = decode(encode(&empty)).unwrap();
         assert!(decoded.is_empty());
+        let decoded_v1 = decode(encode_v1(&empty)).unwrap();
+        assert!(decoded_v1.is_empty());
     }
 }

@@ -227,8 +227,18 @@ impl LshTable {
     /// stratum-H sample, so bulk loads pay one rebuild, not one per
     /// insert.
     pub fn insert(&mut self, v: &SparseVector) -> VectorId {
-        let id = u32::try_from(self.vector_keys.len()).expect("table exceeds u32 ids");
         let key = self.hasher.key(v);
+        self.insert_key(key)
+    }
+
+    /// Appends one vector by its *precomputed* bucket key — the
+    /// recovery/replication path: a checkpoint stores the keys the
+    /// hasher produced at original ingest time, so rebuilding a table
+    /// from parts costs no hash evaluations. The resulting table is
+    /// bit-identical to one built by [`LshTable::insert`] over vectors
+    /// hashing to the same keys.
+    pub fn insert_key(&mut self, key: u64) -> VectorId {
+        let id = u32::try_from(self.vector_keys.len()).expect("table exceeds u32 ids");
         self.vector_keys.push(key);
         let pos = u32::try_from(self.live.len()).expect("live population exceeds u32 positions");
         // Position DEAD (u32::MAX) is the tombstone sentinel and must
@@ -362,6 +372,20 @@ impl LshTable {
     #[inline]
     pub fn hasher(&self) -> &Arc<dyn BucketHasher> {
         &self.hasher
+    }
+
+    /// Serializes the table to its parts: the bucket keys of the live
+    /// vectors in ascending id order. The inverse of
+    /// [`LshTable::from_parts`] — `from_parts(hasher, t.to_parts())`
+    /// reproduces a table with identical buckets, `N_H`, and sampling
+    /// behavior (with densely renumbered ids `0..len` when removals left
+    /// gaps; for a removal-free table the round trip is the identity).
+    pub fn to_parts(&self) -> Vec<u64> {
+        let mut ids = self.live.clone();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|&id| self.vector_keys[id as usize])
+            .collect()
     }
 
     /// Bucket key of an indexed vector (`B(v)` of the paper).
@@ -886,6 +910,52 @@ mod tests {
                 built.sample_cross_bucket_pair(&mut r1),
                 assembled.sample_cross_bucket_pair(&mut r2)
             );
+        }
+    }
+
+    #[test]
+    fn to_parts_round_trips_through_from_parts() {
+        let coll = clustered_collection();
+        let mut t = minhash_table(&coll, 16);
+        // Removal-free: parts are exactly the per-id keys.
+        let parts = t.to_parts();
+        assert_eq!(parts.len(), t.len());
+        for (id, &key) in parts.iter().enumerate() {
+            assert_eq!(key, t.key_of(id as VectorId));
+        }
+        // After removals the round trip compacts but preserves every
+        // statistic and the sampling stream.
+        t.remove(1);
+        t.remove(4);
+        let rebuilt = LshTable::from_parts(t.hasher().clone(), t.to_parts());
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.nh(), t.nh());
+        assert_eq!(rebuilt.num_buckets(), t.num_buckets());
+        let mut r1 = Xoshiro256::seeded(9);
+        let mut r2 = Xoshiro256::seeded(9);
+        for _ in 0..200 {
+            assert_eq!(
+                t.sample_same_bucket_pair(&mut r1).is_some(),
+                rebuilt.sample_same_bucket_pair(&mut r2).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn insert_key_matches_insert() {
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 42, 0, 16));
+        let coll = clustered_collection();
+        let mut by_vector = LshTable::build(&VectorCollection::new(), hasher(), Some(1));
+        let mut by_key = LshTable::build(&VectorCollection::new(), hasher(), Some(1));
+        for (_, v) in coll.iter() {
+            let id_v = by_vector.insert(v);
+            let id_k = by_key.insert_key(hasher().key(v));
+            assert_eq!(id_v, id_k);
+        }
+        assert_eq!(by_vector.nh(), by_key.nh());
+        assert_eq!(by_vector.num_buckets(), by_key.num_buckets());
+        for id in 0..coll.len() as u32 {
+            assert_eq!(by_vector.key_of(id), by_key.key_of(id));
         }
     }
 

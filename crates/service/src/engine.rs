@@ -1,5 +1,6 @@
 //! The concurrent estimation engine.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -12,9 +13,25 @@ use vsj_vector::{Cosine, Jaccard, SparseVector};
 
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
 use crate::config::{IndexFamily, ServiceConfig};
+use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
 use crate::shard::{ShardState, ShardStats};
 use crate::snapshot::Snapshot;
+use crate::wal::{WalOp, WalRecord, WalWriter};
 use crate::GlobalId;
+
+/// Storage attachment of a durable engine: the directory holding the
+/// checkpoint + WAL pair, and the WAL append handle. The WAL mutex is
+/// also the durable-write serialization point — every durable ingest
+/// holds it across *log then apply*, so WAL order equals apply order
+/// and a checkpoint taken under it cuts at an exact record boundary.
+struct Durability {
+    dir: PathBuf,
+    wal: Mutex<WalWriter>,
+    /// Records appended since the last checkpoint cut, mirrored outside
+    /// the WAL mutex so `stats()`/`wal_pending()` never block on a
+    /// checkpoint in progress.
+    pending: AtomicU64,
+}
 
 /// One answer from the service, with the provenance a query optimizer
 /// (or an SLA dashboard) needs to judge it.
@@ -56,6 +73,9 @@ pub struct EngineStats {
     pub sampling_passes: u64,
     /// Total pair draws across those passes.
     pub sampled_pairs: u64,
+    /// WAL records not yet covered by a checkpoint (0 for non-durable
+    /// engines).
+    pub wal_pending: u64,
 }
 
 /// A long-lived, concurrently usable VSJ size-estimation service.
@@ -97,6 +117,8 @@ pub struct EstimationEngine {
     sampled_pairs: AtomicU64,
     cache: Mutex<EstimateCache>,
     streams: RngStreams,
+    /// `Some` for durable engines (see [`EstimationEngine::durable`]).
+    durability: Option<Durability>,
 }
 
 impl EstimationEngine {
@@ -138,7 +160,223 @@ impl EstimationEngine {
             sampled_pairs: AtomicU64::new(0),
             cache: Mutex::new(EstimateCache::default()),
             streams: RngStreams::new(config.seed),
+            durability: None,
         }
+    }
+
+    // --- durability ------------------------------------------------------
+
+    /// Builds a **durable** engine over a fresh storage directory: an
+    /// initial (epoch 0) checkpoint pins the configuration on disk, and
+    /// every subsequent ingest is appended to a write-ahead log *before*
+    /// it is applied. Combined with periodic
+    /// [`checkpoint`](Self::checkpoint) calls (or a
+    /// [`Checkpointer`](crate::Checkpointer)), the engine survives
+    /// restarts via [`recover`](Self::recover).
+    ///
+    /// Durable writes are serialized through the WAL lock (log, then
+    /// apply), trading write parallelism for an exact correspondence
+    /// between the log and the applied state.
+    ///
+    /// # Errors
+    /// Filesystem failures, or [`PersistError::AlreadyInitialized`]
+    /// when `dir` already holds a checkpoint (recover it instead —
+    /// silently overwriting a previous life's state is exactly the kind
+    /// of data loss this subsystem exists to prevent).
+    pub fn durable(config: ServiceConfig, dir: &Path) -> Result<Self, PersistError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join(CHECKPOINT_FILE).exists() {
+            return Err(PersistError::AlreadyInitialized(dir.to_path_buf()));
+        }
+        let mut engine = Self::new(config);
+        let meta = CheckpointMeta {
+            epoch: 0,
+            ingested: 0,
+            next_id: 0,
+            applied_seq: 0,
+            publishes: 0,
+            config,
+        };
+        persist::write_checkpoint(dir, &meta, &engine.snapshot())?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), 0, persist::config_fingerprint(&config))?;
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(wal),
+            pending: AtomicU64::new(0),
+        });
+        Ok(engine)
+    }
+
+    /// Resurrects a durable engine from its storage directory: loads
+    /// the checkpoint (every section checksum-verified), rebuilds the
+    /// shards from the stored bucket keys (no re-hashing), restores the
+    /// epoch/ingest/id counters, then replays the WAL records past the
+    /// checkpoint's cut through the normal apply path — re-firing any
+    /// auto-publishes at the same ingest boundaries as the original
+    /// run. A torn WAL tail (crash mid-append) is truncated and the
+    /// clean prefix recovered; a damaged checkpoint or WAL header fails
+    /// loudly.
+    ///
+    /// The recovered engine is *bit-identical* to the pre-shutdown one
+    /// at every published epoch: the same `(epoch, τ)` query returns the
+    /// same estimate, and the next publish produces the same snapshot,
+    /// because all RNG streams derive from the recovered seed and epoch
+    /// counter.
+    ///
+    /// Caveat: explicit [`publish`](Self::publish) calls between
+    /// checkpoints are not logged, so the recovered *epoch counter* can
+    /// lag by those unlogged publishes until the caller republishes.
+    /// Auto-publish cadences and [`checkpoint`](Self::checkpoint)
+    /// epochs are always reproduced exactly.
+    pub fn recover(dir: &Path) -> Result<Self, PersistError> {
+        let (meta, rows) = persist::read_checkpoint(dir)?;
+        let mut engine = Self::new(meta.config);
+        for (gid, key, v) in &rows {
+            let shard = engine.shard_of(*gid);
+            let fresh = engine.shards[shard]
+                .get_mut()
+                .insert_precomputed(*gid, *key, v.clone());
+            if !fresh {
+                return Err(PersistError::Corrupt(format!(
+                    "checkpoint carries global id {gid} twice"
+                )));
+            }
+        }
+        *engine.current.get_mut() = Arc::new(Snapshot::assemble(
+            meta.epoch,
+            meta.ingested,
+            engine.hasher.clone(),
+            rows,
+        ));
+        *engine.publish_lock.get_mut() = meta.epoch;
+        *engine.next_id.get_mut() = meta.next_id;
+        *engine.ingests.get_mut() = meta.ingested;
+        *engine.publishes.get_mut() = meta.publishes;
+
+        let fingerprint = persist::config_fingerprint(&meta.config);
+        let (wal, entries) = WalWriter::open_append(&dir.join(WAL_FILE), fingerprint)?;
+        if wal.seq() < meta.applied_seq {
+            return Err(PersistError::Corrupt(format!(
+                "WAL ends at seq {} but the checkpoint covers {}",
+                wal.seq(),
+                meta.applied_seq
+            )));
+        }
+        for entry in &entries {
+            if entry.seq > meta.applied_seq {
+                engine.apply_replayed(&entry.record)?;
+            }
+        }
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            pending: AtomicU64::new(wal.seq().saturating_sub(meta.applied_seq)),
+            wal: Mutex::new(wal),
+        });
+        Ok(engine)
+    }
+
+    /// Re-applies one replayed WAL record (no logging — it is already
+    /// on disk). Runs single-threaded during recovery, reproducing the
+    /// original apply order exactly.
+    fn apply_replayed(&self, record: &WalRecord) -> Result<(), PersistError> {
+        match record {
+            WalRecord::Insert { id, vector } => {
+                self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                let fresh = self.shards[self.shard_of(*id)]
+                    .lock()
+                    .insert(*id, Arc::new(vector.clone()));
+                if !fresh {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL replays insert of already-live id {id}"
+                    )));
+                }
+                self.after_ingest(1);
+            }
+            WalRecord::Remove { id } => {
+                let removed = self.shards[self.shard_of(*id)].lock().remove(*id);
+                if !removed {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL replays remove of non-live id {id}"
+                    )));
+                }
+                self.after_ingest(1);
+            }
+            WalRecord::Upsert { id, vector } => {
+                self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                let replaced = {
+                    let mut shard = self.shards[self.shard_of(*id)].lock();
+                    let replaced = shard.remove(*id);
+                    let inserted = shard.insert(*id, Arc::new(vector.clone()));
+                    debug_assert!(inserted, "id was just vacated");
+                    replaced
+                };
+                self.after_ingest(if replaced { 2 } else { 1 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes the next epoch **and makes it durable**: under the WAL
+    /// lock (no ingest in flight), takes the cut, writes the snapshot
+    /// container (temp file + atomic rename), then truncates the WAL —
+    /// every logged record is now covered by the checkpoint. Returns
+    /// the checkpointed epoch.
+    ///
+    /// Crash windows are all safe: before the rename the previous
+    /// checkpoint + full WAL recover the same state; between rename and
+    /// WAL reset the new checkpoint simply skips the already-covered
+    /// records on replay.
+    ///
+    /// # Errors
+    /// [`PersistError::NotDurable`] on a non-durable engine; otherwise
+    /// filesystem failures (the engine state itself is already
+    /// published and remains consistent).
+    pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        let durability = self.durability.as_ref().ok_or(PersistError::NotDurable)?;
+        let mut wal = durability.wal.lock();
+        wal.sync()?;
+        let epoch = self.publish();
+        let snapshot = self.snapshot();
+        debug_assert_eq!(snapshot.epoch(), epoch, "cut raced a publish");
+        let meta = CheckpointMeta {
+            epoch,
+            ingested: snapshot.ingested(),
+            next_id: self.next_id.load(Ordering::SeqCst),
+            applied_seq: wal.seq(),
+            publishes: self.publishes.load(Ordering::SeqCst),
+            config: self.config,
+        };
+        if let Err(e) = persist::write_checkpoint(&durability.dir, &meta, &snapshot) {
+            // A deployment that cannot persist must not keep
+            // acknowledging writes it may lose: latch the failure so
+            // every subsequent durable ingest fails loudly.
+            wal.poison();
+            return Err(e);
+        }
+        let cut = wal.seq();
+        wal.reset(cut)?; // poisons itself on failure
+        durability.pending.store(0, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// Whether the engine has storage attached.
+    #[inline]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The storage directory of a durable engine.
+    pub fn storage_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// WAL records not yet covered by a checkpoint (0 when
+    /// non-durable). Lock-free: safe to poll while a checkpoint is in
+    /// flight.
+    pub fn wal_pending(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.pending.load(Ordering::Relaxed))
     }
 
     /// The engine's configuration.
@@ -154,9 +392,27 @@ impl EstimationEngine {
     // --- writes ----------------------------------------------------------
 
     /// Ingests a vector, returning its engine-assigned global id. Not
-    /// visible to reads until the next [`publish`](Self::publish).
+    /// visible to reads until the next [`publish`](Self::publish). On a
+    /// durable engine the vector is WAL-logged before it is applied.
+    ///
+    /// # Panics
+    /// A durable engine panics when the WAL append fails — accepting a
+    /// write that would vanish on restart is worse than refusing it.
     pub fn insert(&self, v: SparseVector) -> GlobalId {
         let v = Arc::new(v);
+        if let Some(durability) = &self.durability {
+            // The WAL lock serializes all durable writers, so the id
+            // allocated here cannot race an upsert's reservation.
+            let mut wal = durability.wal.lock();
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            wal.append(WalOp::Insert(id, &v))
+                .expect("WAL append failed; refusing to apply an unlogged insert");
+            durability.pending.fetch_add(1, Ordering::Relaxed);
+            let fresh = self.shards[self.shard_of(id)].lock().insert(id, v);
+            debug_assert!(fresh, "WAL lock serializes writers; id must be fresh");
+            self.after_ingest(1);
+            return id;
+        }
         loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             // A concurrent upsert may claim this id between our
@@ -180,8 +436,31 @@ impl EstimationEngine {
     }
 
     /// Removes a vector by global id; `false` when absent (or already
-    /// removed). Takes effect for reads at the next publish.
+    /// removed). Takes effect for reads at the next publish. Only
+    /// *applied* removes are WAL-logged, so replay never sees a
+    /// spurious record.
+    ///
+    /// # Panics
+    /// A durable engine panics when the WAL append fails.
     pub fn remove(&self, global: GlobalId) -> bool {
+        if let Some(durability) = &self.durability {
+            let mut wal = durability.wal.lock();
+            // One shard guard across peek, log, and apply: only applied
+            // removes reach the WAL, with no window for liveness to
+            // change in between.
+            let mut shard = self.shards[self.shard_of(global)].lock();
+            if !shard.contains(global) {
+                return false;
+            }
+            wal.append(WalOp::Remove(global))
+                .expect("WAL append failed; refusing to apply an unlogged remove");
+            durability.pending.fetch_add(1, Ordering::Relaxed);
+            let removed = shard.remove(global);
+            debug_assert!(removed, "contains() held under the shard lock");
+            drop(shard); // after_ingest may publish, which locks all shards
+            self.after_ingest(1);
+            return true;
+        }
         let removed = self.shards[self.shard_of(global)].lock().remove(global);
         if removed {
             self.after_ingest(1);
@@ -193,6 +472,22 @@ impl EstimationEngine {
     /// Returns `true` when an existing vector was replaced. The id is
     /// reserved against future [`insert`](Self::insert) allocations.
     pub fn upsert(&self, global: GlobalId, v: SparseVector) -> bool {
+        if let Some(durability) = &self.durability {
+            let mut wal = durability.wal.lock();
+            wal.append(WalOp::Upsert(global, &v))
+                .expect("WAL append failed; refusing to apply an unlogged upsert");
+            durability.pending.fetch_add(1, Ordering::Relaxed);
+            self.next_id.fetch_max(global + 1, Ordering::Relaxed);
+            let replaced = {
+                let mut shard = self.shards[self.shard_of(global)].lock();
+                let replaced = shard.remove(global);
+                let inserted = shard.insert(global, Arc::new(v));
+                debug_assert!(inserted, "id was just vacated");
+                replaced
+            };
+            self.after_ingest(if replaced { 2 } else { 1 });
+            return replaced;
+        }
         self.next_id.fetch_max(global + 1, Ordering::Relaxed);
         let replaced = {
             let mut shard = self.shards[self.shard_of(global)].lock();
@@ -513,6 +808,7 @@ impl EstimationEngine {
             cache_entries,
             sampling_passes: self.sampling_passes.load(Ordering::Relaxed),
             sampled_pairs: self.sampled_pairs.load(Ordering::Relaxed),
+            wal_pending: self.wal_pending(),
         }
     }
 }

@@ -36,6 +36,14 @@
 //!   ([`EstimationEngine::estimate_rng`]).
 //! * **Determinism** — everything derives from the master seed; the
 //!   same ingest history gives the same answers, across thread counts.
+//! * **Durability** (opt-in) — [`EstimationEngine::durable`] attaches a
+//!   storage directory: epoch checkpoints (checksummed
+//!   [`datasets::io`](vsj_datasets::io) v2 containers, see [`persist`])
+//!   plus a write-ahead log of every ingest between checkpoints
+//!   ([`wal`]). [`EstimationEngine::recover`] rebuilds the engine —
+//!   shards from stored bucket keys, no re-hashing — and replays the
+//!   WAL tail, yielding answers bit-identical to the engine that died.
+//!   A background [`Checkpointer`] keeps the WAL bounded.
 //!
 //! [`LshTable::build`]: vsj_lsh::LshTable::build
 //!
@@ -65,11 +73,14 @@
 mod cache;
 mod config;
 mod engine;
+pub mod persist;
 mod shard;
 mod snapshot;
+pub mod wal;
 
 pub use config::{IndexFamily, ServiceConfig, ServiceConfigBuilder};
 pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
+pub use persist::{Checkpointer, PersistError};
 pub use shard::ShardStats;
 pub use snapshot::Snapshot;
 

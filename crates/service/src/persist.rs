@@ -1,0 +1,443 @@
+//! Durable epoch checkpoints and the background checkpointer.
+//!
+//! A *checkpoint* is one file (`checkpoint.vsjc`, a
+//! [`datasets::io`](vsj_datasets::io) v2 container) holding everything
+//! needed to resurrect an [`EstimationEngine`](crate::EstimationEngine)
+//! at a published epoch:
+//!
+//! | section | payload |
+//! |---|---|
+//! | `META` | epoch, ingest counter, id allocator, WAL cut, publishes, full [`ServiceConfig`] |
+//! | `GIDS` | global ids of the snapshot rows, ascending |
+//! | `KEYS` | precomputed LSH bucket keys, parallel to `GIDS` |
+//! | `VECS` | the owned vector payloads (shared collection encoding) |
+//!
+//! Storing the bucket keys means recovery re-hashes *nothing*: shards
+//! are rebuilt through [`LshTable::insert_key`](vsj_lsh::LshTable) from
+//! parts, exactly like snapshot publication. Every section is
+//! checksummed by the container, so any flipped byte fails the load
+//! loudly instead of resurrecting a silently wrong index.
+//!
+//! Checkpoint files are written to a temp name and atomically renamed,
+//! so a crash mid-checkpoint leaves the previous checkpoint intact. The
+//! WAL is truncated only after the rename (see
+//! [`EstimationEngine::checkpoint`](crate::EstimationEngine::checkpoint)
+//! for the full protocol).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vsj_datasets::io::{self, ContainerReader, ContainerWriter, IoError};
+use vsj_vector::SparseVector;
+
+use crate::config::{IndexFamily, ServiceConfig};
+use crate::engine::EstimationEngine;
+use crate::snapshot::Snapshot;
+use crate::GlobalId;
+
+/// File name of the checkpoint container inside a storage directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.vsjc";
+/// File name of the write-ahead log inside a storage directory.
+pub const WAL_FILE: &str = "wal.vsjw";
+
+const SECTION_META: [u8; 4] = *b"META";
+const SECTION_GIDS: [u8; 4] = *b"GIDS";
+const SECTION_KEYS: [u8; 4] = *b"KEYS";
+const SECTION_VECS: [u8; 4] = *b"VECS";
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Container-level decode failure (framing, checksum, vectors).
+    Container(IoError),
+    /// Structurally valid container with semantically inconsistent
+    /// contents (mismatched section lengths, non-ascending ids, …).
+    Corrupt(String),
+    /// Snapshot and WAL (or caller expectations) disagree about the
+    /// engine configuration.
+    ConfigMismatch(String),
+    /// A durability operation was invoked on a non-durable engine.
+    NotDurable,
+    /// `durable()` refused to overwrite an existing storage directory.
+    AlreadyInitialized(PathBuf),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "persistence I/O error: {e}"),
+            Self::Container(e) => write!(f, "checkpoint container error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt persistent state: {msg}"),
+            Self::ConfigMismatch(msg) => write!(f, "config mismatch: {msg}"),
+            Self::NotDurable => write!(f, "engine has no storage attached (not durable)"),
+            Self::AlreadyInitialized(dir) => write!(
+                f,
+                "storage directory {} already holds a checkpoint; use recover()",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<IoError> for PersistError {
+    fn from(e: IoError) -> Self {
+        Self::Container(e)
+    }
+}
+
+/// Engine counters and configuration frozen at a checkpoint cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointMeta {
+    /// Epoch of the checkpointed snapshot.
+    pub epoch: u64,
+    /// Ingest-operation counter at the cut.
+    pub ingested: u64,
+    /// Id-allocator watermark at the cut.
+    pub next_id: u64,
+    /// WAL sequence number the cut covers: records with `seq` beyond
+    /// this are replayed on recovery.
+    pub applied_seq: u64,
+    /// Publish counter at the cut.
+    pub publishes: u64,
+    /// The engine configuration (fully round-tripped; `recover` needs
+    /// no config argument).
+    pub config: ServiceConfig,
+}
+
+/// Identity hash of the configuration fields that determine what the
+/// persisted bytes *mean* (hash functions, sharding, RNG streams). Used
+/// to pair a WAL with its checkpoint.
+pub fn config_fingerprint(config: &ServiceConfig) -> u64 {
+    use vsj_sampling::SplitMix64;
+    let family = match config.family {
+        IndexFamily::SimHash => 1u64,
+        IndexFamily::MinHash => 2u64,
+    };
+    let mut acc = SplitMix64::mix(0x5EED_CAFE ^ config.seed);
+    acc = SplitMix64::mix(acc ^ config.k as u64);
+    acc = SplitMix64::mix(acc ^ config.shards as u64);
+    SplitMix64::mix(acc ^ family)
+}
+
+fn encode_meta(meta: &CheckpointMeta, n: u64) -> Bytes {
+    let c = &meta.config;
+    let mut buf = BytesMut::with_capacity(128);
+    buf.put_u64_le(meta.epoch);
+    buf.put_u64_le(meta.ingested);
+    buf.put_u64_le(meta.next_id);
+    buf.put_u64_le(meta.applied_seq);
+    buf.put_u64_le(meta.publishes);
+    buf.put_u64_le(n);
+    buf.put_u64_le(c.seed);
+    buf.put_u64_le(c.k as u64);
+    buf.put_u64_le(c.shards as u64);
+    buf.put_slice(&[match c.family {
+        IndexFamily::SimHash => 0u8,
+        IndexFamily::MinHash => 1u8,
+    }]);
+    buf.put_u64_le(c.cache_epsilon);
+    match c.auto_publish_every {
+        None => buf.put_slice(&[0]),
+        Some(b) => {
+            buf.put_slice(&[1]);
+            buf.put_u64_le(b);
+        }
+    }
+    match c.estimator {
+        None => buf.put_slice(&[0]),
+        Some(e) => {
+            buf.put_slice(&[1]);
+            buf.put_u64_le(e.m_h);
+            buf.put_u64_le(e.m_l);
+            buf.put_u64_le(e.delta);
+            match e.dampening {
+                vsj_core::Dampening::SafeLowerBound => buf.put_slice(&[0]),
+                vsj_core::Dampening::Constant(v) => {
+                    buf.put_slice(&[1]);
+                    buf.put_f64_le(v);
+                }
+                vsj_core::Dampening::NlOverDelta => buf.put_slice(&[2]),
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+fn decode_meta(mut data: Bytes) -> Result<(CheckpointMeta, u64), PersistError> {
+    let need = |data: &mut Bytes, bytes: usize, what: &str| -> Result<(), PersistError> {
+        if data.remaining() < bytes {
+            Err(corrupt(format!("META truncated at {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&mut data, 6 * 8, "counters")?;
+    let epoch = data.get_u64_le();
+    let ingested = data.get_u64_le();
+    let next_id = data.get_u64_le();
+    let applied_seq = data.get_u64_le();
+    let publishes = data.get_u64_le();
+    let n = data.get_u64_le();
+    need(&mut data, 3 * 8 + 1, "config")?;
+    let seed = data.get_u64_le();
+    let k = data.get_u64_le() as usize;
+    let shards = data.get_u64_le() as usize;
+    let mut byte = [0u8; 1];
+    data.copy_to_slice(&mut byte);
+    let family = match byte[0] {
+        0 => IndexFamily::SimHash,
+        1 => IndexFamily::MinHash,
+        b => return Err(corrupt(format!("unknown family tag {b}"))),
+    };
+    need(&mut data, 8 + 1, "cache/publish policy")?;
+    let cache_epsilon = data.get_u64_le();
+    data.copy_to_slice(&mut byte);
+    let auto_publish_every = match byte[0] {
+        0 => None,
+        1 => {
+            need(&mut data, 8, "auto-publish batch")?;
+            Some(data.get_u64_le())
+        }
+        b => return Err(corrupt(format!("bad auto-publish flag {b}"))),
+    };
+    need(&mut data, 1, "estimator flag")?;
+    data.copy_to_slice(&mut byte);
+    let estimator = match byte[0] {
+        0 => None,
+        1 => {
+            need(&mut data, 3 * 8 + 1, "estimator config")?;
+            let m_h = data.get_u64_le();
+            let m_l = data.get_u64_le();
+            let delta = data.get_u64_le();
+            data.copy_to_slice(&mut byte);
+            let dampening = match byte[0] {
+                0 => vsj_core::Dampening::SafeLowerBound,
+                1 => {
+                    need(&mut data, 8, "dampening constant")?;
+                    vsj_core::Dampening::Constant(data.get_f64_le())
+                }
+                2 => vsj_core::Dampening::NlOverDelta,
+                b => return Err(corrupt(format!("unknown dampening tag {b}"))),
+            };
+            Some(vsj_core::LshSsConfig {
+                m_h,
+                m_l,
+                delta,
+                dampening,
+            })
+        }
+        b => return Err(corrupt(format!("bad estimator flag {b}"))),
+    };
+    if data.has_remaining() {
+        return Err(corrupt(format!("{} trailing META bytes", data.remaining())));
+    }
+    // Re-validate what the builder validates: a corrupt-but-checksummed
+    // file must fail loudly here, never panic inside engine assembly.
+    if shards == 0 || k == 0 || auto_publish_every == Some(0) {
+        return Err(corrupt("META carries an invalid engine configuration"));
+    }
+    let config = ServiceConfig {
+        shards,
+        k,
+        family,
+        seed,
+        cache_epsilon,
+        auto_publish_every,
+        estimator,
+    };
+    Ok((
+        CheckpointMeta {
+            epoch,
+            ingested,
+            next_id,
+            applied_seq,
+            publishes,
+            config,
+        },
+        n,
+    ))
+}
+
+fn encode_u64s(values: impl ExactSizeIterator<Item = u64>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 8);
+    for v in values {
+        buf.put_u64_le(v);
+    }
+    buf.freeze()
+}
+
+fn decode_u64s(mut data: Bytes, what: &str) -> Result<Vec<u64>, PersistError> {
+    if !data.remaining().is_multiple_of(8) {
+        return Err(corrupt(format!(
+            "{what} section length not a multiple of 8"
+        )));
+    }
+    let mut out = Vec::with_capacity(data.remaining() / 8);
+    while data.has_remaining() {
+        out.push(data.get_u64_le());
+    }
+    Ok(out)
+}
+
+/// The snapshot rows a checkpoint stores: `(global id, bucket key,
+/// vector)`, ascending by id.
+pub type SnapshotRows = Vec<(GlobalId, u64, Arc<SparseVector>)>;
+
+/// Serializes a checkpoint into container bytes (exposed for tests and
+/// tooling; [`write_checkpoint`] is the durable path).
+pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
+    let mut w = ContainerWriter::new();
+    w.section(SECTION_META, encode_meta(meta, snapshot.len() as u64));
+    w.section(
+        SECTION_GIDS,
+        encode_u64s(snapshot.global_ids().iter().copied()),
+    );
+    let keys = snapshot.table().to_parts();
+    w.section(SECTION_KEYS, encode_u64s(keys.into_iter()));
+    w.section(SECTION_VECS, io::encode_vectors(snapshot.collection()));
+    w.finish()
+}
+
+/// Atomically replaces the checkpoint file in `dir`.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    meta: &CheckpointMeta,
+    snapshot: &Snapshot,
+) -> Result<(), PersistError> {
+    use std::io::Write;
+    let bytes = encode_checkpoint(meta, snapshot);
+    let tmp = dir.join("checkpoint.vsjc.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes.as_slice())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    Ok(())
+}
+
+/// Decodes checkpoint bytes into metadata plus snapshot rows
+/// `(global id, bucket key, vector)`, verifying every section checksum
+/// and cross-section consistency.
+pub fn decode_checkpoint(bytes: Bytes) -> Result<(CheckpointMeta, SnapshotRows), PersistError> {
+    let container = ContainerReader::parse(bytes)?;
+    let (meta, n) = decode_meta(container.require(SECTION_META)?)?;
+    let gids = decode_u64s(container.require(SECTION_GIDS)?, "GIDS")?;
+    let keys = decode_u64s(container.require(SECTION_KEYS)?, "KEYS")?;
+    let collection = io::decode_vectors(container.require(SECTION_VECS)?)?;
+    if gids.len() as u64 != n || keys.len() as u64 != n || collection.len() as u64 != n {
+        return Err(corrupt(format!(
+            "row count mismatch: META says {n}, sections carry {}/{}/{}",
+            gids.len(),
+            keys.len(),
+            collection.len()
+        )));
+    }
+    if gids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(corrupt("GIDS are not strictly ascending"));
+    }
+    if gids.last().is_some_and(|&last| last >= meta.next_id) {
+        return Err(corrupt("a snapshot row carries an unallocated global id"));
+    }
+    let rows = gids
+        .into_iter()
+        .zip(keys)
+        .zip(collection.vectors().iter().cloned())
+        .map(|((gid, key), v)| (gid, key, Arc::new(v)))
+        .collect();
+    Ok((meta, rows))
+}
+
+/// Reads and verifies the checkpoint file in `dir`.
+pub fn read_checkpoint(dir: &Path) -> Result<(CheckpointMeta, SnapshotRows), PersistError> {
+    decode_checkpoint(Bytes::from(std::fs::read(dir.join(CHECKPOINT_FILE))?))
+}
+
+/// A background thread that checkpoints a durable engine whenever the
+/// WAL backlog reaches a threshold — the component that keeps the WAL
+/// bounded ("truncate after each durable epoch") without putting
+/// checkpoint latency on the write path.
+///
+/// Stopping (explicitly via [`Checkpointer::stop`] or by dropping)
+/// joins the thread; it does **not** take a final checkpoint — callers
+/// decide whether the tail should ride the WAL or be made durable.
+#[derive(Debug)]
+pub struct Checkpointer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Checkpointer {
+    /// Spawns the checkpointer: every `poll`, if at least
+    /// `min_pending_records` WAL records accumulated since the last
+    /// checkpoint, takes one.
+    ///
+    /// # Panics
+    /// The background thread panics if a checkpoint fails (the panic
+    /// resurfaces from [`Checkpointer::stop`]). The engine itself stays
+    /// up but does **not** keep silently accepting writes: a failed
+    /// checkpoint poisons the WAL writer, so every subsequent durable
+    /// ingest fails loudly instead of being acknowledged and lost.
+    pub fn spawn(engine: Arc<EstimationEngine>, min_pending_records: u64, poll: Duration) -> Self {
+        assert!(
+            engine.is_durable(),
+            "Checkpointer requires a durable engine"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut taken = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                if engine.wal_pending() >= min_pending_records.max(1) {
+                    engine
+                        .checkpoint()
+                        .expect("background checkpoint failed; refusing to continue unlogged");
+                    taken += 1;
+                }
+                std::thread::sleep(poll);
+            }
+            taken
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread and joins it, returning how many checkpoints
+    /// it took.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("checkpointer joined twice")
+            .join()
+            .expect("checkpointer thread panicked")
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

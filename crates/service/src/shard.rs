@@ -70,6 +70,26 @@ impl ShardState {
         true
     }
 
+    /// Indexes a vector under `global` with an already-computed bucket
+    /// key — the recovery path: checkpoints store the keys the hasher
+    /// produced at original ingest time, so rebuilding a shard performs
+    /// no hash evaluations. Returns `false` when the id is already live.
+    pub(crate) fn insert_precomputed(
+        &mut self,
+        global: GlobalId,
+        key: u64,
+        v: Arc<SparseVector>,
+    ) -> bool {
+        if self.by_global.contains_key(&global) {
+            return false;
+        }
+        let local = self.table.insert_key(key);
+        self.vectors.push(Some(v));
+        self.globals.push(global);
+        self.by_global.insert(global, local);
+        true
+    }
+
     /// Removes the vector with global id `global`; `false` when absent.
     pub(crate) fn remove(&mut self, global: GlobalId) -> bool {
         let Some(local) = self.by_global.remove(&global) else {

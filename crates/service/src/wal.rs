@@ -1,0 +1,568 @@
+//! Write-ahead log of ingest operations between checkpoints.
+//!
+//! Every durable-mode ingest (`insert` / `remove` / `upsert`) is
+//! appended here *before* it is applied to the shards, under the same
+//! lock that serializes durable writers — so the WAL order **is** the
+//! apply order, and a checkpoint taken under that lock corresponds to an
+//! exact record prefix. Recovery replays the records past the
+//! checkpoint's cut through the engine's normal apply path, reproducing
+//! the pre-crash live state (and its auto-publish epochs) bit for bit.
+//!
+//! ## File layout (all little-endian)
+//!
+//! ```text
+//! header:
+//!   magic       4 bytes  "VSJW"
+//!   version     u32      1
+//!   base_seq    u64      records ≤ base_seq live in the checkpoint
+//!   fingerprint u64      identity hash of the engine config
+//! per record:
+//!   len      u32      payload length in bytes
+//!   checksum u64      checksum64 of the payload
+//!   payload:
+//!     op  u8       1 = insert, 2 = remove, 3 = upsert
+//!     id  u64      global id
+//!     (insert/upsert) nnz u32, nnz × u32 indices, nnz × f32 weights
+//! ```
+//!
+//! Record `i` (0-based) carries implicit sequence number
+//! `base_seq + i + 1`; the WAL is truncated (rewritten with a fresh
+//! `base_seq`) at every checkpoint, so sequence numbers never repeat
+//! within a storage directory.
+//!
+//! ## Torn tails vs. corruption
+//!
+//! [`read_wal`] validates records front to back and stops at the first
+//! frame that is short, fails its checksum, or decodes to garbage. A
+//! clean prefix plus a damaged tail is exactly what a crash mid-append
+//! produces, so the reader reports the valid prefix (and where it ends)
+//! rather than failing — recovery is *prefix-consistent*. Damage to the
+//! header, by contrast, is never survivable and fails loudly.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vsj_datasets::io::{checksum64, decode_vector, encode_vector_into};
+use vsj_vector::SparseVector;
+
+use crate::persist::PersistError;
+use crate::GlobalId;
+
+const WAL_MAGIC: &[u8; 4] = b"VSJW";
+const WAL_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 24;
+
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+const OP_UPSERT: u8 = 3;
+
+/// One logged ingest operation, borrowed form (what writers append).
+#[derive(Debug, Clone, Copy)]
+pub enum WalOp<'a> {
+    /// A fresh vector under an engine-assigned id.
+    Insert(GlobalId, &'a SparseVector),
+    /// Removal of a live id (only *applied* removes are logged).
+    Remove(GlobalId),
+    /// Insert-or-replace under a caller-chosen id.
+    Upsert(GlobalId, &'a SparseVector),
+}
+
+/// One logged ingest operation, owned form (what replay consumes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// See [`WalOp::Insert`].
+    Insert {
+        /// Engine-assigned global id.
+        id: GlobalId,
+        /// The ingested vector.
+        vector: SparseVector,
+    },
+    /// See [`WalOp::Remove`].
+    Remove {
+        /// The removed global id.
+        id: GlobalId,
+    },
+    /// See [`WalOp::Upsert`].
+    Upsert {
+        /// Caller-chosen global id.
+        id: GlobalId,
+        /// The replacement vector.
+        vector: SparseVector,
+    },
+}
+
+/// A validated record plus its position in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalEntry {
+    /// Sequence number (`base_seq + index + 1`).
+    pub seq: u64,
+    /// The operation.
+    pub record: WalRecord,
+    /// Byte offset one past this record's frame — the log is
+    /// prefix-consistent when truncated at exactly this offset.
+    pub end_offset: u64,
+}
+
+/// Everything [`read_wal`] learned about a log file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// `base_seq` from the header.
+    pub base_seq: u64,
+    /// Config fingerprint from the header.
+    pub fingerprint: u64,
+    /// The valid record prefix.
+    pub entries: Vec<WalEntry>,
+    /// `false` when bytes past the valid prefix were ignored (torn tail
+    /// or in-place corruption — indistinguishable, both recover the
+    /// prefix).
+    pub clean: bool,
+    /// Byte length of the valid prefix (header + whole records).
+    pub valid_len: u64,
+}
+
+fn encode_payload(op: WalOp<'_>) -> Bytes {
+    let (tag, id, vector) = match op {
+        WalOp::Insert(id, v) => (OP_INSERT, id, Some(v)),
+        WalOp::Remove(id) => (OP_REMOVE, id, None),
+        WalOp::Upsert(id, v) => (OP_UPSERT, id, Some(v)),
+    };
+    let nnz = vector.map_or(0, SparseVector::nnz);
+    let mut buf = BytesMut::with_capacity(9 + 4 + nnz * 8);
+    buf.put_slice(&[tag]);
+    buf.put_u64_le(id);
+    if let Some(v) = vector {
+        encode_vector_into(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+fn decode_payload(mut data: Bytes) -> Result<WalRecord, String> {
+    if data.remaining() < 9 {
+        return Err("payload shorter than op + id".into());
+    }
+    let mut tag = [0u8; 1];
+    data.copy_to_slice(&mut tag);
+    let id = data.get_u64_le();
+    let vector = match tag[0] {
+        OP_REMOVE => None,
+        OP_INSERT | OP_UPSERT => Some(decode_vector(&mut data).map_err(|e| e.to_string())?),
+        t => return Err(format!("unknown op tag {t}")),
+    };
+    if data.has_remaining() {
+        return Err(format!("{} trailing payload bytes", data.remaining()));
+    }
+    Ok(match (tag[0], vector) {
+        (OP_INSERT, Some(vector)) => WalRecord::Insert { id, vector },
+        (OP_UPSERT, Some(vector)) => WalRecord::Upsert { id, vector },
+        (OP_REMOVE, None) => WalRecord::Remove { id },
+        _ => unreachable!("tag/vector pairing checked above"),
+    })
+}
+
+fn encode_header(base_seq: u64, fingerprint: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN as usize);
+    buf.put_slice(WAL_MAGIC);
+    buf.put_u32_le(WAL_VERSION);
+    buf.put_u64_le(base_seq);
+    buf.put_u64_le(fingerprint);
+    buf.freeze()
+}
+
+/// Parses and validates a WAL file. See the module docs for the
+/// torn-tail policy.
+///
+/// # Errors
+/// [`PersistError`] when the file is unreadable or its *header* is
+/// damaged (wrong magic/version, short header) — header damage means
+/// the log's provenance is unknown, which recovery must not guess at.
+pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
+    let raw = std::fs::read(path)?;
+    let mut data = Bytes::from(raw);
+    if data.remaining() < HEADER_LEN as usize {
+        return Err(PersistError::Corrupt(format!(
+            "WAL header truncated ({} bytes)",
+            data.remaining()
+        )));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != WAL_MAGIC {
+        return Err(PersistError::Corrupt("not a VSJW write-ahead log".into()));
+    }
+    let version = data.get_u32_le();
+    if version != WAL_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "unsupported WAL version {version}"
+        )));
+    }
+    let base_seq = data.get_u64_le();
+    let fingerprint = data.get_u64_le();
+
+    let mut entries = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut clean = true;
+    while data.has_remaining() {
+        if data.remaining() < 12 {
+            clean = false;
+            break;
+        }
+        let len = data.get_u32_le() as usize;
+        let checksum = data.get_u64_le();
+        if data.remaining() < len {
+            clean = false;
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        data.copy_to_slice(&mut payload);
+        if checksum64(&payload) != checksum {
+            clean = false;
+            break;
+        }
+        let Ok(record) = decode_payload(Bytes::from(payload)) else {
+            clean = false;
+            break;
+        };
+        offset += 12 + len as u64;
+        entries.push(WalEntry {
+            seq: base_seq + entries.len() as u64 + 1,
+            record,
+            end_offset: offset,
+        });
+    }
+    Ok(WalReplay {
+        base_seq,
+        fingerprint,
+        entries,
+        clean,
+        valid_len: offset,
+    })
+}
+
+/// Append handle on a WAL file.
+///
+/// The writer is **failure-latching**: once any append, sync, or reset
+/// hits an I/O error it poisons itself and refuses every further
+/// append. Without the latch, a torn frame left by one failed append
+/// would make all *later* (successfully written) records unrecoverable
+/// — the reader stops at the first bad frame — while their writers
+/// believed them durable.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    base_seq: u64,
+    seq: u64,
+    fingerprint: u64,
+    /// Byte length of the durable prefix (header + whole records).
+    offset: u64,
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a fresh log starting at `base_seq`.
+    pub fn create(path: &Path, base_seq: u64, fingerprint: u64) -> Result<Self, PersistError> {
+        let mut file = File::create(path)?;
+        file.write_all(encode_header(base_seq, fingerprint).as_slice())?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            base_seq,
+            seq: base_seq,
+            fingerprint,
+            offset: HEADER_LEN,
+            poisoned: false,
+        })
+    }
+
+    /// Opens an existing log for appending: validates it, truncates any
+    /// torn tail back to the last whole record, and positions the writer
+    /// after that prefix. Returns the writer plus the validated entries
+    /// (recovery replays the ones past the checkpoint cut).
+    ///
+    /// # Errors
+    /// Header damage, I/O failures, or a `fingerprint` mismatch (the log
+    /// was written by a differently-configured engine and replaying it
+    /// would silently corrupt the index).
+    pub fn open_append(
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<(Self, Vec<WalEntry>), PersistError> {
+        let replay = read_wal(path)?;
+        if replay.fingerprint != fingerprint {
+            return Err(PersistError::ConfigMismatch(format!(
+                "WAL fingerprint {:#x} does not match the checkpoint's engine config ({:#x})",
+                replay.fingerprint, fingerprint
+            )));
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(replay.valid_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        let seq = replay.base_seq + replay.entries.len() as u64;
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+                base_seq: replay.base_seq,
+                seq,
+                fingerprint,
+                offset: replay.valid_len,
+                poisoned: false,
+            },
+            replay.entries,
+        ))
+    }
+
+    /// Appends one operation, returning its sequence number. The frame
+    /// is flushed to the file before the caller may apply the operation
+    /// (write-ahead ordering).
+    ///
+    /// # Errors
+    /// I/O failures — which also poison the writer: the failed frame is
+    /// truncated away (best effort) and every subsequent append is
+    /// refused, so no later write can be acknowledged on top of a torn
+    /// log.
+    pub fn append(&mut self, op: WalOp<'_>) -> Result<u64, PersistError> {
+        if self.poisoned {
+            return Err(PersistError::Corrupt(
+                "WAL writer is poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        let payload = encode_payload(op);
+        let mut frame = BytesMut::with_capacity(12 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u64_le(checksum64(payload.as_slice()));
+        frame.put_slice(payload.as_slice());
+        let frame = frame.freeze();
+        if let Err(e) = self.file.write_all(frame.as_slice()) {
+            self.poisoned = true;
+            // Best effort: drop the torn frame so the on-disk prefix
+            // stays clean even if the process survives.
+            let _ = self.file.set_len(self.offset);
+            return Err(e.into());
+        }
+        self.offset += frame.len() as u64;
+        self.seq += 1;
+        Ok(self.seq)
+    }
+
+    /// Marks the writer failed; every further append is refused. Used
+    /// by the engine when checkpointing fails — a deployment that
+    /// cannot persist must not keep acknowledging writes it may lose.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether the writer has latched a failure.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Sequence number of the last appended (or recovered) record.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records appended since the last checkpoint cut.
+    #[inline]
+    pub fn pending(&self) -> u64 {
+        self.seq - self.base_seq
+    }
+
+    /// Truncates the log after a durable checkpoint at `base_seq`: a
+    /// fresh header-only file is written beside the log and atomically
+    /// renamed over it, so a crash at any point leaves either the old
+    /// complete log or the new empty one — never a half-truncated file.
+    pub fn reset(&mut self, base_seq: u64) -> Result<(), PersistError> {
+        match self.reset_inner(base_seq) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // The old log may still be intact, but the writer's view
+                // of it is now uncertain — latch the failure.
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn reset_inner(&mut self, base_seq: u64) -> Result<(), PersistError> {
+        let tmp = self.path.with_extension("vsjw.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(encode_header(base_seq, self.fingerprint).as_slice())?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.base_seq = base_seq;
+        self.seq = base_seq;
+        self.offset = HEADER_LEN;
+        Ok(())
+    }
+
+    /// Flushes pending bytes and syncs file contents to disk.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(members: &[u32]) -> SparseVector {
+        SparseVector::binary_from_members(members.to_vec())
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("vsj_wal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmp("roundtrip.vsjw");
+        let mut w = WalWriter::create(&path, 5, 0xABCD).unwrap();
+        assert_eq!(w.append(WalOp::Insert(7, &v(&[1, 2, 3]))).unwrap(), 6);
+        assert_eq!(w.append(WalOp::Remove(7)).unwrap(), 7);
+        assert_eq!(w.append(WalOp::Upsert(9, &v(&[4]))).unwrap(), 8);
+        assert_eq!(w.pending(), 3);
+        w.sync().unwrap();
+
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.clean);
+        assert_eq!(replay.base_seq, 5);
+        assert_eq!(replay.fingerprint, 0xABCD);
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.entries[0].seq, 6);
+        assert_eq!(
+            replay.entries[0].record,
+            WalRecord::Insert {
+                id: 7,
+                vector: v(&[1, 2, 3])
+            }
+        );
+        assert_eq!(replay.entries[1].record, WalRecord::Remove { id: 7 });
+        assert_eq!(
+            replay.entries[2].record,
+            WalRecord::Upsert {
+                id: 9,
+                vector: v(&[4])
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_yields_valid_prefix() {
+        let path = tmp("torn.vsjw");
+        let mut w = WalWriter::create(&path, 0, 1).unwrap();
+        w.append(WalOp::Insert(0, &v(&[1, 2]))).unwrap();
+        w.append(WalOp::Insert(1, &v(&[3, 4]))).unwrap();
+        w.sync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let first_end = read_wal(&path).unwrap().entries[0].end_offset as usize;
+        // Every truncation point inside the second record keeps exactly
+        // the first.
+        for cut in first_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay = read_wal(&path).unwrap();
+            assert_eq!(replay.entries.len(), 1, "cut at {cut}");
+            assert_eq!(replay.clean, cut == first_end, "cut at {cut}");
+            assert_eq!(replay.valid_len as usize, first_end);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail_and_continues() {
+        let path = tmp("cont.vsjw");
+        let mut w = WalWriter::create(&path, 0, 2).unwrap();
+        w.append(WalOp::Insert(0, &v(&[1]))).unwrap();
+        w.append(WalOp::Insert(1, &v(&[2]))).unwrap();
+        w.sync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let (mut w2, entries) = WalWriter::open_append(&path, 2).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(w2.seq(), 1);
+        w2.append(WalOp::Remove(0)).unwrap();
+        w2.sync().unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.clean);
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.entries[1].record, WalRecord::Remove { id: 0 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_loud() {
+        let path = tmp("fp.vsjw");
+        WalWriter::create(&path, 0, 111).unwrap();
+        assert!(matches!(
+            WalWriter::open_append(&path, 222),
+            Err(PersistError::ConfigMismatch(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_truncates_and_restarts_sequence() {
+        let path = tmp("reset.vsjw");
+        let mut w = WalWriter::create(&path, 0, 3).unwrap();
+        for i in 0..4 {
+            w.append(WalOp::Insert(i, &v(&[i as u32]))).unwrap();
+        }
+        w.reset(4).unwrap();
+        assert_eq!(w.pending(), 0);
+        let seq = w.append(WalOp::Insert(4, &v(&[9]))).unwrap();
+        assert_eq!(seq, 5);
+        w.sync().unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.base_seq, 4);
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0].seq, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_writer_refuses_appends() {
+        let path = tmp("poison.vsjw");
+        let mut w = WalWriter::create(&path, 0, 4).unwrap();
+        w.append(WalOp::Insert(0, &v(&[1]))).unwrap();
+        assert!(!w.is_poisoned());
+        w.poison();
+        assert!(w.is_poisoned());
+        assert!(
+            w.append(WalOp::Insert(1, &v(&[2]))).is_err(),
+            "a poisoned writer must never acknowledge another record"
+        );
+        // The prefix written before the failure stays readable.
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_damage_fails_loudly() {
+        let path = tmp("hdr.vsjw");
+        WalWriter::create(&path, 0, 1).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_wal(&path).is_err());
+        std::fs::write(&path, [1u8, 2]).unwrap();
+        assert!(read_wal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

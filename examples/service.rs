@@ -18,6 +18,12 @@
 //!    estimate at τ = 0.7 equals, bit for bit, an offline `LshSs` run
 //!    over the final snapshot with the engine's deterministic RNG.
 //!
+//! A final act demonstrates **durability**: a second engine runs with a
+//! checkpoint + write-ahead log attached, is killed (dropped) with 500
+//! ingests living only in the WAL, and is recovered from disk — the
+//! recovered engine returns the *bit-identical* estimate at the same
+//! `(seed, epoch, τ)` as the engine that died.
+//!
 //! Run with: `cargo run --release --example service`
 
 use std::collections::HashMap;
@@ -179,4 +185,53 @@ fn main() {
         stats.sampled_pairs,
     );
     println!("\nservice estimate == offline LshSs estimate (bit-exact) ✓");
+
+    // --- 3. durability: kill/restart equivalence -------------------------
+    println!("\n--- kill/restart demo ---");
+    let dir = std::env::temp_dir().join(format!("vsj_service_demo_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let docs = DblpLike::with_size(1_200).generate(77).vectors().to_vec();
+
+    let durable = EstimationEngine::durable(
+        ServiceConfig::builder()
+            .shards(4)
+            .k(16)
+            .seed(7)
+            .auto_publish_every(256)
+            .build(),
+        &dir,
+    )
+    .expect("attach storage");
+    for v in &docs[..700] {
+        durable.insert(v.clone());
+    }
+    let checkpoint_epoch = durable.checkpoint().expect("checkpoint");
+    println!(
+        "ingested 700, checkpointed epoch {checkpoint_epoch} (WAL truncated, {} records pending)",
+        durable.wal_pending()
+    );
+    for v in &docs[700..] {
+        durable.insert(v.clone());
+    }
+    let before = durable.estimate(0.7);
+    println!(
+        "ingested 500 more (live only in the WAL: {} records), Ĵ(0.7) = {:.1} at epoch {}",
+        durable.wal_pending(),
+        before.estimate.value,
+        before.epoch
+    );
+    drop(durable); // kill -9, as far as the in-memory index is concerned
+
+    let recovered = EstimationEngine::recover(&dir).expect("recover from checkpoint + WAL");
+    let after = recovered.estimate(0.7);
+    assert_eq!(
+        (before.estimate, before.epoch, before.n),
+        (after.estimate, after.epoch, after.n),
+        "recovered engine must answer bit-identically at the same (seed, epoch, τ)"
+    );
+    println!(
+        "recovered: Ĵ(0.7) = {:.1} at epoch {} over n = {} — bit-identical ✓",
+        after.estimate.value, after.epoch, after.n
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

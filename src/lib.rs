@@ -93,8 +93,8 @@ pub mod prelude {
     };
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
     pub use vsj_service::{
-        EngineStats, EstimationEngine, GlobalId, IndexFamily, ServiceConfig, ServiceEstimate,
-        Snapshot,
+        Checkpointer, EngineStats, EstimationEngine, GlobalId, IndexFamily, PersistError,
+        ServiceConfig, ServiceEstimate, Snapshot,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,

@@ -1,0 +1,466 @@
+//! Crash-recovery test harness for the durable estimation engine.
+//!
+//! The durability contract under test:
+//!
+//! * **Restart equivalence** — an engine recovered from
+//!   checkpoint + WAL replay is bit-identical, at every published
+//!   epoch, to an uninterrupted engine fed the same ingest sequence
+//!   (same seed): LSH-SS, JU, and LSH-S estimates all agree bit for
+//!   bit. Pinned by the property test below.
+//! * **Prefix consistency** — truncating the WAL at *any* byte
+//!   boundary (a crash mid-append) recovers exactly the engine state
+//!   after the last whole record; damaging any checkpoint byte or the
+//!   WAL header fails loudly. Never a silently wrong index, never a
+//!   panic. Pinned by the crash-injection matrix.
+//! * **Format stability** — a committed golden fixture from the first
+//!   container-v2 writer must keep loading. Pinned by the golden test.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vsj::prelude::*;
+use vsj::service::persist::{CHECKPOINT_FILE, WAL_FILE};
+use vsj::service::wal;
+
+/// Fresh per-test storage directory (tests run in parallel).
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vsj_recovery_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(seed: u64) -> ServiceConfig {
+    ServiceConfig::builder()
+        .shards(3)
+        .k(8)
+        .seed(seed)
+        .family(IndexFamily::MinHash)
+        .build()
+}
+
+fn members(start: u32, len: u32) -> SparseVector {
+    SparseVector::binary_from_members((start..start + len).collect())
+}
+
+/// Applies one recorded WAL operation to a reference engine through the
+/// public API, asserting the replayed allocation order holds.
+fn apply_to_reference(engine: &EstimationEngine, entry: &wal::WalEntry) {
+    match &entry.record {
+        wal::WalRecord::Insert { id, vector } => {
+            assert_eq!(
+                engine.insert(vector.clone()),
+                *id,
+                "reference replay must reproduce id allocation"
+            );
+        }
+        wal::WalRecord::Remove { id } => {
+            assert!(engine.remove(*id), "logged remove must be applicable");
+        }
+        wal::WalRecord::Upsert { id, vector } => {
+            engine.upsert(*id, vector.clone());
+        }
+    }
+}
+
+/// Full-state comparison: snapshot layout, table statistics, and
+/// bit-identical LSH-SS / JU / LSH-S estimates at the same epoch.
+fn assert_engines_equivalent(a: &EstimationEngine, b: &EstimationEngine, context: &str) {
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    assert_eq!(sa.epoch(), sb.epoch(), "{context}: epoch");
+    assert_eq!(sa.global_ids(), sb.global_ids(), "{context}: global ids");
+    assert_eq!(sa.table().nh(), sb.table().nh(), "{context}: N_H");
+    assert_eq!(
+        sa.table().num_buckets(),
+        sb.table().num_buckets(),
+        "{context}: buckets"
+    );
+    for tau in [0.4, 0.8] {
+        // LSH-SS through the serving path.
+        let (ea, eb) = (a.estimate(tau), b.estimate(tau));
+        assert_eq!(ea.estimate, eb.estimate, "{context}: LSH-SS at τ={tau}");
+        assert_eq!(ea.epoch, eb.epoch, "{context}: epoch at τ={tau}");
+        assert_eq!(ea.n, eb.n, "{context}: n at τ={tau}");
+        // JU (analytic — depends only on table statistics).
+        let ju = UniformLsh::idealized();
+        assert_eq!(
+            ju.estimate(sa.as_ref(), tau),
+            ju.estimate(sb.as_ref(), tau),
+            "{context}: JU at τ={tau}"
+        );
+        // LSH-S (sampling — driven by the engines' deterministic RNG
+        // streams, which must agree after recovery).
+        let lshs = LshS::paper_default(sa.len());
+        let ra = lshs.estimate(
+            sa.collection(),
+            &Jaccard,
+            sa.as_ref(),
+            tau,
+            &mut a.estimate_rng(sa.epoch(), tau),
+        );
+        let rb = lshs.estimate(
+            sb.collection(),
+            &Jaccard,
+            sb.as_ref(),
+            tau,
+            &mut b.estimate_rng(sb.epoch(), tau),
+        );
+        assert_eq!(ra, rb, "{context}: LSH-S at τ={tau}");
+    }
+}
+
+// --- basic lifecycle -------------------------------------------------------
+
+#[test]
+fn durable_engine_round_trips_through_checkpoint_and_wal() {
+    let dir = fresh_dir("roundtrip");
+    let engine = EstimationEngine::durable(config(7), &dir).unwrap();
+    for i in 0..40u32 {
+        engine.insert(members(i % 12, 4));
+    }
+    let epoch = engine.checkpoint().unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(engine.wal_pending(), 0, "checkpoint truncates the WAL");
+    // A WAL tail past the checkpoint.
+    for i in 0..15u32 {
+        engine.insert(members(i % 9, 5));
+    }
+    engine.remove(3);
+    engine.upsert(100, members(2, 6));
+    assert_eq!(engine.wal_pending(), 17);
+    let pre_stats = engine.stats();
+    drop(engine);
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    assert!(recovered.is_durable());
+    assert_eq!(recovered.storage_dir(), Some(dir.as_path()));
+    assert_eq!(recovered.stats().ingests, pre_stats.ingests);
+    assert_eq!(recovered.stats().live, pre_stats.live);
+    // Current epoch is the checkpointed one; the replayed tail becomes
+    // visible at the next publish, reproducing the pre-crash snapshot.
+    assert_eq!(recovered.current_epoch(), 1);
+    recovered.publish();
+    assert_eq!(recovered.current_epoch(), 2);
+    assert_eq!(recovered.snapshot().len(), 55);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_refuses_to_overwrite_and_recover_needs_state() {
+    let dir = fresh_dir("guards");
+    let engine = EstimationEngine::durable(config(1), &dir).unwrap();
+    drop(engine);
+    assert!(matches!(
+        EstimationEngine::durable(config(1), &dir),
+        Err(PersistError::AlreadyInitialized(_))
+    ));
+    let empty = fresh_dir("guards_empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(EstimationEngine::recover(&empty).is_err());
+    assert!(
+        EstimationEngine::new(config(1)).checkpoint().is_err(),
+        "checkpoint on a non-durable engine is NotDurable"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+// --- crash-injection matrix ------------------------------------------------
+
+/// Builds a durable engine with a 6-record WAL tail (inserts, an
+/// upsert, a remove) and returns its storage dir plus the raw WAL
+/// bytes.
+fn engine_with_wal_tail() -> (PathBuf, Vec<u8>) {
+    let dir = fresh_dir("matrix");
+    let engine = EstimationEngine::durable(config(42), &dir).unwrap();
+    engine.insert(members(0, 4));
+    engine.insert(members(0, 4));
+    engine.insert(members(5, 3));
+    engine.upsert(50, members(1, 6));
+    engine.remove(1);
+    engine.insert(members(7, 4));
+    drop(engine);
+    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    (dir, bytes)
+}
+
+fn clone_state(src: &Path, dst: &Path, wal_bytes: &[u8]) {
+    std::fs::create_dir_all(dst).unwrap();
+    std::fs::copy(src.join(CHECKPOINT_FILE), dst.join(CHECKPOINT_FILE)).unwrap();
+    std::fs::write(dst.join(WAL_FILE), wal_bytes).unwrap();
+}
+
+#[test]
+fn wal_truncated_at_every_byte_boundary_recovers_a_consistent_prefix() {
+    let (dir, wal_bytes) = engine_with_wal_tail();
+    let replay = wal::read_wal(&dir.join(WAL_FILE)).unwrap();
+    assert_eq!(replay.entries.len(), 6);
+    // VSJW header: magic + version + base_seq + fingerprint.
+    let header_len = 24usize;
+    assert!(replay.entries[0].end_offset as usize > header_len);
+
+    // Reference states for every record prefix 0..=6.
+    let work = fresh_dir("matrix_work");
+    for cut in 0..=wal_bytes.len() {
+        std::fs::remove_dir_all(&work).ok();
+        clone_state(&dir, &work, &wal_bytes[..cut]);
+        let result = EstimationEngine::recover(&work);
+        if cut < header_len {
+            assert!(
+                result.is_err(),
+                "cut {cut} inside the WAL header must fail loudly"
+            );
+            continue;
+        }
+        let recovered = result
+            .unwrap_or_else(|e| panic!("cut {cut} past the header must recover a prefix: {e}"));
+        // Exactly the whole records before the cut must have replayed.
+        let survivors = replay
+            .entries
+            .iter()
+            .filter(|e| e.end_offset as usize <= cut)
+            .count();
+        let reference = EstimationEngine::new(config(42));
+        for entry in &replay.entries[..survivors] {
+            apply_to_reference(&reference, entry);
+        }
+        reference.publish();
+        recovered.publish();
+        assert_engines_equivalent(&reference, &recovered, &format!("cut {cut}"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+fn corrupting_any_checkpoint_byte_fails_loudly_never_silently() {
+    let (dir, wal_bytes) = engine_with_wal_tail();
+    let checkpoint = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    let work = fresh_dir("matrix_corrupt");
+    for at in 0..checkpoint.len() {
+        let mut broken = checkpoint.clone();
+        broken[at] ^= 0x20;
+        std::fs::remove_dir_all(&work).ok();
+        std::fs::create_dir_all(&work).unwrap();
+        std::fs::write(work.join(CHECKPOINT_FILE), &broken).unwrap();
+        std::fs::write(work.join(WAL_FILE), &wal_bytes).unwrap();
+        assert!(
+            EstimationEngine::recover(&work).is_err(),
+            "checkpoint byte {at} flipped: recovery must fail, not resurrect a wrong index"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+fn mid_wal_corruption_recovers_the_prefix_before_the_damage() {
+    let (dir, wal_bytes) = engine_with_wal_tail();
+    let replay = wal::read_wal(&dir.join(WAL_FILE)).unwrap();
+    let work = fresh_dir("matrix_midwal");
+    // Flip one byte inside the third record's frame: records 1–2 must
+    // survive, everything from the damage on is discarded.
+    let damage_at = replay.entries[2].end_offset as usize - 5;
+    let mut broken = wal_bytes.clone();
+    broken[damage_at] ^= 0xFF;
+    clone_state(&dir, &work, &broken);
+    let recovered = EstimationEngine::recover(&work).expect("prefix recovery");
+    let reference = EstimationEngine::new(config(42));
+    for entry in &replay.entries[..2] {
+        apply_to_reference(&reference, entry);
+    }
+    reference.publish();
+    recovered.publish();
+    assert_engines_equivalent(&reference, &recovered, "mid-WAL corruption");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+fn wal_from_a_different_config_is_rejected() {
+    let (dir, _) = engine_with_wal_tail();
+    let other = fresh_dir("matrix_fp");
+    let engine = EstimationEngine::durable(config(43), &other).unwrap();
+    engine.insert(members(0, 3));
+    drop(engine);
+    // Pair checkpoint(seed 42) with WAL(seed 43): fingerprints differ.
+    let work = fresh_dir("matrix_fp_work");
+    std::fs::create_dir_all(&work).unwrap();
+    std::fs::copy(dir.join(CHECKPOINT_FILE), work.join(CHECKPOINT_FILE)).unwrap();
+    std::fs::copy(other.join(WAL_FILE), work.join(WAL_FILE)).unwrap();
+    assert!(matches!(
+        EstimationEngine::recover(&work),
+        Err(PersistError::ConfigMismatch(_))
+    ));
+    for d in [dir, other, work] {
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+// --- restart-equivalence property test -------------------------------------
+
+mod restart_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u32),
+        Remove(u64),
+        Upsert(u64, u32, u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..25, 2u32..7).prop_map(|(s, l)| Op::Insert(s, l)),
+            (0u64..50).prop_map(Op::Remove),
+            (0u64..50, 0u32..25, 2u32..7).prop_map(|(id, s, l)| Op::Upsert(id, s, l)),
+        ]
+    }
+
+    fn apply(engine: &EstimationEngine, op: &Op) {
+        match *op {
+            Op::Insert(s, l) => {
+                engine.insert(members(s, l));
+            }
+            Op::Remove(id) => {
+                engine.remove(id);
+            }
+            Op::Upsert(id, s, l) => {
+                engine.upsert(id, members(s, l));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// The acceptance property: for a random ingest sequence with a
+        /// checkpoint somewhere in the middle, killing the engine after
+        /// the remaining ops (leaving them as a WAL tail) and
+        /// recovering yields estimates — LSH-SS, JU, LSH-S — that are
+        /// bit-identical to an uninterrupted engine at the same epoch
+        /// and seed.
+        #[test]
+        fn recovered_engine_is_bit_identical_to_uninterrupted(
+            ops in proptest::collection::vec(op_strategy(), 1..40),
+            checkpoint_at in 0usize..40,
+            seed in 0u64..1000,
+        ) {
+            let split = checkpoint_at.min(ops.len());
+            let dir = fresh_dir("prop");
+
+            // Uninterrupted reference: publishes where the durable
+            // engine checkpoints (a checkpoint *is* a durable publish).
+            let uninterrupted = EstimationEngine::new(config(seed));
+            // Durable run, killed after the last op.
+            let durable = EstimationEngine::durable(config(seed), &dir).unwrap();
+
+            for op in &ops[..split] {
+                apply(&uninterrupted, op);
+                apply(&durable, op);
+            }
+            let epoch_a = uninterrupted.publish();
+            let epoch_b = durable.checkpoint().unwrap();
+            prop_assert_eq!(epoch_a, epoch_b);
+            for op in &ops[split..] {
+                apply(&uninterrupted, op);
+                apply(&durable, op);
+            }
+            drop(durable); // kill: the tail lives only in the WAL
+
+            let recovered = EstimationEngine::recover(&dir).unwrap();
+            // Same epoch before and after the final publish.
+            prop_assert_eq!(recovered.current_epoch(), epoch_a);
+            assert_engines_equivalent(&uninterrupted, &recovered, "pre-publish");
+            let final_a = uninterrupted.publish();
+            let final_b = recovered.publish();
+            prop_assert_eq!(final_a, final_b);
+            assert_engines_equivalent(&uninterrupted, &recovered, "post-publish");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+// --- golden fixture --------------------------------------------------------
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("golden-v2")
+}
+
+fn golden_config() -> ServiceConfig {
+    ServiceConfig::builder()
+        .shards(2)
+        .k(8)
+        .seed(2011)
+        .family(IndexFamily::MinHash)
+        .build()
+}
+
+/// Replays the golden ingest script against `engine`.
+fn golden_ops(engine: &EstimationEngine) {
+    for i in 0..12u32 {
+        engine.insert(members(i % 5, 3 + i % 4));
+    }
+}
+
+/// The golden WAL tail (applied after the checkpoint).
+fn golden_tail(engine: &EstimationEngine) {
+    engine.insert(members(2, 5));
+    engine.upsert(6, members(9, 4));
+    engine.remove(1);
+}
+
+/// Regenerates the committed fixture. Run manually after an
+/// *intentional* format change:
+/// `cargo test --test recovery -- --ignored regenerate_golden_fixture`
+#[test]
+#[ignore = "writes the committed fixture; run only on intentional format changes"]
+fn regenerate_golden_fixture() {
+    let dir = golden_dir();
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = EstimationEngine::durable(golden_config(), &dir).unwrap();
+    golden_ops(&engine);
+    assert_eq!(engine.checkpoint().unwrap(), 1);
+    golden_tail(&engine);
+    drop(engine);
+    std::fs::remove_file(dir.join("checkpoint.vsjc.tmp")).ok();
+    println!("golden fixture regenerated at {}", dir.display());
+}
+
+#[test]
+fn golden_fixture_still_loads_and_replays() {
+    // The committed container-v2 + WAL pair from the first writer
+    // version must keep recovering bit-identically — this is the
+    // backward-compatibility lock on the format.
+    let work = fresh_dir("golden_work");
+    std::fs::create_dir_all(&work).unwrap();
+    for file in [CHECKPOINT_FILE, WAL_FILE] {
+        std::fs::copy(golden_dir().join(file), work.join(file))
+            .expect("golden fixture missing; run regenerate_golden_fixture");
+    }
+    let recovered = EstimationEngine::recover(&work).expect("golden fixture must load");
+    assert_eq!(recovered.current_epoch(), 1);
+    assert_eq!(recovered.snapshot().len(), 12, "checkpointed rows");
+
+    // In-process reference: same script, never serialized.
+    let reference = EstimationEngine::new(golden_config());
+    golden_ops(&reference);
+    reference.publish();
+    golden_tail(&reference);
+    assert_engines_equivalent(&reference, &recovered, "golden checkpoint epoch");
+    reference.publish();
+    recovered.publish();
+    // 12 checkpointed + 1 insert − 1 remove (the upsert replaced in
+    // place).
+    assert_eq!(recovered.snapshot().len(), 12);
+    assert_engines_equivalent(&reference, &recovered, "golden replayed epoch");
+    std::fs::remove_dir_all(&work).ok();
+}

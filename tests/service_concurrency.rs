@@ -1,11 +1,15 @@
 //! Concurrency smoke test for the estimation service: 4 reader threads
 //! query `estimate(0.7)` while a writer ingests batches; every answer a
 //! reader observes must correspond to a consistent published epoch (no
-//! torn reads) and epochs must be monotone per reader.
+//! torn reads) and epochs must be monotone per reader. A second
+//! scenario races durable writers against the background checkpointer
+//! and proves the WAL neither loses nor duplicates records.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use vsj::prelude::*;
 
@@ -164,4 +168,79 @@ fn concurrent_writers_partition_cleanly() {
     }
     // Global ids ascending — the snapshot layout is canonical.
     assert!(snapshot.global_ids().windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn ingests_racing_the_background_checkpointer_lose_nothing() {
+    // 3 durable writers upsert disjoint id ranges (removing every 5th)
+    // while the background checkpointer repeatedly cuts the WAL out
+    // from under them. The interleaving contract: every ingest lands in
+    // exactly one of {some checkpoint, the WAL tail} — recovery after a
+    // kill must reproduce the surviving set and the exact ingest count,
+    // with no record lost to a truncation race and none applied twice.
+    let dir = std::env::temp_dir().join(format!("vsj_ckpt_race_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(
+        EstimationEngine::durable(
+            ServiceConfig::builder()
+                .shards(4)
+                .k(8)
+                .seed(17)
+                .family(IndexFamily::MinHash)
+                .build(),
+            &dir,
+        )
+        .unwrap(),
+    );
+    let checkpointer = Checkpointer::spawn(engine.clone(), 64, Duration::from_millis(1));
+
+    const WRITERS: u64 = 3;
+    const PER_WRITER: u64 = 300;
+    thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let id = w * 10_000 + i;
+                    engine.upsert(
+                        id,
+                        SparseVector::binary_from_members(vec![(id % 40) as u32, 50]),
+                    );
+                }
+                for i in (0..PER_WRITER).step_by(5) {
+                    assert!(engine.remove(w * 10_000 + i));
+                }
+            });
+        }
+    });
+    let checkpoints_taken = checkpointer.stop();
+    let pre_kill = engine.stats();
+    // Each id is upserted fresh exactly once (+1 op) and every fifth
+    // removed (+1 op) — the ingest counter is deterministic even though
+    // the interleaving is not.
+    let expected_ingests = WRITERS * (PER_WRITER + PER_WRITER / 5);
+    assert_eq!(pre_kill.ingests, expected_ingests);
+    drop(engine); // kill: whatever the checkpointer didn't cover rides the WAL
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    // Replay panics on a duplicated insert and errors on an unknown
+    // remove, so a clean recover already proves no record replayed
+    // twice; the counter equality proves none was lost.
+    assert_eq!(recovered.stats().ingests, expected_ingests);
+    recovered.publish();
+    let snapshot = recovered.snapshot();
+    let survivors_per_writer = PER_WRITER - PER_WRITER / 5;
+    assert_eq!(snapshot.len() as u64, WRITERS * survivors_per_writer);
+    for &id in snapshot.global_ids() {
+        assert!(id % 10_000 % 5 != 0, "removed id {id} resurrected");
+    }
+    assert!(snapshot.global_ids().windows(2).all(|w| w[0] < w[1]));
+    // The checkpointer must actually have run under load (64-record
+    // threshold against 1080 records); if this ever flakes the
+    // threshold is wrong, not the assertion.
+    assert!(
+        checkpoints_taken >= 1,
+        "background checkpointer never fired"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
