@@ -1,0 +1,217 @@
+//! Publish latency: O(changed) incremental epochs vs the legacy O(n)
+//! deep-copy merge.
+//!
+//! Measures, per corpus size `n` and delta size `k`:
+//!
+//! * `delta_ms` — the engine's real `publish()` after `k` fresh inserts
+//!   (the incremental path: Arc-shared payloads + `from_parts_delta`);
+//! * `shared_merge_ms` — the engine's fallback full merge (what an
+//!   epoch with removals pays): re-sort + regroup of all rows, payloads
+//!   still Arc-shared;
+//! * `legacy_merge_ms` — the pre-incremental publication cost
+//!   reconstructed from primitives: sort all rows, deep-copy every
+//!   payload into an owned `VectorCollection`, regroup all keys with
+//!   `LshTable::from_parts`. This is exactly what `publish()` did
+//!   before payload sharing landed.
+//!
+//! The claim under test: `delta_ms` scales with `k`, not with `n`, and
+//! beats the legacy merge by ≥10× at n = 100k, k = 100.
+//!
+//! Emits a JSON summary line (prefixed `PUBLISH_BENCH_JSON:`) for the
+//! perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench publish`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vsj_datasets::DblpLike;
+use vsj_lsh::{BucketHasher, Composite, LshTable, MinHashFamily};
+use vsj_service::{EstimationEngine, ServiceConfig};
+use vsj_vector::{SparseVector, VectorCollection};
+
+const SEED: u64 = 17;
+const HASH_K: usize = 16;
+const REPS: usize = 7;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn build_engine(n: usize) -> EstimationEngine {
+    let engine = EstimationEngine::new(
+        ServiceConfig::builder()
+            .shards(8)
+            .k(HASH_K)
+            .seed(SEED)
+            .build(),
+    );
+    for (_, v) in DblpLike::with_size(n).generate(1).iter() {
+        engine.insert(v.clone());
+    }
+    engine.publish();
+    engine
+}
+
+/// Rows in legacy layout: `(global id, bucket key, shared payload)`.
+type Rows = Vec<(u64, u64, Arc<SparseVector>)>;
+
+fn snapshot_rows(engine: &EstimationEngine) -> Rows {
+    let snapshot = engine.snapshot();
+    let keys = snapshot.table().to_parts();
+    snapshot
+        .global_ids()
+        .iter()
+        .zip(&keys)
+        .zip(snapshot.collection().iter_arcs())
+        .map(|((&gid, &key), v)| (gid, key, v.clone()))
+        .collect()
+}
+
+/// The pre-incremental `publish()` body: sort rows by global id,
+/// deep-copy every payload into an owned collection, regroup all keys.
+fn legacy_merge(mut rows: Rows, hasher: Arc<dyn BucketHasher>) -> (VectorCollection, LshTable) {
+    rows.sort_unstable_by_key(|r| r.0);
+    let mut keys = Vec::with_capacity(rows.len());
+    let mut vectors = Vec::with_capacity(rows.len());
+    for (_, key, v) in rows {
+        keys.push(key);
+        vectors.push((*v).clone());
+    }
+    (
+        VectorCollection::from_vectors(vectors),
+        LshTable::from_parts(hasher, keys),
+    )
+}
+
+struct Point {
+    n: usize,
+    delta_k: usize,
+    delta_ms: f64,
+    shared_merge_ms: f64,
+    legacy_ms: f64,
+}
+
+fn measure(n: usize, delta_k: usize) -> Point {
+    let engine = build_engine(n);
+    let delta_docs = DblpLike::with_size(delta_k * REPS + REPS).generate(2);
+    let mut delta_iter = delta_docs.iter().map(|(_, v)| v.clone());
+
+    // Incremental path: k fresh inserts, then publish.
+    let mut delta_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        for _ in 0..delta_k {
+            engine.insert(delta_iter.next().expect("enough delta docs"));
+        }
+        let t = Instant::now();
+        engine.publish();
+        delta_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(
+        engine.stats().full_publishes == 0,
+        "bench deltas must ride the incremental path"
+    );
+
+    // Fallback path: one insert + one remove of it makes the epoch
+    // non-append-only, forcing the engine's full (shared-payload) merge.
+    let mut shared_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let id = engine.insert(delta_iter.next().expect("enough delta docs"));
+        engine.remove(id);
+        let t = Instant::now();
+        engine.publish();
+        shared_times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Legacy path: deep-copy merge over the same rows.
+    let rows = snapshot_rows(&engine);
+    let hasher: Arc<dyn BucketHasher> =
+        Arc::new(Composite::derive(MinHashFamily::new(), SEED, 0, HASH_K));
+    let mut legacy_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let input = rows.clone();
+        let t = Instant::now();
+        let (coll, table) = legacy_merge(input, hasher.clone());
+        legacy_times.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(coll.len(), table.len());
+        std::hint::black_box((coll.len(), table.nh()));
+    }
+
+    Point {
+        n,
+        delta_k,
+        delta_ms: median(delta_times),
+        shared_merge_ms: median(shared_times),
+        legacy_ms: median(legacy_times),
+    }
+}
+
+fn main() {
+    let grid: &[(usize, usize)] = &[
+        (10_000, 100),
+        (50_000, 100),
+        (100_000, 10),
+        (100_000, 100),
+        (100_000, 1_000),
+    ];
+    println!(
+        "{:>8} {:>8} {:>12} {:>16} {:>12} {:>10}",
+        "n", "delta k", "delta ms", "shared merge ms", "legacy ms", "speedup"
+    );
+    let mut points = Vec::new();
+    for &(n, k) in grid {
+        let p = measure(n, k);
+        println!(
+            "{:>8} {:>8} {:>12.3} {:>16.3} {:>12.3} {:>9.1}x",
+            p.n,
+            p.delta_k,
+            p.delta_ms,
+            p.shared_merge_ms,
+            p.legacy_ms,
+            p.legacy_ms / p.delta_ms
+        );
+        points.push(p);
+    }
+
+    // The headline acceptance number: at n = 100k, k = 100 the
+    // incremental epoch must beat the legacy merge by ≥10×.
+    let headline = points
+        .iter()
+        .find(|p| p.n == 100_000 && p.delta_k == 100)
+        .expect("grid contains the headline point");
+    let speedup = headline.legacy_ms / headline.delta_ms;
+    println!(
+        "\nheadline: n=100k k=100 → {speedup:.1}x vs legacy merge ({} target: 10x)",
+        if speedup >= 10.0 { "MET" } else { "MISSED" },
+    );
+    // Publication scales with the delta, not the corpus: growing n 10x
+    // at fixed k must not grow delta publish time anywhere near 10x.
+    let small = points.iter().find(|p| p.n == 10_000 && p.delta_k == 100);
+    let big = points.iter().find(|p| p.n == 100_000 && p.delta_k == 100);
+    if let (Some(s), Some(b)) = (small, big) {
+        println!(
+            "scaling: n 10k→100k at k=100 grows delta publish {:.1}x (legacy grows {:.1}x)",
+            b.delta_ms / s.delta_ms,
+            b.legacy_ms / s.legacy_ms
+        );
+    }
+
+    let json_points: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"n\":{},\"delta_k\":{},\"delta_ms\":{:.4},\"shared_merge_ms\":{:.4},\"legacy_merge_ms\":{:.4},\"speedup_vs_legacy\":{:.2}}}",
+                p.n, p.delta_k, p.delta_ms, p.shared_merge_ms, p.legacy_ms, p.legacy_ms / p.delta_ms
+            )
+        })
+        .collect();
+    println!(
+        "\nPUBLISH_BENCH_JSON:{{\"bench\":\"publish_latency\",\"hash_k\":{HASH_K},\"shards\":8,\"reps\":{REPS},\"points\":[{}]}}",
+        json_points.join(",")
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental publish regressed below the 10x acceptance bar: {speedup:.1}x"
+    );
+}

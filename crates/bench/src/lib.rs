@@ -13,6 +13,7 @@
 //! `DESIGN.md` §1). Every run is deterministic given `--seed`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod experiments;
 pub mod report;

@@ -69,7 +69,6 @@ impl Bifocal {
         // Dense focus: per-bucket pair populations of the large buckets.
         let dense: Vec<&vsj_lsh::table::Bucket> = table
             .buckets()
-            .iter()
             .filter(|b| b.count() >= self.dense_threshold)
             .collect();
         let dense_pairs: u64 = dense.iter().map(|b| b.pair_weight()).sum();
@@ -131,7 +130,6 @@ impl Bifocal {
     pub fn dense_pair_count(&self, table: &LshTable) -> u64 {
         table
             .buckets()
-            .iter()
             .filter(|b| b.count() >= self.dense_threshold)
             .map(|b| pairs_of(b.count() as u64))
             .sum()

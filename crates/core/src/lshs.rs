@@ -20,7 +20,7 @@ use crate::estimate::Estimate;
 use crate::uniform::CollisionModel;
 use crate::view::IndexView;
 use vsj_sampling::{sample_distinct_pair, Rng};
-use vsj_vector::{Similarity, VectorCollection};
+use vsj_vector::{Similarity, VectorStore};
 
 /// Which §4.3 variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,15 +55,16 @@ impl LshS {
     }
 
     /// Estimates the join size at `τ` using the bucket-counted `table`.
-    pub fn estimate<V, S, R>(
+    pub fn estimate<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         measure: &S,
         table: &V,
         tau: f64,
         rng: &mut R,
     ) -> Estimate
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -147,7 +148,7 @@ mod tests {
     use std::sync::Arc;
     use vsj_lsh::{Composite, LshTable, MinHashFamily};
     use vsj_sampling::Xoshiro256;
-    use vsj_vector::{Jaccard, SparseVector};
+    use vsj_vector::{Jaccard, SparseVector, VectorCollection};
 
     /// Collection with graded Jaccard overlap (sliding windows) plus
     /// duplicate clusters.

@@ -27,7 +27,7 @@ use crate::estimate::{clamp_estimate, Estimate, EstimateKind};
 use crate::view::IndexView;
 use vsj_sampling::Rng;
 use vsj_sampling::{AdaptiveOutcome, AdaptiveSampler};
-use vsj_vector::{Similarity, VectorCollection};
+use vsj_vector::{Similarity, VectorStore};
 
 /// Scale-up policy for an exhausted `SampleL` (fewer than `δ` true pairs
 /// within the budget).
@@ -135,15 +135,16 @@ impl LshSs {
     }
 
     /// Runs Algorithm 1 and returns the combined estimate.
-    pub fn estimate<V, S, R>(
+    pub fn estimate<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> Estimate
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -153,15 +154,16 @@ impl LshSs {
     }
 
     /// Runs Algorithm 1 and returns the full decomposition.
-    pub fn estimate_detailed<V, S, R>(
+    pub fn estimate_detailed<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> LshSsEstimate
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -200,15 +202,16 @@ impl LshSs {
     /// happened to draw this sample.
     ///
     /// Returned estimates are in the order of `taus`.
-    pub fn estimate_curve<V, S, R>(
+    pub fn estimate_curve<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         table: &V,
         measure: &S,
         taus: &[f64],
         rng: &mut R,
     ) -> Vec<Estimate>
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -331,15 +334,16 @@ impl LshSs {
 
     /// `SampleH` (Algorithm 1): uniform sampling in `S_H`, scaled by
     /// `N_H/m_H`.
-    fn sample_h<V, S, R>(
+    fn sample_h<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> (f64, u64)
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -364,15 +368,16 @@ impl LshSs {
 
     /// `SampleL` (Algorithm 1): adaptive sampling in `S_L` with safe
     /// lower bound / dampening on exhaustion.
-    fn sample_l<V, S, R>(
+    fn sample_l<C, V, S, R>(
         &self,
-        collection: &VectorCollection,
+        collection: &C,
         table: &V,
         measure: &S,
         tau: f64,
         rng: &mut R,
     ) -> (f64, u64, u64, bool)
     where
+        C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
         S: Similarity,
         R: Rng + ?Sized,
@@ -416,7 +421,7 @@ mod tests {
     use std::sync::Arc;
     use vsj_lsh::{Composite, LshTable, MinHashFamily, SimHashFamily};
     use vsj_sampling::Xoshiro256;
-    use vsj_vector::{Cosine, Jaccard, SparseVector};
+    use vsj_vector::{Cosine, Jaccard, SparseVector, VectorCollection};
 
     /// DBLP-in-miniature: skewed similarity with duplicate clusters.
     fn corpus(n_base: u32, seed: u64) -> VectorCollection {

@@ -25,6 +25,35 @@ use vsj_vector::VectorId;
 /// total_pairs()`, sampling methods draw uniformly within their stratum,
 /// and `same_bucket` agrees with the stratum the sampling methods assign
 /// pairs to.
+///
+/// # Example
+///
+/// The same estimator code runs against any view — here an owned
+/// [`LshTable`], but a `vsj-service` epoch snapshot works identically:
+///
+/// ```
+/// use std::sync::Arc;
+/// use vsj_core::{IndexView, LshSs};
+/// use vsj_lsh::{Composite, LshTable, MinHashFamily};
+/// use vsj_sampling::Xoshiro256;
+/// use vsj_vector::{Jaccard, SparseVector, VectorCollection};
+///
+/// let coll = VectorCollection::from_vectors(
+///     (0..40u32)
+///         .map(|i| SparseVector::binary_from_members(vec![i % 8, 100 + i % 5]))
+///         .collect(),
+/// );
+/// let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 7, 0, 8));
+/// let table = LshTable::build(&coll, hasher, Some(1));
+///
+/// // The strata partition all C(n, 2) pairs...
+/// assert_eq!(IndexView::nh(&table) + IndexView::nl(&table), IndexView::total_pairs(&table));
+///
+/// // ...and estimators only ever touch the index through the view.
+/// let est = LshSs::with_defaults(IndexView::len(&table));
+/// let answer = est.estimate(&coll, &table, &Jaccard, 0.8, &mut Xoshiro256::seeded(1));
+/// assert!(answer.value >= 0.0);
+/// ```
 pub trait IndexView {
     /// Number of indexed vectors `n`.
     fn len(&self) -> usize;

@@ -281,10 +281,23 @@ pub fn decode_vector(data: &mut Bytes) -> Result<SparseVector, IoError> {
 /// Encodes the bare vector payload (`n` + per-vector data) — the v1 body
 /// and the v2 `COLL` section payload.
 pub fn encode_vectors(collection: &VectorCollection) -> Bytes {
-    let total_nnz: usize = collection.vectors().iter().map(SparseVector::nnz).sum();
-    let mut buf = BytesMut::with_capacity(8 + collection.len() * 4 + total_nnz * 8);
-    buf.put_u64_le(collection.len() as u64);
-    for (_, v) in collection.iter() {
+    encode_vector_list(collection.vectors().iter())
+}
+
+/// Encodes a bare vector payload from any exactly-sized iterator of
+/// vectors — the wire format of [`encode_vectors`] without demanding an
+/// owned [`VectorCollection`]. This is how the service serializes its
+/// `Arc`-shared snapshot payloads into a checkpoint: the vectors are
+/// written once, straight from the shared handles, never first copied
+/// into an owned collection.
+pub fn encode_vector_list<'a, I>(vectors: I) -> Bytes
+where
+    I: ExactSizeIterator<Item = &'a SparseVector> + Clone,
+{
+    let total_nnz: usize = vectors.clone().map(SparseVector::nnz).sum();
+    let mut buf = BytesMut::with_capacity(8 + vectors.len() * 4 + total_nnz * 8);
+    buf.put_u64_le(vectors.len() as u64);
+    for v in vectors {
         encode_vector_into(&mut buf, v);
     }
     buf.freeze()

@@ -13,6 +13,18 @@
 //!
 //! Construction hashes all vectors in parallel (the only data-parallel
 //! step; grouping is a sequential hash-map pass).
+//!
+//! # Incremental (epoch) construction
+//!
+//! Bucket storage is a list of immutable, `Arc`-shared **runs**
+//! (`BucketStore`). A batch build produces one run; the epoch path
+//! ([`LshTable::from_parts_delta`]) reuses every run of the previous
+//! epoch's table by pointer and appends one small run holding only the
+//! buckets this delta touched or created — so consecutive epoch tables
+//! share all unchanged state, and building the next epoch costs
+//! O(delta), not O(n). Runs are coalesced once the list grows past
+//! an internal bound, which bounds lookup depth and reclaims the stale
+//! copies superseded by later runs.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,12 +37,18 @@ use vsj_vector::{pairs_of, SparseVector, VectorCollection, VectorId};
 
 /// One bucket: its folded key and the ids of its members. The paper's
 /// bucket count `b_j` is `members.len()`.
+///
+/// Member lists sit behind an [`Arc`] so a table assembled by
+/// [`LshTable::from_parts_delta`] can *share* every unchanged bucket
+/// with its predecessor epoch — cloning a bucket is a pointer bump, and
+/// only buckets actually touched by the delta get their members copied
+/// (via `Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct Bucket {
     /// Folded `g`-value identifying the bucket.
     pub key: u64,
-    /// Ids of the vectors hashed here.
-    pub members: Vec<VectorId>,
+    /// Ids of the vectors hashed here (shared across epoch tables).
+    pub members: Arc<Vec<VectorId>>,
 }
 
 impl Bucket {
@@ -50,12 +68,170 @@ impl Bucket {
 /// Position sentinel marking a removed id in [`LshTable::live_pos`].
 const DEAD: u32 = u32::MAX;
 
+/// Maximum bucket runs before [`LshTable::from_parts_delta`] coalesces
+/// them into one (it also coalesces when the touched-bucket overlay
+/// outgrows a fraction of the store). Bounds per-lookup run-search and
+/// overlay depth; coalescing is an O(#buckets) pointer pass amortized
+/// over this many epochs.
+const COALESCE_RUNS: usize = 32;
+
+/// Bucket storage: a list of immutable, `Arc`-shared runs addressed by
+/// a flat `u32` index (run-major). Batch-built tables hold one run;
+/// each incremental epoch appends one run of *new* buckets, parks its
+/// copies of *touched* buckets in the overlay, and shares every run
+/// with its predecessor.
+#[derive(Debug, Clone)]
+struct BucketStore {
+    runs: Vec<Arc<Vec<Bucket>>>,
+    /// Flat index of the first bucket of each run (parallel to `runs`).
+    starts: Vec<u32>,
+    /// Total physical slots.
+    len: u32,
+    /// Per-index replacements: buckets an epoch delta *touched* are
+    /// copied here under their original index (so nothing that refers
+    /// to bucket indices — enumeration order, pair order, the alias
+    /// columns — needs patching), while the run they came from stays
+    /// shared, byte-for-byte, with the previous epoch's table. Bounded
+    /// by coalescing.
+    overlay: HashMap<u32, Bucket>,
+}
+
+impl BucketStore {
+    fn from_vec(buckets: Vec<Bucket>) -> Self {
+        let len = u32::try_from(buckets.len()).expect("bucket count exceeds u32");
+        Self {
+            runs: vec![Arc::new(buckets)],
+            starts: vec![0],
+            len,
+            overlay: HashMap::new(),
+        }
+    }
+
+    /// Total physical slots.
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Run containing flat index `idx`.
+    #[inline]
+    fn run_of(&self, idx: u32) -> usize {
+        if self.runs.len() == 1 {
+            0
+        } else {
+            self.starts.partition_point(|&s| s <= idx) - 1
+        }
+    }
+
+    /// The bucket in its backing run, ignoring the overlay.
+    #[inline]
+    fn get_base(&self, idx: u32) -> &Bucket {
+        let run = self.run_of(idx);
+        &self.runs[run][(idx - self.starts[run]) as usize]
+    }
+
+    #[inline]
+    fn get(&self, idx: u32) -> &Bucket {
+        if !self.overlay.is_empty() {
+            if let Some(b) = self.overlay.get(&idx) {
+                return b;
+            }
+        }
+        self.get_base(idx)
+    }
+
+    /// Mutable access. Writes go to the backing run when this table
+    /// owns it exclusively (the mutable write-side tables — shards —
+    /// always do); runs shared with other (frozen epoch) tables are
+    /// never written — the bucket is copied into the overlay instead.
+    fn get_mut(&mut self, idx: u32) -> &mut Bucket {
+        if self.overlay.contains_key(&idx) {
+            return self.overlay.get_mut(&idx).expect("checked above");
+        }
+        let run = self.run_of(idx);
+        let offset = (idx - self.starts[run]) as usize;
+        if Arc::get_mut(&mut self.runs[run]).is_some() {
+            return &mut Arc::get_mut(&mut self.runs[run]).expect("checked above")[offset];
+        }
+        let copy = self.get_base(idx).clone();
+        self.overlay.entry(idx).or_insert(copy)
+    }
+
+    /// Appends one bucket to the last run, returning its flat index.
+    fn push(&mut self, bucket: Bucket) -> u32 {
+        let idx = self.len;
+        assert!(idx != u32::MAX, "bucket count exceeds u32");
+        Arc::make_mut(self.runs.last_mut().expect("store always has a run")).push(bucket);
+        self.len += 1;
+        idx
+    }
+
+    /// Appends a whole run (the epoch delta path).
+    fn append_run(&mut self, run: Vec<Bucket>) {
+        let added = u32::try_from(run.len()).expect("bucket count exceeds u32");
+        assert!(
+            self.len.checked_add(added).is_some(),
+            "bucket count exceeds u32"
+        );
+        self.starts.push(self.len);
+        self.runs.push(Arc::new(run));
+        self.len += added;
+    }
+}
+
+/// The order in which buckets are *enumerated* (by the weighted-bucket
+/// sampler, [`LshTable::buckets`], and key lookups on delta tables),
+/// decoupled from their physical run/slot position.
+///
+/// Sampling is sensitive to enumeration order — the alias table's
+/// columns follow it — so two tables over the same data sample
+/// identically iff they enumerate identically. Batch construction
+/// ([`LshTable::build`] / [`LshTable::from_parts`]) physically sorts
+/// buckets by key and uses the trivial `Physical` order; the delta path
+/// ([`LshTable::from_parts_delta`]) appends touched/new buckets in a
+/// fresh run (so unchanged runs stay shared) and carries an `Explicit`
+/// key-sorted permutation instead — both enumerate the same
+/// key-ascending sequence, which is what makes delta tables sample
+/// bit-identically to batch-built ones.
+#[derive(Debug, Clone)]
+enum BucketOrder {
+    /// Enumerate buckets in physical (flat-index) order.
+    Physical,
+    /// Enumerate buckets via this permutation of physical indices.
+    Explicit(Vec<u32>),
+}
+
+impl BucketOrder {
+    /// Physical bucket indices in enumeration order. `physical_len` is
+    /// the store's slot count, used by the `Physical` variant only.
+    fn indices(&self, physical_len: usize) -> impl Iterator<Item = u32> + '_ {
+        let explicit = match self {
+            Self::Physical => None,
+            Self::Explicit(perm) => Some(perm),
+        };
+        let n = explicit.map_or(physical_len, |p| p.len());
+        (0..n as u32).map(move |i| explicit.map_or(i, |p| p[i as usize]))
+    }
+
+    /// Number of live (enumerated) buckets.
+    fn live(&self, physical_len: usize) -> usize {
+        match self {
+            Self::Physical => physical_len,
+            Self::Explicit(perm) => perm.len(),
+        }
+    }
+}
+
 /// A bucket-counted LSH table over a vector collection.
 pub struct LshTable {
     hasher: Arc<dyn BucketHasher>,
-    buckets: Vec<Bucket>,
+    buckets: BucketStore,
     /// Bucket index by key (the "standard hashing" of §4.1: only existing
-    /// buckets are stored).
+    /// buckets are stored). **Empty for delta-built tables** — cloning a
+    /// large hash map per epoch is exactly the O(n) cost the delta path
+    /// exists to avoid; key lookups there binary-search the key-sorted
+    /// enumeration order instead, and the map is materialized lazily if
+    /// a delta table is ever mutated.
     by_key: HashMap<u64, u32>,
     /// Bucket key of each vector id — O(1) `B(v)` lookup without
     /// re-hashing the vector. Slots of removed ids keep their last key
@@ -70,6 +246,15 @@ pub struct LshTable {
     /// Buckets whose member list is currently empty (only possible after
     /// removals; kept in place so bucket indices stay stable).
     empty_buckets: usize,
+    /// Bucket enumeration order (see [`BucketOrder`]).
+    order: BucketOrder,
+    /// The pair buckets (`C(b_j, 2) > 0`) in enumeration order, with
+    /// their weights — lets an epoch build and maintain its sampler in
+    /// O(#pair buckets) without touching the buckets themselves. `Some`
+    /// iff the table is *pristine* (never mutated since construction):
+    /// `insert`/`remove` drop it, which is also what marks a table
+    /// ineligible as a delta base.
+    pair_order: Option<PairIndex>,
     /// `N_H = Σ_j C(b_j, 2)`.
     nh: u64,
     /// Lazily (re)built alias table over buckets with
@@ -78,25 +263,40 @@ pub struct LshTable {
     alias: RwLock<PairAlias>,
 }
 
+/// Key-ordered index of the pair buckets (`C(b_j, 2) > 0`): their
+/// store indices and, in lockstep, their pair weights. Carrying the
+/// weights here lets an epoch build its sampler from two contiguous
+/// arrays — no scattered bucket reads — and lets the next epoch update
+/// it by splicing in O(delta).
+#[derive(Debug, Clone)]
+struct PairIndex {
+    order: Vec<u32>,
+    weights: Vec<u64>,
+}
+
 /// Cached weighted-bucket sampler state.
 struct PairAlias {
     /// False after an insertion until the next rebuild.
     valid: bool,
     /// `None` when no bucket holds ≥ 2 vectors.
     table: Option<AliasTable>,
-    /// Indices (into `buckets`) corresponding to the alias columns.
+    /// Indices (into the bucket store) corresponding to the alias
+    /// columns.
     columns: Vec<u32>,
 }
 
 impl PairAlias {
-    fn rebuild(buckets: &[Bucket]) -> Self {
+    /// Builds the sampler from bucket indices in enumeration order
+    /// (already filtered to pair buckets, or not — zero weights are
+    /// skipped either way, so the column sequence is identical).
+    fn rebuild(store: &BucketStore, indices: impl Iterator<Item = u32>) -> Self {
         let mut weights = Vec::new();
         let mut columns = Vec::new();
-        for (idx, b) in buckets.iter().enumerate() {
-            let w = b.pair_weight();
+        for idx in indices {
+            let w = store.get(idx).pair_weight();
             if w > 0 {
                 weights.push(w as f64);
-                columns.push(idx as u32);
+                columns.push(idx);
             }
         }
         let table = if weights.is_empty() {
@@ -108,6 +308,22 @@ impl PairAlias {
             valid: true,
             table,
             columns,
+        }
+    }
+
+    /// Builds the sampler straight from a [`PairIndex`] — the pristine
+    /// path: weights are already gathered, so no bucket is read.
+    fn from_index(index: &PairIndex) -> Self {
+        let weights: Vec<f64> = index.weights.iter().map(|&w| w as f64).collect();
+        let table = if weights.is_empty() {
+            None
+        } else {
+            Some(AliasTable::new(&weights).expect("positive C(b,2) weights"))
+        };
+        Self {
+            valid: true,
+            table,
+            columns: index.order.clone(),
         }
     }
 }
@@ -148,21 +364,7 @@ impl LshTable {
             .expect("hashing threads must not panic");
         }
 
-        // Group ids by key. Reserve assuming mostly-distinct keys (true at
-        // the k values the paper uses).
-        let mut groups: HashMap<u64, Vec<VectorId>> = HashMap::with_capacity(n);
-        for (id, &key) in vector_keys.iter().enumerate() {
-            groups.entry(key).or_default().push(id as VectorId);
-        }
-
-        let mut buckets: Vec<Bucket> = groups
-            .into_iter()
-            .map(|(key, members)| Bucket { key, members })
-            .collect();
-        // Deterministic bucket order regardless of hash-map iteration.
-        buckets.sort_unstable_by_key(|b| b.key);
-
-        Self::from_grouped(hasher, vector_keys, buckets)
+        Self::from_keys(hasher, vector_keys)
     }
 
     /// Builds the table from *precomputed* bucket keys — the snapshot
@@ -175,45 +377,249 @@ impl LshTable {
     /// exactly `vector_keys` (same buckets, same order, same `N_H`, same
     /// sampling behavior for the same RNG stream).
     pub fn from_parts(hasher: Arc<dyn BucketHasher>, vector_keys: Vec<u64>) -> Self {
+        Self::from_keys(hasher, vector_keys)
+    }
+
+    /// Shared tail of [`LshTable::build`]/[`LshTable::from_parts`]:
+    /// group ids by key, sort buckets by key (members stay in id
+    /// order), index everything.
+    fn from_keys(hasher: Arc<dyn BucketHasher>, vector_keys: Vec<u64>) -> Self {
+        // Group ids by key. Reserve assuming mostly-distinct keys (true
+        // at the k values the paper uses).
         let mut groups: HashMap<u64, Vec<VectorId>> = HashMap::with_capacity(vector_keys.len());
         for (id, &key) in vector_keys.iter().enumerate() {
             groups.entry(key).or_default().push(id as VectorId);
         }
         let mut buckets: Vec<Bucket> = groups
             .into_iter()
-            .map(|(key, members)| Bucket { key, members })
+            .map(|(key, members)| Bucket {
+                key,
+                members: Arc::new(members),
+            })
             .collect();
+        // Deterministic bucket order regardless of hash-map iteration.
         buckets.sort_unstable_by_key(|b| b.key);
-        Self::from_grouped(hasher, vector_keys, buckets)
-    }
 
-    /// Shared tail of [`LshTable::build`]/[`LshTable::from_parts`]:
-    /// buckets are already grouped, sorted by key, members in id order.
-    fn from_grouped(
-        hasher: Arc<dyn BucketHasher>,
-        vector_keys: Vec<u64>,
-        buckets: Vec<Bucket>,
-    ) -> Self {
         let mut by_key = HashMap::with_capacity(buckets.len());
+        let mut pairs = PairIndex {
+            order: Vec::new(),
+            weights: Vec::new(),
+        };
         let mut nh = 0u64;
         for (idx, b) in buckets.iter().enumerate() {
             by_key.insert(b.key, idx as u32);
-            nh += b.pair_weight();
+            let w = b.pair_weight();
+            if w > 0 {
+                pairs.order.push(idx as u32);
+                pairs.weights.push(w);
+            }
+            nh += w;
         }
-        let alias = RwLock::new(PairAlias::rebuild(&buckets));
+        let store = BucketStore::from_vec(buckets);
+        let alias = RwLock::new(PairAlias::from_index(&pairs));
         let n = vector_keys.len();
 
         Self {
             hasher,
-            buckets,
+            buckets: store,
             by_key,
             vector_keys,
             live: (0..n as VectorId).collect(),
             live_pos: (0..n as u32).collect(),
             empty_buckets: 0,
+            order: BucketOrder::Physical,
+            pair_order: Some(pairs),
             nh,
             alias,
         }
+    }
+
+    /// Builds the table for `prev`'s keys followed by `new_keys` — the
+    /// **incremental epoch path**: instead of regrouping all `n + k`
+    /// keys, the previous epoch's table is extended by the `k` appended
+    /// ones. Every unchanged bucket *run* is reused by `Arc`; one new
+    /// run holds copies of the buckets the delta touched plus the
+    /// brand-new ones, and the key-sorted enumeration order and
+    /// pair-bucket sampler are rebuilt by merging — O(k) bucket work
+    /// plus O(#buckets + #pair buckets) cheap index moves, no
+    /// re-hashing, no re-grouping, no payload traffic.
+    ///
+    /// The result is **observationally identical** to
+    /// [`LshTable::from_parts`] over the concatenated key sequence:
+    /// same `N_H`, same buckets, and — because new buckets are woven
+    /// into the key-sorted *enumeration order* (an internal permutation)
+    /// even though they live in the appended run — the same sampling
+    /// stream for the same RNG. The equivalence is pinned by tests and
+    /// is what lets the service publish epochs incrementally while
+    /// keeping estimates bit-identical to a full merge.
+    ///
+    /// # Panics
+    /// Panics when `prev` is not *pristine* (it was mutated by
+    /// `insert`/`remove` after construction — epoch snapshots never
+    /// are) or when the id space would overflow `u32`.
+    pub fn from_parts_delta(prev: &Self, new_keys: &[u64]) -> Self {
+        let prev_pairs = prev
+            .pair_order
+            .as_ref()
+            .expect("delta construction requires a pristine (unmutated) base table");
+        assert!(
+            prev.slots() == prev.len() && prev.empty_buckets == 0,
+            "delta construction requires a removal-free base table"
+        );
+        let n0 = prev.vector_keys.len();
+        u32::try_from(n0 + new_keys.len()).expect("table exceeds u32 ids");
+        let mut vector_keys = Vec::with_capacity(n0 + new_keys.len());
+        vector_keys.extend_from_slice(&prev.vector_keys);
+        vector_keys.extend_from_slice(new_keys);
+
+        // Apply the delta: touched buckets are copied into the store's
+        // overlay *under their original index* (runs stay shared with
+        // `prev` untouched, and nothing index-keyed needs rewriting);
+        // fresh keys build up one appended run.
+        let mut store = prev.buckets.clone();
+        let base_len = store.len;
+        let mut run: Vec<Bucket> = Vec::new();
+        // Original member count of each touched bucket (for pair-order
+        // admission below) and key → run position for fresh keys.
+        let mut touched: HashMap<u32, usize> = HashMap::new();
+        let mut local: HashMap<u64, u32> = HashMap::with_capacity(new_keys.len().min(1 << 12));
+        let mut nh = prev.nh;
+        for (i, &key) in new_keys.iter().enumerate() {
+            let id = (n0 + i) as VectorId;
+            let members = match prev.find_bucket(key) {
+                Some(old_idx) => {
+                    let bucket = store.get_mut(old_idx);
+                    touched.entry(old_idx).or_insert(bucket.members.len());
+                    &mut bucket.members
+                }
+                None => match local.get(&key) {
+                    Some(&pos) => &mut run[pos as usize].members,
+                    None => {
+                        let pos = u32::try_from(run.len()).expect("bucket count exceeds u32");
+                        run.push(Bucket {
+                            key,
+                            members: Arc::new(Vec::new()),
+                        });
+                        local.insert(key, pos);
+                        &mut run[pos as usize].members
+                    }
+                },
+            };
+            let members = Arc::make_mut(members);
+            nh += members.len() as u64;
+            members.push(id);
+        }
+
+        // Newcomers to the enumeration order (fresh keys) and the pair
+        // index (fresh pairs + touched buckets that crossed 1 → 2), as
+        // key-sorted (key, flat index[, weight]) lists; touched buckets
+        // that already were pairs just get their weight refreshed in
+        // place (their key — hence their position — is unchanged).
+        let mut fresh: Vec<(u64, u32)> = run
+            .iter()
+            .enumerate()
+            .map(|(pos, b)| (b.key, base_len + pos as u32))
+            .collect();
+        let mut new_pairs: Vec<(u64, u32, u64)> = fresh
+            .iter()
+            .zip(&run)
+            .filter(|(_, b)| b.count() >= 2)
+            .map(|(&(key, idx), b)| (key, idx, b.pair_weight()))
+            .collect();
+        let mut pair_weights = prev_pairs.weights.clone();
+        for (&idx, &old_count) in &touched {
+            let bucket = store.get(idx);
+            if old_count < 2 {
+                new_pairs.push((bucket.key, idx, bucket.pair_weight()));
+            } else {
+                let key = bucket.key;
+                let p = prev_pairs
+                    .order
+                    .partition_point(|&e| store.get(e).key < key);
+                debug_assert_eq!(store.get(prev_pairs.order[p]).key, key);
+                pair_weights[p] = bucket.pair_weight();
+            }
+        }
+        fresh.sort_unstable_by_key(|&(key, _)| key);
+        new_pairs.sort_unstable_by_key(|&(key, _, _)| key);
+        store.append_run(run);
+
+        // Weave the newcomers into the key-ascending orders: indices of
+        // existing buckets are unchanged (the overlay preserved them),
+        // so the merges are pure splices — binary-search each
+        // newcomer's slot, bulk-copy the stretches between.
+        let order = splice_by_key(&prev.order, prev.buckets.len(), fresh, |idx| {
+            store.get(idx).key
+        });
+        let pairs = splice_pairs(&prev_pairs.order, &pair_weights, new_pairs, |idx| {
+            store.get(idx).key
+        });
+
+        let overlay_heavy = store.overlay.len() * 8 > store.len().max(64);
+        let (store, order, pairs) = if store.runs.len() > COALESCE_RUNS || overlay_heavy {
+            coalesce(store, &order)
+        } else {
+            (store, BucketOrder::Explicit(order), pairs)
+        };
+
+        let alias = RwLock::new(PairAlias::from_index(&pairs));
+        let n = vector_keys.len();
+        Self {
+            hasher: prev.hasher.clone(),
+            buckets: store,
+            by_key: HashMap::new(),
+            vector_keys,
+            live: (0..n as VectorId).collect(),
+            live_pos: (0..n as u32).collect(),
+            empty_buckets: 0,
+            order,
+            pair_order: Some(pairs),
+            nh,
+            alias,
+        }
+    }
+
+    /// Physical index of the bucket with `key`, through the hash map
+    /// when present (batch-built / mutated tables) or by binary search
+    /// over the key-sorted enumeration order (delta-built tables, which
+    /// deliberately carry no map — see [`LshTable::by_key`]).
+    fn find_bucket(&self, key: u64) -> Option<u32> {
+        if self.buckets.len() == 0 {
+            return None;
+        }
+        if !self.by_key.is_empty() {
+            return self.by_key.get(&key).copied();
+        }
+        let live = self.order.live(self.buckets.len());
+        let mut lo = 0usize;
+        let mut hi = live;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let idx = match &self.order {
+                BucketOrder::Physical => mid as u32,
+                BucketOrder::Explicit(perm) => perm[mid],
+            };
+            match self.buckets.get(idx).key.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(idx),
+            }
+        }
+        None
+    }
+
+    /// Materializes `by_key` before a mutation of a delta-built table
+    /// (live buckets only — superseded run entries must not shadow
+    /// their replacements).
+    fn ensure_by_key(&mut self) {
+        if !self.by_key.is_empty() || self.buckets.len() == 0 {
+            return;
+        }
+        let mut by_key = HashMap::with_capacity(self.order.live(self.buckets.len()));
+        for idx in self.order.indices(self.buckets.len()) {
+            by_key.insert(self.buckets.get(idx).key, idx);
+        }
+        self.by_key = by_key;
     }
 
     /// Appends one vector to the table (the incremental-maintenance path
@@ -238,6 +644,8 @@ impl LshTable {
     /// bit-identical to one built by [`LshTable::insert`] over vectors
     /// hashing to the same keys.
     pub fn insert_key(&mut self, key: u64) -> VectorId {
+        self.ensure_by_key();
+        self.pair_order = None; // the table is no longer pristine
         let id = u32::try_from(self.vector_keys.len()).expect("table exceeds u32 ids");
         self.vector_keys.push(key);
         let pos = u32::try_from(self.live.len()).expect("live population exceeds u32 positions");
@@ -248,22 +656,27 @@ impl LshTable {
         self.live.push(id);
         match self.by_key.get(&key) {
             Some(&idx) => {
-                let bucket = &mut self.buckets[idx as usize];
-                if bucket.members.is_empty() {
+                let members = Arc::make_mut(&mut self.buckets.get_mut(idx).members);
+                if members.is_empty() {
                     // Re-populating a bucket fully drained by remove().
                     self.empty_buckets -= 1;
                 }
                 // New pairs formed with existing members: b_j of them.
-                self.nh += bucket.members.len() as u64;
-                bucket.members.push(id);
+                self.nh += members.len() as u64;
+                members.push(id);
             }
             None => {
-                let idx = u32::try_from(self.buckets.len()).expect("bucket count exceeds u32");
-                self.buckets.push(Bucket {
+                let idx = self.buckets.push(Bucket {
                     key,
-                    members: vec![id],
+                    members: Arc::new(vec![id]),
                 });
                 self.by_key.insert(key, idx);
+                // Mirror the physical append in an explicit enumeration
+                // order (mutable tables are write-side state; their
+                // enumeration order is insertion-dependent either way).
+                if let BucketOrder::Explicit(perm) = &mut self.order {
+                    perm.push(idx);
+                }
             }
         }
         self.alias.get_mut().valid = false;
@@ -288,7 +701,9 @@ impl LshTable {
         if pos == DEAD {
             return false;
         }
-        // Drop from the dense live list (swap-remove keeps O(1)).
+        self.ensure_by_key();
+        self.pair_order = None; // the table is no longer pristine
+                                // Drop from the dense live list (swap-remove keeps O(1)).
         self.live.swap_remove(pos as usize);
         if let Some(&moved) = self.live.get(pos as usize) {
             self.live_pos[moved as usize] = pos;
@@ -298,15 +713,14 @@ impl LshTable {
         // Restore the bucket: b_j − 1 same-bucket pairs disappear.
         let key = self.vector_keys[id as usize];
         let idx = self.by_key[&key];
-        let bucket = &mut self.buckets[idx as usize];
-        let member_pos = bucket
-            .members
+        let members = Arc::make_mut(&mut self.buckets.get_mut(idx).members);
+        let member_pos = members
             .iter()
             .position(|&m| m == id)
             .expect("live id must be in its bucket");
-        bucket.members.remove(member_pos);
-        self.nh -= bucket.members.len() as u64;
-        if bucket.members.is_empty() {
+        members.remove(member_pos);
+        self.nh -= members.len() as u64;
+        if members.is_empty() {
             self.empty_buckets += 1;
         }
         self.alias.get_mut().valid = false;
@@ -347,7 +761,7 @@ impl LshTable {
     /// Number of non-empty buckets `n_g`.
     #[inline]
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len() - self.empty_buckets
+        self.order.live(self.buckets.len()) - self.empty_buckets
     }
 
     /// Total pairs `M = C(n, 2)`.
@@ -409,13 +823,23 @@ impl LshTable {
 
     /// The bucket with the given key, if present.
     pub fn bucket_by_key(&self, key: u64) -> Option<&Bucket> {
-        self.by_key.get(&key).map(|&i| &self.buckets[i as usize])
+        self.find_bucket(key).map(|i| self.buckets.get(i))
     }
 
-    /// All buckets (sorted by key).
-    #[inline]
-    pub fn buckets(&self) -> &[Bucket] {
-        &self.buckets
+    /// All live buckets, in enumeration order — key-ascending for
+    /// batch-built and delta-built tables, insertion-dependent once a
+    /// table has been mutated through [`LshTable::insert`] /
+    /// [`LshTable::remove`].
+    pub fn buckets(&self) -> impl Iterator<Item = &Bucket> {
+        self.order
+            .indices(self.buckets.len())
+            .map(|i| self.buckets.get(i))
+    }
+
+    /// Alias for [`LshTable::buckets`], named for call sites that rely
+    /// on the key-ascending guarantee of unmutated tables.
+    pub fn sorted_buckets(&self) -> impl Iterator<Item = &Bucket> {
+        self.buckets()
     }
 
     /// Bucket count `b_j` for a key (0 when the bucket does not exist).
@@ -435,12 +859,12 @@ impl LshTable {
         if !self.alias.read().valid {
             let mut guard = self.alias.write();
             if !guard.valid {
-                *guard = PairAlias::rebuild(&self.buckets);
+                *guard = PairAlias::rebuild(&self.buckets, self.order.indices(self.buckets.len()));
             }
         }
         let cache = self.alias.read();
         let alias = cache.table.as_ref()?;
-        let bucket = &self.buckets[cache.columns[alias.sample(rng)] as usize];
+        let bucket = self.buckets.get(cache.columns[alias.sample(rng)]);
         let b = bucket.members.len();
         debug_assert!(b >= 2);
         let i = rng.below_usize(b);
@@ -487,6 +911,118 @@ impl LshTable {
     }
 }
 
+/// Splices key-sorted `(key, index)` newcomers into a key-sorted index
+/// slice (disjoint key sets): binary-search each newcomer's slot,
+/// bulk-copy the stretches between — O(new · log existing) probes plus
+/// one pass of `memcpy`, no per-element key lookups.
+fn splice_sorted(
+    existing: &[u32],
+    incoming: Vec<(u64, u32)>,
+    key_at: impl Fn(u32) -> u64,
+) -> Vec<u32> {
+    if incoming.is_empty() {
+        return existing.to_vec();
+    }
+    let mut merged = Vec::with_capacity(existing.len() + incoming.len());
+    let mut start = 0usize;
+    for (key, idx) in incoming {
+        let p = start + existing[start..].partition_point(|&e| key_at(e) < key);
+        merged.extend_from_slice(&existing[start..p]);
+        merged.push(idx);
+        start = p;
+    }
+    merged.extend_from_slice(&existing[start..]);
+    merged
+}
+
+/// [`splice_sorted`] over parallel (index, weight) arrays — the pair
+/// index variant.
+fn splice_pairs(
+    existing_order: &[u32],
+    existing_weights: &[u64],
+    incoming: Vec<(u64, u32, u64)>,
+    key_at: impl Fn(u32) -> u64,
+) -> PairIndex {
+    debug_assert_eq!(existing_order.len(), existing_weights.len());
+    if incoming.is_empty() {
+        return PairIndex {
+            order: existing_order.to_vec(),
+            weights: existing_weights.to_vec(),
+        };
+    }
+    let capacity = existing_order.len() + incoming.len();
+    let mut order = Vec::with_capacity(capacity);
+    let mut weights = Vec::with_capacity(capacity);
+    let mut start = 0usize;
+    for (key, idx, weight) in incoming {
+        let p = start + existing_order[start..].partition_point(|&e| key_at(e) < key);
+        order.extend_from_slice(&existing_order[start..p]);
+        weights.extend_from_slice(&existing_weights[start..p]);
+        order.push(idx);
+        weights.push(weight);
+        start = p;
+    }
+    order.extend_from_slice(&existing_order[start..]);
+    weights.extend_from_slice(&existing_weights[start..]);
+    PairIndex { order, weights }
+}
+
+/// [`splice_sorted`] over a [`BucketOrder`] (the `Physical` variant's
+/// identity sequence is spliced without materializing it first).
+fn splice_by_key(
+    order: &BucketOrder,
+    physical_len: usize,
+    incoming: Vec<(u64, u32)>,
+    key_at: impl Fn(u32) -> u64,
+) -> Vec<u32> {
+    match order {
+        BucketOrder::Explicit(perm) => splice_sorted(perm, incoming, key_at),
+        BucketOrder::Physical => {
+            let end = physical_len as u32;
+            let mut merged = Vec::with_capacity(physical_len + incoming.len());
+            let mut start = 0u32;
+            for (key, idx) in incoming {
+                let mut lo = start;
+                let mut hi = end;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if key_at(mid) < key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                merged.extend(start..lo);
+                merged.push(idx);
+                start = lo;
+            }
+            merged.extend(start..end);
+            merged
+        }
+    }
+}
+
+/// Flattens a run list (overlay included) into one physically
+/// key-ordered run. Returns the new store, the (now trivial) order,
+/// and the recomputed pair index.
+fn coalesce(store: BucketStore, order: &[u32]) -> (BucketStore, BucketOrder, PairIndex) {
+    let mut flat = Vec::with_capacity(order.len());
+    let mut pairs = PairIndex {
+        order: Vec::new(),
+        weights: Vec::new(),
+    };
+    for &idx in order {
+        let bucket = store.get(idx).clone();
+        let w = bucket.pair_weight();
+        if w > 0 {
+            pairs.order.push(flat.len() as u32);
+            pairs.weights.push(w);
+        }
+        flat.push(bucket);
+    }
+    (BucketStore::from_vec(flat), BucketOrder::Physical, pairs)
+}
+
 impl std::fmt::Debug for LshTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LshTable")
@@ -495,6 +1031,7 @@ impl std::fmt::Debug for LshTable {
             .field("k", &self.hasher.k())
             .field("family", &self.hasher.family_name())
             .field("buckets", &self.num_buckets())
+            .field("runs", &self.buckets.runs.len())
             .field("nh", &self.nh)
             .finish()
     }
@@ -556,7 +1093,7 @@ mod tests {
         assert_eq!(t.bucket_count(key), 3);
         let b = t.bucket_by_key(key).unwrap();
         assert_eq!(b.pair_weight(), 3);
-        let mut members = b.members.clone();
+        let mut members = (*b.members).clone();
         members.sort_unstable();
         assert_eq!(members, vec![0, 1, 2]);
         assert_eq!(t.bucket_count(key ^ 0xFFFF), 0);
@@ -959,6 +1496,243 @@ mod tests {
         }
     }
 
+    // ---- incremental (delta) construction ---------------------------------
+
+    /// Asserts full observational equivalence: statistics, per-id keys,
+    /// key-ordered bucket enumeration, and the sampling streams.
+    fn assert_tables_equivalent(a: &LshTable, b: &LshTable, context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: len");
+        assert_eq!(a.nh(), b.nh(), "{context}: nh");
+        assert_eq!(a.num_buckets(), b.num_buckets(), "{context}: buckets");
+        for id in 0..a.len() as u32 {
+            assert_eq!(a.key_of(id), b.key_of(id), "{context}: key of {id}");
+        }
+        let pairs: Vec<_> = a
+            .sorted_buckets()
+            .map(|x| (x.key, x.members.clone()))
+            .collect();
+        let pairs_b: Vec<_> = b
+            .sorted_buckets()
+            .map(|x| (x.key, x.members.clone()))
+            .collect();
+        assert_eq!(pairs, pairs_b, "{context}: enumeration order");
+        let mut r1 = Xoshiro256::seeded(0xD3);
+        let mut r2 = Xoshiro256::seeded(0xD3);
+        for _ in 0..400 {
+            assert_eq!(
+                a.sample_same_bucket_pair(&mut r1),
+                b.sample_same_bucket_pair(&mut r2),
+                "{context}: SH stream"
+            );
+            assert_eq!(
+                a.sample_cross_bucket_pair(&mut r1),
+                b.sample_cross_bucket_pair(&mut r2),
+                "{context}: SL stream"
+            );
+            assert_eq!(
+                a.sample_any_pair(&mut r1),
+                b.sample_any_pair(&mut r2),
+                "{context}: any stream"
+            );
+        }
+    }
+
+    /// Skewed key sequence: plenty of bucket collisions plus fresh keys.
+    fn key_sequence(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256::seeded(seed);
+        (0..n)
+            .map(|_| {
+                if rng.below(3) == 0 {
+                    rng.below(20) // hot keys: multi-member buckets
+                } else {
+                    0x1000 + rng.below(2 * n.max(1) as u64) // mostly-unique tail
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_parts_delta_matches_batch_from_parts() {
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 1, 0, 8));
+        let keys = key_sequence(600, 41);
+        for split in [0, 1, 250, 599, 600] {
+            let base = LshTable::from_parts(hasher(), keys[..split].to_vec());
+            let delta = LshTable::from_parts_delta(&base, &keys[split..]);
+            let batch = LshTable::from_parts(hasher(), keys.clone());
+            assert_tables_equivalent(&delta, &batch, &format!("split {split}"));
+        }
+    }
+
+    #[test]
+    fn chained_deltas_match_batch_build() {
+        // Epoch after epoch of appends — the service's publish cadence.
+        // 500/7 ≈ 72 epochs also crosses the run-coalescing threshold.
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 7, 0, 8));
+        let keys = key_sequence(500, 43);
+        let mut table = LshTable::from_parts(hasher(), Vec::new());
+        for chunk in keys.chunks(7) {
+            table = LshTable::from_parts_delta(&table, chunk);
+        }
+        let batch = LshTable::from_parts(hasher(), keys);
+        assert_tables_equivalent(&table, &batch, "chained deltas");
+    }
+
+    #[test]
+    fn delta_shares_untouched_buckets_with_base() {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 3, 0, 8));
+        let base = LshTable::from_parts(hasher, vec![10, 20, 20, 30, 30, 30]);
+        // Delta touches key 20 and creates key 40; 10 and 30 untouched.
+        let next = LshTable::from_parts_delta(&base, &[20, 40]);
+        let find = |t: &LshTable, key: u64| t.bucket_by_key(key).unwrap().members.clone();
+        assert!(
+            Arc::ptr_eq(&find(&base, 10), &find(&next, 10)),
+            "untouched bucket 10 must be shared"
+        );
+        assert!(
+            Arc::ptr_eq(&find(&base, 30), &find(&next, 30)),
+            "untouched bucket 30 must be shared"
+        );
+        assert!(
+            !Arc::ptr_eq(&find(&base, 20), &find(&next, 20)),
+            "touched bucket must be copied, not mutated in place"
+        );
+        // The base epoch is frozen: its bucket 20 still has two members.
+        assert_eq!(base.bucket_count(20), 2);
+        assert_eq!(next.bucket_count(20), 3);
+        assert_eq!(next.nh(), base.nh() + 2); // +2 pairs in bucket 20
+    }
+
+    #[test]
+    fn delta_weaves_new_buckets_into_key_order() {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 5, 0, 8));
+        let base = LshTable::from_parts(hasher, vec![10, 30, 50]);
+        // New keys land before, between, and after the existing ones.
+        let next = LshTable::from_parts_delta(&base, &[40, 5, 60, 20]);
+        let enumerated: Vec<u64> = next.sorted_buckets().map(|b| b.key).collect();
+        assert_eq!(enumerated, vec![5, 10, 20, 30, 40, 50, 60]);
+        // Key lookups keep working on the woven order (no hash map on
+        // the delta path).
+        for key in [5, 10, 20, 30, 40, 50, 60] {
+            assert_eq!(next.bucket_count(key), 1, "key {key}");
+        }
+        assert_eq!(next.bucket_count(25), 0);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 9, 0, 8));
+        let base = LshTable::from_parts(hasher(), key_sequence(120, 47));
+        let same = LshTable::from_parts_delta(&base, &[]);
+        assert_tables_equivalent(&same, &base, "empty delta");
+    }
+
+    #[test]
+    fn mutating_a_delta_table_still_works() {
+        // Delta tables carry no key map; insert/remove must materialize
+        // it lazily and keep every statistic exact.
+        let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), 13, 0, 8));
+        let keys = key_sequence(80, 51);
+        let base = LshTable::from_parts(hasher(), keys[..50].to_vec());
+        let mut delta = LshTable::from_parts_delta(&base, &keys[50..]);
+        let batch = LshTable::from_parts(hasher(), keys.clone());
+        // Mutate both identically.
+        assert_eq!(delta.insert_key(keys[3]), 80);
+        let mut batch = batch;
+        assert_eq!(batch.insert_key(keys[3]), 80);
+        assert!(delta.remove(5));
+        assert!(batch.remove(5));
+        assert_eq!(delta.nh(), batch.nh());
+        assert_eq!(delta.num_buckets(), batch.num_buckets());
+        assert_eq!(delta.len(), batch.len());
+        // The shared base table is unaffected by the mutation.
+        assert_eq!(base.len(), 50);
+        assert!(base.is_live(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine")]
+    fn delta_from_removed_base_rejected() {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 11, 0, 8));
+        let mut base = LshTable::from_parts(hasher, vec![1, 1, 2]);
+        base.remove(0);
+        let _ = LshTable::from_parts_delta(&base, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine")]
+    fn delta_from_inserted_base_rejected() {
+        let hasher = Arc::new(Composite::derive(MinHashFamily::new(), 11, 0, 8));
+        let mut base = LshTable::from_parts(hasher, vec![1, 1, 2]);
+        base.insert_key(9);
+        let _ = LshTable::from_parts_delta(&base, &[3]);
+    }
+
+    mod delta_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Any split of any key sequence: delta == batch, including
+            /// the sampling streams.
+            #[test]
+            fn delta_equals_batch_everywhere(
+                n in 0usize..300,
+                split_frac in 0.0f64..1.0,
+                seed in 0u64..1000,
+            ) {
+                let keys = key_sequence(n, seed);
+                let split = ((n as f64) * split_frac) as usize;
+                let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), seed, 0, 8));
+                let base = LshTable::from_parts(hasher(), keys[..split].to_vec());
+                let delta = LshTable::from_parts_delta(&base, &keys[split..]);
+                let batch = LshTable::from_parts(hasher(), keys.clone());
+                prop_assert_eq!(delta.nh(), batch.nh());
+                prop_assert_eq!(delta.num_buckets(), batch.num_buckets());
+                let mut r1 = Xoshiro256::seeded(seed ^ 0xA5A5);
+                let mut r2 = Xoshiro256::seeded(seed ^ 0xA5A5);
+                for _ in 0..60 {
+                    prop_assert_eq!(
+                        delta.sample_same_bucket_pair(&mut r1),
+                        batch.sample_same_bucket_pair(&mut r2)
+                    );
+                    prop_assert_eq!(
+                        delta.sample_cross_bucket_pair(&mut r1),
+                        batch.sample_cross_bucket_pair(&mut r2)
+                    );
+                }
+            }
+
+            /// Chains of deltas (crossing the coalesce threshold) stay
+            /// equivalent to one batch build.
+            #[test]
+            fn delta_chains_equal_batch(
+                n in 0usize..240,
+                chunk in 1usize..12,
+                seed in 0u64..500,
+            ) {
+                let keys = key_sequence(n, seed);
+                let hasher = || Arc::new(Composite::derive(MinHashFamily::new(), seed, 0, 8));
+                let mut table = LshTable::from_parts(hasher(), Vec::new());
+                for c in keys.chunks(chunk) {
+                    table = LshTable::from_parts_delta(&table, c);
+                }
+                let batch = LshTable::from_parts(hasher(), keys.clone());
+                prop_assert_eq!(table.nh(), batch.nh());
+                prop_assert_eq!(table.num_buckets(), batch.num_buckets());
+                let mut r1 = Xoshiro256::seeded(seed ^ 0x77);
+                let mut r2 = Xoshiro256::seeded(seed ^ 0x77);
+                for _ in 0..40 {
+                    prop_assert_eq!(
+                        table.sample_same_bucket_pair(&mut r1),
+                        batch.sample_same_bucket_pair(&mut r2)
+                    );
+                }
+            }
+        }
+    }
+
     mod removal_properties {
         use super::*;
         use proptest::prelude::*;
@@ -967,7 +1741,6 @@ mod tests {
         fn fingerprint(t: &LshTable) -> (u64, usize, usize, Vec<(u64, usize)>) {
             let mut per_bucket: Vec<(u64, usize)> = t
                 .buckets()
-                .iter()
                 .filter(|b| b.count() > 0)
                 .map(|b| (b.key, b.count()))
                 .collect();

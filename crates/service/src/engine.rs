@@ -14,7 +14,7 @@ use vsj_vector::{Cosine, Jaccard, SparseVector};
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
 use crate::config::{IndexFamily, ServiceConfig};
 use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
-use crate::shard::{ShardState, ShardStats};
+use crate::shard::{ShardDelta, ShardState, ShardStats};
 use crate::snapshot::Snapshot;
 use crate::wal::{WalOp, WalRecord, WalWriter};
 use crate::GlobalId;
@@ -61,6 +61,12 @@ pub struct EngineStats {
     pub ingests: u64,
     /// Snapshots published.
     pub publishes: u64,
+    /// Publishes served by the incremental O(changed) path (append-only
+    /// epochs extending the previous snapshot).
+    pub delta_publishes: u64,
+    /// Publishes that fell back to the full pointer-merge (epochs with
+    /// removals, upserts of existing ids, or out-of-order id arrivals).
+    pub full_publishes: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
     /// Estimate-cache hits.
@@ -88,8 +94,12 @@ pub struct EngineStats {
 /// * **Publication** (`publish`, or automatic every
 ///   [`ServiceConfig::auto_publish_every`] ingests) takes a consistent
 ///   cut across the shards and assembles an immutable epoch
-///   [`Snapshot`] — an O(n) merge of precomputed bucket keys, no
-///   re-hashing — then swaps it in as the current read view.
+///   [`Snapshot`] in **O(changed)**: append-only epochs extend the
+///   previous snapshot (payloads and untouched bucket runs are
+///   `Arc`-shared; no re-hashing, no payload copies), and only epochs
+///   with removals or replacing upserts pay a full — still
+///   pointer-only — merge. The new snapshot is then swapped in as the
+///   current read view.
 /// * **Reads** (`estimate` / `estimate_batch`) clone the current
 ///   snapshot `Arc` (readers never block writers or each other beyond
 ///   that pointer read) and run the paper's LSH-SS estimator against
@@ -113,6 +123,8 @@ pub struct EstimationEngine {
     next_id: AtomicU64,
     ingests: AtomicU64,
     publishes: AtomicU64,
+    delta_publishes: AtomicU64,
+    full_publishes: AtomicU64,
     sampling_passes: AtomicU64,
     sampled_pairs: AtomicU64,
     cache: Mutex<EstimateCache>,
@@ -156,6 +168,8 @@ impl EstimationEngine {
             next_id: AtomicU64::new(0),
             ingests: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            delta_publishes: AtomicU64::new(0),
+            full_publishes: AtomicU64::new(0),
             sampling_passes: AtomicU64::new(0),
             sampled_pairs: AtomicU64::new(0),
             cache: Mutex::new(EstimateCache::default()),
@@ -183,6 +197,25 @@ impl EstimationEngine {
     /// when `dir` already holds a checkpoint (recover it instead —
     /// silently overwriting a previous life's state is exactly the kind
     /// of data loss this subsystem exists to prevent).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vsj_service::{EstimationEngine, ServiceConfig};
+    /// use vsj_vector::SparseVector;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("vsj-doc-durable-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    ///
+    /// let config = ServiceConfig::builder().shards(2).k(8).seed(1).build();
+    /// let engine = EstimationEngine::durable(config, &dir).unwrap();
+    /// engine.insert(SparseVector::binary_from_members(vec![1, 2, 3]));
+    /// assert_eq!(engine.wal_pending(), 1, "the insert is WAL-logged");
+    ///
+    /// // A second life must recover, never re-initialize.
+    /// assert!(EstimationEngine::durable(config, &dir).is_err());
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
     pub fn durable(config: ServiceConfig, dir: &Path) -> Result<Self, PersistError> {
         std::fs::create_dir_all(dir)?;
         if dir.join(CHECKPOINT_FILE).exists() {
@@ -228,6 +261,32 @@ impl EstimationEngine {
     /// lag by those unlogged publishes until the caller republishes.
     /// Auto-publish cadences and [`checkpoint`](Self::checkpoint)
     /// epochs are always reproduced exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vsj_service::{EstimationEngine, ServiceConfig};
+    /// use vsj_vector::SparseVector;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("vsj-doc-recover-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    ///
+    /// let config = ServiceConfig::builder().shards(2).k(8).seed(9).build();
+    /// let engine = EstimationEngine::durable(config, &dir).unwrap();
+    /// for i in 0..20u32 {
+    ///     engine.insert(SparseVector::binary_from_members(vec![i % 5, 50 + i % 3]));
+    /// }
+    /// engine.checkpoint().unwrap();
+    /// engine.insert(SparseVector::binary_from_members(vec![7, 8])); // rides the WAL
+    /// let before = engine.publish();
+    /// let answer = engine.estimate(0.8);
+    /// drop(engine); // "crash"
+    ///
+    /// let revived = EstimationEngine::recover(&dir).unwrap();
+    /// assert_eq!(revived.publish(), before, "epoch counter restored");
+    /// assert_eq!(revived.estimate(0.8), answer, "estimates are bit-identical");
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
     pub fn recover(dir: &Path) -> Result<Self, PersistError> {
         let (meta, rows) = persist::read_checkpoint(dir)?;
         let mut engine = Self::new(meta.config);
@@ -241,6 +300,12 @@ impl EstimationEngine {
                     "checkpoint carries global id {gid} twice"
                 )));
             }
+        }
+        // The checkpoint rows ARE the base snapshot: drain the delta
+        // logs the rebuild just filled so the next publish extends this
+        // snapshot rather than double-counting its rows.
+        for shard in &mut engine.shards {
+            let _ = shard.get_mut().take_delta();
         }
         *engine.current.get_mut() = Arc::new(Snapshot::assemble(
             meta.epoch,
@@ -524,31 +589,91 @@ impl EstimationEngine {
     /// next epoch snapshot. Returns the new epoch. Concurrent publishers
     /// are serialized; readers are never blocked (they keep the old
     /// snapshot until the swap).
+    ///
+    /// **Cost is proportional to what changed, not to corpus size.**
+    /// Each shard logs its mutations since the last cut; when every
+    /// shard's delta is append-only (pure inserts with fresh, past-cut
+    /// global ids — the common ingest pattern), the new epoch is
+    /// assembled from the previous snapshot plus the delta
+    /// (`Snapshot::assemble_delta`): payloads and untouched buckets
+    /// are `Arc`-shared, so an epoch after `k` ingests into an
+    /// `n`-vector corpus costs O(k) real work. Epochs whose delta holds
+    /// removals, replacing upserts, or out-of-order ids fall back to a
+    /// full merge — O(n log n) but still pure pointer work (payloads
+    /// stay shared, nothing is re-hashed). Either way the published
+    /// snapshot is bit-identical to a full offline rebuild; only the
+    /// assembly cost differs (see [`EngineStats::delta_publishes`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vsj_service::{EstimationEngine, ServiceConfig};
+    /// use vsj_vector::SparseVector;
+    ///
+    /// let engine = EstimationEngine::new(
+    ///     ServiceConfig::builder().shards(2).k(8).seed(3).build(),
+    /// );
+    /// engine.insert(SparseVector::binary_from_members(vec![1, 2]));
+    /// assert_eq!(engine.current_epoch(), 0, "not visible before publish");
+    ///
+    /// let epoch = engine.publish();
+    /// assert_eq!(epoch, 1);
+    /// assert_eq!(engine.snapshot().len(), 1, "the cut is now readable");
+    /// // Appends-only epochs take the incremental O(changed) path.
+    /// assert_eq!(engine.stats().delta_publishes, 1);
+    /// ```
     pub fn publish(&self) -> u64 {
         let mut last_epoch = self.publish_lock.lock();
+        // Only publish() (serialized by the lock we hold) and recovery
+        // (exclusive access) replace `current`, so this read is the
+        // previous cut — the base the delta path extends.
+        let prev = self.current.read().clone();
         // Lock every shard (in index order) for the cut: ingest counter
-        // and live rows are read under the same freeze, so the snapshot
-        // is transactionally consistent.
-        let mut rows = Vec::new();
-        {
-            let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+        // and delta/live rows are read under the same freeze, so the
+        // snapshot is transactionally consistent. The publish path is
+        // decided *under the cut* — a delta found invalid here must be
+        // re-collected before any writer can slip in a mutation that
+        // would otherwise straddle two epochs.
+        let mut guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+        let ingested = self.ingests.load(Ordering::SeqCst);
+        let mut delta = Vec::new();
+        let mut full = false;
+        for g in &mut guards {
+            match g.take_delta() {
+                ShardDelta::Appends(rows) => delta.extend(rows),
+                ShardDelta::Full => full = true,
+            }
+        }
+        if !full {
+            delta.sort_unstable_by_key(|r| r.0);
+            full = !Snapshot::is_append_only(&prev, &delta);
+        }
+        let epoch = *last_epoch + 1;
+        let snapshot = if full {
+            let mut rows = Vec::new();
             for g in &guards {
                 g.collect_live(&mut rows);
             }
-            let ingested = self.ingests.load(Ordering::SeqCst);
             drop(guards);
-            let epoch = *last_epoch + 1;
-            let snapshot = Arc::new(Snapshot::assemble(
+            self.full_publishes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Snapshot::assemble(
                 epoch,
                 ingested,
                 self.hasher.clone(),
                 rows,
-            ));
-            *self.current.write() = snapshot;
-            *last_epoch = epoch;
-        }
+            ))
+        } else {
+            drop(guards);
+            self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(
+                Snapshot::assemble_delta(&prev, epoch, ingested, delta)
+                    .expect("append-only delta was validated under the cut"),
+            )
+        };
+        *self.current.write() = snapshot;
+        *last_epoch = epoch;
         self.publishes.fetch_add(1, Ordering::Relaxed);
-        *last_epoch
+        epoch
     }
 
     /// The current published snapshot (cheap: one `Arc` clone under a
@@ -802,6 +927,8 @@ impl EstimationEngine {
             live: shards.iter().map(|s| s.live).sum(),
             ingests: self.ingests.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
+            delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
+            full_publishes: self.full_publishes.load(Ordering::Relaxed),
             shards,
             cache_hits,
             cache_misses,

@@ -15,7 +15,9 @@
 //!  │shard0│  │shard1│ … │shardS│       per-shard LshTable, bucket
 //!  └──┬───┘  └───┬──┘   └───┬──┘       counts maintained incrementally
 //!     └──────────┼──────────┘
-//!                │ publish(): O(n) merge of precomputed keys
+//!                │ publish(): O(changed) — previous snapshot + per-shard
+//!                │ deltas (payloads & bucket runs Arc-shared; full
+//!                │ pointer-merge fallback for removal epochs)
 //!          ┌─────▼──────┐
 //!          │ Snapshot e │  immutable, Arc-shared, epoch-tagged
 //!          └─────┬──────┘

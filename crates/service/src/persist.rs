@@ -2,7 +2,7 @@
 //!
 //! A *checkpoint* is one file (`checkpoint.vsjc`, a
 //! [`datasets::io`](vsj_datasets::io) v2 container) holding everything
-//! needed to resurrect an [`EstimationEngine`](crate::EstimationEngine)
+//! needed to resurrect an [`EstimationEngine`]
 //! at a published epoch:
 //!
 //! | section | payload |
@@ -10,7 +10,7 @@
 //! | `META` | epoch, ingest counter, id allocator, WAL cut, publishes, full [`ServiceConfig`] |
 //! | `GIDS` | global ids of the snapshot rows, ascending |
 //! | `KEYS` | precomputed LSH bucket keys, parallel to `GIDS` |
-//! | `VECS` | the owned vector payloads (shared collection encoding) |
+//! | `VECS` | the vector payloads, written once straight from the snapshot's `Arc`-shared handles |
 //!
 //! Storing the bucket keys means recovery re-hashes *nothing*: shards
 //! are rebuilt through [`LshTable::insert_key`](vsj_lsh::LshTable) from
@@ -301,7 +301,7 @@ fn decode_u64s(mut data: Bytes, what: &str) -> Result<Vec<u64>, PersistError> {
 pub type SnapshotRows = Vec<(GlobalId, u64, Arc<SparseVector>)>;
 
 /// Serializes a checkpoint into container bytes (exposed for tests and
-/// tooling; [`write_checkpoint`] is the durable path).
+/// tooling; the private `write_checkpoint` is the durable path).
 pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
     let mut w = ContainerWriter::new();
     w.section(SECTION_META, encode_meta(meta, snapshot.len() as u64));
@@ -311,7 +311,14 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
     );
     let keys = snapshot.table().to_parts();
     w.section(SECTION_KEYS, encode_u64s(keys.into_iter()));
-    w.section(SECTION_VECS, io::encode_vectors(snapshot.collection()));
+    // Payloads are serialized once, straight from the snapshot's shared
+    // `Arc` handles — the on-disk bytes are identical to the owned
+    // encoding, with no intermediate owned collection materialized.
+    let payloads: Vec<&SparseVector> = snapshot.collection().iter_arcs().map(Arc::as_ref).collect();
+    w.section(
+        SECTION_VECS,
+        io::encode_vector_list(payloads.iter().copied()),
+    );
     w.finish()
 }
 
@@ -359,7 +366,7 @@ pub fn decode_checkpoint(bytes: Bytes) -> Result<(CheckpointMeta, SnapshotRows),
     let rows = gids
         .into_iter()
         .zip(keys)
-        .zip(collection.vectors().iter().cloned())
+        .zip(collection.into_vectors())
         .map(|((gid, key), v)| (gid, key, Arc::new(v)))
         .collect();
     Ok((meta, rows))

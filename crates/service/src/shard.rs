@@ -19,6 +19,24 @@ use vsj_vector::{SparseVector, VectorCollection, VectorId};
 
 use crate::GlobalId;
 
+/// Cap on the buffered per-shard delta. Past this many inserts between
+/// publishes the buffer stops paying for itself (the snapshot-side
+/// delta work approaches full-merge cost anyway) — the shard flips to
+/// [`ShardDelta::Full`] and drops the buffer to bound memory.
+const DELTA_BUFFER_CAP: usize = 1 << 15;
+
+/// What happened in a shard since the last publish cut.
+pub(crate) enum ShardDelta {
+    /// Only inserts, all buffered here (`(global id, bucket key,
+    /// payload)` in application order). The engine can publish the next
+    /// epoch incrementally from these rows alone.
+    Appends(Vec<(GlobalId, u64, Arc<SparseVector>)>),
+    /// A remove/upsert happened (or the buffer overflowed): the shard's
+    /// live rows must be re-collected; the next publish takes the full
+    /// merge path.
+    Full,
+}
+
 /// Mutable state of one shard (always accessed under the shard's lock).
 pub(crate) struct ShardState {
     /// Shard-local bucket-counted table; maintains the shard's `N_H`
@@ -31,6 +49,8 @@ pub(crate) struct ShardState {
     globals: Vec<GlobalId>,
     /// Global id → local id, live entries only.
     by_global: HashMap<GlobalId, VectorId>,
+    /// Mutations since the last publish cut (see [`ShardDelta`]).
+    delta: ShardDelta,
 }
 
 /// Point-in-time statistics of one shard.
@@ -53,6 +73,19 @@ impl ShardState {
             vectors: Vec::new(),
             globals: Vec::new(),
             by_global: HashMap::new(),
+            delta: ShardDelta::Appends(Vec::new()),
+        }
+    }
+
+    /// Records one applied insert in the delta log (no-op once the
+    /// shard is already marked for a full re-collect).
+    fn log_insert(&mut self, global: GlobalId, key: u64, v: Arc<SparseVector>) {
+        if let ShardDelta::Appends(buffer) = &mut self.delta {
+            if buffer.len() >= DELTA_BUFFER_CAP {
+                self.delta = ShardDelta::Full;
+            } else {
+                buffer.push((global, key, v));
+            }
         }
     }
 
@@ -64,9 +97,10 @@ impl ShardState {
             return false;
         }
         let local = self.table.insert(&v);
-        self.vectors.push(Some(v));
+        self.vectors.push(Some(v.clone()));
         self.globals.push(global);
         self.by_global.insert(global, local);
+        self.log_insert(global, self.table.key_of(local), v);
         true
     }
 
@@ -84,9 +118,10 @@ impl ShardState {
             return false;
         }
         let local = self.table.insert_key(key);
-        self.vectors.push(Some(v));
+        self.vectors.push(Some(v.clone()));
         self.globals.push(global);
         self.by_global.insert(global, local);
+        self.log_insert(global, key, v);
         true
     }
 
@@ -98,8 +133,18 @@ impl ShardState {
         let removed = self.table.remove(local);
         debug_assert!(removed, "by_global entry implies a live table id");
         self.vectors[local as usize] = None;
+        // A removal shifts snapshot-local ids, which an incremental
+        // epoch cannot express — the next publish re-collects this
+        // shard (and only then does the buffer start refilling).
+        self.delta = ShardDelta::Full;
         self.maybe_compact();
         true
+    }
+
+    /// Drains the delta log at a publish cut, resetting it to an empty
+    /// append buffer — every mutation lands in exactly one cut.
+    pub(crate) fn take_delta(&mut self) -> ShardDelta {
+        std::mem::replace(&mut self.delta, ShardDelta::Appends(Vec::new()))
     }
 
     /// Rebuilds the shard densely once tombstone slots dominate. Ids

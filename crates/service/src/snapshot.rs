@@ -7,22 +7,35 @@
 //! ingesting and publishing newer epochs; existing snapshots are never
 //! mutated and are freed when the last reader drops them.
 //!
-//! **Offline equivalence.** The snapshot table is built with
-//! [`LshTable::from_parts`] from the bucket keys the shards computed at
-//! ingest time, with vectors ordered by global id. This is exactly the
-//! table [`LshTable::build`] would produce over the same vectors with
-//! the same hasher, so any estimator run against a snapshot returns *the
-//! same value* as an offline run over an equivalently-ordered
-//! collection with the same RNG — the property the service's tests pin
-//! down, and the reason results from the live engine are directly
-//! comparable to the paper's offline numbers.
+//! **Incremental publication.** Payloads live behind `Arc`s
+//! ([`SharedVectorCollection`]), so a snapshot never copies vector
+//! data. Two assembly paths exist:
+//!
+//! * [`Snapshot::assemble_delta`] — the **O(changed)** path: when an
+//!   epoch's delta is append-only (only inserts, all with global ids
+//!   past the previous cut — the common ingest pattern), the new
+//!   snapshot extends the previous one: payload handles are shared,
+//!   and the table is built by [`LshTable::from_parts_delta`], which
+//!   `Arc`-shares every untouched bucket with the previous epoch.
+//! * [`Snapshot::assemble`] — the general merge for epochs whose delta
+//!   contains removals, upserts, or out-of-order ids: an O(n log n)
+//!   re-sort of the live rows, but still pure pointer work (no payload
+//!   copies, no re-hashing).
+//!
+//! **Offline equivalence.** Both paths produce a table
+//! observationally identical to [`LshTable::build`] over the same live
+//! vectors in global-id order, so any estimator run against a snapshot
+//! returns *the same value* as an offline run over an
+//! equivalently-ordered collection with the same RNG — the property the
+//! service's tests pin down, and the reason results from the live
+//! engine are directly comparable to the paper's offline numbers.
 
 use std::sync::Arc;
 
 use vsj_core::IndexView;
 use vsj_lsh::{BucketHasher, LshTable};
 use vsj_sampling::Rng;
-use vsj_vector::{SparseVector, VectorCollection, VectorId};
+use vsj_vector::{SharedVectorCollection, SparseVector, VectorId};
 
 use crate::GlobalId;
 
@@ -31,7 +44,7 @@ pub struct Snapshot {
     epoch: u64,
     /// Ingest-counter value at the cut (drift reference for the cache).
     ingested: u64,
-    collection: VectorCollection,
+    collection: SharedVectorCollection,
     table: LshTable,
     /// Snapshot index → global id (ascending).
     ids: Vec<GlobalId>,
@@ -43,7 +56,7 @@ impl Snapshot {
         Self {
             epoch: 0,
             ingested: 0,
-            collection: VectorCollection::new(),
+            collection: SharedVectorCollection::new(),
             table: LshTable::from_parts(hasher, Vec::new()),
             ids: Vec::new(),
         }
@@ -54,12 +67,12 @@ impl Snapshot {
     /// sorted by global id so the layout is independent of shard count
     /// and removal history.
     ///
-    /// Cost: O(n log n) for the sort plus an O(corpus bytes) copy of the
-    /// vector payloads into the owned [`VectorCollection`] (hashing is
-    /// *not* redone — keys were computed at ingest). Sharing the
-    /// `Arc<SparseVector>` payloads instead would make publication pure
-    /// pointer work, but requires a collection type over `Arc`s; tracked
-    /// as a ROADMAP open item.
+    /// Cost: O(n log n) for the sort plus O(n) *pointer* work — the
+    /// payloads are `Arc`-shared with the shards, never copied, and the
+    /// bucket keys were computed at ingest so no hashing happens here.
+    /// This is the general path; epochs whose delta is append-only go
+    /// through [`Snapshot::assemble_delta`] instead and skip even the
+    /// O(n) regrouping.
     pub(crate) fn assemble(
         epoch: u64,
         ingested: u64,
@@ -73,15 +86,71 @@ impl Snapshot {
         for (global, key, v) in rows {
             ids.push(global);
             keys.push(key);
-            vectors.push((*v).clone());
+            vectors.push(v);
         }
         Self {
             epoch,
             ingested,
-            collection: VectorCollection::from_vectors(vectors),
+            collection: SharedVectorCollection::from_arcs(vectors),
             table: LshTable::from_parts(hasher, keys),
             ids,
         }
+    }
+
+    /// Assembles the next epoch **incrementally** from the previous
+    /// snapshot plus this epoch's delta rows — O(changed) instead of
+    /// O(n): payload handles and untouched table buckets are shared
+    /// with `prev` by `Arc`; only the delta is newly indexed.
+    ///
+    /// Returns `None` (caller falls back to [`Snapshot::assemble`])
+    /// unless the delta is *append-only*: inserts only, every global id
+    /// strictly greater than `prev`'s largest. That restriction is what
+    /// keeps the snapshot bit-identical to a full merge — appended rows
+    /// extend the global-id order without renumbering any existing
+    /// snapshot-local id.
+    pub(crate) fn assemble_delta(
+        prev: &Snapshot,
+        epoch: u64,
+        ingested: u64,
+        mut delta: Vec<(GlobalId, u64, Arc<SparseVector>)>,
+    ) -> Option<Self> {
+        delta.sort_unstable_by_key(|r| r.0);
+        if !Self::is_append_only(prev, &delta) {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(prev.ids.len() + delta.len());
+        ids.extend_from_slice(&prev.ids);
+        let mut keys = Vec::with_capacity(delta.len());
+        let mut arcs = Vec::with_capacity(delta.len());
+        for (global, key, v) in delta {
+            ids.push(global);
+            keys.push(key);
+            arcs.push(v);
+        }
+        Some(Self {
+            epoch,
+            ingested,
+            collection: prev.collection.extended(arcs),
+            table: LshTable::from_parts_delta(&prev.table, &keys),
+            ids,
+        })
+    }
+
+    /// The single source of truth for delta-path eligibility: `delta`
+    /// (sorted by global id) is *append-only* on top of this snapshot —
+    /// strictly ascending ids, all past this snapshot's largest. The
+    /// engine uses this to pick the publish path under the cut, and
+    /// [`Snapshot::assemble_delta`] re-checks the same predicate, so
+    /// the two can never disagree.
+    pub(crate) fn is_append_only(
+        prev: &Snapshot,
+        delta: &[(GlobalId, u64, Arc<SparseVector>)],
+    ) -> bool {
+        let floor = prev.ids.last().copied();
+        delta.windows(2).all(|w| w[0].0 < w[1].0)
+            && delta
+                .first()
+                .is_none_or(|first| floor.is_none_or(|max| first.0 > max))
     }
 
     /// The snapshot's epoch (monotonically increasing per engine).
@@ -108,9 +177,11 @@ impl Snapshot {
         self.ids.is_empty()
     }
 
-    /// The frozen collection (aligned with [`Snapshot::table`]).
+    /// The frozen collection (aligned with [`Snapshot::table`]). The
+    /// payloads are `Arc`-shared with the shards and, typically, with
+    /// the neighboring epochs' snapshots.
     #[inline]
-    pub fn collection(&self) -> &VectorCollection {
+    pub fn collection(&self) -> &SharedVectorCollection {
         &self.collection
     }
 
@@ -202,6 +273,8 @@ impl IndexView for Snapshot {
 mod tests {
     use super::*;
     use vsj_lsh::{Composite, MinHashFamily};
+    use vsj_sampling::Xoshiro256;
+    use vsj_vector::VectorCollection;
 
     fn hasher() -> Arc<dyn BucketHasher> {
         Arc::new(Composite::derive(MinHashFamily::new(), 2, 0, 8))
@@ -239,6 +312,76 @@ mod tests {
         // a bucket in the snapshot view.
         assert!(IndexView::same_bucket(&snap, 0, 2));
         assert_eq!(IndexView::nh(&snap), 1);
+    }
+
+    #[test]
+    fn assemble_shares_payloads_instead_of_copying() {
+        let payload = v(&[1, 2, 3]);
+        let rows = vec![(5, hasher().key(&payload), payload.clone())];
+        let snap = Snapshot::assemble(1, 1, hasher(), rows);
+        assert!(
+            Arc::ptr_eq(snap.collection().arc(0), &payload),
+            "snapshot must hold the shard's Arc, not a copy"
+        );
+    }
+
+    #[test]
+    fn delta_assembly_matches_full_merge() {
+        let base_rows: Vec<_> = [(1u64, &[1, 2][..]), (4, &[5, 6]), (9, &[1, 2])]
+            .iter()
+            .map(|&(g, m)| (g, hasher().key(&v(m)), v(m)))
+            .collect();
+        let delta_rows: Vec<_> = [(12u64, &[1, 2][..]), (15, &[9, 9])]
+            .iter()
+            .map(|&(g, m)| (g, hasher().key(&v(m)), v(m)))
+            .collect();
+        let prev = Snapshot::assemble(1, 3, hasher(), base_rows.clone());
+        let next = Snapshot::assemble_delta(&prev, 2, 5, delta_rows.clone())
+            .expect("append-only delta must take the incremental path");
+        let mut all = base_rows;
+        all.extend(delta_rows);
+        let merged = Snapshot::assemble(2, 5, hasher(), all);
+        assert_eq!(next.global_ids(), merged.global_ids());
+        assert_eq!(next.table().nh(), merged.table().nh());
+        assert_eq!(next.len(), merged.len());
+        // Identical sampling streams ⇒ identical estimates downstream.
+        let mut r1 = Xoshiro256::seeded(8);
+        let mut r2 = Xoshiro256::seeded(8);
+        for _ in 0..200 {
+            assert_eq!(
+                next.table().sample_same_bucket_pair(&mut r1),
+                merged.table().sample_same_bucket_pair(&mut r2)
+            );
+            assert_eq!(
+                next.table().sample_cross_bucket_pair(&mut r1),
+                merged.table().sample_cross_bucket_pair(&mut r2)
+            );
+        }
+        // And the epoch chain shares payloads with its base.
+        for local in 0..prev.len() as u32 {
+            assert!(
+                Arc::ptr_eq(prev.collection().arc(local), next.collection().arc(local)),
+                "payload {local} was copied across epochs"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_assembly_rejects_non_appends() {
+        let prev = Snapshot::assemble(1, 2, hasher(), vec![(10, hasher().key(&v(&[1])), v(&[1]))]);
+        // Id below the floor → fallback.
+        let low = vec![(3, hasher().key(&v(&[2])), v(&[2]))];
+        assert!(Snapshot::assemble_delta(&prev, 2, 3, low).is_none());
+        // Duplicate ids inside the delta → fallback.
+        let dup = vec![
+            (11, hasher().key(&v(&[2])), v(&[2])),
+            (11, hasher().key(&v(&[3])), v(&[3])),
+        ];
+        assert!(Snapshot::assemble_delta(&prev, 2, 3, dup).is_none());
+        // Empty delta is a valid (trivial) append.
+        let same = Snapshot::assemble_delta(&prev, 2, 3, Vec::new()).unwrap();
+        assert_eq!(same.len(), 1);
+        assert_eq!(same.epoch(), 2);
     }
 
     #[test]

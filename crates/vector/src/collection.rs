@@ -66,6 +66,13 @@ impl VectorCollection {
         &self.vectors
     }
 
+    /// Consumes the collection, yielding the owned vectors in id order
+    /// (the zero-copy path into
+    /// [`SharedVectorCollection`](crate::SharedVectorCollection)).
+    pub fn into_vectors(self) -> Vec<SparseVector> {
+        self.vectors
+    }
+
     /// Iterates `(id, vector)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (VectorId, &SparseVector)> {
         self.vectors

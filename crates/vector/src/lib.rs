@@ -16,6 +16,10 @@
 //!   [`Jaccard`] (for the SSJ baseline track), and weighted variants.
 //! * [`VectorCollection`] — the vector database `V = {v1, ..., vn}` with
 //!   summary statistics.
+//! * [`SharedVectorCollection`] / [`VectorStore`] — `Arc`-shared payload
+//!   storage and the read trait that lets estimators run against either
+//!   collection flavor (an owned offline database or a service epoch
+//!   snapshot sharing payloads with the mutable shards).
 //! * [`embedding`] — the vector ↔ multiset rounding embedding the paper
 //!   discusses (§1) when adapting SSJ techniques to VSJ.
 //!
@@ -28,10 +32,12 @@
 
 pub mod collection;
 pub mod embedding;
+pub mod shared;
 pub mod similarity;
 pub mod sparse;
 
 pub use collection::{CollectionStats, VectorCollection};
+pub use shared::{SharedVectorCollection, VectorStore};
 pub use similarity::{AngularKernel, Cosine, DotProduct, Jaccard, Overlap, Similarity};
 pub use sparse::{SparseVector, SparseVectorBuilder};
 

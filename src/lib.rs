@@ -64,6 +64,7 @@
 //! harness that regenerates every table and figure of the paper.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use vsj_core as core;
 pub use vsj_datasets as datasets;
