@@ -1,0 +1,198 @@
+//! Network-layer throughput and latency: estimate requests/sec through
+//! the full HTTP stack (socket → parse → batcher → shared sampling
+//! pass → response) at 1/2/4/8 client threads, with one writer client
+//! ingesting over the wire the whole time.
+//!
+//! Two read regimes per thread count:
+//!
+//! * `cached` — generous drift tolerance; most answers are served from
+//!   the estimate cache, measuring the wire + router overhead;
+//! * `strict` — ε = 0 with a publisher cutting epochs continuously, so
+//!   nearly every pass pays fresh LSH-SS sampling — this is where the
+//!   batcher's request coalescing shows up as `merge_ratio` > 1
+//!   (requests served per sampling pass).
+//!
+//! Emits a JSON summary line (prefixed `SERVER_BENCH_JSON:`) for the
+//! perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench server`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vsj_datasets::DblpLike;
+use vsj_server::{Client, Server, ServerConfig};
+use vsj_service::{EstimationEngine, ServiceConfig};
+use vsj_vector::SparseVector;
+
+const BASE_DOCS: usize = 4_000;
+const MEASURE: Duration = Duration::from_millis(500);
+const TAUS: [f64; 4] = [0.5, 0.7, 0.8, 0.9];
+
+struct Scenario {
+    name: &'static str,
+    cache_epsilon: u64,
+    publish_every: Duration,
+}
+
+fn build_server(epsilon: u64) -> Server {
+    let engine = Arc::new(EstimationEngine::new(
+        ServiceConfig::builder()
+            .shards(8)
+            .k(16)
+            .seed(3)
+            .cache_epsilon(epsilon)
+            .build(),
+    ));
+    for (_, v) in DblpLike::with_size(BASE_DOCS).generate(1).iter() {
+        engine.insert(v.clone());
+    }
+    engine.publish();
+    Server::start(engine, ServerConfig::builder().workers(16).build()).expect("bind ephemeral port")
+}
+
+struct Point {
+    queries: u64,
+    ingests: u64,
+    mean_latency_us: f64,
+    merge_ratio: f64,
+}
+
+/// `clients` estimate loops + 1 writer client + 1 publisher client for
+/// `MEASURE` against a live server, all through the wire.
+fn run(server: &Server, clients: usize, publish_every: Duration, docs: &[SparseVector]) -> Point {
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let ingests = AtomicU64::new(0);
+    let latency_ns = AtomicU64::new(0);
+    let batches_before = server.stats().batches;
+    let batched_before = server.stats().batched_estimates;
+    thread::scope(|scope| {
+        let stop = &stop;
+        let queries = &queries;
+        let ingests = &ingests;
+        let latency_ns = &latency_ns;
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connect");
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                client.insert(&docs[i % docs.len()]).expect("insert");
+                ingests.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        });
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("publisher connect");
+            while !stop.load(Ordering::Relaxed) {
+                client.publish().expect("publish");
+                thread::sleep(publish_every);
+            }
+        });
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connect");
+                let mut local = 0u64;
+                let mut local_ns = 0u64;
+                let mut i = c; // desynchronize the τ cycles
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let answer = client.estimate(TAUS[i % TAUS.len()]).expect("estimate");
+                    local_ns += started.elapsed().as_nanos() as u64;
+                    assert!(answer.value >= 0.0);
+                    local += 1;
+                    i += 1;
+                }
+                queries.fetch_add(local, Ordering::Relaxed);
+                latency_ns.fetch_add(local_ns, Ordering::Relaxed);
+            });
+        }
+        thread::sleep(MEASURE);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let stats = server.stats();
+    let queries = queries.load(Ordering::Relaxed);
+    let passes = (stats.batches - batches_before).max(1);
+    Point {
+        queries,
+        ingests: ingests.load(Ordering::Relaxed),
+        mean_latency_us: latency_ns.load(Ordering::Relaxed) as f64 / queries.max(1) as f64 / 1e3,
+        merge_ratio: (stats.batched_estimates - batched_before) as f64 / passes as f64,
+    }
+}
+
+fn main() {
+    let writer_docs: Vec<SparseVector> = DblpLike::with_size(2_000).generate(2).vectors().to_vec();
+    let scenarios = [
+        Scenario {
+            name: "cached",
+            cache_epsilon: 4_096,
+            publish_every: Duration::from_millis(100),
+        },
+        Scenario {
+            name: "strict",
+            cache_epsilon: 0,
+            publish_every: Duration::from_millis(10),
+        },
+    ];
+
+    println!(
+        "server bench: n₀ = {BASE_DOCS} (DBLP-like), k = 16, 8 shards, HTTP loopback, {}ms per point\n",
+        MEASURE.as_millis()
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "regime", "clients", "queries", "queries/sec", "mean μs", "merge", "ingests/sec"
+    );
+
+    let mut json_points = Vec::new();
+    for scenario in &scenarios {
+        for clients in [1usize, 2, 4, 8] {
+            // Fresh server per point: cache and batch state must not
+            // leak across thread counts.
+            let server = build_server(scenario.cache_epsilon);
+            let started = Instant::now();
+            let point = run(&server, clients, scenario.publish_every, &writer_docs);
+            let secs = started.elapsed().as_secs_f64();
+            server.shutdown().expect("shutdown");
+            let qps = point.queries as f64 / secs;
+            let ips = point.ingests as f64 / secs;
+            println!(
+                "{:<10} {:>8} {:>10} {:>14.0} {:>14.1} {:>12.2} {:>12.0}",
+                scenario.name,
+                clients,
+                point.queries,
+                qps,
+                point.mean_latency_us,
+                point.merge_ratio,
+                ips
+            );
+            json_points.push(format!(
+                concat!(
+                    "{{\"regime\":\"{}\",\"clients\":{},\"queries\":{},",
+                    "\"elapsed_secs\":{:.3},\"queries_per_sec\":{:.1},",
+                    "\"mean_latency_us\":{:.1},\"merge_ratio\":{:.2},",
+                    "\"writer_ingests_per_sec\":{:.1}}}"
+                ),
+                scenario.name,
+                clients,
+                point.queries,
+                secs,
+                qps,
+                point.mean_latency_us,
+                point.merge_ratio,
+                ips
+            ));
+        }
+    }
+
+    // Machine-readable summary for the perf trajectory.
+    println!(
+        "\nSERVER_BENCH_JSON:{{\"bench\":\"server_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        BASE_DOCS,
+        TAUS,
+        json_points.join(",")
+    );
+}

@@ -1,0 +1,410 @@
+//! The estimate batcher: one dedicated thread that coalesces
+//! concurrent estimate requests into shared sampling passes.
+//!
+//! Worker threads never sample; they enqueue `(τ, deadline)` and block
+//! on a reply channel. The batcher thread drains whatever is queued
+//! (optionally after a short gather window), deduplicates thresholds,
+//! and runs **one**
+//! [`estimate_batch`](vsj_service::EstimationEngine::estimate_batch)
+//! call for the whole set. Because `estimate_batch` pins a single
+//! snapshot internally and the engine's batch RNG is keyed by the epoch
+//! alone, every reply in a pass carries the same epoch, and each τ's
+//! answer is bit-identical to what a lone request at that epoch would
+//! have received — coalescing is invisible except in latency and
+//! sampling cost.
+//!
+//! Backpressure: the queue is bounded; [`Batcher::enqueue`] refuses
+//! (rather than queues) when it is full, and the caller sheds the
+//! request with a `429`. Expired deadlines are answered with a timeout
+//! instead of being sampled for.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vsj_service::{EstimationEngine, ServiceEstimate};
+
+/// One answered estimate, tagged with the shared pass that computed it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedEstimate {
+    /// The engine's answer (epoch-tagged).
+    pub estimate: ServiceEstimate,
+    /// Sequence number of the shared sampling pass that served it: two
+    /// *freshly computed* replies with the same `batch` id came from
+    /// one pass and therefore one epoch. Cache-served replies
+    /// (`estimate.cached`) carry the id of the pass that *answered*
+    /// them but keep their older computed-at epoch — they rode no
+    /// sampling.
+    pub batch: u64,
+    /// How many requests rode in that pass.
+    pub batch_size: usize,
+}
+
+/// Why an estimate request was not answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchRejected {
+    /// The queue is at capacity — shed, retry later.
+    QueueFull,
+    /// The request's deadline passed before a pass picked it up.
+    DeadlineExceeded,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+struct PendingRequest {
+    tau: f64,
+    deadline: Instant,
+    reply: mpsc::SyncSender<Result<BatchedEstimate, BatchRejected>>,
+}
+
+#[derive(Default)]
+struct BatchQueue {
+    pending: Vec<PendingRequest>,
+    closed: bool,
+}
+
+/// Counters the batcher maintains (read via `Server::stats`).
+#[derive(Debug, Default)]
+pub(crate) struct BatchCounters {
+    /// Shared sampling passes run.
+    pub batches: AtomicU64,
+    /// Estimate requests answered through a pass.
+    pub batched_estimates: AtomicU64,
+    /// Requests beyond the first that shared a pass — the work batching
+    /// saved. A pass of 5 requests over 3 distinct τ adds 4.
+    pub merged_estimates: AtomicU64,
+    /// Largest number of requests one pass served.
+    pub max_batch: AtomicU64,
+    /// Requests answered with a deadline timeout.
+    pub timeouts: AtomicU64,
+    /// Momentary queue depth (for stats and the backpressure test).
+    pub queue_depth: AtomicUsize,
+}
+
+struct Shared {
+    queue: Mutex<BatchQueue>,
+    wake: Condvar,
+    counters: Arc<BatchCounters>,
+    max_queue_depth: usize,
+    gather: Duration,
+}
+
+/// Handle on the batcher thread. [`close`](Batcher::close) (also run
+/// on drop) stops intake, drains the queue, and joins the thread.
+pub(crate) struct Batcher {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    pub(crate) fn spawn(
+        engine: Arc<EstimationEngine>,
+        counters: Arc<BatchCounters>,
+        max_queue_depth: usize,
+        gather: Duration,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(BatchQueue::default()),
+            wake: Condvar::new(),
+            counters,
+            max_queue_depth,
+            gather,
+        });
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("vsj-batcher".into())
+            .spawn(move || run(engine, thread_shared))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Queues one estimate request and blocks until the batcher answers
+    /// or the deadline passes. Called from worker threads.
+    pub(crate) fn estimate(
+        &self,
+        tau: f64,
+        deadline: Instant,
+    ) -> Result<BatchedEstimate, BatchRejected> {
+        let (reply, answer) = mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            if queue.closed {
+                return Err(BatchRejected::ShuttingDown);
+            }
+            if queue.pending.len() >= self.shared.max_queue_depth {
+                return Err(BatchRejected::QueueFull);
+            }
+            queue.pending.push(PendingRequest {
+                tau,
+                deadline,
+                reply,
+            });
+            self.shared
+                .counters
+                .queue_depth
+                .store(queue.pending.len(), Ordering::Relaxed);
+        }
+        self.shared.wake.notify_one();
+        // The batcher replies (possibly with DeadlineExceeded) for every
+        // queued request, including during shutdown drain; the timeout
+        // is a backstop against the batcher thread dying.
+        let backstop = deadline
+            .saturating_duration_since(Instant::now())
+            .checked_add(Duration::from_secs(30))
+            .expect("deadline within range");
+        match answer.recv_timeout(backstop) {
+            Ok(result) => result,
+            Err(_) => Err(BatchRejected::DeadlineExceeded),
+        }
+    }
+
+    /// Stops accepting requests, drains what is queued (every pending
+    /// request still gets a real answer), and joins the thread.
+    /// Idempotent.
+    pub(crate) fn close(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            queue.closed = true;
+        }
+        self.shared.wake.notify_all();
+        let handle = self.handle.lock().expect("batcher handle").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
+    loop {
+        // Wait for work (or shutdown with an empty queue).
+        let batch = {
+            let mut queue = shared.queue.lock().expect("batcher lock");
+            loop {
+                if !queue.pending.is_empty() || queue.closed {
+                    break;
+                }
+                queue = shared.wake.wait(queue).expect("batcher lock");
+            }
+            if queue.pending.is_empty() {
+                return; // closed and drained
+            }
+            if !queue.closed && !shared.gather.is_zero() {
+                // Gather window: let concurrent requests pile in before
+                // cutting the pass. (Under load the natural batching —
+                // requests queuing while the previous pass samples —
+                // dominates; the window mainly helps sparse traffic and
+                // deterministic tests.)
+                drop(queue);
+                std::thread::sleep(shared.gather);
+                queue = shared.queue.lock().expect("batcher lock");
+            }
+            shared.counters.queue_depth.store(0, Ordering::Relaxed);
+            std::mem::take(&mut queue.pending)
+        };
+
+        // Expired deadlines are answered, not sampled for.
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|r| r.deadline > now);
+        shared
+            .counters
+            .timeouts
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        for request in expired {
+            let _ = request.reply.send(Err(BatchRejected::DeadlineExceeded));
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        // One shared pass over the distinct thresholds. Sorting makes
+        // the pass order deterministic; the answers are already
+        // grid-independent (epoch-keyed batch RNG), so this is pure
+        // hygiene.
+        let mut taus: Vec<f64> = live.iter().map(|r| r.tau).collect();
+        taus.sort_by(f64::total_cmp);
+        taus.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        let answers = engine.estimate_batch(&taus);
+
+        let batch_size = live.len();
+        let batch_id = shared.counters.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        shared
+            .counters
+            .batched_estimates
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        shared
+            .counters
+            .merged_estimates
+            .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+        shared
+            .counters
+            .max_batch
+            .fetch_max(live.len() as u64, Ordering::Relaxed);
+
+        for request in live {
+            let answer = answers
+                .iter()
+                .find(|a| a.tau.to_bits() == request.tau.to_bits())
+                .copied()
+                .expect("every live τ was in the pass");
+            let _ = request.reply.send(Ok(BatchedEstimate {
+                estimate: answer,
+                batch: batch_id,
+                batch_size,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsj_service::{IndexFamily, ServiceConfig};
+    use vsj_vector::SparseVector;
+
+    fn engine() -> Arc<EstimationEngine> {
+        let engine = EstimationEngine::new(
+            ServiceConfig::builder()
+                .shards(2)
+                .k(8)
+                .seed(5)
+                .family(IndexFamily::MinHash)
+                .build(),
+        );
+        for i in 0..120u32 {
+            engine.insert(SparseVector::binary_from_members(vec![i % 15, 100 + i % 7]));
+        }
+        engine.publish();
+        Arc::new(engine)
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn single_request_roundtrip_matches_engine_batch() {
+        let engine = engine();
+        let counters = Arc::new(BatchCounters::default());
+        let batcher = Batcher::spawn(engine.clone(), counters.clone(), 16, Duration::ZERO);
+        let served = batcher.estimate(0.7, far_deadline()).unwrap();
+        assert_eq!(served.estimate.epoch, 1);
+        // Bit-identical to the engine's batch path for a lone τ.
+        assert_eq!(
+            served.estimate.estimate,
+            engine.estimate_batch(&[0.7])[0].estimate
+        );
+        assert_eq!(counters.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.batched_estimates.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_same_tau_requests_share_a_pass() {
+        let engine = engine();
+        let counters = Arc::new(BatchCounters::default());
+        // A generous gather window makes the merge deterministic.
+        let batcher = Arc::new(Batcher::spawn(
+            engine.clone(),
+            counters.clone(),
+            64,
+            Duration::from_millis(80),
+        ));
+        let answers: Vec<BatchedEstimate> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let batcher = batcher.clone();
+                    scope.spawn(move || batcher.estimate(0.8, far_deadline()).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All six requests were answered from one pass, with one value.
+        let first = answers[0];
+        for a in &answers {
+            assert_eq!(a.batch, first.batch, "one shared pass");
+            assert_eq!(a.estimate.estimate, first.estimate.estimate);
+            assert_eq!(a.estimate.epoch, first.estimate.epoch);
+        }
+        assert_eq!(counters.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.batched_estimates.load(Ordering::Relaxed), 6);
+        assert_eq!(counters.merged_estimates.load(Ordering::Relaxed), 5);
+        assert_eq!(counters.max_batch.load(Ordering::Relaxed), 6);
+        // The engine sampled once for the whole set (plus nothing else).
+        assert_eq!(engine.stats().sampling_passes, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_growing() {
+        let engine = engine();
+        let counters = Arc::new(BatchCounters::default());
+        // Depth 1 and a long gather: the second concurrent enqueue in
+        // the window must be refused, not queued.
+        let batcher = Arc::new(Batcher::spawn(
+            engine,
+            counters,
+            1,
+            Duration::from_millis(200),
+        ));
+        let outcomes: Vec<Result<BatchedEstimate, BatchRejected>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let batcher = batcher.clone();
+                    scope.spawn(move || {
+                        // Stagger so exactly one lands first.
+                        std::thread::sleep(Duration::from_millis(10 * i));
+                        batcher.estimate(0.6, far_deadline())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let served = outcomes.iter().filter(|o| o.is_ok()).count();
+        let shed = outcomes
+            .iter()
+            .filter(|o| **o == Err(BatchRejected::QueueFull))
+            .count();
+        assert!(served >= 1, "someone must be served");
+        assert!(shed >= 1, "overload must shed");
+        assert_eq!(served + shed, 4);
+    }
+
+    #[test]
+    fn expired_deadlines_time_out_without_sampling() {
+        let engine = engine();
+        let counters = Arc::new(BatchCounters::default());
+        let batcher = Batcher::spawn(
+            engine.clone(),
+            counters.clone(),
+            16,
+            Duration::from_millis(50),
+        );
+        // The deadline passes inside the gather window.
+        let result = batcher.estimate(0.7, Instant::now() + Duration::from_millis(1));
+        assert_eq!(result, Err(BatchRejected::DeadlineExceeded));
+        assert_eq!(counters.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().sampling_passes, 0, "no pass for the dead");
+    }
+
+    #[test]
+    fn close_drains_pending_requests() {
+        let engine = engine();
+        let counters = Arc::new(BatchCounters::default());
+        let batcher = Batcher::spawn(engine, counters, 16, Duration::ZERO);
+        let answer = batcher.estimate(0.5, far_deadline()).unwrap();
+        assert_eq!(answer.estimate.tau, 0.5);
+        batcher.close();
+        assert_eq!(
+            batcher.estimate(0.5, far_deadline()),
+            Err(BatchRejected::ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! A deliberately small HTTP/1.1 subset over blocking `std::net`
+//! streams — just enough protocol for the JSON endpoints in
+//! `docs/PROTOCOL.md`, shared by the server and the blocking client.
+//!
+//! Supported: request line + headers, `Content-Length` bodies,
+//! keep-alive (default in 1.1) and `Connection: close`. Not supported
+//! (requests using them are answered `400`/`413` and the connection is
+//! closed): chunked transfer encoding, multi-line headers, upgrades,
+//! pipelining beyond one in-flight request per connection.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component (query strings are not used by the protocol and
+    /// are kept attached).
+    pub path: String,
+    /// Headers, keys lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the client asked to drop the connection after this
+    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before a request line —
+    /// the normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// Transport failure mid-request.
+    Io(std::io::Error),
+    /// The bytes were not parseable HTTP, with a human-readable reason.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from a buffered stream. `max_body` caps the
+/// accepted `Content-Length`.
+pub fn read_request<S: BufRead>(stream: &mut S, max_body: usize) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    // Request line. EOF here = peer hung up between requests.
+    if read_line_limited(stream, &mut line)? == 0 {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(ReadError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported {version}")));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = BTreeMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        if read_line_limited(stream, &mut line)? == 0 {
+            return Err(ReadError::Malformed("EOF inside headers".into()));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header {trimmed:?}")));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.contains_key("transfer-encoding") {
+        return Err(ReadError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let declared = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if declared > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; declared];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// `read_line` with the head cap enforced per line as well, so one
+/// endless unterminated line cannot balloon memory.
+fn read_line_limited<S: BufRead>(stream: &mut S, line: &mut String) -> Result<usize, ReadError> {
+    let read = stream
+        .by_ref()
+        .take(MAX_HEAD as u64 + 1)
+        .read_line(line)
+        .map_err(ReadError::Io)?;
+    if read > MAX_HEAD {
+        return Err(ReadError::Malformed("header line too large".into()));
+    }
+    Ok(read)
+}
+
+/// Reason phrases for the statuses the protocol uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response. `retry_after` adds a `Retry-After` header
+/// (whole seconds, rounded up) on shed responses.
+pub fn write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after: Option<std::time::Duration>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    if let Some(after) = retry_after {
+        head.push_str(&format!("retry-after: {}\r\n", after.as_secs().max(1)));
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers, keys lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Whether the server will drop the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one response from a buffered stream (client side).
+pub fn read_response<S: BufRead>(stream: &mut S, max_body: usize) -> Result<Response, ReadError> {
+    let mut line = String::new();
+    if read_line_limited(stream, &mut line)? == 0 {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| ReadError::Malformed(format!("bad status {code:?}")))?,
+        _ => return Err(ReadError::Malformed(format!("bad status line {line:?}"))),
+    };
+    let mut headers = BTreeMap::new();
+    loop {
+        line.clear();
+        if read_line_limited(stream, &mut line)? == 0 {
+            return Err(ReadError::Malformed("EOF inside headers".into()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let declared = headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if declared > max_body {
+        return Err(ReadError::Malformed(format!(
+            "response body {declared} exceeds limit"
+        )));
+    }
+    let mut body = vec![0u8; declared];
+    stream.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req =
+            parse("POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"tau\":0.8}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/estimate");
+        assert_eq!(req.body, b"{\"tau\":0.8}");
+        assert!(!req.wants_close());
+        let req = parse("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(ReadError::BodyTooLarge { declared: 9999, .. })
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            429,
+            "{\"error\":\"shed\"}",
+            false,
+            Some(std::time::Duration::from_millis(1500)),
+        )
+        .unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        let resp = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"{\"error\":\"shed\"}");
+        assert_eq!(resp.headers.get("retry-after").unwrap(), "1");
+    }
+}

@@ -1,0 +1,483 @@
+//! A zero-dependency JSON value, encoder, and decoder.
+//!
+//! The registry is unreachable in this build environment, so the wire
+//! format is handled by ~300 lines of std-only code instead of serde.
+//! The surface is deliberately small: one [`Json`] tree type, a strict
+//! parser ([`Json::parse`]) with a recursion-depth cap (the server
+//! feeds it network input), and a compact serializer
+//! ([`Json::encode`]). Numbers are `f64`; integers round-trip exactly
+//! up to 2⁵³, far beyond any engine counter a deployment reaches
+//! (§PROTOCOL.md documents the limit).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. Request bodies are flat
+/// (depth ≤ 3); the cap exists so hostile input cannot overflow the
+/// stack of a worker thread.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers are exact up to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap), making encoding
+    /// deterministic — handy for tests and cache keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// A JSON syntax or shape error, with a byte offset for syntax errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where parsing failed (0 for shape
+    /// errors raised after parsing).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, JsonError> {
+    Err(JsonError {
+        message: message.into(),
+        offset,
+    })
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number from a `u64` counter (exact up to 2⁵³; engine counters
+    /// never get near that).
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// A number from a `usize`.
+    pub fn usize(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+
+    // --- readers ---------------------------------------------------------
+
+    /// Member of an object, if this is an object holding `key`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer (rejects fractional and
+    /// negative numbers rather than truncating them silently).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 9_007_199_254_740_992.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    // --- encoding --------------------------------------------------------
+
+    /// Serializes to compact JSON (no whitespace, keys in sorted order).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => encode_number(*v, out),
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // --- decoding --------------------------------------------------------
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err("trailing characters after JSON value", pos);
+        }
+        Ok(value)
+    }
+}
+
+fn encode_number(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; `null` is the least-surprising encoding
+        // (estimates are documented finite, so this is belt-and-braces).
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return err("nesting too deep", *pos);
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err("unexpected end of input", *pos),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return err("expected ',' or ']' in array", *pos),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return err("expected ':' after object key", *pos);
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return err("expected ',' or '}' in object", *pos),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => err(format!("unexpected byte {:#04x}", c), *pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        err(format!("expected '{literal}'"), *pos)
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+        _ => err(format!("invalid number '{text}'"), start),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return err("expected string", *pos);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string", *pos),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok());
+                        let Some(code) = hex else {
+                            return err("bad \\u escape", *pos);
+                        };
+                        // Surrogate pairs: decode \uD800-\uDBFF followed
+                        // by \uDC00-\uDFFF; lone surrogates are errors.
+                        *pos += 4;
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return err("lone high surrogate", *pos);
+                            }
+                            let low = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(low) = low.filter(|l| (0xDC00..0xE000).contains(l)) else {
+                                return err("bad low surrogate", *pos);
+                            };
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&code) {
+                            return err("lone low surrogate", *pos);
+                        } else {
+                            code
+                        };
+                        match char::from_u32(c) {
+                            Some(c) => out.push(c),
+                            None => return err("invalid \\u code point", *pos),
+                        }
+                    }
+                    _ => return err("unknown escape", *pos),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return err("raw control character in string", *pos),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so the
+                // encoding is already valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).expect("input was a &str");
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Num(0.0)),
+            ("-17", Json::Num(-17.0)),
+            ("3.25", Json::Num(3.25)),
+            ("1e3", Json::Num(1000.0)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), value, "{text}");
+        }
+        assert_eq!(
+            Json::parse("  [1, 2]  ").unwrap().as_arr().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn object_roundtrip_is_deterministic() {
+        let v = Json::obj([
+            ("tau", Json::Num(0.8)),
+            ("id", Json::u64(42)),
+            ("tag", Json::str("a\"b\\c\nd")),
+            ("arr", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        let text = v.encode();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Keys are sorted → stable bytes.
+        assert_eq!(text, Json::parse(&text).unwrap().encode());
+    }
+
+    #[test]
+    fn integers_are_exact_and_safe() {
+        let v = Json::u64(9_007_199_254_740_992); // 2^53
+        assert_eq!(Json::parse(&v.encode()).unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(Json::Num(1.5).as_u64(), None, "fractional is not a u64");
+        assert_eq!(Json::Num(-1.0).as_u64(), None, "negative is not a u64");
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let parsed = Json::parse(r#""a\u00e9\t\ud83d\ude00z""#).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "aé\t😀z");
+        let tricky = Json::str("line\nbreak \u{1} €");
+        assert_eq!(Json::parse(&tricky.encode()).unwrap(), tricky);
+    }
+
+    #[test]
+    fn malformed_inputs_fail_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "tru",
+            "1.2.3",
+            "[1] trailing",
+            "\"\\ud800\"",
+            "{\"a\" 1}",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_cap_stops_hostile_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(20) + &"]".repeat(20);
+        assert!(Json::parse(&ok).is_ok());
+    }
+}

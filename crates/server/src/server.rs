@@ -1,0 +1,822 @@
+//! The server proper: acceptor, worker pool, router, backpressure.
+//!
+//! ```text
+//!            TcpListener (acceptor thread)
+//!                  │ bounded connection queue (503 when full)
+//!        ┌─────────┼─────────┐
+//!     worker …  worker …  worker        parse HTTP → route
+//!        │         │         │
+//!   ingest ops   estimate    admin (publish/checkpoint/stats)
+//!   (shed 429    requests
+//!    on publish    │  bounded batch queue (shed 429 when full)
+//!    lag)       batcher thread → one estimate_batch pass per drain
+//! ```
+//!
+//! See `docs/PROTOCOL.md` for the wire format and
+//! `docs/ARCHITECTURE.md` for the batching/backpressure contract.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vsj_core::EstimateKind;
+use vsj_service::{EstimationEngine, PersistError};
+use vsj_vector::SparseVector;
+
+use crate::batch::{BatchCounters, BatchRejected, Batcher};
+use crate::http::{self, ReadError, Request};
+use crate::json::Json;
+
+/// How long an idle keep-alive connection may sit between requests
+/// before the worker re-checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Transport timeout while a request is actually being read/written.
+const ACTIVE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads parsing and answering requests.
+    pub workers: usize,
+    /// Bound on accepted-but-unserviced connections; past it the
+    /// acceptor sheds with `503` instead of queuing.
+    pub max_pending_connections: usize,
+    /// Bound on queued estimate requests (the batcher's inbox); past it
+    /// estimate requests are shed with `429`.
+    pub max_queue_depth: usize,
+    /// Ingest backpressure: when the engine's publish lag (ingests not
+    /// yet visible to reads) exceeds this, `insert`/`upsert`/`remove`
+    /// are shed with `429` until a publish catches the view up. `None`
+    /// disables shedding.
+    pub max_publish_lag: Option<u64>,
+    /// Deadline applied to estimate requests that do not carry their
+    /// own `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long the batcher waits after the first queued request before
+    /// cutting a pass. Zero (default) drains continuously — under load,
+    /// requests arriving while a pass samples coalesce naturally.
+    pub batch_gather: Duration,
+    /// Largest accepted request body.
+    pub max_body: usize,
+    /// Cut a final checkpoint during [`Server::shutdown`] when the
+    /// engine is durable.
+    pub checkpoint_on_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_pending_connections: 128,
+            max_queue_depth: 1024,
+            max_publish_lag: None,
+            default_deadline: Duration::from_secs(2),
+            batch_gather: Duration::ZERO,
+            max_body: 1 << 20,
+            checkpoint_on_shutdown: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`] (validates on [`build`]).
+///
+/// [`build`]: ServerConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the bind address (default `127.0.0.1:0`).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker thread count (≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the connection queue bound (≥ 1).
+    pub fn max_pending_connections(mut self, bound: usize) -> Self {
+        self.config.max_pending_connections = bound;
+        self
+    }
+
+    /// Sets the estimate queue bound (≥ 1).
+    pub fn max_queue_depth(mut self, bound: usize) -> Self {
+        self.config.max_queue_depth = bound;
+        self
+    }
+
+    /// Sets the ingest-shedding publish-lag threshold.
+    pub fn max_publish_lag(mut self, lag: u64) -> Self {
+        self.config.max_publish_lag = Some(lag);
+        self
+    }
+
+    /// Sets the default estimate deadline.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Sets the batcher gather window.
+    pub fn batch_gather(mut self, gather: Duration) -> Self {
+        self.config.batch_gather = gather;
+        self
+    }
+
+    /// Sets the request body cap.
+    pub fn max_body(mut self, bytes: usize) -> Self {
+        self.config.max_body = bytes;
+        self
+    }
+
+    /// Cut a final checkpoint on graceful shutdown (durable engines).
+    pub fn checkpoint_on_shutdown(mut self, yes: bool) -> Self {
+        self.config.checkpoint_on_shutdown = yes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    /// Panics when `workers`, `max_pending_connections`, or
+    /// `max_queue_depth` is zero.
+    pub fn build(self) -> ServerConfig {
+        let c = self.config;
+        assert!(c.workers >= 1, "a server needs at least one worker");
+        assert!(
+            c.max_pending_connections >= 1,
+            "connection queue needs capacity"
+        );
+        assert!(c.max_queue_depth >= 1, "estimate queue needs capacity");
+        c
+    }
+}
+
+/// Point-in-time server statistics (the engine's own counters live in
+/// [`EngineStats`](vsj_service::EngineStats), served alongside these by
+/// `GET /stats`).
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Requests routed (any endpoint, any outcome).
+    pub requests: u64,
+    /// Connections accepted into the queue.
+    pub connections: u64,
+    /// Connections refused because the queue was full.
+    pub rejected_connections: u64,
+    /// Shared sampling passes the batcher ran.
+    pub batches: u64,
+    /// Estimate requests answered through a batcher pass.
+    pub batched_estimates: u64,
+    /// Requests beyond the first in their pass — the passes batching
+    /// saved.
+    pub merged_estimates: u64,
+    /// Largest single pass (requests).
+    pub max_batch: u64,
+    /// Estimate requests shed with `429` (queue full).
+    pub shed_estimates: u64,
+    /// Ingest requests shed with `429` (publish lag).
+    pub shed_ingests: u64,
+    /// Estimate requests that missed their deadline.
+    pub estimate_timeouts: u64,
+    /// Momentary batcher queue depth.
+    pub queue_depth: usize,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    shed_estimates: AtomicU64,
+    shed_ingests: AtomicU64,
+}
+
+struct ConnectionQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+impl ConnectionQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            queue: Mutex::new((VecDeque::new(), false)),
+            wake: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// `false` when the queue is at capacity or closed (caller sheds).
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut guard = self.queue.lock().expect("connection queue");
+        if guard.1 || guard.0.len() >= self.capacity {
+            return false;
+        }
+        guard.0.push_back(stream);
+        drop(guard);
+        self.wake.notify_one();
+        true
+    }
+
+    /// Blocks for the next connection; `None` once closed **and**
+    /// drained (shutdown finishes queued clients).
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.queue.lock().expect("connection queue");
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.wake.wait(guard).expect("connection queue");
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("connection queue").1 = true;
+        self.wake.notify_all();
+    }
+}
+
+struct Inner {
+    engine: Arc<EstimationEngine>,
+    config: ServerConfig,
+    counters: ServerCounters,
+    batch_counters: Arc<BatchCounters>,
+    batcher: Batcher,
+    connections: ConnectionQueue,
+    shutting_down: AtomicBool,
+}
+
+/// A running VSJ estimation server: the network front-end over an
+/// [`EstimationEngine`].
+///
+/// Start with [`Server::start`], talk to it with
+/// [`Client`](crate::Client) (or any HTTP client speaking
+/// `docs/PROTOCOL.md`), stop it with [`Server::shutdown`] — which
+/// drains in-flight work and, when configured, cuts a final checkpoint.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use vsj_server::{Client, Server, ServerConfig};
+/// use vsj_service::{EstimationEngine, ServiceConfig};
+///
+/// let engine = Arc::new(EstimationEngine::new(
+///     ServiceConfig::builder().shards(2).k(8).seed(1).build(),
+/// ));
+/// let server = Server::start(engine, ServerConfig::default()).unwrap();
+/// let mut client = Client::connect(server.addr()).unwrap();
+///
+/// let id = client.insert_members(&[1, 2, 3]).unwrap();
+/// assert_eq!(id, 0);
+/// assert_eq!(client.publish().unwrap(), 1);
+/// let answer = client.estimate(0.8).unwrap();
+/// assert_eq!(answer.epoch, 1);
+///
+/// server.shutdown().unwrap();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor + worker pool + batcher, and returns
+    /// the handle. With port 0 the chosen port is in [`Server::addr`].
+    pub fn start(engine: Arc<EstimationEngine>, config: ServerConfig) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "a server needs at least one worker");
+        assert!(
+            config.max_pending_connections >= 1 && config.max_queue_depth >= 1,
+            "server queues need capacity"
+        );
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let batch_counters = Arc::new(BatchCounters::default());
+        let batcher = Batcher::spawn(
+            engine.clone(),
+            batch_counters.clone(),
+            config.max_queue_depth,
+            config.batch_gather,
+        );
+        let inner = Arc::new(Inner {
+            engine,
+            counters: ServerCounters::default(),
+            batch_counters,
+            batcher,
+            connections: ConnectionQueue::new(config.max_pending_connections),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor_inner = inner.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("vsj-acceptor".into())
+            .spawn(move || accept_loop(listener, acceptor_inner))?;
+
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let worker_inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("vsj-worker-{i}"))
+                    .spawn(move || worker_loop(worker_inner))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            addr,
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<EstimationEngine> {
+        &self.inner.engine
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&self) -> ServerStats {
+        stats_of(&self.inner)
+    }
+
+    /// Graceful shutdown: stop accepting, finish queued connections and
+    /// in-flight batches, join every thread, and — when
+    /// [`ServerConfig::checkpoint_on_shutdown`] is set and the engine
+    /// is durable — cut a final checkpoint. Returns the checkpointed
+    /// epoch, if one was taken.
+    pub fn shutdown(mut self) -> Result<Option<u64>, PersistError> {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.connections.close();
+        // Unblock the acceptor's blocking `accept` with a no-op connect.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.inner.batcher.close();
+        if self.inner.config.checkpoint_on_shutdown && self.inner.engine.is_durable() {
+            return self.inner.engine.checkpoint().map(Some);
+        }
+        Ok(None)
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            // Persistent accept errors (EMFILE under fd exhaustion,
+            // ENOBUFS, …) would otherwise busy-spin this thread at
+            // 100% CPU — exactly when the workers need cycles to close
+            // connections and clear the condition.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        if !inner.connections.push(stream) {
+            // Bounded queue full: shed the connection, never buffer it.
+            // (The stream drops here; a 503 body would require blocking
+            // the acceptor on a possibly-unwritable socket.)
+            inner
+                .counters
+                .rejected_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    while let Some(stream) = inner.connections.pop() {
+        // Backstop for panics outside the routed handler (route() has
+        // its own catch): the connection is lost, the worker survives.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = serve_connection(&inner, stream);
+        }));
+    }
+}
+
+/// Keep-alive loop over one connection. Idle waits poll at
+/// [`IDLE_POLL`] so shutdown is observed promptly without dropping
+/// half-read requests.
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Wait (peek, consuming nothing) for the next request's first
+        // byte so a transport timeout can never tear a request apart.
+        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+        use std::io::BufRead;
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean EOF between requests
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        reader.get_ref().set_read_timeout(Some(ACTIVE_TIMEOUT))?;
+        let request = match http::read_request(&mut reader, inner.config.max_body) {
+            Ok(request) => request,
+            Err(ReadError::Closed) => return Ok(()),
+            Err(ReadError::Io(e)) => return Err(e),
+            Err(ReadError::Malformed(reason)) => {
+                let body = error_body(&reason);
+                return http::write_response(&mut writer, 400, &body, true, None);
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let body = error_body(&format!("body of {declared} bytes exceeds limit {limit}"));
+                return http::write_response(&mut writer, 413, &body, true, None);
+            }
+        };
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let close = request.wants_close();
+        // Panic isolation: a handler panic (most plausibly a durable
+        // engine refusing an unlogged write after a WAL I/O failure)
+        // must cost a 500, not a worker thread — a shrinking pool would
+        // eventually strand accepted connections forever.
+        let reply =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(inner, &request)))
+                .unwrap_or_else(|panic| {
+                    let reason = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "handler panicked".into());
+                    Reply::error(500, format!("internal error: {reason}"))
+                });
+        http::write_response(
+            &mut writer,
+            reply.status,
+            &reply.body.encode(),
+            close,
+            reply.retry_after,
+        )?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    body: Json,
+    retry_after: Option<Duration>,
+}
+
+impl Reply {
+    fn ok(body: Json) -> Self {
+        Self {
+            status: 200,
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn error(status: u16, message: impl AsRef<str>) -> Self {
+        Self {
+            status,
+            body: Json::obj([("error", Json::str(message.as_ref()))]),
+            retry_after: None,
+        }
+    }
+
+    fn shed(message: impl AsRef<str>) -> Self {
+        Self {
+            retry_after: Some(Duration::from_secs(1)),
+            ..Self::error(429, message)
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("error", Json::str(message))]).encode()
+}
+
+fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/estimate") => handle_estimate(inner, request),
+        ("POST", "/insert") => handle_insert(inner, request),
+        ("POST", "/remove") => handle_remove(inner, request),
+        ("POST", "/upsert") => handle_upsert(inner, request),
+        ("POST", "/publish") => {
+            Reply::ok(Json::obj([("epoch", Json::u64(inner.engine.publish()))]))
+        }
+        ("POST", "/checkpoint") => match inner.engine.checkpoint() {
+            Ok(epoch) => Reply::ok(Json::obj([("epoch", Json::u64(epoch))])),
+            Err(PersistError::NotDurable) => {
+                Reply::error(409, "engine has no storage attached (not durable)")
+            }
+            Err(e) => Reply::error(500, format!("checkpoint failed: {e}")),
+        },
+        ("GET", "/stats") => handle_stats(inner),
+        ("GET", "/healthz") => Reply::ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("epoch", Json::u64(inner.engine.current_epoch())),
+        ])),
+        ("GET" | "POST", _) => Reply::error(404, format!("no such endpoint {}", request.path)),
+        _ => Reply::error(405, format!("method {} not supported", request.method)),
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, Reply> {
+    if request.body.is_empty() {
+        return Ok(Json::obj([]));
+    }
+    let text =
+        std::str::from_utf8(&request.body).map_err(|_| Reply::error(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| Reply::error(400, format!("bad JSON: {e}")))
+}
+
+/// Decodes the vector encodings the protocol accepts: binary
+/// `{"members": [u32…]}` or weighted `{"indices": […], "weights": […]}`.
+fn parse_vector(body: &Json) -> Result<SparseVector, String> {
+    if let Some(members) = body.get("members") {
+        let members = members
+            .as_arr()
+            .ok_or("members must be an array")?
+            .iter()
+            .map(|m| {
+                m.as_u64()
+                    .filter(|&v| v <= u32::MAX as u64)
+                    .map(|v| v as u32)
+                    .ok_or("members must be u32 dimensions")
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        return Ok(SparseVector::binary_from_members(members));
+    }
+    let (Some(indices), Some(weights)) = (body.get("indices"), body.get("weights")) else {
+        return Err("vector needs either members or indices+weights".into());
+    };
+    let indices = indices
+        .as_arr()
+        .ok_or("indices must be an array")?
+        .iter()
+        .map(|m| {
+            m.as_u64()
+                .filter(|&v| v <= u32::MAX as u64)
+                .map(|v| v as u32)
+                .ok_or("indices must be u32 dimensions")
+        })
+        .collect::<Result<Vec<u32>, _>>()?;
+    let weights = weights
+        .as_arr()
+        .ok_or("weights must be an array")?
+        .iter()
+        .map(|w| {
+            w.as_f64()
+                .map(|v| v as f32)
+                .ok_or("weights must be numbers")
+        })
+        .collect::<Result<Vec<f32>, _>>()?;
+    if indices.len() != weights.len() {
+        return Err(format!(
+            "{} indices but {} weights",
+            indices.len(),
+            weights.len()
+        ));
+    }
+    SparseVector::from_entries(indices.into_iter().zip(weights).collect())
+        .map_err(|e| format!("invalid vector: {e:?}"))
+}
+
+/// Ingest backpressure: `Some(reply)` when the publish lag says shed.
+fn ingest_pressure(inner: &Arc<Inner>) -> Option<Reply> {
+    let limit = inner.config.max_publish_lag?;
+    let lag = inner.engine.publish_lag();
+    if lag >= limit {
+        inner.counters.shed_ingests.fetch_add(1, Ordering::Relaxed);
+        Some(Reply::shed(format!(
+            "publish lag {lag} at or past the shed threshold {limit}; publish (or wait for auto-publish) and retry"
+        )))
+    } else {
+        None
+    }
+}
+
+fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(reply) => return reply,
+    };
+    let Some(tau) = body.get("tau").and_then(Json::as_f64) else {
+        return Reply::error(400, "estimate needs a numeric tau");
+    };
+    if !(0.0..=1.0).contains(&tau) {
+        return Reply::error(400, format!("tau {tau} outside [0, 1]"));
+    }
+    let deadline = match body.get("deadline_ms") {
+        None => inner.config.default_deadline,
+        Some(ms) => match ms.as_u64() {
+            Some(ms) => Duration::from_millis(ms),
+            None => return Reply::error(400, "deadline_ms must be a non-negative integer"),
+        },
+    };
+    match inner.batcher.estimate(tau, Instant::now() + deadline) {
+        Ok(answer) => {
+            let e = answer.estimate;
+            Reply::ok(Json::obj([
+                ("value", Json::Num(e.estimate.value)),
+                ("kind", Json::str(kind_str(e.estimate.kind))),
+                ("epoch", Json::u64(e.epoch)),
+                ("n", Json::usize(e.n)),
+                ("tau", Json::Num(e.tau)),
+                ("cached", Json::Bool(e.cached)),
+                ("batch", Json::u64(answer.batch)),
+                ("batch_size", Json::usize(answer.batch_size)),
+            ]))
+        }
+        Err(BatchRejected::QueueFull) => {
+            inner
+                .counters
+                .shed_estimates
+                .fetch_add(1, Ordering::Relaxed);
+            Reply::shed(format!(
+                "estimate queue at capacity ({})",
+                inner.config.max_queue_depth
+            ))
+        }
+        Err(BatchRejected::DeadlineExceeded) => Reply::error(504, "deadline exceeded"),
+        Err(BatchRejected::ShuttingDown) => Reply::error(503, "server is shutting down"),
+    }
+}
+
+fn handle_insert(inner: &Arc<Inner>, request: &Request) -> Reply {
+    if let Some(shed) = ingest_pressure(inner) {
+        return shed;
+    }
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(reply) => return reply,
+    };
+    match parse_vector(&body) {
+        Ok(vector) => Reply::ok(Json::obj([("id", Json::u64(inner.engine.insert(vector)))])),
+        Err(reason) => Reply::error(400, reason),
+    }
+}
+
+fn handle_remove(inner: &Arc<Inner>, request: &Request) -> Reply {
+    if let Some(shed) = ingest_pressure(inner) {
+        return shed;
+    }
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(reply) => return reply,
+    };
+    let Some(id) = body.get("id").and_then(Json::as_u64) else {
+        return Reply::error(400, "remove needs a numeric id");
+    };
+    Reply::ok(Json::obj([(
+        "removed",
+        Json::Bool(inner.engine.remove(id)),
+    )]))
+}
+
+fn handle_upsert(inner: &Arc<Inner>, request: &Request) -> Reply {
+    if let Some(shed) = ingest_pressure(inner) {
+        return shed;
+    }
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(reply) => return reply,
+    };
+    let Some(id) = body.get("id").and_then(Json::as_u64) else {
+        return Reply::error(400, "upsert needs a numeric id");
+    };
+    match parse_vector(&body) {
+        Ok(vector) => Reply::ok(Json::obj([(
+            "replaced",
+            Json::Bool(inner.engine.upsert(id, vector)),
+        )])),
+        Err(reason) => Reply::error(400, reason),
+    }
+}
+
+fn handle_stats(inner: &Arc<Inner>) -> Reply {
+    let engine = inner.engine.stats();
+    let server = stats_of(inner);
+    Reply::ok(Json::obj([
+        (
+            "engine",
+            Json::obj([
+                ("epoch", Json::u64(engine.epoch)),
+                ("live", Json::usize(engine.live)),
+                ("ingests", Json::u64(engine.ingests)),
+                ("publish_lag", Json::u64(engine.publish_lag)),
+                ("publishes", Json::u64(engine.publishes)),
+                ("delta_publishes", Json::u64(engine.delta_publishes)),
+                ("full_publishes", Json::u64(engine.full_publishes)),
+                ("shards", Json::usize(engine.shards.len())),
+                ("cache_hits", Json::u64(engine.cache_hits)),
+                ("cache_misses", Json::u64(engine.cache_misses)),
+                ("cache_entries", Json::usize(engine.cache_entries)),
+                ("sampling_passes", Json::u64(engine.sampling_passes)),
+                ("sampled_pairs", Json::u64(engine.sampled_pairs)),
+                ("wal_pending", Json::u64(engine.wal_pending)),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("requests", Json::u64(server.requests)),
+                ("connections", Json::u64(server.connections)),
+                (
+                    "rejected_connections",
+                    Json::u64(server.rejected_connections),
+                ),
+                ("batches", Json::u64(server.batches)),
+                ("batched_estimates", Json::u64(server.batched_estimates)),
+                ("merged_estimates", Json::u64(server.merged_estimates)),
+                ("max_batch", Json::u64(server.max_batch)),
+                ("shed_estimates", Json::u64(server.shed_estimates)),
+                ("shed_ingests", Json::u64(server.shed_ingests)),
+                ("estimate_timeouts", Json::u64(server.estimate_timeouts)),
+                ("queue_depth", Json::usize(server.queue_depth)),
+            ]),
+        ),
+    ]))
+}
+
+fn stats_of(inner: &Inner) -> ServerStats {
+    let c = &inner.counters;
+    let b = &inner.batch_counters;
+    ServerStats {
+        requests: c.requests.load(Ordering::Relaxed),
+        connections: c.connections.load(Ordering::Relaxed),
+        rejected_connections: c.rejected_connections.load(Ordering::Relaxed),
+        batches: b.batches.load(Ordering::Relaxed),
+        batched_estimates: b.batched_estimates.load(Ordering::Relaxed),
+        merged_estimates: b.merged_estimates.load(Ordering::Relaxed),
+        max_batch: b.max_batch.load(Ordering::Relaxed),
+        shed_estimates: c.shed_estimates.load(Ordering::Relaxed),
+        shed_ingests: c.shed_ingests.load(Ordering::Relaxed),
+        estimate_timeouts: b.timeouts.load(Ordering::Relaxed),
+        queue_depth: b.queue_depth.load(Ordering::Relaxed),
+    }
+}
+
+fn kind_str(kind: EstimateKind) -> &'static str {
+    match kind {
+        EstimateKind::Scaled => "scaled",
+        EstimateKind::SafeLowerBound => "safe_lower_bound",
+        EstimateKind::Dampened => "dampened",
+        EstimateKind::Analytic => "analytic",
+    }
+}

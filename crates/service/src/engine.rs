@@ -31,6 +31,29 @@ struct Durability {
     /// the WAL mutex so `stats()`/`wal_pending()` never block on a
     /// checkpoint in progress.
     pending: AtomicU64,
+    /// Checkpoint generations kept on disk (see [`DurabilityOptions`]).
+    retain_checkpoints: usize,
+}
+
+/// Storage-layer knobs of a durable engine. Unlike [`ServiceConfig`]
+/// these are *operational*: they are not persisted in checkpoint
+/// metadata and may differ across an engine's lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// How many checkpoint generations to keep: the current
+    /// `checkpoint.vsjc` plus up to `retain_checkpoints - 1` prior
+    /// generations (`checkpoint.vsjc.1` = most recent previous, …).
+    /// Older generations are pruned at each checkpoint. Must be ≥ 1;
+    /// `1` (the default) reproduces the overwrite-in-place behavior.
+    pub retain_checkpoints: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            retain_checkpoints: 1,
+        }
+    }
 }
 
 /// One answer from the service, with the provenance a query optimizer
@@ -59,6 +82,10 @@ pub struct EngineStats {
     pub live: usize,
     /// Total ingest operations (inserts + removes + upsert halves).
     pub ingests: u64,
+    /// Ingest operations applied since the current snapshot's cut — the
+    /// staleness of the read view, and the signal a serving layer sheds
+    /// load on (see [`EstimationEngine::publish_lag`]).
+    pub publish_lag: u64,
     /// Snapshots published.
     pub publishes: u64,
     /// Publishes served by the incremental O(changed) path (append-only
@@ -217,6 +244,20 @@ impl EstimationEngine {
     /// # std::fs::remove_dir_all(&dir).unwrap();
     /// ```
     pub fn durable(config: ServiceConfig, dir: &Path) -> Result<Self, PersistError> {
+        Self::durable_with(config, dir, DurabilityOptions::default())
+    }
+
+    /// [`durable`](Self::durable) with explicit storage-layer options
+    /// (checkpoint retention, see [`DurabilityOptions`]).
+    pub fn durable_with(
+        config: ServiceConfig,
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<Self, PersistError> {
+        assert!(
+            options.retain_checkpoints >= 1,
+            "retain_checkpoints must be at least 1 (the current checkpoint)"
+        );
         std::fs::create_dir_all(dir)?;
         if dir.join(CHECKPOINT_FILE).exists() {
             return Err(PersistError::AlreadyInitialized(dir.to_path_buf()));
@@ -236,6 +277,7 @@ impl EstimationEngine {
             dir: dir.to_path_buf(),
             wal: Mutex::new(wal),
             pending: AtomicU64::new(0),
+            retain_checkpoints: options.retain_checkpoints,
         });
         Ok(engine)
     }
@@ -256,11 +298,11 @@ impl EstimationEngine {
     /// because all RNG streams derive from the recovered seed and epoch
     /// counter.
     ///
-    /// Caveat: explicit [`publish`](Self::publish) calls between
-    /// checkpoints are not logged, so the recovered *epoch counter* can
-    /// lag by those unlogged publishes until the caller republishes.
-    /// Auto-publish cadences and [`checkpoint`](Self::checkpoint)
-    /// epochs are always reproduced exactly.
+    /// Explicit [`publish`](Self::publish) calls are WAL-logged (a
+    /// dedicated record type) and re-fired by replay at the same
+    /// position in the ingest order, so manual epochs — not just
+    /// auto-publish cadences and [`checkpoint`](Self::checkpoint)
+    /// epochs — are reproduced exactly.
     ///
     /// # Example
     ///
@@ -278,17 +320,73 @@ impl EstimationEngine {
     /// }
     /// engine.checkpoint().unwrap();
     /// engine.insert(SparseVector::binary_from_members(vec![7, 8])); // rides the WAL
-    /// let before = engine.publish();
+    /// let before = engine.publish(); // explicit epoch — also WAL-logged
     /// let answer = engine.estimate(0.8);
     /// drop(engine); // "crash"
     ///
     /// let revived = EstimationEngine::recover(&dir).unwrap();
-    /// assert_eq!(revived.publish(), before, "epoch counter restored");
+    /// assert_eq!(revived.current_epoch(), before, "manual epoch replayed");
     /// assert_eq!(revived.estimate(0.8), answer, "estimates are bit-identical");
     /// # std::fs::remove_dir_all(&dir).unwrap();
     /// ```
     pub fn recover(dir: &Path) -> Result<Self, PersistError> {
+        Self::recover_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`recover`](Self::recover) with explicit storage-layer options
+    /// (checkpoint retention, see [`DurabilityOptions`]).
+    pub fn recover_with(dir: &Path, options: DurabilityOptions) -> Result<Self, PersistError> {
+        assert!(
+            options.retain_checkpoints >= 1,
+            "retain_checkpoints must be at least 1 (the current checkpoint)"
+        );
         let (meta, rows) = persist::read_checkpoint(dir)?;
+        let mut engine = Self::hydrate(&meta, rows)?;
+
+        let fingerprint = persist::config_fingerprint(&meta.config);
+        let (wal, entries) = WalWriter::open_append(&dir.join(WAL_FILE), fingerprint)?;
+        if wal.seq() < meta.applied_seq {
+            return Err(PersistError::Corrupt(format!(
+                "WAL ends at seq {} but the checkpoint covers {}",
+                wal.seq(),
+                meta.applied_seq
+            )));
+        }
+        for entry in &entries {
+            if entry.seq > meta.applied_seq {
+                engine.apply_replayed(&entry.record)?;
+            }
+        }
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            pending: AtomicU64::new(wal.seq().saturating_sub(meta.applied_seq)),
+            wal: Mutex::new(wal),
+            retain_checkpoints: options.retain_checkpoints,
+        });
+        Ok(engine)
+    }
+
+    /// Resurrects a **read-only view of a prior checkpoint generation**
+    /// (`generation` = 1 for the most recent previous checkpoint, 2 for
+    /// the one before, …; see [`DurabilityOptions::retain_checkpoints`]).
+    /// The returned engine is *non-durable* and replays **no** WAL: the
+    /// log on disk belongs to the newest generation, so an older
+    /// checkpoint can only be restored exactly as it was cut. Estimates
+    /// at that checkpoint's epoch are bit-identical to the answers the
+    /// original engine served then — the point-in-time debugging story.
+    pub fn recover_generation(dir: &Path, generation: u64) -> Result<Self, PersistError> {
+        let (meta, rows) = persist::read_checkpoint_generation(dir, generation)?;
+        Self::hydrate(&meta, rows)
+    }
+
+    /// Rebuilds an engine from a decoded checkpoint — the restoration
+    /// protocol shared by [`recover_with`](Self::recover_with) (which
+    /// then replays the WAL and attaches storage) and
+    /// [`recover_generation`](Self::recover_generation) (which stops
+    /// here): shards from the stored bucket keys (no re-hashing), the
+    /// checkpoint rows as the published snapshot, counters restored to
+    /// the cut.
+    fn hydrate(meta: &CheckpointMeta, rows: persist::SnapshotRows) -> Result<Self, PersistError> {
         let mut engine = Self::new(meta.config);
         for (gid, key, v) in &rows {
             let shard = engine.shard_of(*gid);
@@ -317,26 +415,6 @@ impl EstimationEngine {
         *engine.next_id.get_mut() = meta.next_id;
         *engine.ingests.get_mut() = meta.ingested;
         *engine.publishes.get_mut() = meta.publishes;
-
-        let fingerprint = persist::config_fingerprint(&meta.config);
-        let (wal, entries) = WalWriter::open_append(&dir.join(WAL_FILE), fingerprint)?;
-        if wal.seq() < meta.applied_seq {
-            return Err(PersistError::Corrupt(format!(
-                "WAL ends at seq {} but the checkpoint covers {}",
-                wal.seq(),
-                meta.applied_seq
-            )));
-        }
-        for entry in &entries {
-            if entry.seq > meta.applied_seq {
-                engine.apply_replayed(&entry.record)?;
-            }
-        }
-        engine.durability = Some(Durability {
-            dir: dir.to_path_buf(),
-            pending: AtomicU64::new(wal.seq().saturating_sub(meta.applied_seq)),
-            wal: Mutex::new(wal),
-        });
         Ok(engine)
     }
 
@@ -377,6 +455,9 @@ impl EstimationEngine {
                 };
                 self.after_ingest(if replaced { 2 } else { 1 });
             }
+            WalRecord::Publish => {
+                self.publish_inner();
+            }
         }
         Ok(())
     }
@@ -400,7 +481,10 @@ impl EstimationEngine {
         let durability = self.durability.as_ref().ok_or(PersistError::NotDurable)?;
         let mut wal = durability.wal.lock();
         wal.sync()?;
-        let epoch = self.publish();
+        // The checkpoint publish needs no WAL record: its epoch is
+        // carried by the checkpoint metadata itself, and the log is
+        // truncated right after anyway.
+        let epoch = self.publish_inner();
         let snapshot = self.snapshot();
         debug_assert_eq!(snapshot.epoch(), epoch, "cut raced a publish");
         let meta = CheckpointMeta {
@@ -411,7 +495,9 @@ impl EstimationEngine {
             publishes: self.publishes.load(Ordering::SeqCst),
             config: self.config,
         };
-        if let Err(e) = persist::write_checkpoint(&durability.dir, &meta, &snapshot) {
+        if let Err(e) = persist::rotate_generations(&durability.dir, durability.retain_checkpoints)
+            .and_then(|()| persist::write_checkpoint(&durability.dir, &meta, &snapshot))
+        {
             // A deployment that cannot persist must not keep
             // acknowledging writes it may lose: latch the failure so
             // every subsequent durable ingest fails loudly.
@@ -578,7 +664,10 @@ impl EstimationEngine {
             // multi-op ingests the crossing test (not `% == 0`) keeps
             // the cadence even.
             if count / batch > (count - ops) / batch {
-                self.publish();
+                // Unlogged: replaying the ingests re-fires the
+                // auto-publish at the same boundary (and the durable
+                // paths already hold the WAL lock here).
+                self.publish_inner();
             }
         }
     }
@@ -622,7 +711,34 @@ impl EstimationEngine {
     /// // Appends-only epochs take the incremental O(changed) path.
     /// assert_eq!(engine.stats().delta_publishes, 1);
     /// ```
+    ///
+    /// On a **durable** engine an explicit publish is WAL-logged (its
+    /// own record type) before it is applied, so recovery re-fires it
+    /// at the same position in the ingest order — the epoch counter
+    /// survives restarts even for manual epochs.
+    ///
+    /// # Panics
+    /// A durable engine panics when the WAL append fails, exactly like
+    /// the ingest paths: acknowledging an epoch that would vanish on
+    /// restart is worse than refusing it.
     pub fn publish(&self) -> u64 {
+        if let Some(durability) = &self.durability {
+            // Same protocol as ingests: log under the WAL lock, then
+            // apply, so WAL order equals apply order.
+            let mut wal = durability.wal.lock();
+            wal.append(WalOp::Publish)
+                .expect("WAL append failed; refusing to apply an unlogged publish");
+            durability.pending.fetch_add(1, Ordering::Relaxed);
+            return self.publish_inner();
+        }
+        self.publish_inner()
+    }
+
+    /// The publish machinery, *without* WAL logging — the shared tail
+    /// of explicit publishes (logged by [`publish`](Self::publish)),
+    /// auto-publishes (reproduced by ingest replay), checkpoint cuts
+    /// (recorded in checkpoint metadata), and WAL replay itself.
+    fn publish_inner(&self) -> u64 {
         let mut last_epoch = self.publish_lock.lock();
         // Only publish() (serialized by the lock we hold) and recovery
         // (exclusive access) replace `current`, so this read is the
@@ -688,6 +804,21 @@ impl EstimationEngine {
         self.snapshot().epoch()
     }
 
+    /// Ingest operations applied since the current snapshot's cut — how
+    /// stale the read view is. This is the signal a serving front-end
+    /// applies backpressure on: when the lag crosses a threshold,
+    /// shedding ingests (until a publish catches the view up) bounds
+    /// both snapshot staleness and the cost of the next publish.
+    /// Lock-free and O(1).
+    pub fn publish_lag(&self) -> u64 {
+        // Two relaxed reads that can race a concurrent publish; the
+        // value is a momentary lag estimate either way, which is all a
+        // load-shedding threshold needs.
+        self.ingests
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.snapshot().ingested())
+    }
+
     // --- reads -----------------------------------------------------------
 
     /// The LSH-SS parameters used at live size `n` (the configured fixed
@@ -707,12 +838,17 @@ impl EstimationEngine {
         self.streams.subfamily(epoch).stream(tau.to_bits())
     }
 
-    /// The deterministic RNG a batch estimate at `(epoch, τ-grid)` uses.
-    pub fn batch_rng(&self, epoch: u64, taus: &[f64]) -> Xoshiro256 {
-        let grid = taus.iter().fold(0x6A09_E667_F3BC_C909u64, |acc, t| {
-            SplitMix64::mix(acc ^ t.to_bits())
-        });
-        self.streams.subfamily(epoch).stream(grid)
+    /// The deterministic RNG a batch estimate at `epoch` uses —
+    /// deliberately keyed by the epoch **alone**, not the τ grid.
+    /// [`estimate_curve`](LshSs::estimate_curve) consumes the RNG
+    /// independently of the grid (one shared pair sample, per-τ replay),
+    /// so with a grid-independent stream every τ's batch answer at a
+    /// given epoch is one fixed value no matter which other thresholds
+    /// ride in the same call. That is what lets a serving layer coalesce
+    /// whatever estimate requests happen to be concurrent into one
+    /// sampling pass without changing any individual answer.
+    pub fn batch_rng(&self, epoch: u64) -> Xoshiro256 {
+        self.streams.subfamily(epoch).stream(0x6A09_E667_F3BC_C909)
     }
 
     /// Cache fingerprint of the estimator *policy*. With a fixed config
@@ -790,7 +926,11 @@ impl EstimationEngine {
     /// through different RNG streams ([`batch_rng`](Self::batch_rng) vs
     /// [`estimate_rng`](Self::estimate_rng)), so each is individually
     /// deterministic at a fixed epoch but their answers may differ —
-    /// both are unbiased draws of the same estimator.
+    /// both are unbiased draws of the same estimator. The batch stream
+    /// is keyed by the epoch alone, so each τ's answer at a given epoch
+    /// is **independent of the grid it rides in**: `estimate_batch(&[τ])`
+    /// equals the τ entry of any larger same-epoch batch, which is what
+    /// makes request coalescing in a serving layer invisible to callers.
     pub fn estimate_batch(&self, taus: &[f64]) -> Vec<ServiceEstimate> {
         if taus.is_empty() {
             return Vec::new();
@@ -836,7 +976,7 @@ impl EstimationEngine {
         }
         // Shared pass over the grid.
         let est = LshSs { config: est_config };
-        let mut rng = self.batch_rng(snapshot.epoch(), taus);
+        let mut rng = self.batch_rng(snapshot.epoch());
         let curve = match self.config.family {
             IndexFamily::SimHash => est.estimate_curve(
                 snapshot.collection(),
@@ -926,6 +1066,7 @@ impl EstimationEngine {
             epoch: self.current_epoch(),
             live: shards.iter().map(|s| s.live).sum(),
             ingests: self.ingests.load(Ordering::Relaxed),
+            publish_lag: self.publish_lag(),
             publishes: self.publishes.load(Ordering::Relaxed),
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
             full_publishes: self.full_publishes.load(Ordering::Relaxed),

@@ -81,7 +81,7 @@ mod snapshot;
 pub mod wal;
 
 pub use config::{IndexFamily, ServiceConfig, ServiceConfigBuilder};
-pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
+pub use engine::{DurabilityOptions, EngineStats, EstimationEngine, ServiceEstimate};
 pub use persist::{Checkpointer, PersistError};
 pub use shard::ShardStats;
 pub use snapshot::Snapshot;

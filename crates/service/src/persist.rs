@@ -377,6 +377,82 @@ pub fn read_checkpoint(dir: &Path) -> Result<(CheckpointMeta, SnapshotRows), Per
     decode_checkpoint(Bytes::from(std::fs::read(dir.join(CHECKPOINT_FILE))?))
 }
 
+// --- checkpoint generations ---------------------------------------------
+
+/// Path of checkpoint generation `generation` inside `dir`: `0` is the
+/// current `checkpoint.vsjc`, `g ≥ 1` is `checkpoint.vsjc.g` (the g-th
+/// most recent previous checkpoint).
+pub fn generation_path(dir: &Path, generation: u64) -> PathBuf {
+    if generation == 0 {
+        dir.join(CHECKPOINT_FILE)
+    } else {
+        dir.join(format!("{CHECKPOINT_FILE}.{generation}"))
+    }
+}
+
+/// Reads and verifies checkpoint generation `generation` in `dir` (see
+/// [`generation_path`]).
+pub fn read_checkpoint_generation(
+    dir: &Path,
+    generation: u64,
+) -> Result<(CheckpointMeta, SnapshotRows), PersistError> {
+    decode_checkpoint(Bytes::from(std::fs::read(generation_path(
+        dir, generation,
+    ))?))
+}
+
+/// The prior checkpoint generations present in `dir`, ascending (`1` =
+/// most recent previous). The current checkpoint (generation 0) is not
+/// listed; a fresh directory returns an empty vector.
+pub fn list_generations(dir: &Path) -> Vec<u64> {
+    // Rotation keeps `.1..` contiguous, so scanning until the first
+    // gap finds them all — already in ascending order.
+    (1..)
+        .take_while(|&g| generation_path(dir, g).exists())
+        .collect()
+}
+
+/// Rotates checkpoint generations ahead of a new checkpoint write:
+/// prunes generations at or past `retain`, shifts `.g → .(g+1)` for the
+/// survivors, and *hard-links* the current checkpoint to `.1` so the
+/// file `write_checkpoint`'s atomic rename replaces lives on as the
+/// newest prior generation. Crash-safe: the current checkpoint is never
+/// unlinked by rotation, so every window leaves a loadable generation 0.
+pub(crate) fn rotate_generations(dir: &Path, retain: usize) -> Result<(), PersistError> {
+    // Prune every generation the shift would push past the window
+    // (`.g` becomes `.g+1`, so `.retain-1` and beyond must go). Also
+    // cleans up after a `retain` lowered between lives; the scan runs a
+    // little past the window so stale stragglers are reclaimed too.
+    let horizon = (retain as u64).saturating_sub(1).max(1);
+    let mut g = horizon;
+    while generation_path(dir, g).exists() || g < horizon + 8 {
+        if generation_path(dir, g).exists() {
+            std::fs::remove_file(generation_path(dir, g))?;
+        }
+        g += 1;
+    }
+    if retain <= 1 {
+        return Ok(());
+    }
+    for g in (1..retain as u64 - 1).rev() {
+        let from = generation_path(dir, g);
+        if from.exists() {
+            std::fs::rename(&from, generation_path(dir, g + 1))?;
+        }
+    }
+    let current = dir.join(CHECKPOINT_FILE);
+    if current.exists() {
+        // Hard link, not rename: generation 0 must stay present through
+        // every crash window. Fall back to a copy on filesystems
+        // without hard links.
+        let one = generation_path(dir, 1);
+        if std::fs::hard_link(&current, &one).is_err() {
+            std::fs::copy(&current, &one)?;
+        }
+    }
+    Ok(())
+}
+
 /// A background thread that checkpoints a durable engine whenever the
 /// WAL backlog reaches a threshold — the component that keeps the WAL
 /// bounded ("truncate after each durable epoch") without putting

@@ -20,10 +20,16 @@
 //!   len      u32      payload length in bytes
 //!   checksum u64      checksum64 of the payload
 //!   payload:
-//!     op  u8       1 = insert, 2 = remove, 3 = upsert
-//!     id  u64      global id
+//!     op  u8       1 = insert, 2 = remove, 3 = upsert, 4 = publish
+//!     id  u64      global id (0 for publish)
 //!     (insert/upsert) nnz u32, nnz × u32 indices, nnz × f32 weights
 //! ```
+//!
+//! Version 2 added the `publish` record (explicit
+//! [`EstimationEngine::publish`](crate::EstimationEngine::publish)
+//! calls are logged so recovery reproduces manual epochs, not just
+//! auto-publish ones); version-1 logs are still read — they simply
+//! contain no publish records.
 //!
 //! Record `i` (0-based) carries implicit sequence number
 //! `base_seq + i + 1`; the WAL is truncated (rewritten with a fresh
@@ -51,12 +57,16 @@ use crate::persist::PersistError;
 use crate::GlobalId;
 
 const WAL_MAGIC: &[u8; 4] = b"VSJW";
-const WAL_VERSION: u32 = 1;
+const WAL_VERSION: u32 = 2;
+/// Oldest readable version (v1 lacks publish records but is otherwise
+/// identical).
+const WAL_MIN_VERSION: u32 = 1;
 const HEADER_LEN: u64 = 24;
 
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
 const OP_UPSERT: u8 = 3;
+const OP_PUBLISH: u8 = 4;
 
 /// One logged ingest operation, borrowed form (what writers append).
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +77,11 @@ pub enum WalOp<'a> {
     Remove(GlobalId),
     /// Insert-or-replace under a caller-chosen id.
     Upsert(GlobalId, &'a SparseVector),
+    /// An **explicit** snapshot publication (auto-publishes are not
+    /// logged — replaying the ingests re-fires them at the same
+    /// boundaries; explicit calls have no such trace and must be
+    /// recorded to reproduce the epoch counter).
+    Publish,
 }
 
 /// One logged ingest operation, owned form (what replay consumes).
@@ -91,6 +106,8 @@ pub enum WalRecord {
         /// The replacement vector.
         vector: SparseVector,
     },
+    /// See [`WalOp::Publish`].
+    Publish,
 }
 
 /// A validated record plus its position in the log.
@@ -127,6 +144,7 @@ fn encode_payload(op: WalOp<'_>) -> Bytes {
         WalOp::Insert(id, v) => (OP_INSERT, id, Some(v)),
         WalOp::Remove(id) => (OP_REMOVE, id, None),
         WalOp::Upsert(id, v) => (OP_UPSERT, id, Some(v)),
+        WalOp::Publish => (OP_PUBLISH, 0, None),
     };
     let nnz = vector.map_or(0, SparseVector::nnz);
     let mut buf = BytesMut::with_capacity(9 + 4 + nnz * 8);
@@ -146,7 +164,7 @@ fn decode_payload(mut data: Bytes) -> Result<WalRecord, String> {
     data.copy_to_slice(&mut tag);
     let id = data.get_u64_le();
     let vector = match tag[0] {
-        OP_REMOVE => None,
+        OP_REMOVE | OP_PUBLISH => None,
         OP_INSERT | OP_UPSERT => Some(decode_vector(&mut data).map_err(|e| e.to_string())?),
         t => return Err(format!("unknown op tag {t}")),
     };
@@ -157,6 +175,7 @@ fn decode_payload(mut data: Bytes) -> Result<WalRecord, String> {
         (OP_INSERT, Some(vector)) => WalRecord::Insert { id, vector },
         (OP_UPSERT, Some(vector)) => WalRecord::Upsert { id, vector },
         (OP_REMOVE, None) => WalRecord::Remove { id },
+        (OP_PUBLISH, None) => WalRecord::Publish,
         _ => unreachable!("tag/vector pairing checked above"),
     })
 }
@@ -192,7 +211,7 @@ pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
         return Err(PersistError::Corrupt("not a VSJW write-ahead log".into()));
     }
     let version = data.get_u32_le();
-    if version != WAL_VERSION {
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
         return Err(PersistError::Corrupt(format!(
             "unsupported WAL version {version}"
         )));
@@ -435,14 +454,15 @@ mod tests {
         assert_eq!(w.append(WalOp::Insert(7, &v(&[1, 2, 3]))).unwrap(), 6);
         assert_eq!(w.append(WalOp::Remove(7)).unwrap(), 7);
         assert_eq!(w.append(WalOp::Upsert(9, &v(&[4]))).unwrap(), 8);
-        assert_eq!(w.pending(), 3);
+        assert_eq!(w.append(WalOp::Publish).unwrap(), 9);
+        assert_eq!(w.pending(), 4);
         w.sync().unwrap();
 
         let replay = read_wal(&path).unwrap();
         assert!(replay.clean);
         assert_eq!(replay.base_seq, 5);
         assert_eq!(replay.fingerprint, 0xABCD);
-        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.entries.len(), 4);
         assert_eq!(replay.entries[0].seq, 6);
         assert_eq!(
             replay.entries[0].record,
@@ -459,6 +479,27 @@ mod tests {
                 vector: v(&[4])
             }
         );
+        assert_eq!(replay.entries[3].record, WalRecord::Publish);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_1_logs_are_still_readable() {
+        let path = tmp("v1.vsjw");
+        let mut w = WalWriter::create(&path, 0, 7).unwrap();
+        w.append(WalOp::Insert(0, &v(&[1, 2]))).unwrap();
+        w.sync().unwrap();
+        // Rewrite the header version field (offset 4) down to 1.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.clean);
+        assert_eq!(replay.entries.len(), 1);
+        // Future versions stay unreadable.
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_wal(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

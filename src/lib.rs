@@ -38,6 +38,11 @@
 //!   (insert/remove/upsert on live data), copy-on-write epoch snapshots
 //!   serving any number of reader threads, and a drift-invalidated
 //!   estimate cache. See `examples/service.rs`.
+//! * [`server`] — the **network layer**: an HTTP/1.1 JSON front-end
+//!   ([`server::Server`]) over the engine with request batching onto
+//!   shared sampling passes, publish-lag backpressure, and a blocking
+//!   [`server::Client`]. See `examples/server.rs` and
+//!   `docs/PROTOCOL.md`.
 //!
 //! ## Quickstart
 //!
@@ -72,6 +77,7 @@ pub use vsj_exact as exact;
 pub use vsj_lc as lc;
 pub use vsj_lsh as lsh;
 pub use vsj_sampling as sampling;
+pub use vsj_server as server;
 pub use vsj_service as service;
 pub use vsj_vector as vector;
 
@@ -93,9 +99,10 @@ pub mod prelude {
         LshIndex, LshParams, LshTable, MinHashFamily, SimHashFamily, SimilaritySearcher,
     };
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
+    pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
-        Checkpointer, EngineStats, EstimationEngine, GlobalId, IndexFamily, PersistError,
-        ServiceConfig, ServiceEstimate, Snapshot,
+        Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, GlobalId, IndexFamily,
+        PersistError, ServiceConfig, ServiceEstimate, Snapshot,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,

@@ -64,6 +64,9 @@ fn apply_to_reference(engine: &EstimationEngine, entry: &wal::WalEntry) {
         wal::WalRecord::Upsert { id, vector } => {
             engine.upsert(*id, vector.clone());
         }
+        wal::WalRecord::Publish => {
+            engine.publish();
+        }
     }
 }
 
@@ -463,4 +466,137 @@ fn golden_fixture_still_loads_and_replays() {
     assert_eq!(recovered.snapshot().len(), 12);
     assert_engines_equivalent(&reference, &recovered, "golden replayed epoch");
     std::fs::remove_dir_all(&work).ok();
+}
+
+// --- explicit publish replay (WAL v2 publish records) ----------------------
+
+#[test]
+fn explicit_publishes_are_replayed_at_their_exact_positions() {
+    let dir = fresh_dir("explicit_publish");
+    let engine = EstimationEngine::durable(config(21), &dir).unwrap();
+    let reference = EstimationEngine::new(config(21));
+
+    // A history where epochs are cut manually, at irregular points —
+    // including two back-to-back publishes (an empty epoch) and a
+    // publish between a remove and an upsert.
+    let script = |e: &EstimationEngine| {
+        for i in 0..25u32 {
+            e.insert(members(i % 10, 4));
+        }
+        e.publish();
+        for i in 0..10u32 {
+            e.insert(members(i % 6, 5));
+        }
+        e.publish();
+        e.publish(); // empty epoch
+        e.remove(3);
+        e.publish();
+        e.upsert(100, members(1, 7));
+        e.publish();
+    };
+    script(&engine);
+    script(&reference);
+    assert_engines_equivalent(&reference, &engine, "pre-crash");
+    let pre_epoch = engine.current_epoch();
+    assert_eq!(pre_epoch, 5);
+    drop(engine); // crash with everything in the WAL (no checkpoint)
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.current_epoch(),
+        pre_epoch,
+        "manual epochs must be reproduced by replay, not lost"
+    );
+    assert_engines_equivalent(&reference, &recovered, "post-recovery");
+
+    // And the *next* epoch continues the same stream on both sides.
+    reference.insert(members(2, 3));
+    recovered.insert(members(2, 3));
+    reference.publish();
+    recovered.publish();
+    assert_engines_equivalent(&reference, &recovered, "next epoch");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explicit_publish_replays_across_a_checkpoint_boundary() {
+    let dir = fresh_dir("publish_after_ckpt");
+    let engine = EstimationEngine::durable(config(22), &dir).unwrap();
+    for i in 0..30u32 {
+        engine.insert(members(i % 8, 4));
+    }
+    engine.checkpoint().unwrap(); // epoch 1, WAL truncated
+    for i in 0..12u32 {
+        engine.insert(members(i % 5, 6));
+    }
+    let manual = engine.publish(); // epoch 2, lives only in the WAL
+    assert_eq!(manual, 2);
+    let before = engine.estimate(0.7);
+    drop(engine);
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.current_epoch(), 2);
+    assert_eq!(
+        recovered.estimate(0.7),
+        before,
+        "estimate at the manual epoch must be bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- checkpoint retention --------------------------------------------------
+
+#[test]
+fn checkpoint_retention_keeps_and_prunes_generations() {
+    use vsj::service::persist;
+
+    let dir = fresh_dir("retention");
+    let options = DurabilityOptions {
+        retain_checkpoints: 3,
+    };
+    let engine = EstimationEngine::durable_with(config(31), &dir, options).unwrap();
+
+    // Four checkpoints with distinguishable corpora; retention 3 keeps
+    // the current file plus two prior generations.
+    let mut epochs = Vec::new();
+    let mut answers = Vec::new();
+    for round in 0..4u32 {
+        for i in 0..10u32 {
+            engine.insert(members(round * 10 + i % 7, 4));
+        }
+        epochs.push(engine.checkpoint().unwrap());
+        answers.push(engine.estimate(0.6));
+    }
+    assert_eq!(persist::list_generations(&dir), vec![1, 2]);
+    assert!(persist::generation_path(&dir, 0).exists());
+    assert!(!persist::generation_path(&dir, 3).exists(), "pruned");
+
+    // Generation g is the state at the (last − g)-th checkpoint, and a
+    // point-in-time recovery answers exactly what the engine answered
+    // then.
+    for g in 1..=2u64 {
+        let revived = EstimationEngine::recover_generation(&dir, g).unwrap();
+        let idx = (3 - g) as usize;
+        assert_eq!(revived.current_epoch(), epochs[idx]);
+        assert!(!revived.is_durable(), "generation views are read-only");
+        assert_eq!(
+            revived.estimate(0.6),
+            answers[idx],
+            "generation {g} must answer as the engine did at its cut"
+        );
+    }
+
+    // Lowering the knob prunes on the next checkpoint.
+    drop(engine);
+    let engine = EstimationEngine::recover_with(
+        &dir,
+        DurabilityOptions {
+            retain_checkpoints: 1,
+        },
+    )
+    .unwrap();
+    engine.insert(members(50, 4));
+    engine.checkpoint().unwrap();
+    assert_eq!(persist::list_generations(&dir), Vec::<u64>::new());
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,439 @@
+//! End-to-end acceptance tests for the `vsj-server` network layer.
+//!
+//! The headline property (ISSUE 4): **N client threads issuing
+//! estimates while M threads ingest and publish against a live server
+//! yield answers bit-identical to an offline-built index at every
+//! published epoch** — the network layer, the batcher, and the engine
+//! may change *when* and *how cheaply* an answer is computed, never
+//! *what* it is. Plus: the batcher merges concurrent same-(epoch, τ)
+//! requests into one sampling pass (asserted via stats counters), never
+//! mixes epochs within a pass, and backpressure keeps every queue
+//! bounded under overload.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vsj::prelude::*;
+
+const TAUS: [f64; 4] = [0.3, 0.5, 0.7, 0.9];
+
+fn fixed_estimator() -> LshSsConfig {
+    LshSsConfig {
+        m_h: 256,
+        m_l: 256,
+        delta: 4,
+        dampening: Dampening::NlOverDelta,
+    }
+}
+
+fn engine_config(seed: u64) -> ServiceConfig {
+    ServiceConfig::builder()
+        .shards(4)
+        .k(8)
+        .seed(seed)
+        .family(IndexFamily::MinHash)
+        .estimator(fixed_estimator())
+        .build()
+}
+
+fn members_for(tag: u32) -> SparseVector {
+    SparseVector::binary_from_members(vec![tag % 23, 100 + tag % 11, 200 + tag % 5])
+}
+
+/// Offline replication of a served batch answer at `(epoch, τ)`: build
+/// a fresh index over the same vectors in global-id order (re-hashing
+/// from scratch) and run the estimator with the engine's epoch-keyed
+/// batch RNG. Equality is bit-level.
+fn offline_value(
+    engine: &EstimationEngine,
+    snapshot: &Snapshot,
+    id_to_vector: &HashMap<u64, SparseVector>,
+    tau: f64,
+) -> f64 {
+    let vectors: Vec<SparseVector> = snapshot
+        .global_ids()
+        .iter()
+        .map(|gid| {
+            id_to_vector
+                .get(gid)
+                .unwrap_or_else(|| panic!("server invented global id {gid}"))
+                .clone()
+        })
+        .collect();
+    let coll = VectorCollection::from_vectors(vectors);
+    let offline = vsj::lsh::LshIndex::build_with_family(
+        &coll,
+        MinHashFamily::new(),
+        vsj::lsh::LshParams::new(engine.config().k, 1)
+            .with_seed(engine.config().seed)
+            .with_threads(1),
+    );
+    let est = LshSs {
+        config: fixed_estimator(),
+    };
+    let mut rng = engine.batch_rng(snapshot.epoch());
+    est.estimate_curve(&coll, offline.table(0), &Jaccard, &[tau], &mut rng)[0].value
+}
+
+/// The ISSUE 4 acceptance scenario.
+#[test]
+fn concurrent_clients_get_offline_identical_answers_at_every_epoch() {
+    let engine = Arc::new(EstimationEngine::new(engine_config(77)));
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig::builder()
+            .workers(8)
+            .batch_gather(Duration::from_millis(2))
+            .build(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    const WRITERS: usize = 2;
+    const READERS: usize = 4;
+    const DOCS_PER_WRITER: u32 = 250;
+
+    let id_to_vector: Mutex<HashMap<u64, SparseVector>> = Mutex::new(HashMap::new());
+    let snapshots: Mutex<BTreeMap<u64, Arc<Snapshot>>> = Mutex::new(BTreeMap::new());
+    let done = AtomicBool::new(false);
+    let mut reader_logs: Vec<Vec<Estimated>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let id_to_vector = &id_to_vector;
+        let snapshots = &snapshots;
+        let done = &done;
+        let engine = &engine;
+
+        // M ingest threads, through the wire.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("writer connect");
+                    for j in 0..DOCS_PER_WRITER {
+                        let v = members_for(w as u32 * 1_000 + j);
+                        let id = client.insert(&v).expect("insert");
+                        id_to_vector.lock().unwrap().insert(id, v);
+                    }
+                })
+            })
+            .collect();
+
+        // One publisher thread, through the wire. Being the only
+        // publisher (no auto-publish), the snapshot read right after
+        // each publish *is* that epoch — recorded for offline replay.
+        let publisher = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("publisher connect");
+            loop {
+                let finished = done.load(Ordering::Relaxed);
+                client.publish().expect("publish");
+                let snapshot = engine.snapshot();
+                snapshots.lock().unwrap().insert(snapshot.epoch(), snapshot);
+                if finished {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // N estimate threads, through the wire.
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connect");
+                    let mut log = Vec::new();
+                    // Per-τ monotonicity: the cache may serve different
+                    // τ from different (still valid) computed-at
+                    // epochs, but a single τ never goes backwards.
+                    let mut last_epoch = [0u64; TAUS.len()];
+                    for i in 0..150usize {
+                        let slot = (r + i) % TAUS.len();
+                        let answer = client.estimate(TAUS[slot]).expect("estimate");
+                        assert!(
+                            answer.epoch >= last_epoch[slot],
+                            "reader {r}: epoch went backwards for τ {}",
+                            TAUS[slot]
+                        );
+                        last_epoch[slot] = answer.epoch;
+                        log.push(answer);
+                    }
+                    log
+                })
+            })
+            .collect();
+
+        for writer in writers {
+            writer.join().expect("writer");
+        }
+        for reader in readers {
+            reader_logs.push(reader.join().expect("reader"));
+        }
+        done.store(true, Ordering::Relaxed);
+        publisher.join().expect("publisher");
+    });
+
+    let id_to_vector = id_to_vector.into_inner().unwrap();
+    let snapshots = snapshots.into_inner().unwrap();
+    assert_eq!(
+        id_to_vector.len(),
+        WRITERS * DOCS_PER_WRITER as usize,
+        "every insert got a unique id"
+    );
+
+    // 1. No pass ever mixes epochs: all *freshly computed* answers
+    //    sharing a batch id share an epoch. (Cache-served answers
+    //    legitimately carry their older computed-at epoch; they did not
+    //    ride the pass's sampling.)
+    let mut batch_epochs: HashMap<u64, u64> = HashMap::new();
+    for answer in reader_logs.iter().flatten().filter(|a| !a.cached) {
+        match batch_epochs.get(&answer.batch) {
+            None => {
+                batch_epochs.insert(answer.batch, answer.epoch);
+            }
+            Some(&epoch) => assert_eq!(
+                epoch, answer.epoch,
+                "pass {} mixed epochs {} and {}",
+                answer.batch, epoch, answer.epoch
+            ),
+        }
+    }
+
+    // 2. Bit-identical to an offline build at EVERY published epoch a
+    //    reader observed (epoch 0 is the empty pre-publish view).
+    //    Deduplicate (epoch, τ) — determinism makes repeats redundant,
+    //    but first check every repeat agrees.
+    let mut observed: BTreeMap<(u64, u64), (f64, usize)> = BTreeMap::new();
+    let mut answers = 0usize;
+    for a in reader_logs.iter().flatten() {
+        answers += 1;
+        let key = (a.epoch, a.tau.to_bits());
+        match observed.get(&key) {
+            None => {
+                observed.insert(key, (a.value, a.n));
+            }
+            Some(&(value, n)) => {
+                assert_eq!(value, a.value, "nondeterministic answer at {key:?}");
+                assert_eq!(n, a.n, "torn n at {key:?}");
+            }
+        }
+    }
+    assert!(answers >= READERS * 100, "readers actually ran");
+    let mut verified = 0usize;
+    for (&(epoch, tau_bits), &(value, n)) in &observed {
+        let tau = f64::from_bits(tau_bits);
+        if epoch == 0 {
+            assert_eq!((value, n), (0.0, 0), "empty epoch answers zero");
+            continue;
+        }
+        let snapshot = snapshots
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("answer at unpublished epoch {epoch}"));
+        assert_eq!(n, snapshot.len(), "answer's n vs epoch {epoch} snapshot");
+        assert_eq!(
+            value,
+            offline_value(&engine, snapshot, &id_to_vector, tau),
+            "server answer at (epoch {epoch}, τ {tau}) != offline build"
+        );
+        verified += 1;
+    }
+    assert!(verified >= 4, "several (epoch, τ) points verified offline");
+
+    // 3. The batcher actually batched (passes ≤ answers, by a margin
+    //    under this much concurrency) and nothing was shed.
+    let stats = server.stats();
+    assert_eq!(stats.batched_estimates, answers as u64);
+    assert!(stats.batches <= stats.batched_estimates);
+    assert_eq!(stats.shed_estimates, 0);
+    assert_eq!(stats.shed_ingests, 0);
+    server.shutdown().expect("shutdown");
+}
+
+/// Satellite: ≥ 2 concurrent same-(epoch, τ) requests are merged into
+/// ONE sampling pass, asserted via stats counters, and the coalesced
+/// answer is bit-identical to a per-request answer at that epoch.
+#[test]
+fn concurrent_same_tau_requests_merge_into_one_pass() {
+    let engine = Arc::new(EstimationEngine::new(engine_config(5)));
+    for i in 0..200u32 {
+        engine.insert(members_for(i));
+    }
+    engine.publish();
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig::builder()
+            .workers(8)
+            .batch_gather(Duration::from_millis(120))
+            .build(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let sampling_before = engine.stats().sampling_passes;
+    let answers: Vec<Estimated> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.estimate(0.7).expect("estimate")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All six share one pass (same batch id, same epoch, same bits).
+    let first = answers[0];
+    for a in &answers {
+        assert_eq!(a.batch, first.batch, "one shared pass");
+        assert_eq!(a.epoch, 1);
+        assert_eq!(a.value, first.value);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.batches, 1, "exactly one sampling pass");
+    assert_eq!(stats.batched_estimates, 6);
+    assert_eq!(stats.merged_estimates, 5, "five requests rode for free");
+    assert_eq!(stats.max_batch, 6);
+    assert_eq!(
+        engine.stats().sampling_passes - sampling_before,
+        1,
+        "the engine sampled once for six requests"
+    );
+
+    // Bit-identical to a per-request answer at the same epoch: the
+    // engine's batch stream is epoch-keyed, so a lone request computes
+    // the same value the coalesced pass did.
+    assert_eq!(first.value, engine.estimate_batch(&[0.7])[0].estimate.value);
+    server.shutdown().expect("shutdown");
+}
+
+/// Satellite: `estimate_batch` under concurrent publish — one pass
+/// never mixes epochs, answers are deterministic per (epoch, τ), and
+/// grid answers equal per-request answers.
+#[test]
+fn estimate_batch_pins_one_epoch_under_concurrent_publish() {
+    let engine = Arc::new(EstimationEngine::new(engine_config(13)));
+    for i in 0..100u32 {
+        engine.insert(members_for(i));
+    }
+    engine.publish();
+
+    let done = AtomicBool::new(false);
+    let mut observed: HashMap<(u64, u64), f64> = HashMap::new();
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let done = &done;
+        // A writer publishing as fast as it can.
+        let writer = scope.spawn(move || {
+            let mut i = 1_000u32;
+            while !done.load(Ordering::Relaxed) {
+                engine.insert(members_for(i));
+                engine.publish();
+                i += 1;
+            }
+        });
+        // Grid reads racing the publishes.
+        for _ in 0..300 {
+            let grid = engine.estimate_batch(&TAUS);
+            let epoch = grid[0].epoch;
+            for answer in &grid {
+                assert_eq!(
+                    answer.epoch, epoch,
+                    "one estimate_batch pass straddled a publish"
+                );
+                let key = (answer.epoch, answer.tau.to_bits());
+                let value = observed.entry(key).or_insert(answer.estimate.value);
+                assert_eq!(*value, answer.estimate.value, "nondeterministic at {key:?}");
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+        writer.join().expect("writer");
+    });
+
+    // Quiescent: grid answers equal per-request (singleton-grid)
+    // answers, entry by entry — the bit-identity the server batcher
+    // relies on.
+    let epoch = engine.publish();
+    let grid = engine.estimate_batch(&TAUS);
+    engine.clear_cache();
+    for (tau, from_grid) in TAUS.iter().zip(&grid) {
+        let alone = engine.estimate_batch(&[*tau])[0];
+        assert_eq!(alone.epoch, epoch);
+        assert_eq!(
+            alone.estimate, from_grid.estimate,
+            "τ {tau}: grid and per-request answers diverge"
+        );
+    }
+}
+
+/// Satellite: overload keeps every queue bounded — estimate floods are
+/// shed at `max_queue_depth` (never queued deeper, proven by the pass
+/// size), ingest floods are shed at `max_publish_lag`.
+#[test]
+fn backpressure_bounds_queues_under_overload() {
+    let engine = Arc::new(EstimationEngine::new(engine_config(29)));
+    for i in 0..150u32 {
+        engine.insert(members_for(i));
+    }
+    engine.publish();
+    let server = Server::start(
+        engine,
+        ServerConfig::builder()
+            .workers(16)
+            .max_queue_depth(3)
+            .max_publish_lag(20)
+            .batch_gather(Duration::from_millis(150))
+            .build(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Estimate flood: 12 concurrent requests against a queue of 3.
+    let outcomes: Vec<Result<Estimated, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                scope.spawn(move || {
+                    // Staggered so the first request opens the gather
+                    // window and the rest pile onto the bounded queue.
+                    std::thread::sleep(Duration::from_millis(3 * i));
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.estimate(0.5)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ClientError::Overloaded { .. })))
+        .count();
+    assert_eq!(served + shed, 12, "every request got a definite answer");
+    assert!(served >= 3, "the queued requests were served");
+    assert!(shed >= 1, "overload must shed");
+    let stats = server.stats();
+    assert_eq!(stats.shed_estimates as usize, shed);
+    assert!(
+        stats.max_batch <= 3,
+        "no pass can exceed the queue bound (got {})",
+        stats.max_batch
+    );
+    assert!(stats.queue_depth <= 3, "queue depth stays bounded");
+
+    // Ingest flood: lag cap 20 sheds the 21st unpublished ingest.
+    let mut client = Client::connect(addr).expect("connect");
+    let mut accepted = 0;
+    let mut ingest_shed = 0;
+    for i in 0..30u32 {
+        match client.insert(&members_for(10_000 + i)) {
+            Ok(_) => accepted += 1,
+            Err(ClientError::Overloaded { .. }) => ingest_shed += 1,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert_eq!(accepted, 20);
+    assert_eq!(ingest_shed, 10);
+    client.publish().expect("publish");
+    client.insert(&members_for(20_000)).expect("lag cleared");
+    server.shutdown().expect("shutdown");
+}
