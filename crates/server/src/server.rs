@@ -55,6 +55,13 @@ pub struct ServerConfig {
     /// are shed with `429` until a publish catches the view up. `None`
     /// disables shedding.
     pub max_publish_lag: Option<u64>,
+    /// Durable-write backpressure: when the deepest per-shard WAL
+    /// backlog (records past the checkpoint cut on any one shard's
+    /// segment chain) reaches this, ingests are shed with `429` whose
+    /// `Retry-After` scales with how far past the limit the backlog is
+    /// — a checkpoint (manual or background) drains it. `None` disables
+    /// shedding; it is also inert on non-durable engines (depth 0).
+    pub max_wal_depth: Option<u64>,
     /// Deadline applied to estimate requests that do not carry their
     /// own `deadline_ms`.
     pub default_deadline: Duration,
@@ -77,6 +84,7 @@ impl Default for ServerConfig {
             max_pending_connections: 128,
             max_queue_depth: 1024,
             max_publish_lag: None,
+            max_wal_depth: None,
             default_deadline: Duration::from_secs(2),
             batch_gather: Duration::ZERO,
             max_body: 1 << 20,
@@ -130,6 +138,12 @@ impl ServerConfigBuilder {
     /// Sets the ingest-shedding publish-lag threshold.
     pub fn max_publish_lag(mut self, lag: u64) -> Self {
         self.config.max_publish_lag = Some(lag);
+        self
+    }
+
+    /// Sets the ingest-shedding per-shard WAL depth threshold.
+    pub fn max_wal_depth(mut self, depth: u64) -> Self {
+        self.config.max_wal_depth = Some(depth);
         self
     }
 
@@ -198,6 +212,8 @@ pub struct ServerStats {
     pub shed_estimates: u64,
     /// Ingest requests shed with `429` (publish lag).
     pub shed_ingests: u64,
+    /// Ingest requests shed with `429` (per-shard WAL depth).
+    pub shed_wal: u64,
     /// Estimate requests that missed their deadline.
     pub estimate_timeouts: u64,
     /// Momentary batcher queue depth.
@@ -211,6 +227,7 @@ struct ServerCounters {
     rejected_connections: AtomicU64,
     shed_estimates: AtomicU64,
     shed_ingests: AtomicU64,
+    shed_wal: AtomicU64,
 }
 
 struct ConnectionQueue {
@@ -539,8 +556,12 @@ impl Reply {
     }
 
     fn shed(message: impl AsRef<str>) -> Self {
+        Self::shed_after(Duration::from_secs(1), message)
+    }
+
+    fn shed_after(retry_after: Duration, message: impl AsRef<str>) -> Self {
         Self {
-            retry_after: Some(Duration::from_secs(1)),
+            retry_after: Some(retry_after),
             ..Self::error(429, message)
         }
     }
@@ -637,18 +658,35 @@ fn parse_vector(body: &Json) -> Result<SparseVector, String> {
         .map_err(|e| format!("invalid vector: {e:?}"))
 }
 
-/// Ingest backpressure: `Some(reply)` when the publish lag says shed.
+/// Ingest backpressure: `Some(reply)` when the publish lag or the
+/// per-shard durable-write backlog says shed.
 fn ingest_pressure(inner: &Arc<Inner>) -> Option<Reply> {
-    let limit = inner.config.max_publish_lag?;
-    let lag = inner.engine.publish_lag();
-    if lag >= limit {
-        inner.counters.shed_ingests.fetch_add(1, Ordering::Relaxed);
-        Some(Reply::shed(format!(
-            "publish lag {lag} at or past the shed threshold {limit}; publish (or wait for auto-publish) and retry"
-        )))
-    } else {
-        None
+    if let Some(limit) = inner.config.max_publish_lag {
+        let lag = inner.engine.publish_lag();
+        if lag >= limit {
+            inner.counters.shed_ingests.fetch_add(1, Ordering::Relaxed);
+            return Some(Reply::shed(format!(
+                "publish lag {lag} at or past the shed threshold {limit}; publish (or wait for auto-publish) and retry"
+            )));
+        }
     }
+    if let Some(limit) = inner.config.max_wal_depth {
+        let depth = inner.engine.max_wal_shard_pending();
+        if depth >= limit {
+            inner.counters.shed_wal.fetch_add(1, Ordering::Relaxed);
+            // Retry-After keys off how deep past the limit the worst
+            // shard is: a checkpoint drains the whole backlog, so a 2×
+            // overshoot roughly doubles the useful wait.
+            let factor = (depth / limit.max(1)).clamp(1, 8);
+            return Some(Reply::shed_after(
+                Duration::from_secs(factor),
+                format!(
+                    "WAL depth {depth} on the deepest shard at or past the shed threshold {limit}; checkpoint and retry"
+                ),
+            ));
+        }
+    }
+    None
 }
 
 fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
@@ -770,6 +808,13 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
                 ("sampling_passes", Json::u64(engine.sampling_passes)),
                 ("sampled_pairs", Json::u64(engine.sampled_pairs)),
                 ("wal_pending", Json::u64(engine.wal_pending)),
+                (
+                    "wal_max_shard_pending",
+                    Json::u64(engine.wal_shard_pending.iter().copied().max().unwrap_or(0)),
+                ),
+                ("wal_segments", Json::u64(engine.wal_segments)),
+                ("wal_fsyncs", Json::u64(engine.wal_fsyncs)),
+                ("wal_rotations", Json::u64(engine.wal_rotations)),
             ]),
         ),
         (
@@ -787,6 +832,7 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
                 ("max_batch", Json::u64(server.max_batch)),
                 ("shed_estimates", Json::u64(server.shed_estimates)),
                 ("shed_ingests", Json::u64(server.shed_ingests)),
+                ("shed_wal", Json::u64(server.shed_wal)),
                 ("estimate_timeouts", Json::u64(server.estimate_timeouts)),
                 ("queue_depth", Json::usize(server.queue_depth)),
             ]),
@@ -807,6 +853,7 @@ fn stats_of(inner: &Inner) -> ServerStats {
         max_batch: b.max_batch.load(Ordering::Relaxed),
         shed_estimates: c.shed_estimates.load(Ordering::Relaxed),
         shed_ingests: c.shed_ingests.load(Ordering::Relaxed),
+        shed_wal: c.shed_wal.load(Ordering::Relaxed),
         estimate_timeouts: b.timeouts.load(Ordering::Relaxed),
         queue_depth: b.queue_depth.load(Ordering::Relaxed),
     }

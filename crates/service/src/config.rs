@@ -1,6 +1,98 @@
-//! Service configuration and builder.
+//! Service configuration and builder, plus the storage-layer knobs of
+//! durable engines ([`DurabilityOptions`], [`FsyncPolicy`]).
+
+use std::time::Duration;
 
 use vsj_core::LshSsConfig;
+
+/// When a durable write is acknowledged relative to `fsync`.
+///
+/// The policy trades ingest latency against the crash window: every
+/// WAL frame is always *written* (buffered) before its operation is
+/// applied, but the policy decides whether the writer also waits for
+/// the frame to reach stable storage before the call returns.
+/// Checkpoints and segment seals fsync regardless of the policy, so
+/// the window only ever covers the tail since the last flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Every acknowledged write is on stable storage: the writer blocks
+    /// until an fsync covers its record. Concurrent writers on the same
+    /// shard still share one fsync (the group-commit machinery runs
+    /// with a batch of 1 and no delay), so the cost is one fsync per
+    /// *quiet-period* write, not per record under load.
+    Always,
+    /// Group commit: the writer blocks until its record is flushed, but
+    /// the flush itself is deferred until `max_batch` records await
+    /// acknowledgement on the shard or the oldest waiter has aged
+    /// `max_delay` — amortizing one fsync over the whole group.
+    GroupCommit {
+        /// Flush when this many unacknowledged records accumulate on a
+        /// shard (≥ 1).
+        max_batch: u64,
+        /// Flush when the oldest unacknowledged record has waited this
+        /// long, whether or not the batch filled.
+        max_delay: Duration,
+    },
+    /// Acknowledge as soon as the frame is in the OS page cache — the
+    /// pre-segmented engine's behavior, and the default. A process
+    /// crash loses nothing (the kernel still holds the bytes); an OS
+    /// crash or power cut may lose the un-fsynced tail, recovering the
+    /// flushed prefix.
+    #[default]
+    Never,
+}
+
+/// Storage-layer knobs of a durable engine. Unlike [`ServiceConfig`]
+/// these are *operational*: they are not persisted in checkpoint
+/// metadata and may differ across an engine's lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// How many checkpoint generations to keep: the current
+    /// `checkpoint.vsjc` plus up to `retain_checkpoints - 1` prior
+    /// generations (`checkpoint.vsjc.1` = most recent previous, …).
+    /// Older generations are pruned at each checkpoint, and the WAL
+    /// retains every segment needed to roll *any* kept generation
+    /// forward to the present. Must be ≥ 1; `1` (the default) keeps
+    /// only the current checkpoint.
+    pub retain_checkpoints: usize,
+    /// When durable writes are acknowledged relative to `fsync` (see
+    /// [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Rotation threshold of a WAL segment: once a shard's active
+    /// segment reaches this many bytes it is sealed (fsync'd) and a
+    /// fresh segment opened. Smaller segments reclaim space sooner at
+    /// checkpoints (truncation drops whole sealed files); larger ones
+    /// rotate less often. Must be ≥ 1 KiB.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            retain_checkpoints: 1,
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Panics unless the options are internally valid (positive
+    /// capacities, sane batch sizes).
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.retain_checkpoints >= 1,
+            "retain_checkpoints must be at least 1 (the current checkpoint)"
+        );
+        assert!(
+            self.segment_bytes >= 1024,
+            "segment_bytes must be at least 1 KiB"
+        );
+        if let FsyncPolicy::GroupCommit { max_batch, .. } = self.fsync {
+            assert!(max_batch >= 1, "group commit needs a batch of at least 1");
+        }
+    }
+}
 
 /// Which LSH family the engine's shards hash with (and therefore which
 /// similarity measure estimates are computed under — the pairing the

@@ -12,48 +12,42 @@ use vsj_sampling::{RngStreams, SplitMix64, Xoshiro256};
 use vsj_vector::{Cosine, Jaccard, SparseVector};
 
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
-use crate::config::{IndexFamily, ServiceConfig};
+use crate::config::{DurabilityOptions, IndexFamily, ServiceConfig};
 use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
 use crate::shard::{ShardDelta, ShardState, ShardStats};
 use crate::snapshot::Snapshot;
-use crate::wal::{WalOp, WalRecord, WalWriter};
+use crate::wal::{self, WalOp, WalRecord, WalSet};
 use crate::GlobalId;
 
+/// Shard whose segment chain carries publish barrier records.
+const PUBLISH_SHARD: usize = 0;
+
 /// Storage attachment of a durable engine: the directory holding the
-/// checkpoint + WAL pair, and the WAL append handle. The WAL mutex is
-/// also the durable-write serialization point — every durable ingest
-/// holds it across *log then apply*, so WAL order equals apply order
-/// and a checkpoint taken under it cuts at an exact record boundary.
+/// checkpoint generations, the per-shard segmented [`WalSet`], and the
+/// **apply gate** that makes parallel durable writes replayable.
+///
+/// Every durable ingest holds the gate *shared* across sequence
+/// assignment, log append, and apply — writers on different shards run
+/// fully in parallel (they contend only on their own shard's locks).
+/// Publish barriers and checkpoints take the gate *exclusive*: with no
+/// ingest anywhere between its sequence and its apply, "all records
+/// below the barrier's sequence are applied, none above it" holds at
+/// the instant the barrier is logged — which is exactly what lets the
+/// merge-replay reproduce every cut bit for bit.
 struct Durability {
     dir: PathBuf,
-    wal: Mutex<WalWriter>,
-    /// Records appended since the last checkpoint cut, mirrored outside
-    /// the WAL mutex so `stats()`/`wal_pending()` never block on a
-    /// checkpoint in progress.
+    wal: WalSet,
+    gate: RwLock<()>,
+    /// Records appended since the last checkpoint cut, mirrored in an
+    /// atomic so `stats()`/`wal_pending()` never block on a checkpoint
+    /// in progress.
     pending: AtomicU64,
-    /// Checkpoint generations kept on disk (see [`DurabilityOptions`]).
-    retain_checkpoints: usize,
-}
-
-/// Storage-layer knobs of a durable engine. Unlike [`ServiceConfig`]
-/// these are *operational*: they are not persisted in checkpoint
-/// metadata and may differ across an engine's lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DurabilityOptions {
-    /// How many checkpoint generations to keep: the current
-    /// `checkpoint.vsjc` plus up to `retain_checkpoints - 1` prior
-    /// generations (`checkpoint.vsjc.1` = most recent previous, …).
-    /// Older generations are pruned at each checkpoint. Must be ≥ 1;
-    /// `1` (the default) reproduces the overwrite-in-place behavior.
-    pub retain_checkpoints: usize,
-}
-
-impl Default for DurabilityOptions {
-    fn default() -> Self {
-        Self {
-            retain_checkpoints: 1,
-        }
-    }
+    /// Cut sequences of the checkpoint generations on disk, newest
+    /// first (`[0]` = current). Their minimum is the WAL retention
+    /// horizon: segments older than it can serve no kept generation and
+    /// are dropped at the next checkpoint.
+    horizons: Mutex<Vec<u64>>,
+    options: DurabilityOptions,
 }
 
 /// One answer from the service, with the provenance a query optimizer
@@ -109,6 +103,19 @@ pub struct EngineStats {
     /// WAL records not yet covered by a checkpoint (0 for non-durable
     /// engines).
     pub wal_pending: u64,
+    /// Per-shard WAL backlog (records past the checkpoint cut on each
+    /// shard's segment chain) — the serving layer's per-shard shed
+    /// signal. Empty for non-durable engines.
+    pub wal_shard_pending: Vec<u64>,
+    /// Live WAL segment files across all shards (0 when non-durable).
+    pub wal_segments: u64,
+    /// fsync calls the WAL issued — appends under
+    /// [`FsyncPolicy::Always`](crate::FsyncPolicy) share one per
+    /// group-commit batch, segment seals and checkpoint cuts always
+    /// sync.
+    pub wal_fsyncs: u64,
+    /// Segment rotations (seal + fresh segment).
+    pub wal_rotations: u64,
 }
 
 /// A long-lived, concurrently usable VSJ size-estimation service.
@@ -215,9 +222,12 @@ impl EstimationEngine {
     /// [`Checkpointer`](crate::Checkpointer)), the engine survives
     /// restarts via [`recover`](Self::recover).
     ///
-    /// Durable writes are serialized through the WAL lock (log, then
-    /// apply), trading write parallelism for an exact correspondence
-    /// between the log and the applied state.
+    /// Durable writes are **shard-parallel**: each ingest appends to
+    /// its own shard's WAL segment chain under that shard's locks only,
+    /// stitched into one replayable history by a global sequence
+    /// number. Acknowledgement is governed by
+    /// [`DurabilityOptions::fsync`] (see
+    /// [`FsyncPolicy`](crate::FsyncPolicy)).
     ///
     /// # Errors
     /// Filesystem failures, or [`PersistError::AlreadyInitialized`]
@@ -254,10 +264,7 @@ impl EstimationEngine {
         dir: &Path,
         options: DurabilityOptions,
     ) -> Result<Self, PersistError> {
-        assert!(
-            options.retain_checkpoints >= 1,
-            "retain_checkpoints must be at least 1 (the current checkpoint)"
-        );
+        options.validate();
         std::fs::create_dir_all(dir)?;
         if dir.join(CHECKPOINT_FILE).exists() {
             return Err(PersistError::AlreadyInitialized(dir.to_path_buf()));
@@ -272,12 +279,27 @@ impl EstimationEngine {
             config,
         };
         persist::write_checkpoint(dir, &meta, &engine.snapshot())?;
-        let wal = WalWriter::create(&dir.join(WAL_FILE), 0, persist::config_fingerprint(&config))?;
+        // A stray legacy log without a checkpoint is meaningless —
+        // remove it so a later recover() cannot mispair it.
+        let legacy = dir.join(WAL_FILE);
+        if legacy.exists() {
+            std::fs::remove_file(&legacy)?;
+        }
+        let wal = WalSet::create(
+            dir,
+            config.shards,
+            0,
+            persist::config_fingerprint(&config),
+            options.fsync,
+            options.segment_bytes,
+        )?;
         engine.durability = Some(Durability {
             dir: dir.to_path_buf(),
-            wal: Mutex::new(wal),
+            wal,
+            gate: RwLock::new(()),
             pending: AtomicU64::new(0),
-            retain_checkpoints: options.retain_checkpoints,
+            horizons: Mutex::new(vec![0]),
+            options,
         });
         Ok(engine)
     }
@@ -334,34 +356,104 @@ impl EstimationEngine {
     }
 
     /// [`recover`](Self::recover) with explicit storage-layer options
-    /// (checkpoint retention, see [`DurabilityOptions`]).
+    /// (checkpoint retention, fsync policy, segment size — see
+    /// [`DurabilityOptions`]).
+    ///
+    /// **Version sniff / migration.** A directory holding a legacy
+    /// v1/v2 single-file `wal.vsjw` (written before the segmented WAL)
+    /// is routed through the legacy reader: its tail is replayed with
+    /// the legacy semantics (auto-publish epochs re-derived from the
+    /// ingest counter) and simultaneously re-logged — auto-publish
+    /// boundaries now as explicit barrier records — into fresh v3
+    /// segments. The legacy file is deleted only after the segments are
+    /// fsync'd, so a crash mid-migration re-runs it from the legacy log
+    /// (stale half-written segments are discarded whenever the legacy
+    /// file still exists).
     pub fn recover_with(dir: &Path, options: DurabilityOptions) -> Result<Self, PersistError> {
-        assert!(
-            options.retain_checkpoints >= 1,
-            "retain_checkpoints must be at least 1 (the current checkpoint)"
-        );
+        options.validate();
         let (meta, rows) = persist::read_checkpoint(dir)?;
         let mut engine = Self::hydrate(&meta, rows)?;
-
         let fingerprint = persist::config_fingerprint(&meta.config);
-        let (wal, entries) = WalWriter::open_append(&dir.join(WAL_FILE), fingerprint)?;
-        if wal.seq() < meta.applied_seq {
-            return Err(PersistError::Corrupt(format!(
-                "WAL ends at seq {} but the checkpoint covers {}",
-                wal.seq(),
-                meta.applied_seq
-            )));
-        }
-        for entry in &entries {
-            if entry.seq > meta.applied_seq {
-                engine.apply_replayed(&entry.record)?;
+
+        let legacy_path = dir.join(WAL_FILE);
+        let wal = if legacy_path.exists() {
+            // Legacy route: the single-file log is the source of truth;
+            // any v3 segments beside it are residue of an interrupted
+            // earlier migration (WalSet::create discards them).
+            let replay = wal::read_wal(&legacy_path)?;
+            if replay.fingerprint != fingerprint {
+                return Err(PersistError::ConfigMismatch(format!(
+                    "WAL fingerprint {:#x} does not match the checkpoint's engine config ({:#x})",
+                    replay.fingerprint, fingerprint
+                )));
             }
+            let end_seq = replay.base_seq + replay.entries.len() as u64;
+            if end_seq < meta.applied_seq {
+                return Err(PersistError::Corrupt(format!(
+                    "WAL ends at seq {end_seq} but the checkpoint covers {}",
+                    meta.applied_seq
+                )));
+            }
+            let wal = WalSet::create(
+                dir,
+                meta.config.shards,
+                meta.applied_seq,
+                fingerprint,
+                options.fsync,
+                options.segment_bytes,
+            )?;
+            for entry in &replay.entries {
+                if entry.seq > meta.applied_seq {
+                    engine.apply_replayed(&entry.record, Some(&wal), true)?;
+                }
+            }
+            wal.sync_all()?;
+            // The fresh segments' directory entries must be durable
+            // before the legacy unlink can be — otherwise a power cut
+            // could persist the unlink but not the new files, leaving
+            // no copy of the tail at all.
+            wal::sync_dir(dir)?;
+            // Commit point of the migration: once the legacy file is
+            // gone, the v3 chains are the only (and complete) log.
+            std::fs::remove_file(&legacy_path)?;
+            wal::sync_dir(dir)?;
+            wal
+        } else {
+            let (wal, entries) = WalSet::open(
+                dir,
+                meta.config.shards,
+                meta.applied_seq,
+                fingerprint,
+                options.fsync,
+                options.segment_bytes,
+            )?;
+            for entry in &entries {
+                if entry.seq > meta.applied_seq {
+                    // v3 logs carry every publish (explicit, auto,
+                    // checkpoint) as a barrier record — replay must not
+                    // re-derive auto-publishes on top of them.
+                    engine.apply_replayed(&entry.record, None, false)?;
+                }
+            }
+            wal
+        };
+        let pending = wal.last_seq().saturating_sub(meta.applied_seq);
+        // The retention horizon needs every kept generation's cut;
+        // their METAs are peeked (not fully decoded) once per life.
+        let mut horizons = vec![meta.applied_seq];
+        for generation in persist::list_generations(dir) {
+            horizons.push(
+                persist::peek_checkpoint_meta(&persist::generation_path(dir, generation))?
+                    .applied_seq,
+            );
         }
         engine.durability = Some(Durability {
             dir: dir.to_path_buf(),
-            pending: AtomicU64::new(wal.seq().saturating_sub(meta.applied_seq)),
-            wal: Mutex::new(wal),
-            retain_checkpoints: options.retain_checkpoints,
+            wal,
+            gate: RwLock::new(()),
+            pending: AtomicU64::new(pending),
+            horizons: Mutex::new(horizons),
+            options,
         });
         Ok(engine)
     }
@@ -418,12 +510,27 @@ impl EstimationEngine {
         Ok(engine)
     }
 
-    /// Re-applies one replayed WAL record (no logging — it is already
-    /// on disk). Runs single-threaded during recovery, reproducing the
-    /// original apply order exactly.
-    fn apply_replayed(&self, record: &WalRecord) -> Result<(), PersistError> {
-        match record {
+    /// Re-applies one replayed WAL record. Runs single-threaded during
+    /// recovery, reproducing the original serialized order exactly.
+    ///
+    /// `relog` is the legacy-migration hook: the record (and any
+    /// auto-publish its counter crossing fires) is appended to the
+    /// fresh v3 [`WalSet`] before it is applied. `auto_publish` selects
+    /// the replay semantics: legacy v1/v2 logs re-derive auto-publish
+    /// epochs from the ingest counter (they were never logged); v3 logs
+    /// carry every publish as an explicit barrier record, so re-derived
+    /// ones would double-fire.
+    fn apply_replayed(
+        &self,
+        record: &WalRecord,
+        relog: Option<&WalSet>,
+        auto_publish: bool,
+    ) -> Result<(), PersistError> {
+        let ops = match record {
             WalRecord::Insert { id, vector } => {
+                if let Some(wal) = relog {
+                    wal.append(self.shard_of(*id), WalOp::Insert(*id, vector))?;
+                }
                 self.next_id.fetch_max(id + 1, Ordering::Relaxed);
                 let fresh = self.shards[self.shard_of(*id)]
                     .lock()
@@ -433,18 +540,24 @@ impl EstimationEngine {
                         "WAL replays insert of already-live id {id}"
                     )));
                 }
-                self.after_ingest(1);
+                1
             }
             WalRecord::Remove { id } => {
+                if let Some(wal) = relog {
+                    wal.append(self.shard_of(*id), WalOp::Remove(*id))?;
+                }
                 let removed = self.shards[self.shard_of(*id)].lock().remove(*id);
                 if !removed {
                     return Err(PersistError::Corrupt(format!(
                         "WAL replays remove of non-live id {id}"
                     )));
                 }
-                self.after_ingest(1);
+                1
             }
             WalRecord::Upsert { id, vector } => {
+                if let Some(wal) = relog {
+                    wal.append(self.shard_of(*id), WalOp::Upsert(*id, vector))?;
+                }
                 self.next_id.fetch_max(id + 1, Ordering::Relaxed);
                 let replaced = {
                     let mut shard = self.shards[self.shard_of(*id)].lock();
@@ -453,59 +566,96 @@ impl EstimationEngine {
                     debug_assert!(inserted, "id was just vacated");
                     replaced
                 };
-                self.after_ingest(if replaced { 2 } else { 1 });
+                if replaced {
+                    2
+                } else {
+                    1
+                }
             }
             WalRecord::Publish => {
+                if let Some(wal) = relog {
+                    wal.append(PUBLISH_SHARD, WalOp::Publish)?;
+                }
                 self.publish_inner();
+                return Ok(());
             }
+        };
+        if self.count_ingest(ops) && auto_publish {
+            // Legacy semantics: the boundary crossing *is* the publish.
+            // Migration writes it down as the explicit barrier it will
+            // be from now on.
+            if let Some(wal) = relog {
+                wal.append(PUBLISH_SHARD, WalOp::Publish)?;
+            }
+            self.publish_inner();
         }
         Ok(())
     }
 
-    /// Publishes the next epoch **and makes it durable**: under the WAL
-    /// lock (no ingest in flight), takes the cut, writes the snapshot
-    /// container (temp file + atomic rename), then truncates the WAL —
-    /// every logged record is now covered by the checkpoint. Returns
-    /// the checkpointed epoch.
+    /// Publishes the next epoch **and makes it durable**: under the
+    /// exclusive apply gate (no ingest in flight), logs the cut as a
+    /// publish barrier record, fsyncs every shard chain, takes the cut,
+    /// writes the snapshot container (temp file + atomic rename), then
+    /// drops whole WAL segments older than the retention horizon — an
+    /// O(files) unlink pass that rewrites **no** surviving byte.
+    /// Returns the checkpointed epoch.
+    ///
+    /// The barrier record is what keeps *older* checkpoint generations
+    /// recoverable: replaying from generation `g` re-fires every later
+    /// checkpoint's epoch at its exact position (the newest checkpoint
+    /// itself skips it — its `applied_seq` covers the record). The
+    /// horizon is therefore the minimum cut over every kept generation,
+    /// so any of them can roll forward through the surviving chains.
     ///
     /// Crash windows are all safe: before the rename the previous
-    /// checkpoint + full WAL recover the same state; between rename and
-    /// WAL reset the new checkpoint simply skips the already-covered
-    /// records on replay.
+    /// checkpoint + full chains recover the same state (the barrier
+    /// record replays the epoch); between rename and truncation the new
+    /// checkpoint simply skips the already-covered records.
     ///
     /// # Errors
     /// [`PersistError::NotDurable`] on a non-durable engine; otherwise
-    /// filesystem failures (the engine state itself is already
-    /// published and remains consistent).
+    /// filesystem failures — which poison the WAL, so every subsequent
+    /// durable ingest fails loudly instead of being acknowledged and
+    /// lost.
     pub fn checkpoint(&self) -> Result<u64, PersistError> {
         let durability = self.durability.as_ref().ok_or(PersistError::NotDurable)?;
-        let mut wal = durability.wal.lock();
-        wal.sync()?;
-        // The checkpoint publish needs no WAL record: its epoch is
-        // carried by the checkpoint metadata itself, and the log is
-        // truncated right after anyway.
+        let _quiesced = durability.gate.write();
+        durability.wal.append(PUBLISH_SHARD, WalOp::Publish)?;
+        durability.pending.fetch_add(1, Ordering::Relaxed);
         let epoch = self.publish_inner();
+        let cut_seq = durability.wal.last_seq();
         let snapshot = self.snapshot();
         debug_assert_eq!(snapshot.epoch(), epoch, "cut raced a publish");
         let meta = CheckpointMeta {
             epoch,
             ingested: snapshot.ingested(),
             next_id: self.next_id.load(Ordering::SeqCst),
-            applied_seq: wal.seq(),
+            applied_seq: cut_seq,
             publishes: self.publishes.load(Ordering::SeqCst),
             config: self.config,
         };
-        if let Err(e) = persist::rotate_generations(&durability.dir, durability.retain_checkpoints)
-            .and_then(|()| persist::write_checkpoint(&durability.dir, &meta, &snapshot))
-        {
+        let result = durability.wal.sync_all().and_then(|()| {
+            persist::rotate_generations(&durability.dir, durability.options.retain_checkpoints)?;
+            persist::write_checkpoint(&durability.dir, &meta, &snapshot)?;
+            // The generation set just rotated: the new cut is [0], the
+            // old horizons shift back, pruned ones fall off the window.
+            let horizon = {
+                let mut horizons = durability.horizons.lock();
+                horizons.insert(0, cut_seq);
+                horizons.truncate(durability.options.retain_checkpoints);
+                *horizons.last().expect("at least the fresh cut")
+            };
+            durability.wal.truncate(horizon)?;
+            Ok(())
+        });
+        if let Err(e) = result {
             // A deployment that cannot persist must not keep
             // acknowledging writes it may lose: latch the failure so
             // every subsequent durable ingest fails loudly.
-            wal.poison();
+            durability.wal.poison();
             return Err(e);
         }
-        let cut = wal.seq();
-        wal.reset(cut)?; // poisons itself on failure
+        durability.wal.mark_cut();
         durability.pending.store(0, Ordering::Relaxed);
         Ok(epoch)
     }
@@ -530,6 +680,16 @@ impl EstimationEngine {
             .map_or(0, |d| d.pending.load(Ordering::Relaxed))
     }
 
+    /// The deepest per-shard WAL backlog (records past the checkpoint
+    /// cut on any one shard's segment chain); 0 when non-durable.
+    /// Lock-free — the serving layer polls this per ingest to key
+    /// `429 Retry-After` backpressure off durable-write depth.
+    pub fn max_wal_shard_pending(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.wal.max_shard_pending())
+    }
+
     /// The engine's configuration.
     #[inline]
     pub fn config(&self) -> &ServiceConfig {
@@ -552,24 +712,43 @@ impl EstimationEngine {
     pub fn insert(&self, v: SparseVector) -> GlobalId {
         let v = Arc::new(v);
         if let Some(durability) = &self.durability {
-            // The WAL lock serializes all durable writers, so the id
-            // allocated here cannot race an upsert's reservation.
-            let mut wal = durability.wal.lock();
-            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            wal.append(WalOp::Insert(id, &v))
-                .expect("WAL append failed; refusing to apply an unlogged insert");
-            durability.pending.fetch_add(1, Ordering::Relaxed);
-            let fresh = self.shards[self.shard_of(id)].lock().insert(id, v);
-            debug_assert!(fresh, "WAL lock serializes writers; id must be fresh");
-            self.after_ingest(1);
+            let shared = durability.gate.read();
+            let (id, ticket) = loop {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let mut shard = self.shards[self.shard_of(id)].lock();
+                // A concurrent upsert may have claimed this id between
+                // our allocation and the shard lock (its fetch_max
+                // reservation is not atomic with our fetch_add); ids
+                // only grow, so retrying with a fresh id terminates.
+                // The check and the log share one shard guard — the
+                // same guard the upsert's own log+apply holds — so a
+                // logged insert is always fresh.
+                if shard.contains(id) {
+                    continue;
+                }
+                let ticket = durability
+                    .wal
+                    .append(self.shard_of(id), WalOp::Insert(id, &v))
+                    .expect("WAL append failed; refusing to apply an unlogged insert");
+                durability.pending.fetch_add(1, Ordering::Relaxed);
+                let fresh = shard.insert(id, v.clone());
+                debug_assert!(fresh, "freshness checked under this shard guard");
+                break (id, ticket);
+            };
+            let crossed = self.count_ingest(1);
+            drop(shared);
+            durability
+                .wal
+                .commit(&ticket)
+                .expect("WAL flush failed; refusing to acknowledge an unflushed insert");
+            if crossed {
+                self.durable_publish(durability);
+            }
             return id;
         }
         loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            // A concurrent upsert may claim this id between our
-            // allocation and the shard lock (its fetch_max reservation
-            // is not atomic with our fetch_add); ids only grow, so
-            // retrying with a fresh id terminates.
+            // See the durable arm for why a collision is possible here.
             if self.shards[self.shard_of(id)].lock().insert(id, v.clone()) {
                 self.after_ingest(1);
                 return id;
@@ -595,7 +774,7 @@ impl EstimationEngine {
     /// A durable engine panics when the WAL append fails.
     pub fn remove(&self, global: GlobalId) -> bool {
         if let Some(durability) = &self.durability {
-            let mut wal = durability.wal.lock();
+            let shared = durability.gate.read();
             // One shard guard across peek, log, and apply: only applied
             // removes reach the WAL, with no window for liveness to
             // change in between.
@@ -603,13 +782,23 @@ impl EstimationEngine {
             if !shard.contains(global) {
                 return false;
             }
-            wal.append(WalOp::Remove(global))
+            let ticket = durability
+                .wal
+                .append(self.shard_of(global), WalOp::Remove(global))
                 .expect("WAL append failed; refusing to apply an unlogged remove");
             durability.pending.fetch_add(1, Ordering::Relaxed);
             let removed = shard.remove(global);
             debug_assert!(removed, "contains() held under the shard lock");
-            drop(shard); // after_ingest may publish, which locks all shards
-            self.after_ingest(1);
+            drop(shard);
+            let crossed = self.count_ingest(1);
+            drop(shared);
+            durability
+                .wal
+                .commit(&ticket)
+                .expect("WAL flush failed; refusing to acknowledge an unflushed remove");
+            if crossed {
+                self.durable_publish(durability);
+            }
             return true;
         }
         let removed = self.shards[self.shard_of(global)].lock().remove(global);
@@ -624,19 +813,29 @@ impl EstimationEngine {
     /// reserved against future [`insert`](Self::insert) allocations.
     pub fn upsert(&self, global: GlobalId, v: SparseVector) -> bool {
         if let Some(durability) = &self.durability {
-            let mut wal = durability.wal.lock();
-            wal.append(WalOp::Upsert(global, &v))
-                .expect("WAL append failed; refusing to apply an unlogged upsert");
-            durability.pending.fetch_add(1, Ordering::Relaxed);
+            let shared = durability.gate.read();
             self.next_id.fetch_max(global + 1, Ordering::Relaxed);
-            let replaced = {
+            let (replaced, ticket) = {
                 let mut shard = self.shards[self.shard_of(global)].lock();
+                let ticket = durability
+                    .wal
+                    .append(self.shard_of(global), WalOp::Upsert(global, &v))
+                    .expect("WAL append failed; refusing to apply an unlogged upsert");
+                durability.pending.fetch_add(1, Ordering::Relaxed);
                 let replaced = shard.remove(global);
                 let inserted = shard.insert(global, Arc::new(v));
                 debug_assert!(inserted, "id was just vacated");
-                replaced
+                (replaced, ticket)
             };
-            self.after_ingest(if replaced { 2 } else { 1 });
+            let crossed = self.count_ingest(if replaced { 2 } else { 1 });
+            drop(shared);
+            durability
+                .wal
+                .commit(&ticket)
+                .expect("WAL flush failed; refusing to acknowledge an unflushed upsert");
+            if crossed {
+                self.durable_publish(durability);
+            }
             return replaced;
         }
         self.next_id.fetch_max(global + 1, Ordering::Relaxed);
@@ -657,19 +856,51 @@ impl EstimationEngine {
         self.shards[self.shard_of(global)].lock().contains(global)
     }
 
-    fn after_ingest(&self, ops: u64) {
+    /// Counts `ops` ingest operations; returns whether the counter
+    /// crossed an auto-publish boundary. The *caller* owns firing the
+    /// publish: inline for non-durable engines
+    /// ([`after_ingest`](Self::after_ingest)), as a logged sequence
+    /// barrier for durable ones ([`durable_publish`](Self::durable_publish)).
+    fn count_ingest(&self, ops: u64) -> bool {
         let count = self.ingests.fetch_add(ops, Ordering::Relaxed) + ops;
-        if let Some(batch) = self.config.auto_publish_every {
-            // Publish when the counter crosses a batch boundary. With
-            // multi-op ingests the crossing test (not `% == 0`) keeps
-            // the cadence even.
-            if count / batch > (count - ops) / batch {
-                // Unlogged: replaying the ingests re-fires the
-                // auto-publish at the same boundary (and the durable
-                // paths already hold the WAL lock here).
-                self.publish_inner();
-            }
+        match self.config.auto_publish_every {
+            // Crossing test (not `% == 0`) so multi-op ingests keep the
+            // cadence even.
+            Some(batch) => count / batch > (count - ops) / batch,
+            None => false,
         }
+    }
+
+    fn after_ingest(&self, ops: u64) {
+        if self.count_ingest(ops) {
+            self.publish_inner();
+        }
+    }
+
+    /// Logs a publish barrier record and fires the publish under the
+    /// exclusive apply gate — the durable arm of every explicit and
+    /// auto publish. Exclusivity is what makes the record a barrier:
+    /// every ingest with a smaller sequence has fully applied, none
+    /// with a larger one has started, so merge-replay firing the
+    /// publish at this sequence reproduces the cut exactly.
+    fn durable_publish(&self, durability: &Durability) -> u64 {
+        let excl = durability.gate.write();
+        let ticket = durability
+            .wal
+            .append(PUBLISH_SHARD, WalOp::Publish)
+            .expect("WAL append failed; refusing to apply an unlogged publish");
+        durability.pending.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.publish_inner();
+        drop(excl);
+        // Barrier acknowledgement flushes every chain (not just the
+        // barrier's own): the ack promises the cut epoch is
+        // reproducible, which needs every smaller-sequence record on
+        // every shard durable.
+        durability
+            .wal
+            .commit_barrier(&ticket)
+            .expect("WAL flush failed; refusing to acknowledge an unflushed publish");
+        epoch
     }
 
     // --- publication -----------------------------------------------------
@@ -723,13 +954,7 @@ impl EstimationEngine {
     /// restart is worse than refusing it.
     pub fn publish(&self) -> u64 {
         if let Some(durability) = &self.durability {
-            // Same protocol as ingests: log under the WAL lock, then
-            // apply, so WAL order equals apply order.
-            let mut wal = durability.wal.lock();
-            wal.append(WalOp::Publish)
-                .expect("WAL append failed; refusing to apply an unlogged publish");
-            durability.pending.fetch_add(1, Ordering::Relaxed);
-            return self.publish_inner();
+            return self.durable_publish(durability);
         }
         self.publish_inner()
     }
@@ -1062,7 +1287,15 @@ impl EstimationEngine {
     pub fn stats(&self) -> EngineStats {
         let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.lock().stats()).collect();
         let (cache_hits, cache_misses, cache_entries) = self.cache.lock().stats();
+        let wal = self.durability.as_ref().map(|d| d.wal.stats());
         EngineStats {
+            wal_shard_pending: wal
+                .as_ref()
+                .map(|w| w.shard_pending.clone())
+                .unwrap_or_default(),
+            wal_segments: wal.as_ref().map_or(0, |w| w.segments),
+            wal_fsyncs: wal.as_ref().map_or(0, |w| w.fsyncs),
+            wal_rotations: wal.as_ref().map_or(0, |w| w.rotations),
             epoch: self.current_epoch(),
             live: shards.iter().map(|s| s.live).sum(),
             ingests: self.ingests.load(Ordering::Relaxed),

@@ -41,11 +41,16 @@
 //! * **Durability** (opt-in) — [`EstimationEngine::durable`] attaches a
 //!   storage directory: epoch checkpoints (checksummed
 //!   [`datasets::io`](vsj_datasets::io) v2 containers, see [`persist`])
-//!   plus a write-ahead log of every ingest between checkpoints
-//!   ([`wal`]). [`EstimationEngine::recover`] rebuilds the engine —
-//!   shards from stored bucket keys, no re-hashing — and replays the
-//!   WAL tail, yielding answers bit-identical to the engine that died.
-//!   A background [`Checkpointer`] keeps the WAL bounded.
+//!   plus a **per-shard segmented write-ahead log** of every ingest
+//!   between checkpoints ([`wal`]): durable writers on different
+//!   shards append (and group-commit fsync, per [`FsyncPolicy`]) in
+//!   parallel, stitched by a global sequence number.
+//!   [`EstimationEngine::recover`] rebuilds the engine — shards from
+//!   stored bucket keys, no re-hashing — and merge-replays the chains
+//!   in sequence order, yielding answers bit-identical to the engine
+//!   that died. A background [`Checkpointer`] keeps the WAL bounded;
+//!   checkpoint truncation drops whole sealed segments (O(1) — no
+//!   surviving byte rewritten).
 //!
 //! [`LshTable::build`]: vsj_lsh::LshTable::build
 //!
@@ -80,8 +85,10 @@ mod shard;
 mod snapshot;
 pub mod wal;
 
-pub use config::{IndexFamily, ServiceConfig, ServiceConfigBuilder};
-pub use engine::{DurabilityOptions, EngineStats, EstimationEngine, ServiceEstimate};
+pub use config::{
+    DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder,
+};
+pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
 pub use persist::{Checkpointer, PersistError};
 pub use shard::ShardStats;
 pub use snapshot::Snapshot;

@@ -401,6 +401,60 @@ pub fn read_checkpoint_generation(
     ))?))
 }
 
+/// Reads **only the `META` section** of a checkpoint container —
+/// header and section frames are walked with seeks, the sections other
+/// than `META` are never read into memory, and only `META`'s checksum
+/// is verified. This is what keeps WAL-horizon bookkeeping O(metadata):
+/// a checkpoint needs the cut sequence of every *retained* generation
+/// to know which WAL segments may be dropped, and decoding whole
+/// multi-megabyte containers for a single `u64` would put an O(corpus)
+/// read on the checkpoint path.
+pub fn peek_checkpoint_meta(path: &Path) -> Result<CheckpointMeta, PersistError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = std::fs::File::open(path)?;
+    let mut header = [0u8; 12];
+    file.read_exact(&mut header)?;
+    if &header[0..4] != b"VSJC" {
+        return Err(corrupt("not a VSJC container"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != 2 {
+        return Err(corrupt(format!("unsupported container version {version}")));
+    }
+    let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let file_len = file.metadata()?.len();
+    let mut pos = 12u64;
+    for _ in 0..count {
+        let mut section = [0u8; 20];
+        file.read_exact(&mut section)?;
+        pos += 20;
+        let tag: [u8; 4] = section[0..4].try_into().expect("4 bytes");
+        let len = u64::from_le_bytes(section[4..12].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(section[12..20].try_into().expect("8 bytes"));
+        // A corrupt length field must fail loudly, not drive a huge
+        // allocation or a wrapping seek: bound it by what the file can
+        // actually hold past this frame.
+        if len > file_len.saturating_sub(pos) {
+            return Err(corrupt(format!(
+                "section length {len} overruns the container ({file_len} bytes)"
+            )));
+        }
+        pos += len;
+        if tag == SECTION_META {
+            let mut payload = vec![0u8; len as usize];
+            file.read_exact(&mut payload)?;
+            if io::checksum64(&payload) != checksum {
+                return Err(PersistError::Container(IoError::BadChecksum {
+                    section: tag,
+                }));
+            }
+            return decode_meta(Bytes::from(payload)).map(|(meta, _)| meta);
+        }
+        file.seek(SeekFrom::Current(len as i64))?;
+    }
+    Err(corrupt("container has no META section"))
+}
+
 /// The prior checkpoint generations present in `dir`, ascending (`1` =
 /// most recent previous). The current checkpoint (generation 0) is not
 /// listed; a fresh directory returns an empty vector.

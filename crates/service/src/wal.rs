@@ -1,67 +1,102 @@
 //! Write-ahead log of ingest operations between checkpoints.
 //!
-//! Every durable-mode ingest (`insert` / `remove` / `upsert`) is
-//! appended here *before* it is applied to the shards, under the same
-//! lock that serializes durable writers — so the WAL order **is** the
-//! apply order, and a checkpoint taken under that lock corresponds to an
-//! exact record prefix. Recovery replays the records past the
-//! checkpoint's cut through the engine's normal apply path, reproducing
-//! the pre-crash live state (and its auto-publish epochs) bit for bit.
+//! Two on-disk generations live here:
 //!
-//! ## File layout (all little-endian)
+//! * **v3 (current)** — a [`WalSet`]: per-shard *segment chains*
+//!   stitched by a global sequence number. Durable ingests grab a
+//!   sequence from an atomic counter and append to their own shard's
+//!   active segment in parallel — writers on different shards never
+//!   contend on the log. Recovery merge-replays all chains in global
+//!   sequence order, reproducing the exact serialized history;
+//!   `publish` records act as **sequence barriers** (they are only
+//!   logged while no ingest is in flight, so "every record with a
+//!   smaller sequence is applied, none with a larger one" holds both
+//!   live and under replay). Acknowledgement is governed by a
+//!   per-shard group-commit ticket protocol
+//!   ([`FsyncPolicy`]).
+//! * **v1/v2 (legacy)** — the single-file, single-writer `wal.vsjw`
+//!   log. Still fully readable: recovery version-sniffs the directory,
+//!   replays legacy logs through [`read_wal`], and migrates the tail
+//!   into v3 segments (see
+//!   [`EstimationEngine::recover`](crate::EstimationEngine::recover)).
+//!
+//! ## v3 file layout (all little-endian)
+//!
+//! Each shard `s` owns a chain of segment files
+//! `wal-SSSS-IIIIIIII.vsjw` (shard, segment index, both zero-padded
+//! decimal):
 //!
 //! ```text
-//! header:
+//! segment header:
 //!   magic       4 bytes  "VSJW"
-//!   version     u32      1
-//!   base_seq    u64      records ≤ base_seq live in the checkpoint
+//!   version     u32      3
 //!   fingerprint u64      identity hash of the engine config
+//!   shard       u32      owning shard (must match the file name)
+//!   segment     u64      chain index (must match the file name)
 //! per record:
 //!   len      u32      payload length in bytes
 //!   checksum u64      checksum64 of the payload
 //!   payload:
+//!     seq u64      global sequence number
 //!     op  u8       1 = insert, 2 = remove, 3 = upsert, 4 = publish
 //!     id  u64      global id (0 for publish)
 //!     (insert/upsert) nnz u32, nnz × u32 indices, nnz × f32 weights
 //! ```
 //!
-//! Version 2 added the `publish` record (explicit
-//! [`EstimationEngine::publish`](crate::EstimationEngine::publish)
-//! calls are logged so recovery reproduces manual epochs, not just
-//! auto-publish ones); version-1 logs are still read — they simply
-//! contain no publish records.
-//!
-//! Record `i` (0-based) carries implicit sequence number
-//! `base_seq + i + 1`; the WAL is truncated (rewritten with a fresh
-//! `base_seq`) at every checkpoint, so sequence numbers never repeat
-//! within a storage directory.
+//! Within a chain, sequence numbers strictly increase (the sequence is
+//! assigned under the shard's append lock), so file order is sequence
+//! order per shard and a k-way merge by `seq` reconstructs the global
+//! history. Gaps between *shards* are legal — they mark un-acknowledged
+//! records lost to a crash on some other shard, which commute with
+//! everything that survived (operations on one global id always land on
+//! one shard; cross-shard ordering is only constrained at publish
+//! barriers, and a barrier is only acknowledged after everything before
+//! it).
 //!
 //! ## Torn tails vs. corruption
 //!
-//! [`read_wal`] validates records front to back and stops at the first
-//! frame that is short, fails its checksum, or decodes to garbage. A
-//! clean prefix plus a damaged tail is exactly what a crash mid-append
-//! produces, so the reader reports the valid prefix (and where it ends)
-//! rather than failing — recovery is *prefix-consistent*. Damage to the
-//! header, by contrast, is never survivable and fails loudly.
+//! Only the **last** segment of a chain may carry a torn tail (a crash
+//! mid-append); the reader truncates it to the last whole record,
+//! exactly like the legacy log. Sealed segments were fsync'd at
+//! rotation, so damage inside one — or a missing segment in the middle
+//! of a chain, or a duplicated sequence number — is real corruption and
+//! fails loudly. Header damage is never survivable (with one
+//! exception: a last segment shorter than a header is the residue of a
+//! crash mid-rotation and is recreated empty).
+//!
+//! ## Checkpoint truncation is O(1)
+//!
+//! A checkpoint no longer rewrites the log. It records its cut sequence
+//! in the checkpoint metadata; [`WalSet::truncate`] then *unlinks whole
+//! sealed segments* whose records are all at or below the retention
+//! horizon — the minimum cut over every kept checkpoint generation —
+//! and touches no surviving byte.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsj_datasets::io::{checksum64, decode_vector, encode_vector_into};
 use vsj_vector::SparseVector;
 
+use crate::config::FsyncPolicy;
 use crate::persist::PersistError;
 use crate::GlobalId;
 
 const WAL_MAGIC: &[u8; 4] = b"VSJW";
-const WAL_VERSION: u32 = 2;
+/// Newest legacy (single-file) version.
+const WAL_LEGACY_VERSION: u32 = 2;
 /// Oldest readable version (v1 lacks publish records but is otherwise
 /// identical).
 const WAL_MIN_VERSION: u32 = 1;
-const HEADER_LEN: u64 = 24;
+/// The segmented per-shard format.
+const WAL_SEGMENT_VERSION: u32 = 3;
+const LEGACY_HEADER_LEN: u64 = 24;
+const SEGMENT_HEADER_LEN: u64 = 28;
 
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
@@ -77,10 +112,11 @@ pub enum WalOp<'a> {
     Remove(GlobalId),
     /// Insert-or-replace under a caller-chosen id.
     Upsert(GlobalId, &'a SparseVector),
-    /// An **explicit** snapshot publication (auto-publishes are not
-    /// logged — replaying the ingests re-fires them at the same
-    /// boundaries; explicit calls have no such trace and must be
-    /// recorded to reproduce the epoch counter).
+    /// A snapshot publication — explicit calls, auto-publish boundary
+    /// crossings on durable engines, and checkpoint cuts are all
+    /// logged, because parallel replay cannot re-derive them from the
+    /// ingest stream alone. A publish record is a **sequence barrier**:
+    /// it is only appended while no ingest is in flight.
     Publish,
 }
 
@@ -108,35 +144,6 @@ pub enum WalRecord {
     },
     /// See [`WalOp::Publish`].
     Publish,
-}
-
-/// A validated record plus its position in the log.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WalEntry {
-    /// Sequence number (`base_seq + index + 1`).
-    pub seq: u64,
-    /// The operation.
-    pub record: WalRecord,
-    /// Byte offset one past this record's frame — the log is
-    /// prefix-consistent when truncated at exactly this offset.
-    pub end_offset: u64,
-}
-
-/// Everything [`read_wal`] learned about a log file.
-#[derive(Debug)]
-pub struct WalReplay {
-    /// `base_seq` from the header.
-    pub base_seq: u64,
-    /// Config fingerprint from the header.
-    pub fingerprint: u64,
-    /// The valid record prefix.
-    pub entries: Vec<WalEntry>,
-    /// `false` when bytes past the valid prefix were ignored (torn tail
-    /// or in-place corruption — indistinguishable, both recover the
-    /// prefix).
-    pub clean: bool,
-    /// Byte length of the valid prefix (header + whole records).
-    pub valid_len: u64,
 }
 
 fn encode_payload(op: WalOp<'_>) -> Bytes {
@@ -180,17 +187,89 @@ fn decode_payload(mut data: Bytes) -> Result<WalRecord, String> {
     })
 }
 
-fn encode_header(base_seq: u64, fingerprint: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(HEADER_LEN as usize);
+fn frame(payload: &Bytes) -> Bytes {
+    let mut frame = BytesMut::with_capacity(12 + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u64_le(checksum64(payload.as_slice()));
+    frame.put_slice(payload.as_slice());
+    frame.freeze()
+}
+
+/// Walks length+checksum frames from `data`, handing each valid payload
+/// to `sink` until the tail tears (short frame, checksum or decode
+/// failure). Returns the byte length of the valid prefix (relative to
+/// `start`) and whether the whole input was consumed cleanly.
+fn walk_frames(
+    mut data: Bytes,
+    start: u64,
+    mut sink: impl FnMut(Bytes, u64) -> bool,
+) -> (u64, bool) {
+    let mut offset = start;
+    while data.has_remaining() {
+        if data.remaining() < 12 {
+            return (offset, false);
+        }
+        let len = data.get_u32_le() as usize;
+        let checksum = data.get_u64_le();
+        if data.remaining() < len {
+            return (offset, false);
+        }
+        let mut payload = vec![0u8; len];
+        data.copy_to_slice(&mut payload);
+        if checksum64(&payload) != checksum {
+            return (offset, false);
+        }
+        let end = offset + 12 + len as u64;
+        if !sink(Bytes::from(payload), end) {
+            return (offset, false);
+        }
+        offset = end;
+    }
+    (offset, true)
+}
+
+// --- legacy single-file log (v1/v2) ----------------------------------------
+
+/// A validated legacy record plus its position in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalEntry {
+    /// Sequence number (`base_seq + index + 1`).
+    pub seq: u64,
+    /// The operation.
+    pub record: WalRecord,
+    /// Byte offset one past this record's frame — the log is
+    /// prefix-consistent when truncated at exactly this offset.
+    pub end_offset: u64,
+}
+
+/// Everything [`read_wal`] learned about a legacy log file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// `base_seq` from the header.
+    pub base_seq: u64,
+    /// Config fingerprint from the header.
+    pub fingerprint: u64,
+    /// The valid record prefix.
+    pub entries: Vec<WalEntry>,
+    /// `false` when bytes past the valid prefix were ignored (torn tail
+    /// or in-place corruption — indistinguishable, both recover the
+    /// prefix).
+    pub clean: bool,
+    /// Byte length of the valid prefix (header + whole records).
+    pub valid_len: u64,
+}
+
+fn encode_legacy_header(base_seq: u64, fingerprint: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(LEGACY_HEADER_LEN as usize);
     buf.put_slice(WAL_MAGIC);
-    buf.put_u32_le(WAL_VERSION);
+    buf.put_u32_le(WAL_LEGACY_VERSION);
     buf.put_u64_le(base_seq);
     buf.put_u64_le(fingerprint);
     buf.freeze()
 }
 
-/// Parses and validates a WAL file. See the module docs for the
-/// torn-tail policy.
+/// Parses and validates a **legacy v1/v2** single-file WAL. See the
+/// module docs for the torn-tail policy.
 ///
 /// # Errors
 /// [`PersistError`] when the file is unreadable or its *header* is
@@ -199,7 +278,7 @@ fn encode_header(base_seq: u64, fingerprint: u64) -> Bytes {
 pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
     let raw = std::fs::read(path)?;
     let mut data = Bytes::from(raw);
-    if data.remaining() < HEADER_LEN as usize {
+    if data.remaining() < LEGACY_HEADER_LEN as usize {
         return Err(PersistError::Corrupt(format!(
             "WAL header truncated ({} bytes)",
             data.remaining()
@@ -211,134 +290,67 @@ pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
         return Err(PersistError::Corrupt("not a VSJW write-ahead log".into()));
     }
     let version = data.get_u32_le();
-    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
+    if !(WAL_MIN_VERSION..=WAL_LEGACY_VERSION).contains(&version) {
         return Err(PersistError::Corrupt(format!(
-            "unsupported WAL version {version}"
+            "unsupported single-file WAL version {version} (v3 logs are segmented)"
         )));
     }
     let base_seq = data.get_u64_le();
     let fingerprint = data.get_u64_le();
 
     let mut entries = Vec::new();
-    let mut offset = HEADER_LEN;
-    let mut clean = true;
-    while data.has_remaining() {
-        if data.remaining() < 12 {
-            clean = false;
-            break;
-        }
-        let len = data.get_u32_le() as usize;
-        let checksum = data.get_u64_le();
-        if data.remaining() < len {
-            clean = false;
-            break;
-        }
-        let mut payload = vec![0u8; len];
-        data.copy_to_slice(&mut payload);
-        if checksum64(&payload) != checksum {
-            clean = false;
-            break;
-        }
-        let Ok(record) = decode_payload(Bytes::from(payload)) else {
-            clean = false;
-            break;
+    let (valid_len, clean) = walk_frames(data, LEGACY_HEADER_LEN, |payload, end| {
+        let Ok(record) = decode_payload(payload) else {
+            return false;
         };
-        offset += 12 + len as u64;
         entries.push(WalEntry {
             seq: base_seq + entries.len() as u64 + 1,
             record,
-            end_offset: offset,
+            end_offset: end,
         });
-    }
+        true
+    });
     Ok(WalReplay {
         base_seq,
         fingerprint,
         entries,
         clean,
-        valid_len: offset,
+        valid_len,
     })
 }
 
-/// Append handle on a WAL file.
+/// Append handle on a **legacy** single-file WAL. Kept for migration
+/// tests and tooling — the engine itself writes v3 [`WalSet`] segments.
 ///
 /// The writer is **failure-latching**: once any append, sync, or reset
 /// hits an I/O error it poisons itself and refuses every further
-/// append. Without the latch, a torn frame left by one failed append
-/// would make all *later* (successfully written) records unrecoverable
-/// — the reader stops at the first bad frame — while their writers
-/// believed them durable.
+/// append.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
-    path: PathBuf,
     base_seq: u64,
     seq: u64,
-    fingerprint: u64,
     /// Byte length of the durable prefix (header + whole records).
     offset: u64,
     poisoned: bool,
 }
 
 impl WalWriter {
-    /// Creates (truncating) a fresh log starting at `base_seq`.
+    /// Creates (truncating) a fresh legacy log starting at `base_seq`.
     pub fn create(path: &Path, base_seq: u64, fingerprint: u64) -> Result<Self, PersistError> {
         let mut file = File::create(path)?;
-        file.write_all(encode_header(base_seq, fingerprint).as_slice())?;
+        file.write_all(encode_legacy_header(base_seq, fingerprint).as_slice())?;
         file.sync_data()?;
         Ok(Self {
             file,
-            path: path.to_path_buf(),
             base_seq,
             seq: base_seq,
-            fingerprint,
-            offset: HEADER_LEN,
+            offset: LEGACY_HEADER_LEN,
             poisoned: false,
         })
     }
 
-    /// Opens an existing log for appending: validates it, truncates any
-    /// torn tail back to the last whole record, and positions the writer
-    /// after that prefix. Returns the writer plus the validated entries
-    /// (recovery replays the ones past the checkpoint cut).
-    ///
-    /// # Errors
-    /// Header damage, I/O failures, or a `fingerprint` mismatch (the log
-    /// was written by a differently-configured engine and replaying it
-    /// would silently corrupt the index).
-    pub fn open_append(
-        path: &Path,
-        fingerprint: u64,
-    ) -> Result<(Self, Vec<WalEntry>), PersistError> {
-        let replay = read_wal(path)?;
-        if replay.fingerprint != fingerprint {
-            return Err(PersistError::ConfigMismatch(format!(
-                "WAL fingerprint {:#x} does not match the checkpoint's engine config ({:#x})",
-                replay.fingerprint, fingerprint
-            )));
-        }
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(replay.valid_len)?;
-        let mut file = file;
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))?;
-        let seq = replay.base_seq + replay.entries.len() as u64;
-        Ok((
-            Self {
-                file,
-                path: path.to_path_buf(),
-                base_seq: replay.base_seq,
-                seq,
-                fingerprint,
-                offset: replay.valid_len,
-                poisoned: false,
-            },
-            replay.entries,
-        ))
-    }
-
-    /// Appends one operation, returning its sequence number. The frame
-    /// is flushed to the file before the caller may apply the operation
-    /// (write-ahead ordering).
+    /// Appends one operation, returning its sequence number.
     ///
     /// # Errors
     /// I/O failures — which also poison the writer: the failed frame is
@@ -351,12 +363,7 @@ impl WalWriter {
                 "WAL writer is poisoned by an earlier I/O failure".into(),
             ));
         }
-        let payload = encode_payload(op);
-        let mut frame = BytesMut::with_capacity(12 + payload.len());
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_u64_le(checksum64(payload.as_slice()));
-        frame.put_slice(payload.as_slice());
-        let frame = frame.freeze();
+        let frame = frame(&encode_payload(op));
         if let Err(e) = self.file.write_all(frame.as_slice()) {
             self.poisoned = true;
             // Best effort: drop the torn frame so the on-disk prefix
@@ -369,9 +376,7 @@ impl WalWriter {
         Ok(self.seq)
     }
 
-    /// Marks the writer failed; every further append is refused. Used
-    /// by the engine when checkpointing fails — a deployment that
-    /// cannot persist must not keep acknowledging writes it may lose.
+    /// Marks the writer failed; every further append is refused.
     pub fn poison(&mut self) {
         self.poisoned = true;
     }
@@ -382,45 +387,16 @@ impl WalWriter {
         self.poisoned
     }
 
-    /// Sequence number of the last appended (or recovered) record.
+    /// Sequence number of the last appended record.
     #[inline]
     pub fn seq(&self) -> u64 {
         self.seq
     }
 
-    /// Records appended since the last checkpoint cut.
+    /// Records appended since creation.
     #[inline]
     pub fn pending(&self) -> u64 {
         self.seq - self.base_seq
-    }
-
-    /// Truncates the log after a durable checkpoint at `base_seq`: a
-    /// fresh header-only file is written beside the log and atomically
-    /// renamed over it, so a crash at any point leaves either the old
-    /// complete log or the new empty one — never a half-truncated file.
-    pub fn reset(&mut self, base_seq: u64) -> Result<(), PersistError> {
-        match self.reset_inner(base_seq) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                // The old log may still be intact, but the writer's view
-                // of it is now uncertain — latch the failure.
-                self.poisoned = true;
-                Err(e)
-            }
-        }
-    }
-
-    fn reset_inner(&mut self, base_seq: u64) -> Result<(), PersistError> {
-        let tmp = self.path.with_extension("vsjw.tmp");
-        let mut file = File::create(&tmp)?;
-        file.write_all(encode_header(base_seq, self.fingerprint).as_slice())?;
-        file.sync_data()?;
-        std::fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
-        self.base_seq = base_seq;
-        self.seq = base_seq;
-        self.offset = HEADER_LEN;
-        Ok(())
     }
 
     /// Flushes pending bytes and syncs file contents to disk.
@@ -433,6 +409,816 @@ impl WalWriter {
     }
 }
 
+// --- v3 segmented per-shard log --------------------------------------------
+
+/// File name of shard `shard`'s segment `index`.
+pub fn segment_file_name(shard: usize, index: u64) -> String {
+    format!("wal-{shard:04}-{index:08}.vsjw")
+}
+
+fn parse_segment_file_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".vsjw")?;
+    let (shard, index) = rest.split_once('-')?;
+    if shard.len() != 4 || index.len() != 8 {
+        return None;
+    }
+    Some((shard.parse().ok()?, index.parse().ok()?))
+}
+
+/// The segment files of shard `shard` present in `dir`, ascending by
+/// chain index.
+pub fn segment_files(dir: &Path, shard: usize) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    if let Ok(listing) = std::fs::read_dir(dir) {
+        for entry in listing.flatten() {
+            let name = entry.file_name();
+            if let Some((s, index)) = name.to_str().and_then(parse_segment_file_name) {
+                if s == shard {
+                    found.push((index, entry.path()));
+                }
+            }
+        }
+    }
+    found.sort_unstable_by_key(|(index, _)| *index);
+    found.into_iter().map(|(_, path)| path).collect()
+}
+
+fn encode_segment_header(fingerprint: u64, shard: usize, index: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(SEGMENT_HEADER_LEN as usize);
+    buf.put_slice(WAL_MAGIC);
+    buf.put_u32_le(WAL_SEGMENT_VERSION);
+    buf.put_u64_le(fingerprint);
+    buf.put_u32_le(shard as u32);
+    buf.put_u64_le(index);
+    buf.freeze()
+}
+
+/// One validated v3 record: the global sequence number, the shard whose
+/// chain carried it, and the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqEntry {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Shard whose segment chain holds the record.
+    pub shard: usize,
+    /// The operation.
+    pub record: WalRecord,
+    /// Byte offset one past this record's frame within its segment.
+    pub end_offset: u64,
+}
+
+/// Everything [`read_segment`] learned about one segment file.
+#[derive(Debug)]
+pub struct SegmentReplay {
+    /// Config fingerprint from the header.
+    pub fingerprint: u64,
+    /// Owning shard from the header.
+    pub shard: usize,
+    /// Chain index from the header.
+    pub index: u64,
+    /// The valid record prefix.
+    pub entries: Vec<SeqEntry>,
+    /// `false` when bytes past the valid prefix were ignored.
+    pub clean: bool,
+    /// Byte length of the valid prefix (header + whole records).
+    pub valid_len: u64,
+}
+
+/// Parses and validates one v3 segment file.
+///
+/// # Errors
+/// Unreadable file or damaged header (wrong magic/version/owner). A
+/// torn record tail is *not* an error here — the caller decides whether
+/// this segment was allowed to tear (only the last of a chain is).
+pub fn read_segment(path: &Path) -> Result<SegmentReplay, PersistError> {
+    let raw = std::fs::read(path)?;
+    let mut data = Bytes::from(raw);
+    if data.remaining() < SEGMENT_HEADER_LEN as usize {
+        return Err(PersistError::Corrupt(format!(
+            "WAL segment header truncated ({} bytes) in {}",
+            data.remaining(),
+            path.display()
+        )));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != WAL_MAGIC {
+        return Err(PersistError::Corrupt(format!(
+            "{} is not a VSJW segment",
+            path.display()
+        )));
+    }
+    let version = data.get_u32_le();
+    if version != WAL_SEGMENT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "unsupported WAL segment version {version} in {}",
+            path.display()
+        )));
+    }
+    let fingerprint = data.get_u64_le();
+    let shard = data.get_u32_le() as usize;
+    let index = data.get_u64_le();
+    if let Some((name_shard, name_index)) = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(parse_segment_file_name)
+    {
+        if name_shard != shard || name_index != index {
+            return Err(PersistError::Corrupt(format!(
+                "segment {} claims shard {shard} index {index} in its header",
+                path.display()
+            )));
+        }
+    }
+    let mut entries = Vec::new();
+    let (valid_len, clean) = walk_frames(data, SEGMENT_HEADER_LEN, |mut payload, end| {
+        if payload.remaining() < 8 {
+            return false;
+        }
+        let seq = payload.get_u64_le();
+        let Ok(record) = decode_payload(payload) else {
+            return false;
+        };
+        entries.push(SeqEntry {
+            seq,
+            shard,
+            record,
+            end_offset: end,
+        });
+        true
+    });
+    Ok(SegmentReplay {
+        fingerprint,
+        shard,
+        index,
+        entries,
+        clean,
+        valid_len,
+    })
+}
+
+/// A claim ticket for one appended record: [`WalSet::commit`] blocks on
+/// it until the record is flushed per the engine's [`FsyncPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalTicket {
+    /// The record's global sequence number.
+    pub seq: u64,
+    shard: usize,
+    ticket: u64,
+}
+
+/// Point-in-time counters of a [`WalSet`].
+#[derive(Debug, Clone)]
+pub struct WalSetStats {
+    /// Live segment files across all shards.
+    pub segments: u64,
+    /// fsync calls issued (appends, seals, checkpoint syncs).
+    pub fsyncs: u64,
+    /// Segment rotations (seal + fresh segment).
+    pub rotations: u64,
+    /// Per-shard records not yet covered by a checkpoint.
+    pub shard_pending: Vec<u64>,
+}
+
+struct ShardWalState {
+    file: File,
+    /// Chain index of the active segment.
+    index: u64,
+    /// Valid bytes in the active segment (header + whole frames).
+    offset: u64,
+    /// Global sequence of the last record in the active segment (0 when
+    /// it has none).
+    last_seq: u64,
+    /// Whether the active segment holds any records.
+    has_records: bool,
+    /// Append tickets issued on this shard.
+    appended: u64,
+    /// Tickets covered by a completed flush (fsync or seal).
+    flushed: u64,
+    /// A leader is mid-fsync.
+    flushing: bool,
+    /// When the oldest unflushed record was appended.
+    batch_opened: Option<Instant>,
+    /// Sealed segments still on disk: `(chain index, last seq)`.
+    sealed: Vec<(u64, u64)>,
+    /// Latched failure (mirrored by the set-wide poison flag).
+    failed: bool,
+}
+
+struct ShardWal {
+    state: Mutex<ShardWalState>,
+    flushed: Condvar,
+    /// Records past the checkpoint cut, readable without the lock.
+    pending: AtomicU64,
+}
+
+/// The v3 write-ahead log: one segment chain per shard, stitched by a
+/// global sequence counter. See the module docs for the format and the
+/// merge-replay/barrier invariants.
+///
+/// All methods take `&self`; per-shard appends synchronize on their
+/// shard's lock only, so writers on different shards proceed in
+/// parallel. The set is **failure-latching**: any I/O error on any
+/// shard poisons the whole set and every further append is refused
+/// (a deployment that cannot persist must not keep acknowledging
+/// writes it may lose).
+pub struct WalSet {
+    dir: PathBuf,
+    fingerprint: u64,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    shards: Vec<ShardWal>,
+    /// Last assigned global sequence number.
+    last_seq: AtomicU64,
+    poisoned: AtomicBool,
+    fsyncs: AtomicU64,
+    rotations: AtomicU64,
+}
+
+impl std::fmt::Debug for WalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalSet")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards.len())
+            .field("last_seq", &self.last_seq.load(Ordering::Relaxed))
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// Removes every v3 segment file in `dir` (any shard, any index).
+pub fn remove_all_segments(dir: &Path) -> Result<(), PersistError> {
+    if let Ok(listing) = std::fs::read_dir(dir) {
+        for entry in listing.flatten() {
+            let name = entry.file_name();
+            if name
+                .to_str()
+                .is_some_and(|n| parse_segment_file_name(n).is_some() || n.ends_with(".vsjw.tmp"))
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fsyncs `dir` itself so directory entries (segment creations and
+/// unlinks) survive power loss — file-data fsync alone does not make
+/// the *name* durable, and a vanished segment file would read as a
+/// silently shorter chain.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    // Directory fsync is not supported everywhere (e.g. Windows);
+    // failure to open-or-sync a directory is ignored rather than
+    // poisoning the log, matching fs::rename-based code elsewhere.
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
+fn create_segment(
+    dir: &Path,
+    fingerprint: u64,
+    shard: usize,
+    index: u64,
+) -> Result<File, PersistError> {
+    let path = dir.join(segment_file_name(shard, index));
+    let mut file = File::create(&path)?;
+    file.write_all(encode_segment_header(fingerprint, shard, index).as_slice())?;
+    // The header must be durable before records land behind it: page
+    // cache flush order is not write order, so an unsynced header could
+    // be lost while later record pages survive, orphaning the chain.
+    file.sync_data()?;
+    // And the directory entry must be durable before any record in
+    // this segment is acknowledged: a power cut that keeps the sealed
+    // predecessor but loses this file's *name* would silently shorten
+    // the chain (the predecessor would read as a legal torn tail).
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+impl WalSet {
+    /// Creates a fresh set: one empty segment per shard, sequence
+    /// counter starting past `base_seq`. Any pre-existing segment files
+    /// in `dir` are removed first (they can only be stale residue of an
+    /// interrupted migration).
+    pub fn create(
+        dir: &Path,
+        shards: usize,
+        base_seq: u64,
+        fingerprint: u64,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self, PersistError> {
+        assert!(shards >= 1, "a WalSet needs at least one shard");
+        remove_all_segments(dir)?;
+        let mut shard_wals = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let file = create_segment(dir, fingerprint, shard, 0)?;
+            shard_wals.push(ShardWal {
+                state: Mutex::new(ShardWalState {
+                    file,
+                    index: 0,
+                    offset: SEGMENT_HEADER_LEN,
+                    last_seq: 0,
+                    has_records: false,
+                    appended: 0,
+                    flushed: 0,
+                    flushing: false,
+                    batch_opened: None,
+                    sealed: Vec::new(),
+                    failed: false,
+                }),
+                flushed: Condvar::new(),
+                pending: AtomicU64::new(0),
+            });
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            policy,
+            segment_bytes,
+            shards: shard_wals,
+            last_seq: AtomicU64::new(base_seq),
+            poisoned: AtomicBool::new(false),
+            fsyncs: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing set for appending: validates every chain
+    /// (contiguous indices, clean sealed segments, torn tail only on
+    /// the last segment — which is truncated back to its last whole
+    /// record), merges all records by global sequence, and positions
+    /// each shard's writer at the end of its chain. Returns the set
+    /// plus the merged history; the caller replays entries past
+    /// `applied_seq` (records at or below it are covered by the
+    /// checkpoint).
+    ///
+    /// # Errors
+    /// Fingerprint mismatches, missing chains or mid-chain segments,
+    /// damage inside a sealed segment, duplicate or non-monotone
+    /// sequence numbers, or a history that ends before `applied_seq`
+    /// (records the checkpoint claims to cover are missing).
+    pub fn open(
+        dir: &Path,
+        shards: usize,
+        applied_seq: u64,
+        fingerprint: u64,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<(Self, Vec<SeqEntry>), PersistError> {
+        assert!(shards >= 1, "a WalSet needs at least one shard");
+        let mut shard_wals = Vec::with_capacity(shards);
+        let mut entries: Vec<SeqEntry> = Vec::new();
+        let mut max_seq = 0u64;
+        for shard in 0..shards {
+            let files = segment_files(dir, shard);
+            if files.is_empty() {
+                return Err(PersistError::Corrupt(format!(
+                    "shard {shard} has no WAL segment chain"
+                )));
+            }
+            let last_file = files.len() - 1;
+            let mut prev_index: Option<u64> = None;
+            let mut prev_seq = 0u64;
+            let mut sealed = Vec::new();
+            let mut active: Option<(File, u64, u64, u64, bool)> = None;
+            for (fi, path) in files.iter().enumerate() {
+                let is_last = fi == last_file;
+                // A last segment shorter than its header is the residue
+                // of a crash mid-rotation: recreate it empty.
+                if is_last
+                    && std::fs::metadata(path).map(|m| m.len()).unwrap_or(0) < SEGMENT_HEADER_LEN
+                {
+                    let index = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .and_then(parse_segment_file_name)
+                        .map(|(_, index)| index)
+                        .ok_or_else(|| {
+                            PersistError::Corrupt(format!("unparseable segment {}", path.display()))
+                        })?;
+                    if let Some(prev) = prev_index {
+                        if index != prev + 1 {
+                            return Err(PersistError::Corrupt(format!(
+                                "shard {shard} chain jumps from segment {prev} to {index}"
+                            )));
+                        }
+                    }
+                    let file = create_segment(dir, fingerprint, shard, index)?;
+                    active = Some((file, index, SEGMENT_HEADER_LEN, prev_seq, false));
+                    prev_index = Some(index);
+                    continue;
+                }
+                let replay = read_segment(path)?;
+                if replay.fingerprint != fingerprint {
+                    return Err(PersistError::ConfigMismatch(format!(
+                        "WAL segment fingerprint {:#x} does not match the checkpoint's engine config ({:#x})",
+                        replay.fingerprint, fingerprint
+                    )));
+                }
+                if let Some(prev) = prev_index {
+                    if replay.index != prev + 1 {
+                        return Err(PersistError::Corrupt(format!(
+                            "shard {shard} chain jumps from segment {prev} to {} — a middle segment is missing",
+                            replay.index
+                        )));
+                    }
+                }
+                prev_index = Some(replay.index);
+                if !replay.clean && !is_last {
+                    return Err(PersistError::Corrupt(format!(
+                        "sealed segment {} of shard {shard} is damaged (it was fsync'd at rotation; only the last segment may tear)",
+                        replay.index
+                    )));
+                }
+                for e in &replay.entries {
+                    if e.seq <= prev_seq {
+                        return Err(PersistError::Corrupt(format!(
+                            "shard {shard} sequence numbers are not strictly increasing ({} after {prev_seq})",
+                            e.seq
+                        )));
+                    }
+                    prev_seq = e.seq;
+                }
+                max_seq = max_seq.max(prev_seq);
+                if is_last {
+                    // Truncate a torn tail back to the last whole record
+                    // and position the writer after the prefix.
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(replay.valid_len)?;
+                    let mut file = file;
+                    use std::io::Seek;
+                    file.seek(std::io::SeekFrom::End(0))?;
+                    active = Some((
+                        file,
+                        replay.index,
+                        replay.valid_len,
+                        prev_seq,
+                        !replay.entries.is_empty(),
+                    ));
+                } else {
+                    let seg_last = replay.entries.last().map(|e| e.seq).unwrap_or(prev_seq);
+                    sealed.push((replay.index, seg_last));
+                }
+                entries.extend(replay.entries);
+            }
+            let (file, index, offset, last_seq, has_records) =
+                active.expect("chain is non-empty, so a last segment was opened");
+            shard_wals.push(ShardWal {
+                state: Mutex::new(ShardWalState {
+                    file,
+                    index,
+                    offset,
+                    last_seq,
+                    has_records,
+                    appended: 0,
+                    flushed: 0,
+                    flushing: false,
+                    batch_opened: None,
+                    sealed,
+                    failed: false,
+                }),
+                flushed: Condvar::new(),
+                pending: AtomicU64::new(0),
+            });
+        }
+        entries.sort_by_key(|e| e.seq);
+        if entries.windows(2).any(|w| w[0].seq == w[1].seq) {
+            return Err(PersistError::Corrupt(
+                "two WAL records carry the same global sequence number".into(),
+            ));
+        }
+        if max_seq < applied_seq {
+            return Err(PersistError::Corrupt(format!(
+                "WAL ends at seq {max_seq} but the checkpoint covers {applied_seq}"
+            )));
+        }
+        for e in &entries {
+            if e.seq > applied_seq {
+                shard_wals[e.shard].pending.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                fingerprint,
+                policy,
+                segment_bytes,
+                shards: shard_wals,
+                last_seq: AtomicU64::new(max_seq.max(applied_seq)),
+                poisoned: AtomicBool::new(false),
+                fsyncs: AtomicU64::new(0),
+                rotations: AtomicU64::new(0),
+            },
+            entries,
+        ))
+    }
+
+    /// Number of shard chains.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Last assigned global sequence number.
+    #[inline]
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::SeqCst)
+    }
+
+    /// Whether the set has latched a failure.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Latches the whole set failed; every further append is refused.
+    /// Used by the engine when checkpointing fails.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            // Waiters blocked in commit() must observe the failure.
+            shard.state.lock().expect("wal shard lock").failed = true;
+            shard.flushed.notify_all();
+        }
+    }
+
+    /// Records on shard `shard` not yet covered by a checkpoint.
+    /// Lock-free.
+    #[inline]
+    pub fn shard_pending(&self, shard: usize) -> u64 {
+        self.shards[shard].pending.load(Ordering::Relaxed)
+    }
+
+    /// The deepest per-shard backlog (records past the checkpoint cut).
+    /// Lock-free; the serving layer's shed signal.
+    pub fn max_shard_pending(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pending.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn poison_err(&self) -> PersistError {
+        PersistError::Corrupt("WAL set is poisoned by an earlier I/O failure".into())
+    }
+
+    /// Appends one operation to `shard`'s active segment, assigning the
+    /// next global sequence number, and returns the ticket to
+    /// [`commit`](Self::commit). The frame is written (buffered) before
+    /// return — the caller applies the operation, then commits.
+    ///
+    /// Sequence assignment happens under the shard's append lock, so
+    /// within one shard file order is sequence order; publish barriers
+    /// are the engine's job (it only appends them while no ingest is in
+    /// flight).
+    ///
+    /// # Errors
+    /// I/O failures (which poison the set; the torn frame is truncated
+    /// away best-effort) or an already-poisoned set.
+    pub fn append(&self, shard: usize, op: WalOp<'_>) -> Result<WalTicket, PersistError> {
+        if self.is_poisoned() {
+            return Err(self.poison_err());
+        }
+        let shard_wal = &self.shards[shard];
+        let mut st = shard_wal.state.lock().expect("wal shard lock");
+        if st.failed {
+            return Err(self.poison_err());
+        }
+        if st.offset >= self.segment_bytes && st.has_records {
+            if let Err(e) = self.rotate(shard, &mut st) {
+                st.failed = true;
+                drop(st);
+                self.poison();
+                return Err(e);
+            }
+            shard_wal.flushed.notify_all();
+        }
+        let seq = self.last_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let op_payload = encode_payload(op);
+        let mut payload = BytesMut::with_capacity(8 + op_payload.len());
+        payload.put_u64_le(seq);
+        payload.put_slice(op_payload.as_slice());
+        let frame = frame(&payload.freeze());
+        if let Err(e) = st.file.write_all(frame.as_slice()) {
+            let _ = st.file.set_len(st.offset);
+            st.failed = true;
+            drop(st);
+            self.poison();
+            return Err(e.into());
+        }
+        st.offset += frame.len() as u64;
+        st.last_seq = seq;
+        st.has_records = true;
+        st.appended += 1;
+        let ticket = st.appended;
+        if st.batch_opened.is_none() {
+            st.batch_opened = Some(Instant::now());
+        }
+        shard_wal.pending.fetch_add(1, Ordering::Relaxed);
+        Ok(WalTicket { seq, shard, ticket })
+    }
+
+    /// Seals the active segment (fsync, covering every outstanding
+    /// ticket on this shard) and opens the next one. Called with the
+    /// shard lock held.
+    fn rotate(&self, shard: usize, st: &mut ShardWalState) -> Result<(), PersistError> {
+        st.file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        st.flushed = st.appended;
+        st.batch_opened = None;
+        st.sealed.push((st.index, st.last_seq));
+        let next = st.index + 1;
+        st.file = create_segment(&self.dir, self.fingerprint, shard, next)?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed); // header sync
+        st.index = next;
+        st.offset = SEGMENT_HEADER_LEN;
+        st.has_records = false;
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Blocks until the ticket's record is flushed per the engine's
+    /// [`FsyncPolicy`] — the acknowledgement point of a durable write.
+    /// Under `Never` this returns immediately; under `Always` /
+    /// `GroupCommit` the calling thread waits for (or performs, as the
+    /// elected leader) the fsync that covers its record, shared with
+    /// every other writer waiting on the same shard.
+    ///
+    /// # Errors
+    /// A flush failure on this shard (which poisons the set) — the
+    /// caller must not acknowledge the write.
+    pub fn commit(&self, ticket: &WalTicket) -> Result<(), PersistError> {
+        let (max_batch, max_delay) = match self.policy {
+            FsyncPolicy::Never => return Ok(()),
+            FsyncPolicy::Always => (1, Duration::ZERO),
+            FsyncPolicy::GroupCommit {
+                max_batch,
+                max_delay,
+            } => (max_batch.max(1), max_delay),
+        };
+        let shard_wal = &self.shards[ticket.shard];
+        let mut st = shard_wal.state.lock().expect("wal shard lock");
+        loop {
+            if st.flushed >= ticket.ticket {
+                return Ok(());
+            }
+            if st.failed || self.is_poisoned() {
+                return Err(self.poison_err());
+            }
+            let waiting = st.appended - st.flushed;
+            let elapsed = st
+                .batch_opened
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO);
+            let due = waiting >= max_batch || elapsed >= max_delay;
+            if due && !st.flushing {
+                // Become the flush leader: fsync outside the lock so
+                // same-shard appends (and fellow waiters) keep moving.
+                st.flushing = true;
+                let covers = st.appended;
+                let file = match st.file.try_clone() {
+                    Ok(file) => file,
+                    Err(e) => {
+                        st.flushing = false;
+                        st.failed = true;
+                        drop(st);
+                        self.poison();
+                        return Err(e.into());
+                    }
+                };
+                drop(st);
+                let result = file.sync_data();
+                st = shard_wal.state.lock().expect("wal shard lock");
+                st.flushing = false;
+                match result {
+                    Ok(()) => {
+                        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        st.flushed = st.flushed.max(covers);
+                        st.batch_opened = if st.appended > st.flushed {
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
+                        shard_wal.flushed.notify_all();
+                    }
+                    Err(e) => {
+                        st.failed = true;
+                        drop(st);
+                        self.poison();
+                        return Err(e.into());
+                    }
+                }
+                continue;
+            }
+            let wait = if due {
+                // A leader is flushing; it will notify.
+                Duration::from_millis(50)
+            } else {
+                max_delay
+                    .saturating_sub(elapsed)
+                    .max(Duration::from_micros(50))
+            };
+            let (guard, _) = shard_wal
+                .flushed
+                .wait_timeout(st, wait)
+                .expect("wal shard lock");
+            st = guard;
+        }
+    }
+
+    /// The acknowledgement point of a **publish barrier**: under
+    /// `Always`/`GroupCommit` this flushes *every* shard's chain, not
+    /// just the barrier's own — an acknowledged barrier promises that
+    /// the epoch it cut is reproducible, which requires every record
+    /// below its sequence (on any shard) to be durable, acknowledged or
+    /// not. Under `Never` it returns immediately, like any commit.
+    pub fn commit_barrier(&self, _ticket: &WalTicket) -> Result<(), PersistError> {
+        match self.policy {
+            FsyncPolicy::Never => Ok(()),
+            FsyncPolicy::Always | FsyncPolicy::GroupCommit { .. } => self.sync_all(),
+        }
+    }
+
+    /// Fsyncs every shard's active segment, covering all outstanding
+    /// tickets — the checkpoint-cut flush, independent of the policy.
+    pub fn sync_all(&self) -> Result<(), PersistError> {
+        for shard_wal in &self.shards {
+            let mut st = shard_wal.state.lock().expect("wal shard lock");
+            if st.failed {
+                return Err(self.poison_err());
+            }
+            if let Err(e) = st.file.sync_data() {
+                st.failed = true;
+                drop(st);
+                self.poison();
+                return Err(e.into());
+            }
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            st.flushed = st.appended;
+            st.batch_opened = None;
+            shard_wal.flushed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Marks a checkpoint cut: every record logged so far is covered,
+    /// so the per-shard pending depths reset to zero.
+    pub fn mark_cut(&self) {
+        for shard in &self.shards {
+            shard.pending.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every **sealed** segment whose records all sit at or below
+    /// `horizon` — O(dropped files) unlinks, zero bytes rewritten; no
+    /// surviving file is touched. The horizon must be the minimum cut
+    /// sequence over every checkpoint generation still on disk, so any
+    /// kept generation can roll forward through the surviving chains.
+    /// Returns how many segment files were removed.
+    pub fn truncate(&self, horizon: u64) -> Result<u64, PersistError> {
+        let mut dropped = 0u64;
+        for (shard, shard_wal) in self.shards.iter().enumerate() {
+            let mut st = shard_wal.state.lock().expect("wal shard lock");
+            let mut keep = Vec::with_capacity(st.sealed.len());
+            for &(index, last_seq) in &st.sealed {
+                if last_seq <= horizon {
+                    std::fs::remove_file(self.dir.join(segment_file_name(shard, index)))?;
+                    dropped += 1;
+                } else {
+                    keep.push((index, last_seq));
+                }
+            }
+            st.sealed = keep;
+        }
+        if dropped > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(dropped)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> WalSetStats {
+        let mut segments = 0u64;
+        for shard in &self.shards {
+            segments += shard.state.lock().expect("wal shard lock").sealed.len() as u64 + 1;
+        }
+        WalSetStats {
+            segments,
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            rotations: self.rotations.load(Ordering::Relaxed),
+            shard_pending: self
+                .shards
+                .iter()
+                .map(|s| s.pending.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,14 +1227,25 @@ mod tests {
         SparseVector::binary_from_members(members.to_vec())
     }
 
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("vsj_wal_unit")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("vsj_wal_unit");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
     }
 
+    // --- legacy single-file format -------------------------------------
+
     #[test]
-    fn append_read_roundtrip() {
+    fn legacy_append_read_roundtrip() {
         let path = tmp("roundtrip.vsjw");
         let mut w = WalWriter::create(&path, 5, 0xABCD).unwrap();
         assert_eq!(w.append(WalOp::Insert(7, &v(&[1, 2, 3]))).unwrap(), 6);
@@ -496,7 +1293,7 @@ mod tests {
         let replay = read_wal(&path).unwrap();
         assert!(replay.clean);
         assert_eq!(replay.entries.len(), 1);
-        // Future versions stay unreadable.
+        // A v3 version field in a single-file log is not a legacy log.
         bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_wal(&path).is_err());
@@ -504,7 +1301,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_yields_valid_prefix() {
+    fn legacy_torn_tail_yields_valid_prefix() {
         let path = tmp("torn.vsjw");
         let mut w = WalWriter::create(&path, 0, 1).unwrap();
         w.append(WalOp::Insert(0, &v(&[1, 2]))).unwrap();
@@ -525,59 +1322,20 @@ mod tests {
     }
 
     #[test]
-    fn open_append_truncates_torn_tail_and_continues() {
-        let path = tmp("cont.vsjw");
-        let mut w = WalWriter::create(&path, 0, 2).unwrap();
-        w.append(WalOp::Insert(0, &v(&[1]))).unwrap();
-        w.append(WalOp::Insert(1, &v(&[2]))).unwrap();
-        w.sync().unwrap();
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
-
-        let (mut w2, entries) = WalWriter::open_append(&path, 2).unwrap();
-        assert_eq!(entries.len(), 1);
-        assert_eq!(w2.seq(), 1);
-        w2.append(WalOp::Remove(0)).unwrap();
-        w2.sync().unwrap();
-        let replay = read_wal(&path).unwrap();
-        assert!(replay.clean);
-        assert_eq!(replay.entries.len(), 2);
-        assert_eq!(replay.entries[1].record, WalRecord::Remove { id: 0 });
+    fn legacy_header_damage_fails_loudly() {
+        let path = tmp("hdr.vsjw");
+        WalWriter::create(&path, 0, 1).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_wal(&path).is_err());
+        std::fs::write(&path, [1u8, 2]).unwrap();
+        assert!(read_wal(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn fingerprint_mismatch_is_loud() {
-        let path = tmp("fp.vsjw");
-        WalWriter::create(&path, 0, 111).unwrap();
-        assert!(matches!(
-            WalWriter::open_append(&path, 222),
-            Err(PersistError::ConfigMismatch(_))
-        ));
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn reset_truncates_and_restarts_sequence() {
-        let path = tmp("reset.vsjw");
-        let mut w = WalWriter::create(&path, 0, 3).unwrap();
-        for i in 0..4 {
-            w.append(WalOp::Insert(i, &v(&[i as u32]))).unwrap();
-        }
-        w.reset(4).unwrap();
-        assert_eq!(w.pending(), 0);
-        let seq = w.append(WalOp::Insert(4, &v(&[9]))).unwrap();
-        assert_eq!(seq, 5);
-        w.sync().unwrap();
-        let replay = read_wal(&path).unwrap();
-        assert_eq!(replay.base_seq, 4);
-        assert_eq!(replay.entries.len(), 1);
-        assert_eq!(replay.entries[0].seq, 5);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn poisoned_writer_refuses_appends() {
+    fn legacy_poisoned_writer_refuses_appends() {
         let path = tmp("poison.vsjw");
         let mut w = WalWriter::create(&path, 0, 4).unwrap();
         w.append(WalOp::Insert(0, &v(&[1]))).unwrap();
@@ -588,22 +1346,282 @@ mod tests {
             w.append(WalOp::Insert(1, &v(&[2]))).is_err(),
             "a poisoned writer must never acknowledge another record"
         );
-        // The prefix written before the failure stays readable.
         let replay = read_wal(&path).unwrap();
         assert_eq!(replay.entries.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 
+    // --- v3 segmented format -------------------------------------------
+
+    fn small_set(dir: &Path, shards: usize, policy: FsyncPolicy) -> WalSet {
+        WalSet::create(dir, shards, 0, 0xFEED, policy, 1024).unwrap()
+    }
+
+    fn append_commit(wal: &WalSet, shard: usize, op: WalOp<'_>) -> u64 {
+        let ticket = wal.append(shard, op).unwrap();
+        wal.commit(&ticket).unwrap();
+        ticket.seq
+    }
+
     #[test]
-    fn header_damage_fails_loudly() {
-        let path = tmp("hdr.vsjw");
-        WalWriter::create(&path, 0, 1).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[0] = b'X';
-        std::fs::write(&path, &bytes).unwrap();
-        assert!(read_wal(&path).is_err());
-        std::fs::write(&path, [1u8, 2]).unwrap();
-        assert!(read_wal(&path).is_err());
-        std::fs::remove_file(&path).ok();
+    fn segmented_roundtrip_merges_by_sequence() {
+        let dir = tmp_dir("seg_roundtrip");
+        let wal = small_set(&dir, 3, FsyncPolicy::Never);
+        // Interleave shards; seqs are global and strictly increasing.
+        assert_eq!(append_commit(&wal, 1, WalOp::Insert(10, &v(&[1]))), 1);
+        assert_eq!(append_commit(&wal, 2, WalOp::Insert(20, &v(&[2]))), 2);
+        assert_eq!(append_commit(&wal, 0, WalOp::Publish), 3);
+        assert_eq!(append_commit(&wal, 1, WalOp::Remove(10)), 4);
+        assert_eq!(append_commit(&wal, 2, WalOp::Upsert(21, &v(&[3]))), 5);
+        wal.sync_all().unwrap();
+        drop(wal);
+
+        let (wal, entries) = WalSet::open(&dir, 3, 0, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert_eq!(wal.last_seq(), 5);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5], "merge-replay is seq-ordered");
+        assert_eq!(entries[2].record, WalRecord::Publish);
+        assert_eq!(entries[2].shard, 0);
+        assert_eq!(entries[3].record, WalRecord::Remove { id: 10 });
+        // applied_seq filtering is the caller's job, but pending honors it.
+        let (wal, _) = WalSet::open(&dir, 3, 3, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert_eq!(wal.shard_pending(1), 1);
+        assert_eq!(wal.shard_pending(2), 1);
+        assert_eq!(wal.shard_pending(0), 0);
+        assert_eq!(wal.max_shard_pending(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_truncate_drops_only_covered_files() {
+        let dir = tmp_dir("seg_rotate");
+        let wal = small_set(&dir, 2, FsyncPolicy::Never);
+        // Big-ish vectors so the 1 KiB segments rotate quickly.
+        let payload: Vec<u32> = (0..40).collect();
+        let mut last = 0;
+        for _ in 0..40 {
+            last = append_commit(&wal, 0, WalOp::Insert(last, &v(&payload)));
+        }
+        let stats = wal.stats();
+        assert!(stats.rotations >= 3, "1 KiB segments must have rotated");
+        assert!(stats.segments >= 4);
+        let files_before = segment_files(&dir, 0);
+        assert!(files_before.len() >= 4);
+
+        // Truncating at a mid-chain horizon drops exactly the sealed
+        // segments fully at or below it — and rewrites nothing: every
+        // surviving file is byte-identical.
+        let survivors: Vec<(PathBuf, Vec<u8>)> = files_before
+            .iter()
+            .map(|p| (p.clone(), std::fs::read(p).unwrap()))
+            .collect();
+        let horizon = last / 2;
+        let dropped = wal.truncate(horizon).unwrap();
+        assert!(dropped >= 1, "some sealed segment is fully covered");
+        let files_after = segment_files(&dir, 0);
+        assert_eq!(files_after.len(), files_before.len() - dropped as usize);
+        for (path, before) in &survivors {
+            if files_after.contains(path) {
+                assert_eq!(
+                    &std::fs::read(path).unwrap(),
+                    before,
+                    "truncation must not rewrite surviving WAL bytes"
+                );
+            }
+        }
+        // The surviving chain still opens and still carries every
+        // record past the horizon.
+        wal.sync_all().unwrap();
+        drop(wal);
+        let (_, entries) =
+            WalSet::open(&dir, 2, horizon, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert!(entries.iter().any(|e| e.seq > horizon));
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_on_last_segment_recovers_prefix_but_sealed_damage_is_loud() {
+        let dir = tmp_dir("seg_torn");
+        let wal = small_set(&dir, 1, FsyncPolicy::Never);
+        let payload: Vec<u32> = (0..40).collect();
+        for i in 0..40 {
+            append_commit(&wal, 0, WalOp::Insert(i, &v(&payload)));
+        }
+        wal.sync_all().unwrap();
+        drop(wal);
+        let files = segment_files(&dir, 0);
+        assert!(files.len() >= 3);
+
+        // Torn tail on the LAST segment: prefix recovery.
+        let last = files.last().unwrap();
+        let bytes = std::fs::read(last).unwrap();
+        std::fs::write(last, &bytes[..bytes.len() - 3]).unwrap();
+        let (_, entries) = WalSet::open(&dir, 1, 0, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert!(entries.len() < 40, "torn record dropped");
+        assert!(entries.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+
+        // Damage inside a SEALED segment: loud.
+        let sealed = &files[0];
+        let mut bytes = std::fs::read(sealed).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xFF;
+        std::fs::write(sealed, &bytes).unwrap();
+        assert!(matches!(
+            WalSet::open(&dir, 1, 0, 0xFEED, FsyncPolicy::Never, 1024),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_middle_segment_fails_loudly() {
+        let dir = tmp_dir("seg_gap");
+        let wal = small_set(&dir, 1, FsyncPolicy::Never);
+        let payload: Vec<u32> = (0..40).collect();
+        for i in 0..40 {
+            append_commit(&wal, 0, WalOp::Insert(i, &v(&payload)));
+        }
+        drop(wal);
+        let files = segment_files(&dir, 0);
+        assert!(files.len() >= 3);
+        std::fs::remove_file(&files[1]).unwrap();
+        let err = WalSet::open(&dir, 1, 0, 0xFEED, FsyncPolicy::Never, 1024).unwrap_err();
+        assert!(
+            err.to_string().contains("missing"),
+            "expected a missing-segment error, got: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_loud() {
+        let dir = tmp_dir("seg_fp");
+        let wal = small_set(&dir, 2, FsyncPolicy::Never);
+        append_commit(&wal, 0, WalOp::Insert(0, &v(&[1])));
+        drop(wal);
+        assert!(matches!(
+            WalSet::open(&dir, 2, 0, 0xBEEF, FsyncPolicy::Never, 1024),
+            Err(PersistError::ConfigMismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_fail_loudly() {
+        let dir = tmp_dir("seg_dup");
+        let wal = small_set(&dir, 2, FsyncPolicy::Never);
+        append_commit(&wal, 0, WalOp::Insert(0, &v(&[1])));
+        drop(wal);
+        // Forge a second chain that reuses seq 1: a fresh one-shard set
+        // in a scratch dir, its header rewritten to claim shard 1
+        // (header bytes 16..20), dropped into the victim chain.
+        let forge_dir = tmp_dir("seg_dup_forge");
+        let forged = small_set(&forge_dir, 1, FsyncPolicy::Never);
+        append_commit(&forged, 0, WalOp::Insert(9, &v(&[2])));
+        drop(forged);
+        let mut bytes = std::fs::read(forge_dir.join(segment_file_name(0, 0))).unwrap();
+        bytes[16..20].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(dir.join(segment_file_name(1, 0)), &bytes).unwrap();
+        let err = WalSet::open(&dir, 2, 0, 0xFEED, FsyncPolicy::Never, 1024).unwrap_err();
+        assert!(
+            err.to_string().contains("same global sequence"),
+            "expected a duplicate-seq error, got: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&forge_dir).ok();
+    }
+
+    #[test]
+    fn group_commit_shares_fsyncs_across_writers() {
+        let dir = tmp_dir("seg_group");
+        let wal = std::sync::Arc::new(
+            WalSet::create(
+                &dir,
+                2,
+                0,
+                1,
+                FsyncPolicy::GroupCommit {
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(5),
+                },
+                1 << 20,
+            )
+            .unwrap(),
+        );
+        let writers = 4;
+        let per_writer = 32;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let wal = wal.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let shard = (w % 2) as usize;
+                        let id = (w * 1000 + i) as u64;
+                        let vec = v(&[i as u32]);
+                        let ticket = wal.append(shard, WalOp::Insert(id, &vec)).unwrap();
+                        wal.commit(&ticket).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        let total = (writers * per_writer) as u64;
+        assert!(
+            stats.fsyncs < total,
+            "group commit must batch: {} fsyncs for {total} commits",
+            stats.fsyncs
+        );
+        assert_eq!(wal.last_seq(), total);
+        drop(wal);
+        let (_, entries) = WalSet::open(&dir, 2, 0, 1, FsyncPolicy::Never, 1 << 20).unwrap();
+        assert_eq!(entries.len(), total as usize, "every commit is durable");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn always_policy_fsyncs_every_quiet_commit() {
+        let dir = tmp_dir("seg_always");
+        let wal = small_set(&dir, 1, FsyncPolicy::Always);
+        for i in 0..5 {
+            append_commit(&wal, 0, WalOp::Insert(i, &v(&[1])));
+        }
+        assert!(
+            wal.stats().fsyncs >= 5,
+            "sequential Always commits each fsync"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_set_refuses_appends_and_commits() {
+        let dir = tmp_dir("seg_poison");
+        let wal = small_set(&dir, 2, FsyncPolicy::Never);
+        append_commit(&wal, 0, WalOp::Insert(0, &v(&[1])));
+        wal.poison();
+        assert!(wal.is_poisoned());
+        assert!(wal.append(1, WalOp::Insert(1, &v(&[2]))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_last_segment_is_recreated_as_torn_rotation() {
+        let dir = tmp_dir("seg_shortlast");
+        let wal = small_set(&dir, 1, FsyncPolicy::Never);
+        let payload: Vec<u32> = (0..40).collect();
+        for i in 0..40 {
+            append_commit(&wal, 0, WalOp::Insert(i, &v(&payload)));
+        }
+        drop(wal);
+        let files = segment_files(&dir, 0);
+        let next_index = files.len() as u64;
+        // Simulate a crash mid-rotation: the next segment file exists
+        // but holds less than a header.
+        std::fs::write(dir.join(segment_file_name(0, next_index)), [1u8, 2, 3]).unwrap();
+        let (wal, entries) = WalSet::open(&dir, 1, 0, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert_eq!(entries.len(), 40, "no records lost to the torn rotation");
+        // And the recreated segment accepts appends.
+        append_commit(&wal, 0, WalOp::Insert(100, &v(&[1])));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

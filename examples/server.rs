@@ -51,6 +51,7 @@ fn main() {
             &dir,
             DurabilityOptions {
                 retain_checkpoints: 3,
+                ..DurabilityOptions::default()
             },
         )
         .expect("attach storage"),

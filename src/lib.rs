@@ -101,8 +101,8 @@ pub mod prelude {
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
     pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
-        Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, GlobalId, IndexFamily,
-        PersistError, ServiceConfig, ServiceEstimate, Snapshot,
+        Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy, GlobalId,
+        IndexFamily, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,

@@ -3,23 +3,39 @@
 //! The durability contract under test:
 //!
 //! * **Restart equivalence** — an engine recovered from
-//!   checkpoint + WAL replay is bit-identical, at every published
+//!   checkpoint + WAL merge-replay is bit-identical, at every published
 //!   epoch, to an uninterrupted engine fed the same ingest sequence
 //!   (same seed): LSH-SS, JU, and LSH-S estimates all agree bit for
 //!   bit. Pinned by the property test below.
-//! * **Prefix consistency** — truncating the WAL at *any* byte
-//!   boundary (a crash mid-append) recovers exactly the engine state
-//!   after the last whole record; damaging any checkpoint byte or the
-//!   WAL header fails loudly. Never a silently wrong index, never a
-//!   panic. Pinned by the crash-injection matrix.
-//! * **Format stability** — a committed golden fixture from the first
-//!   container-v2 writer must keep loading. Pinned by the golden test.
+//! * **Prefix consistency per shard** — truncating the *last segment of
+//!   any shard's WAL chain* at any byte boundary (a crash mid-append)
+//!   recovers exactly the surviving record sequence in global order;
+//!   records on other shards past the tear commute and survive. Damage
+//!   to a sealed segment, a missing mid-chain segment, any checkpoint
+//!   byte, or a segment header fails loudly. Never a silently wrong
+//!   index, never a panic. Pinned by the crash-injection matrix.
+//! * **Format stability + migration** — a committed golden fixture
+//!   from the first container-v2 writer (legacy single-file WAL v2)
+//!   must keep loading; recovery routes it through the legacy reader
+//!   and migrates the tail into v3 segments.
+//! * **Retention horizon** — with `retain_checkpoints > 1`, checkpoint
+//!   truncation keeps every WAL segment needed to roll *any* kept
+//!   generation forward; restoring an older generation over the
+//!   current checkpoint and recovering reproduces the pre-crash engine
+//!   exactly.
+//!
+//! The `VSJ_TEST_FSYNC` env var (`never` / `group` / `always`) selects
+//! the fsync policy the durable engines under test run with, so the CI
+//! matrix exercises the group-commit ticket protocol on the same
+//! scenarios.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use vsj::prelude::*;
-use vsj::service::persist::{CHECKPOINT_FILE, WAL_FILE};
+use vsj::service::persist::{self, CHECKPOINT_FILE, WAL_FILE};
 use vsj::service::wal;
 
 /// Fresh per-test storage directory (tests run in parallel).
@@ -43,19 +59,49 @@ fn config(seed: u64) -> ServiceConfig {
         .build()
 }
 
+/// The fsync policy the CI matrix selects (default: `Never`, the
+/// legacy-equivalent page-cache policy).
+fn test_fsync() -> FsyncPolicy {
+    match std::env::var("VSJ_TEST_FSYNC").as_deref() {
+        Ok("always") => FsyncPolicy::Always,
+        Ok("group") => FsyncPolicy::GroupCommit {
+            max_batch: 4,
+            max_delay: Duration::from_millis(2),
+        },
+        _ => FsyncPolicy::Never,
+    }
+}
+
+/// Small segments (1 KiB) so every scenario crosses segment boundaries.
+fn test_options() -> DurabilityOptions {
+    DurabilityOptions {
+        segment_bytes: 1024,
+        fsync: test_fsync(),
+        ..DurabilityOptions::default()
+    }
+}
+
+fn durable_for_test(config: ServiceConfig, dir: &Path) -> EstimationEngine {
+    EstimationEngine::durable_with(config, dir, test_options()).unwrap()
+}
+
 fn members(start: u32, len: u32) -> SparseVector {
     SparseVector::binary_from_members((start..start + len).collect())
 }
 
-/// Applies one recorded WAL operation to a reference engine through the
-/// public API, asserting the replayed allocation order holds.
-fn apply_to_reference(engine: &EstimationEngine, entry: &wal::WalEntry) {
-    match &entry.record {
+/// Applies one surviving WAL record to a reference engine through the
+/// public API, in global sequence order. Inserts are applied as
+/// upserts of the recorded id: when records were legally dropped from
+/// *other* shards the reference cannot rely on `insert`'s sequential
+/// allocation, and an upsert of a fresh id is behaviorally identical
+/// (same shard mutation, same counter bump, same id-watermark
+/// reservation as replay itself performs).
+fn apply_record(engine: &EstimationEngine, record: &wal::WalRecord) {
+    match record {
         wal::WalRecord::Insert { id, vector } => {
-            assert_eq!(
-                engine.insert(vector.clone()),
-                *id,
-                "reference replay must reproduce id allocation"
+            assert!(
+                !engine.upsert(*id, vector.clone()),
+                "a logged insert must replay onto a fresh id"
             );
         }
         wal::WalRecord::Remove { id } => {
@@ -67,6 +113,27 @@ fn apply_to_reference(engine: &EstimationEngine, entry: &wal::WalEntry) {
         wal::WalRecord::Publish => {
             engine.publish();
         }
+    }
+}
+
+/// Reads every record of every shard chain in `dir`, merged by global
+/// sequence number.
+fn read_all_entries(dir: &Path, shards: usize) -> Vec<wal::SeqEntry> {
+    let mut entries = Vec::new();
+    for shard in 0..shards {
+        for path in wal::segment_files(dir, shard) {
+            entries.extend(wal::read_segment(&path).unwrap().entries);
+        }
+    }
+    entries.sort_by_key(|e| e.seq);
+    entries
+}
+
+fn clone_dir(src: &Path, dst: &Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap().flatten() {
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
     }
 }
 
@@ -121,13 +188,13 @@ fn assert_engines_equivalent(a: &EstimationEngine, b: &EstimationEngine, context
 #[test]
 fn durable_engine_round_trips_through_checkpoint_and_wal() {
     let dir = fresh_dir("roundtrip");
-    let engine = EstimationEngine::durable(config(7), &dir).unwrap();
+    let engine = durable_for_test(config(7), &dir);
     for i in 0..40u32 {
         engine.insert(members(i % 12, 4));
     }
     let epoch = engine.checkpoint().unwrap();
     assert_eq!(epoch, 1);
-    assert_eq!(engine.wal_pending(), 0, "checkpoint truncates the WAL");
+    assert_eq!(engine.wal_pending(), 0, "checkpoint covers the whole log");
     // A WAL tail past the checkpoint.
     for i in 0..15u32 {
         engine.insert(members(i % 9, 5));
@@ -135,7 +202,16 @@ fn durable_engine_round_trips_through_checkpoint_and_wal() {
     engine.remove(3);
     engine.upsert(100, members(2, 6));
     assert_eq!(engine.wal_pending(), 17);
+    assert!(
+        engine.max_wal_shard_pending() <= 17 && engine.max_wal_shard_pending() >= 6,
+        "per-shard depth is a partition of the backlog"
+    );
     let pre_stats = engine.stats();
+    assert_eq!(
+        pre_stats.wal_shard_pending.iter().sum::<u64>(),
+        17,
+        "shard depths sum to the backlog"
+    );
     drop(engine);
 
     let recovered = EstimationEngine::recover(&dir).unwrap();
@@ -155,7 +231,7 @@ fn durable_engine_round_trips_through_checkpoint_and_wal() {
 #[test]
 fn durable_refuses_to_overwrite_and_recover_needs_state() {
     let dir = fresh_dir("guards");
-    let engine = EstimationEngine::durable(config(1), &dir).unwrap();
+    let engine = durable_for_test(config(1), &dir);
     drop(engine);
     assert!(matches!(
         EstimationEngine::durable(config(1), &dir),
@@ -174,85 +250,128 @@ fn durable_refuses_to_overwrite_and_recover_needs_state() {
 
 // --- crash-injection matrix ------------------------------------------------
 
-/// Builds a durable engine with a 6-record WAL tail (inserts, an
-/// upsert, a remove) and returns its storage dir plus the raw WAL
-/// bytes.
-fn engine_with_wal_tail() -> (PathBuf, Vec<u8>) {
+/// Builds a durable engine whose 1 KiB segments have rotated on every
+/// shard, with explicit publish barriers interleaved between ingests on
+/// all shards, then kills it without a checkpoint — the richest replay
+/// surface: multi-segment chains, barriers, a remove and an upsert.
+fn engine_with_segmented_tail(seed: u64) -> PathBuf {
     let dir = fresh_dir("matrix");
-    let engine = EstimationEngine::durable(config(42), &dir).unwrap();
-    engine.insert(members(0, 4));
-    engine.insert(members(0, 4));
-    engine.insert(members(5, 3));
-    engine.upsert(50, members(1, 6));
+    let engine = durable_for_test(config(seed), &dir);
+    for i in 0..26u32 {
+        engine.insert(members(i % 9, 12));
+    }
+    engine.publish();
+    engine.upsert(50, members(1, 12));
+    for i in 0..14u32 {
+        engine.insert(members(i % 7, 12));
+    }
     engine.remove(1);
-    engine.insert(members(7, 4));
+    engine.publish();
+    for i in 0..6u32 {
+        engine.insert(members(i % 5, 12));
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.wal_rotations >= 3,
+        "the matrix needs rotated chains, got {} rotations",
+        stats.wal_rotations
+    );
     drop(engine);
-    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
-    (dir, bytes)
-}
-
-fn clone_state(src: &Path, dst: &Path, wal_bytes: &[u8]) {
-    std::fs::create_dir_all(dst).unwrap();
-    std::fs::copy(src.join(CHECKPOINT_FILE), dst.join(CHECKPOINT_FILE)).unwrap();
-    std::fs::write(dst.join(WAL_FILE), wal_bytes).unwrap();
+    dir
 }
 
 #[test]
-fn wal_truncated_at_every_byte_boundary_recovers_a_consistent_prefix() {
-    let (dir, wal_bytes) = engine_with_wal_tail();
-    let replay = wal::read_wal(&dir.join(WAL_FILE)).unwrap();
-    assert_eq!(replay.entries.len(), 6);
-    // VSJW header: magic + version + base_seq + fingerprint.
-    let header_len = 24usize;
-    assert!(replay.entries[0].end_offset as usize > header_len);
+fn torn_tail_at_every_byte_of_each_shards_last_segment_recovers_a_prefix() {
+    let seed = 42;
+    let dir = engine_with_segmented_tail(seed);
+    let all = read_all_entries(&dir, 3);
+    assert!(all.iter().any(|e| e.record == wal::WalRecord::Publish));
 
-    // Reference states for every record prefix 0..=6.
-    let work = fresh_dir("matrix_work");
-    for cut in 0..=wal_bytes.len() {
+    for shard in 0..3usize {
+        let files = wal::segment_files(&dir, shard);
+        let last = files.last().expect("every shard has a chain").clone();
+        let bytes = std::fs::read(&last).unwrap();
+        let last_entries = wal::read_segment(&last).unwrap().entries;
+        let work = fresh_dir(&format!("matrix_work_{shard}"));
+        for cut in 0..=bytes.len() {
+            clone_dir(&dir, &work);
+            std::fs::write(work.join(last.file_name().unwrap()), &bytes[..cut]).unwrap();
+            let recovered =
+                EstimationEngine::recover_with(&work, test_options()).unwrap_or_else(|e| {
+                    panic!("shard {shard} cut {cut}: a torn last segment must recover: {e}")
+                });
+            // Exactly the records of this segment whose frames end past
+            // the cut are gone; everything else survives in seq order.
+            let dropped: HashSet<u64> = last_entries
+                .iter()
+                .filter(|e| e.end_offset as usize > cut)
+                .map(|e| e.seq)
+                .collect();
+            let reference = EstimationEngine::new(config(seed));
+            for entry in all.iter().filter(|e| !dropped.contains(&e.seq)) {
+                apply_record(&reference, &entry.record);
+            }
+            reference.publish();
+            recovered.publish();
+            assert_engines_equivalent(&reference, &recovered, &format!("shard {shard} cut {cut}"));
+        }
         std::fs::remove_dir_all(&work).ok();
-        clone_state(&dir, &work, &wal_bytes[..cut]);
-        let result = EstimationEngine::recover(&work);
-        if cut < header_len {
-            assert!(
-                result.is_err(),
-                "cut {cut} inside the WAL header must fail loudly"
-            );
-            continue;
-        }
-        let recovered = result
-            .unwrap_or_else(|e| panic!("cut {cut} past the header must recover a prefix: {e}"));
-        // Exactly the whole records before the cut must have replayed.
-        let survivors = replay
-            .entries
-            .iter()
-            .filter(|e| e.end_offset as usize <= cut)
-            .count();
-        let reference = EstimationEngine::new(config(42));
-        for entry in &replay.entries[..survivors] {
-            apply_to_reference(&reference, entry);
-        }
-        reference.publish();
-        recovered.publish();
-        assert_engines_equivalent(&reference, &recovered, &format!("cut {cut}"));
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damage_inside_a_sealed_segment_fails_loudly() {
+    let dir = engine_with_segmented_tail(42);
+    for shard in 0..3usize {
+        let files = wal::segment_files(&dir, shard);
+        assert!(files.len() >= 2, "shard {shard} must have sealed segments");
+        let work = fresh_dir(&format!("matrix_sealed_{shard}"));
+        clone_dir(&dir, &work);
+        // Flip one byte inside the first sealed segment's record area.
+        let sealed = work.join(files[0].file_name().unwrap());
+        let mut bytes = std::fs::read(&sealed).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&sealed, &bytes).unwrap();
+        assert!(
+            EstimationEngine::recover_with(&work, test_options()).is_err(),
+            "shard {shard}: damage in a sealed (fsync'd at rotation) segment must fail loudly"
+        );
+        std::fs::remove_dir_all(&work).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_middle_segment_fails_loudly() {
+    let dir = engine_with_segmented_tail(42);
+    let files = wal::segment_files(&dir, 0);
+    assert!(files.len() >= 3, "shard 0 must have a 3+ segment chain");
+    let work = fresh_dir("matrix_gap");
+    clone_dir(&dir, &work);
+    std::fs::remove_file(work.join(files[1].file_name().unwrap())).unwrap();
+    let err = EstimationEngine::recover_with(&work, test_options()).unwrap_err();
+    assert!(
+        err.to_string().contains("missing"),
+        "a vanished mid-chain segment is corruption, not a torn tail: {err}"
+    );
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&work).ok();
 }
 
 #[test]
 fn corrupting_any_checkpoint_byte_fails_loudly_never_silently() {
-    let (dir, wal_bytes) = engine_with_wal_tail();
+    let dir = engine_with_segmented_tail(42);
     let checkpoint = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
     let work = fresh_dir("matrix_corrupt");
+    clone_dir(&dir, &work);
     for at in 0..checkpoint.len() {
         let mut broken = checkpoint.clone();
         broken[at] ^= 0x20;
-        std::fs::remove_dir_all(&work).ok();
-        std::fs::create_dir_all(&work).unwrap();
         std::fs::write(work.join(CHECKPOINT_FILE), &broken).unwrap();
-        std::fs::write(work.join(WAL_FILE), &wal_bytes).unwrap();
         assert!(
-            EstimationEngine::recover(&work).is_err(),
+            EstimationEngine::recover_with(&work, test_options()).is_err(),
             "checkpoint byte {at} flipped: recovery must fail, not resurrect a wrong index"
         );
     }
@@ -261,47 +380,62 @@ fn corrupting_any_checkpoint_byte_fails_loudly_never_silently() {
 }
 
 #[test]
-fn mid_wal_corruption_recovers_the_prefix_before_the_damage() {
-    let (dir, wal_bytes) = engine_with_wal_tail();
-    let replay = wal::read_wal(&dir.join(WAL_FILE)).unwrap();
-    let work = fresh_dir("matrix_midwal");
-    // Flip one byte inside the third record's frame: records 1–2 must
-    // survive, everything from the damage on is discarded.
-    let damage_at = replay.entries[2].end_offset as usize - 5;
-    let mut broken = wal_bytes.clone();
-    broken[damage_at] ^= 0xFF;
-    clone_state(&dir, &work, &broken);
-    let recovered = EstimationEngine::recover(&work).expect("prefix recovery");
-    let reference = EstimationEngine::new(config(42));
-    for entry in &replay.entries[..2] {
-        apply_to_reference(&reference, entry);
-    }
-    reference.publish();
-    recovered.publish();
-    assert_engines_equivalent(&reference, &recovered, "mid-WAL corruption");
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::remove_dir_all(&work).ok();
-}
-
-#[test]
 fn wal_from_a_different_config_is_rejected() {
-    let (dir, _) = engine_with_wal_tail();
-    let other = fresh_dir("matrix_fp");
-    let engine = EstimationEngine::durable(config(43), &other).unwrap();
-    engine.insert(members(0, 3));
-    drop(engine);
-    // Pair checkpoint(seed 42) with WAL(seed 43): fingerprints differ.
+    let dir = engine_with_segmented_tail(42);
+    let other = engine_with_segmented_tail(43);
+    // Pair checkpoint(seed 42) with chains(seed 43): fingerprints differ.
     let work = fresh_dir("matrix_fp_work");
-    std::fs::create_dir_all(&work).unwrap();
+    clone_dir(&other, &work);
     std::fs::copy(dir.join(CHECKPOINT_FILE), work.join(CHECKPOINT_FILE)).unwrap();
-    std::fs::copy(other.join(WAL_FILE), work.join(WAL_FILE)).unwrap();
     assert!(matches!(
-        EstimationEngine::recover(&work),
+        EstimationEngine::recover_with(&work, test_options()),
         Err(PersistError::ConfigMismatch(_))
     ));
     for d in [dir, other, work] {
         std::fs::remove_dir_all(&d).ok();
     }
+}
+
+#[test]
+fn interleaved_shard_replay_reproduces_parallel_writer_history() {
+    // Writers hammer all shards concurrently with explicit publish
+    // barriers mixed in; the merged global-sequence history must replay
+    // to the exact pre-crash engine even though the interleaving was
+    // scheduler-chosen.
+    let dir = fresh_dir("interleave");
+    let engine = durable_for_test(config(11), &dir);
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        for w in 0..3u64 {
+            scope.spawn(move || {
+                for i in 0..120u64 {
+                    let id = w * 10_000 + i;
+                    engine.upsert(id, members((id % 30) as u32, 6));
+                    if i % 40 == 39 {
+                        engine.publish();
+                    }
+                }
+                for i in (0..120u64).step_by(6) {
+                    assert!(engine.remove(w * 10_000 + i));
+                }
+            });
+        }
+    });
+    engine.publish();
+    let before = engine.estimate(0.7);
+    let pre_stats = engine.stats();
+    drop(engine);
+
+    let recovered = EstimationEngine::recover_with(&dir, test_options()).unwrap();
+    assert_eq!(recovered.stats().ingests, pre_stats.ingests);
+    assert_eq!(recovered.stats().publishes, pre_stats.publishes);
+    assert_eq!(recovered.current_epoch(), pre_stats.epoch);
+    assert_eq!(
+        recovered.estimate(0.7),
+        before,
+        "merge-replay must reproduce the scheduler's serialization bit for bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 // --- restart-equivalence property test -------------------------------------
@@ -361,7 +495,7 @@ mod restart_equivalence {
             // engine checkpoints (a checkpoint *is* a durable publish).
             let uninterrupted = EstimationEngine::new(config(seed));
             // Durable run, killed after the last op.
-            let durable = EstimationEngine::durable(config(seed), &dir).unwrap();
+            let durable = durable_for_test(config(seed), &dir);
 
             for op in &ops[..split] {
                 apply(&uninterrupted, op);
@@ -376,7 +510,7 @@ mod restart_equivalence {
             }
             drop(durable); // kill: the tail lives only in the WAL
 
-            let recovered = EstimationEngine::recover(&dir).unwrap();
+            let recovered = EstimationEngine::recover_with(&dir, test_options()).unwrap();
             // Same epoch before and after the final publish.
             prop_assert_eq!(recovered.current_epoch(), epoch_a);
             assert_engines_equivalent(&uninterrupted, &recovered, "pre-publish");
@@ -389,7 +523,7 @@ mod restart_equivalence {
     }
 }
 
-// --- golden fixture --------------------------------------------------------
+// --- golden fixture + legacy v2 migration ----------------------------------
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -414,16 +548,14 @@ fn golden_ops(engine: &EstimationEngine) {
     }
 }
 
-/// The golden WAL tail (applied after the checkpoint).
-fn golden_tail(engine: &EstimationEngine) {
-    engine.insert(members(2, 5));
-    engine.upsert(6, members(9, 4));
-    engine.remove(1);
-}
-
 /// Regenerates the committed fixture. Run manually after an
 /// *intentional* format change:
 /// `cargo test --test recovery -- --ignored regenerate_golden_fixture`
+///
+/// The fixture pins the **legacy v2** single-file layout (that is the
+/// point — it locks the migration path), so the tail is written with
+/// the legacy [`wal::WalWriter`] rather than the engine's own v3
+/// segments.
 #[test]
 #[ignore = "writes the committed fixture; run only on intentional format changes"]
 fn regenerate_golden_fixture() {
@@ -432,17 +564,38 @@ fn regenerate_golden_fixture() {
     let engine = EstimationEngine::durable(golden_config(), &dir).unwrap();
     golden_ops(&engine);
     assert_eq!(engine.checkpoint().unwrap(), 1);
-    golden_tail(&engine);
     drop(engine);
+    // Swap the v3 chains for a legacy v2 log carrying the tail.
+    wal::remove_all_segments(&dir).unwrap();
+    let meta = persist::peek_checkpoint_meta(&dir.join(CHECKPOINT_FILE)).unwrap();
+    let fingerprint = persist::config_fingerprint(&meta.config);
+    let mut writer =
+        wal::WalWriter::create(&dir.join(WAL_FILE), meta.applied_seq, fingerprint).unwrap();
+    let v = |s: u32, l: u32| members(s, l);
+    writer
+        .append(wal::WalOp::Insert(meta.next_id, &v(2, 5)))
+        .unwrap();
+    writer.append(wal::WalOp::Upsert(6, &v(9, 4))).unwrap();
+    writer.append(wal::WalOp::Remove(1)).unwrap();
+    writer.sync().unwrap();
     std::fs::remove_file(dir.join("checkpoint.vsjc.tmp")).ok();
     println!("golden fixture regenerated at {}", dir.display());
 }
 
+/// The golden WAL tail as applied to an in-process reference (must
+/// mirror [`regenerate_golden_fixture`]).
+fn golden_tail(engine: &EstimationEngine) {
+    engine.insert(members(2, 5));
+    engine.upsert(6, members(9, 4));
+    engine.remove(1);
+}
+
 #[test]
-fn golden_fixture_still_loads_and_replays() {
-    // The committed container-v2 + WAL pair from the first writer
-    // version must keep recovering bit-identically — this is the
-    // backward-compatibility lock on the format.
+fn golden_fixture_still_loads_and_migrates_to_v3() {
+    // The committed container-v2 + legacy-WAL pair from the first
+    // writer version must keep recovering bit-identically — this is
+    // the backward-compatibility lock on the format, and now also on
+    // the v2 → v3 migration path.
     let work = fresh_dir("golden_work");
     std::fs::create_dir_all(&work).unwrap();
     for file in [CHECKPOINT_FILE, WAL_FILE] {
@@ -452,6 +605,15 @@ fn golden_fixture_still_loads_and_replays() {
     let recovered = EstimationEngine::recover(&work).expect("golden fixture must load");
     assert_eq!(recovered.current_epoch(), 1);
     assert_eq!(recovered.snapshot().len(), 12, "checkpointed rows");
+    // The legacy log is gone; the tail now lives in v3 segments.
+    assert!(
+        !work.join(WAL_FILE).exists(),
+        "migration must retire the legacy log"
+    );
+    assert!(
+        !wal::segment_files(&work, 0).is_empty(),
+        "migration must produce v3 segment chains"
+    );
 
     // In-process reference: same script, never serialized.
     let reference = EstimationEngine::new(golden_config());
@@ -465,15 +627,90 @@ fn golden_fixture_still_loads_and_replays() {
     // place).
     assert_eq!(recovered.snapshot().len(), 12);
     assert_engines_equivalent(&reference, &recovered, "golden replayed epoch");
+
+    // Second life: kill the migrated engine and recover through the v3
+    // route — the migrated segments are a complete, equivalent log.
+    recovered.insert(members(4, 4));
+    reference.insert(members(4, 4));
+    drop(recovered);
+    let second = EstimationEngine::recover(&work).expect("v3 recovery after migration");
+    reference.publish();
+    second.publish();
+    assert_engines_equivalent(&reference, &second, "post-migration life");
     std::fs::remove_dir_all(&work).ok();
 }
 
-// --- explicit publish replay (WAL v2 publish records) ----------------------
+#[test]
+fn v2_log_with_auto_publish_migrates_with_explicit_barriers() {
+    // Auto-publish epochs in a legacy log are implicit (re-derived from
+    // the ingest counter); migration must write them down as explicit
+    // barrier records so the *next* v3 recovery reproduces them without
+    // legacy semantics.
+    let auto_config = ServiceConfig::builder()
+        .shards(3)
+        .k(8)
+        .seed(55)
+        .family(IndexFamily::MinHash)
+        .auto_publish_every(8)
+        .build();
+    let dir = fresh_dir("migrate_auto");
+    let engine = EstimationEngine::durable(auto_config, &dir).unwrap();
+    for i in 0..20u32 {
+        engine.insert(members(i % 6, 4));
+    }
+    engine.checkpoint().unwrap();
+    drop(engine);
+
+    // Forge the legacy layout: drop the v3 chains, hand-write a v2 log
+    // whose tail crosses an auto-publish boundary (ingests 21..28).
+    wal::remove_all_segments(&dir).unwrap();
+    let meta = persist::peek_checkpoint_meta(&dir.join(CHECKPOINT_FILE)).unwrap();
+    let fingerprint = persist::config_fingerprint(&meta.config);
+    let mut writer =
+        wal::WalWriter::create(&dir.join(WAL_FILE), meta.applied_seq, fingerprint).unwrap();
+    for i in 0..6u32 {
+        let vector = members(i % 4, 5);
+        writer
+            .append(wal::WalOp::Insert(meta.next_id + i as u64, &vector))
+            .unwrap();
+    }
+    writer.sync().unwrap();
+    drop(writer);
+
+    // Reference: the same history, never serialized.
+    let reference = EstimationEngine::new(auto_config);
+    for i in 0..20u32 {
+        reference.insert(members(i % 6, 4));
+    }
+    reference.publish(); // the checkpoint's epoch
+    for i in 0..6u32 {
+        reference.insert(members(i % 4, 5));
+    }
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    assert!(!dir.join(WAL_FILE).exists());
+    assert_eq!(
+        recovered.stats().publishes,
+        reference.stats().publishes,
+        "the auto-publish at ingest 24 must replay"
+    );
+    assert_engines_equivalent(&reference, &recovered, "migrated auto-publish");
+    drop(recovered);
+
+    // The barrier is now explicit: a second, purely-v3 recovery — which
+    // never re-derives auto-publishes — still reproduces the epoch.
+    let second = EstimationEngine::recover(&dir).unwrap();
+    assert_eq!(second.stats().publishes, reference.stats().publishes);
+    assert_engines_equivalent(&reference, &second, "second-life auto-publish");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- explicit publish replay (sequence barriers) ---------------------------
 
 #[test]
 fn explicit_publishes_are_replayed_at_their_exact_positions() {
     let dir = fresh_dir("explicit_publish");
-    let engine = EstimationEngine::durable(config(21), &dir).unwrap();
+    let engine = durable_for_test(config(21), &dir);
     let reference = EstimationEngine::new(config(21));
 
     // A history where epochs are cut manually, at irregular points —
@@ -501,7 +738,7 @@ fn explicit_publishes_are_replayed_at_their_exact_positions() {
     assert_eq!(pre_epoch, 5);
     drop(engine); // crash with everything in the WAL (no checkpoint)
 
-    let recovered = EstimationEngine::recover(&dir).unwrap();
+    let recovered = EstimationEngine::recover_with(&dir, test_options()).unwrap();
     assert_eq!(
         recovered.current_epoch(),
         pre_epoch,
@@ -521,11 +758,11 @@ fn explicit_publishes_are_replayed_at_their_exact_positions() {
 #[test]
 fn explicit_publish_replays_across_a_checkpoint_boundary() {
     let dir = fresh_dir("publish_after_ckpt");
-    let engine = EstimationEngine::durable(config(22), &dir).unwrap();
+    let engine = durable_for_test(config(22), &dir);
     for i in 0..30u32 {
         engine.insert(members(i % 8, 4));
     }
-    engine.checkpoint().unwrap(); // epoch 1, WAL truncated
+    engine.checkpoint().unwrap(); // epoch 1, log covered
     for i in 0..12u32 {
         engine.insert(members(i % 5, 6));
     }
@@ -534,7 +771,7 @@ fn explicit_publish_replays_across_a_checkpoint_boundary() {
     let before = engine.estimate(0.7);
     drop(engine);
 
-    let recovered = EstimationEngine::recover(&dir).unwrap();
+    let recovered = EstimationEngine::recover_with(&dir, test_options()).unwrap();
     assert_eq!(recovered.current_epoch(), 2);
     assert_eq!(
         recovered.estimate(0.7),
@@ -544,15 +781,14 @@ fn explicit_publish_replays_across_a_checkpoint_boundary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-// --- checkpoint retention --------------------------------------------------
+// --- checkpoint retention + WAL horizon ------------------------------------
 
 #[test]
 fn checkpoint_retention_keeps_and_prunes_generations() {
-    use vsj::service::persist;
-
     let dir = fresh_dir("retention");
     let options = DurabilityOptions {
         retain_checkpoints: 3,
+        ..test_options()
     };
     let engine = EstimationEngine::durable_with(config(31), &dir, options).unwrap();
 
@@ -592,11 +828,71 @@ fn checkpoint_retention_keeps_and_prunes_generations() {
         &dir,
         DurabilityOptions {
             retain_checkpoints: 1,
+            ..test_options()
         },
     )
     .unwrap();
     engine.insert(members(50, 4));
     engine.checkpoint().unwrap();
     assert_eq!(persist::list_generations(&dir), Vec::<u64>::new());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_horizon_retains_segments_for_every_kept_generation() {
+    // The retention interaction under regression: checkpoint truncation
+    // drops segments against the *oldest kept generation's* cut, not
+    // the newest — so restoring any retained checkpoint generation over
+    // the current one and recovering rolls forward through the
+    // surviving chains (including every later checkpoint's epoch, which
+    // replays from its barrier record) to the exact pre-crash state.
+    let dir = fresh_dir("horizon");
+    let options = DurabilityOptions {
+        retain_checkpoints: 3,
+        ..test_options()
+    };
+    let engine = EstimationEngine::durable_with(config(67), &dir, options).unwrap();
+    for round in 0..4u32 {
+        for i in 0..14u32 {
+            engine.insert(members(round * 9 + i % 8, 12));
+        }
+        engine.checkpoint().unwrap();
+    }
+    // A tail past the last checkpoint.
+    for i in 0..5u32 {
+        engine.insert(members(i % 4, 6));
+    }
+    engine.publish();
+    let before = engine.estimate(0.7);
+    let pre_stats = engine.stats();
+    assert!(
+        pre_stats.wal_rotations >= 1,
+        "the scenario must span segment boundaries"
+    );
+    drop(engine);
+
+    // Sanity: the normal recovery reproduces the pre-crash engine.
+    let normal = EstimationEngine::recover_with(&dir, options).unwrap();
+    assert_eq!(normal.estimate(0.7), before);
+    drop(normal);
+
+    // Operator restore: copy the *oldest kept* generation over the
+    // current checkpoint. Its cut is the retention horizon, so every
+    // record past it must still be on disk.
+    let restore_from = persist::generation_path(&dir, 2);
+    assert!(restore_from.exists(), "retention must have kept gen 2");
+    std::fs::copy(&restore_from, dir.join(CHECKPOINT_FILE)).unwrap();
+    let restored = EstimationEngine::recover_with(&dir, options).unwrap();
+    assert_eq!(
+        restored.current_epoch(),
+        pre_stats.epoch,
+        "rolling gen 2 forward must re-fire every later checkpoint epoch"
+    );
+    assert_eq!(restored.stats().ingests, pre_stats.ingests);
+    assert_eq!(
+        restored.estimate(0.7),
+        before,
+        "a restored older generation must replay to the exact pre-crash answers"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -437,3 +437,53 @@ fn backpressure_bounds_queues_under_overload() {
     client.insert(&members_for(20_000)).expect("lag cleared");
     server.shutdown().expect("shutdown");
 }
+
+/// Satellite: durable-write backpressure — ingests shed with `429` once
+/// the deepest shard's WAL backlog reaches `max_wal_depth`, with a
+/// `Retry-After`, and a checkpoint (which covers the whole log) clears
+/// the pressure.
+#[test]
+fn wal_depth_backpressure_sheds_and_checkpoint_clears_it() {
+    let dir = std::env::temp_dir().join(format!("vsj_e2e_waldepth_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine =
+        Arc::new(EstimationEngine::durable(engine_config(31), &dir).expect("durable engine"));
+    let server = Server::start(
+        engine,
+        ServerConfig::builder().workers(4).max_wal_depth(6).build(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Single wire-writer: the backlog concentrates per shard; once any
+    // shard's chain holds 6 uncheckpointed records the server refuses.
+    let mut accepted = 0u32;
+    let mut retry_after = None;
+    for i in 0..200u32 {
+        match client.insert(&members_for(i)) {
+            Ok(_) => accepted += 1,
+            Err(ClientError::Overloaded {
+                retry_after: after, ..
+            }) => {
+                retry_after = Some(after);
+                break;
+            }
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert!(
+        retry_after.expect("the flood must hit the WAL depth limit") >= Duration::from_secs(1),
+        "shed replies carry a Retry-After keyed off the backlog"
+    );
+    assert!(accepted >= 6, "nothing sheds below the per-shard limit");
+    assert_eq!(server.stats().shed_wal, 1);
+
+    // A checkpoint covers the whole log; ingests flow again.
+    client.checkpoint().expect("checkpoint over the wire");
+    assert_eq!(server.engine().max_wal_shard_pending(), 0);
+    client
+        .insert(&members_for(90_000))
+        .expect("pressure cleared");
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -171,6 +171,96 @@ fn concurrent_writers_partition_cleanly() {
 }
 
 #[test]
+fn parallel_durable_writers_recover_exactly_under_group_commit() {
+    // 8 writers upsert disjoint id ranges in parallel — each appends to
+    // its own shard's WAL segment chain (1 KiB segments, so chains
+    // rotate under load) and blocks on the group-commit ticket protocol
+    // — while a publisher thread interleaves explicit epoch barriers.
+    // Whatever serialization the scheduler chose, the merged
+    // global-sequence history must recover it bit for bit.
+    let dir = std::env::temp_dir().join(format!("vsj_parallel_wal_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(
+        EstimationEngine::durable_with(
+            ServiceConfig::builder()
+                .shards(8)
+                .k(8)
+                .seed(29)
+                .family(IndexFamily::MinHash)
+                .build(),
+            &dir,
+            DurabilityOptions {
+                segment_bytes: 1024,
+                fsync: FsyncPolicy::GroupCommit {
+                    max_batch: 16,
+                    max_delay: Duration::from_millis(1),
+                },
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 150;
+    thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let id = w * 10_000 + i;
+                    engine.upsert(
+                        id,
+                        SparseVector::binary_from_members(vec![(id % 60) as u32, 70]),
+                    );
+                }
+                for i in (0..PER_WRITER).step_by(3) {
+                    assert!(engine.remove(w * 10_000 + i));
+                }
+            });
+        }
+        let publisher = engine.clone();
+        scope.spawn(move || {
+            for _ in 0..20 {
+                publisher.publish();
+                thread::sleep(Duration::from_micros(200));
+            }
+        });
+    });
+    engine.publish();
+    let before = engine.estimate(0.7);
+    let pre_stats = engine.stats();
+    let expected_ingests = WRITERS * (PER_WRITER + PER_WRITER.div_ceil(3));
+    assert_eq!(pre_stats.ingests, expected_ingests);
+    assert!(
+        pre_stats.wal_rotations >= WRITERS,
+        "1 KiB segments must rotate under this load"
+    );
+    assert!(
+        pre_stats.wal_fsyncs < pre_stats.wal_pending + pre_stats.wal_rotations * 2,
+        "group commit must amortize fsyncs below one per record"
+    );
+    drop(engine); // kill: everything lives only in the WAL
+
+    let recovered = EstimationEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.stats().ingests, expected_ingests);
+    assert_eq!(recovered.stats().publishes, pre_stats.publishes);
+    assert_eq!(recovered.current_epoch(), pre_stats.epoch);
+    assert_eq!(
+        recovered.estimate(0.7),
+        before,
+        "recovered engine must answer bit-identically at the last epoch"
+    );
+    let snapshot = recovered.snapshot();
+    let survivors_per_writer = PER_WRITER - PER_WRITER.div_ceil(3);
+    assert_eq!(snapshot.len() as u64, WRITERS * survivors_per_writer);
+    for &id in snapshot.global_ids() {
+        assert!(id % 10_000 % 3 != 0, "removed id {id} resurrected");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ingests_racing_the_background_checkpointer_lose_nothing() {
     // 3 durable writers upsert disjoint id ranges (removing every 5th)
     // while the background checkpointer repeatedly cuts the WAL out
