@@ -1,0 +1,138 @@
+//! Observability overhead: instrumented vs. stub `estimate_batch`
+//! throughput on the same engine configuration and corpus.
+//!
+//! The obs layer promises near-zero hot-path cost (atomic counter ops
+//! and a couple of `Instant` reads per request; histograms are atomic
+//! bucket increments). This bench pins that promise: two engines differ
+//! only in their [`ObsOptions`] — the default always-on layout vs.
+//! [`ObsOptions::stub`] (zero-bucket histograms, every record a no-op)
+//! — and run the identical cache-bypassing estimate workload. The
+//! relative slowdown of the instrumented engine must stay **under 5%**
+//! (asserted here, so CI fails if instrumentation creeps onto the hot
+//! path).
+//!
+//! Emits a JSON summary line (prefixed `OBS_BENCH_JSON:`) for the
+//! perf-trajectory tooling.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench obs`
+
+use std::time::{Duration, Instant};
+
+use vsj_bench::BENCH_SCHEMA_VERSION;
+use vsj_datasets::DblpLike;
+use vsj_service::{EstimationEngine, ObsOptions, ServiceConfig};
+
+const DOCS: usize = 2_000;
+const TAUS: [f64; 4] = [0.5, 0.7, 0.8, 0.9];
+const ITERS: usize = 60;
+const ROUNDS: usize = 5;
+/// Acceptance bound from the issue: instrumentation must cost < 5% of
+/// `estimate_batch` throughput.
+const MAX_OVERHEAD: f64 = 0.05;
+
+fn build_engine(obs: ObsOptions) -> EstimationEngine {
+    let engine = EstimationEngine::with_obs(
+        ServiceConfig::builder()
+            .shards(8)
+            .k(16)
+            .seed(3)
+            .cache_epsilon(0)
+            .build(),
+        obs,
+    );
+    for (_, v) in DblpLike::with_size(DOCS).generate(1).iter() {
+        engine.insert(v.clone());
+    }
+    engine.publish();
+    engine
+}
+
+/// One measured round: `ITERS` full sampling passes (the cache is
+/// dropped before each call so every iteration pays the real hot path).
+fn round(engine: &EstimationEngine) -> Duration {
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        engine.clear_cache();
+        let answers = engine.estimate_batch(&TAUS);
+        assert_eq!(answers.len(), TAUS.len());
+        assert!(answers.iter().all(|a| !a.cached));
+    }
+    started.elapsed()
+}
+
+fn main() {
+    let instrumented = build_engine(ObsOptions::default());
+    let stub = build_engine(ObsOptions::stub());
+
+    // Warm both engines (page in the snapshot, settle the allocator).
+    round(&instrumented);
+    round(&stub);
+
+    // Interleave the measurements so ambient machine noise hits both
+    // arms equally rather than biasing whichever ran second.
+    let mut t_instrumented = Duration::MAX;
+    let mut t_stub = Duration::MAX;
+    for _ in 0..ROUNDS {
+        t_instrumented = t_instrumented.min(round(&instrumented));
+        t_stub = t_stub.min(round(&stub));
+    }
+
+    let per_call_instrumented = t_instrumented.as_secs_f64() / ITERS as f64;
+    let per_call_stub = t_stub.as_secs_f64() / ITERS as f64;
+    let overhead = per_call_instrumented / per_call_stub - 1.0;
+
+    println!(
+        "obs bench: n = {DOCS} (DBLP-like), k = 16, 8 shards, {} τ per batch, {ITERS} passes × best-of-{ROUNDS}\n",
+        TAUS.len()
+    );
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "engine", "per batch (µs)", "batches/sec"
+    );
+    for (name, per_call) in [
+        ("instrumented", per_call_instrumented),
+        ("stub", per_call_stub),
+    ] {
+        println!(
+            "{:<14} {:>16.1} {:>16.0}",
+            name,
+            per_call * 1e6,
+            1.0 / per_call
+        );
+    }
+    println!(
+        "\ninstrumentation overhead: {:+.2}% (bound {:.0}%)",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+
+    // The registry really recorded the instrumented passes.
+    let exposition = instrumented.metrics().render();
+    assert!(
+        exposition.contains("vsj_engine_sampling_passes_total"),
+        "instrumented engine must export its sampling series"
+    );
+
+    // Machine-readable summary for the perf trajectory.
+    println!(
+        concat!(
+            "\nOBS_BENCH_JSON:{{\"schema\":{},\"bench\":\"obs_overhead\",",
+            "\"n\":{},\"k\":16,\"shards\":8,\"iters\":{},",
+            "\"instrumented_us_per_batch\":{:.2},\"stub_us_per_batch\":{:.2},",
+            "\"overhead_frac\":{:.5}}}"
+        ),
+        BENCH_SCHEMA_VERSION,
+        DOCS,
+        ITERS,
+        per_call_instrumented * 1e6,
+        per_call_stub * 1e6,
+        overhead
+    );
+
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "instrumentation overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

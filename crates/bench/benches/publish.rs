@@ -207,7 +207,8 @@ fn main() {
         })
         .collect();
     println!(
-        "\nPUBLISH_BENCH_JSON:{{\"bench\":\"publish_latency\",\"hash_k\":{HASH_K},\"shards\":8,\"reps\":{REPS},\"points\":[{}]}}",
+        "\nPUBLISH_BENCH_JSON:{{\"schema\":{},\"bench\":\"publish_latency\",\"hash_k\":{HASH_K},\"shards\":8,\"reps\":{REPS},\"points\":[{}]}}",
+        vsj_bench::BENCH_SCHEMA_VERSION,
         json_points.join(",")
     );
     assert!(

@@ -190,7 +190,8 @@ fn main() {
 
     // Machine-readable summary for the perf trajectory.
     println!(
-        "\nSERVER_BENCH_JSON:{{\"bench\":\"server_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        "\nSERVER_BENCH_JSON:{{\"schema\":{},\"bench\":\"server_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        vsj_bench::BENCH_SCHEMA_VERSION,
         BASE_DOCS,
         TAUS,
         json_points.join(",")

@@ -139,7 +139,8 @@ fn main() {
 
     // Machine-readable summary for the perf trajectory.
     println!(
-        "\nSERVICE_BENCH_JSON:{{\"bench\":\"service_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        "\nSERVICE_BENCH_JSON:{{\"schema\":{},\"bench\":\"service_estimate_throughput\",\"n\":{},\"k\":16,\"shards\":8,\"taus\":{:?},\"points\":[{}]}}",
+        vsj_bench::BENCH_SCHEMA_VERSION,
         BASE_DOCS,
         TAUS,
         json_points.join(",")

@@ -229,11 +229,12 @@ fn main() {
         })
         .collect();
     println!(
-        "\nWAL_BENCH_JSON:{{\"bench\":\"wal_throughput\",\"shards\":{SHARDS},\"hash_k\":{HASH_K},\
+        "\nWAL_BENCH_JSON:{{\"schema\":{},\"bench\":\"wal_throughput\",\"shards\":{SHARDS},\"hash_k\":{HASH_K},\
          \"ops_per_writer\":{OPS_PER_WRITER},\"reps\":{REPS},\"cores\":{cores},\
          \"speedup_4_writers_never\":{speedup_4:.3},\"speedup_8_writers_group\":{speedup_8:.3},\
          \"truncation_dropped_segments\":{dropped_segments},\"truncation_ms\":{truncation_ms:.2},\
          \"points\":[{}]}}",
+        vsj_bench::BENCH_SCHEMA_VERSION,
         json_points.join(",")
     );
 

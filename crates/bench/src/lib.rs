@@ -22,6 +22,12 @@ pub mod workload;
 pub use report::{CsvSink, Table};
 pub use workload::{RunConfig, Workload};
 
+/// Schema version shared by every `*_BENCH_JSON:` artifact line the
+/// service/server benches emit (`"schema":N` field). Bump it when the
+/// shape of any artifact changes, so the perf-trajectory tooling can
+/// tell apples from oranges across PRs.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 /// The paper's threshold grid τ ∈ {0.1, …, 1.0}.
 pub fn tau_grid() -> Vec<f64> {
     (1..=10).map(|i| i as f64 / 10.0).collect()

@@ -23,6 +23,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use vsj_obs::Histogram;
 use vsj_service::{EstimationEngine, ServiceEstimate};
 
 /// One answered estimate, tagged with the shared pass that computed it.
@@ -39,6 +40,37 @@ pub struct BatchedEstimate {
     pub batch: u64,
     /// How many requests rode in that pass.
     pub batch_size: usize,
+    /// How long this request sat in the queue before the batcher woke
+    /// for its pass.
+    pub queue_wait: Duration,
+    /// How long the pass then gathered (the configured window plus
+    /// drain bookkeeping) before sampling started.
+    pub batch_wait: Duration,
+    /// Duration of the shared sampling pass that served it.
+    pub sampling: Duration,
+}
+
+/// Observability handles the batcher records into (histograms live on
+/// the server's registry; the batcher only holds clones).
+pub(crate) struct BatchMetrics {
+    /// Per-request wait from enqueue to the batcher waking.
+    pub queue_wait_us: Histogram,
+    /// Per-pass wait from wake to sampling start (gather window).
+    pub batch_wait_us: Histogram,
+    /// Requests coalesced per pass.
+    pub coalesce: Histogram,
+}
+
+impl BatchMetrics {
+    /// Disabled histograms — unit tests and overhead probes.
+    #[cfg(test)]
+    pub fn disabled() -> Self {
+        Self {
+            queue_wait_us: Histogram::disabled(),
+            batch_wait_us: Histogram::disabled(),
+            coalesce: Histogram::disabled(),
+        }
+    }
 }
 
 /// Why an estimate request was not answered.
@@ -55,6 +87,8 @@ pub enum BatchRejected {
 struct PendingRequest {
     tau: f64,
     deadline: Instant,
+    /// When the request entered the queue (queue-wait accounting).
+    enqueued: Instant,
     reply: mpsc::SyncSender<Result<BatchedEstimate, BatchRejected>>,
 }
 
@@ -86,6 +120,7 @@ struct Shared {
     queue: Mutex<BatchQueue>,
     wake: Condvar,
     counters: Arc<BatchCounters>,
+    metrics: BatchMetrics,
     max_queue_depth: usize,
     gather: Duration,
 }
@@ -101,6 +136,7 @@ impl Batcher {
     pub(crate) fn spawn(
         engine: Arc<EstimationEngine>,
         counters: Arc<BatchCounters>,
+        metrics: BatchMetrics,
         max_queue_depth: usize,
         gather: Duration,
     ) -> Self {
@@ -108,6 +144,7 @@ impl Batcher {
             queue: Mutex::new(BatchQueue::default()),
             wake: Condvar::new(),
             counters,
+            metrics,
             max_queue_depth,
             gather,
         });
@@ -141,6 +178,7 @@ impl Batcher {
             queue.pending.push(PendingRequest {
                 tau,
                 deadline,
+                enqueued: Instant::now(),
                 reply,
             });
             self.shared
@@ -187,7 +225,7 @@ impl Drop for Batcher {
 fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
     loop {
         // Wait for work (or shutdown with an empty queue).
-        let batch = {
+        let (batch, woke) = {
             let mut queue = shared.queue.lock().expect("batcher lock");
             loop {
                 if !queue.pending.is_empty() || queue.closed {
@@ -198,6 +236,9 @@ fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
             if queue.pending.is_empty() {
                 return; // closed and drained
             }
+            // Queue wait ends here; everything until sampling starts is
+            // batch wait (the gather window plus drain bookkeeping).
+            let woke = Instant::now();
             if !queue.closed && !shared.gather.is_zero() {
                 // Gather window: let concurrent requests pile in before
                 // cutting the pass. (Under load the natural batching —
@@ -209,7 +250,7 @@ fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
                 queue = shared.queue.lock().expect("batcher lock");
             }
             shared.counters.queue_depth.store(0, Ordering::Relaxed);
-            std::mem::take(&mut queue.pending)
+            (std::mem::take(&mut queue.pending), woke)
         };
 
         // Expired deadlines are answered, not sampled for.
@@ -233,7 +274,13 @@ fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
         let mut taus: Vec<f64> = live.iter().map(|r| r.tau).collect();
         taus.sort_by(f64::total_cmp);
         taus.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        let sampling_started = Instant::now();
         let answers = engine.estimate_batch(&taus);
+        let sampling = sampling_started.elapsed();
+
+        let batch_wait = sampling_started.saturating_duration_since(woke);
+        shared.metrics.batch_wait_us.record_duration(batch_wait);
+        shared.metrics.coalesce.record(live.len() as u64);
 
         let batch_size = live.len();
         let batch_id = shared.counters.batches.fetch_add(1, Ordering::Relaxed) + 1;
@@ -256,10 +303,15 @@ fn run(engine: Arc<EstimationEngine>, shared: Arc<Shared>) {
                 .find(|a| a.tau.to_bits() == request.tau.to_bits())
                 .copied()
                 .expect("every live τ was in the pass");
+            let queue_wait = woke.saturating_duration_since(request.enqueued);
+            shared.metrics.queue_wait_us.record_duration(queue_wait);
             let _ = request.reply.send(Ok(BatchedEstimate {
                 estimate: answer,
                 batch: batch_id,
                 batch_size,
+                queue_wait,
+                batch_wait,
+                sampling,
             }));
         }
     }
@@ -295,7 +347,13 @@ mod tests {
     fn single_request_roundtrip_matches_engine_batch() {
         let engine = engine();
         let counters = Arc::new(BatchCounters::default());
-        let batcher = Batcher::spawn(engine.clone(), counters.clone(), 16, Duration::ZERO);
+        let batcher = Batcher::spawn(
+            engine.clone(),
+            counters.clone(),
+            BatchMetrics::disabled(),
+            16,
+            Duration::ZERO,
+        );
         let served = batcher.estimate(0.7, far_deadline()).unwrap();
         assert_eq!(served.estimate.epoch, 1);
         // Bit-identical to the engine's batch path for a lone τ.
@@ -315,6 +373,7 @@ mod tests {
         let batcher = Arc::new(Batcher::spawn(
             engine.clone(),
             counters.clone(),
+            BatchMetrics::disabled(),
             64,
             Duration::from_millis(80),
         ));
@@ -351,6 +410,7 @@ mod tests {
         let batcher = Arc::new(Batcher::spawn(
             engine,
             counters,
+            BatchMetrics::disabled(),
             1,
             Duration::from_millis(200),
         ));
@@ -384,6 +444,7 @@ mod tests {
         let batcher = Batcher::spawn(
             engine.clone(),
             counters.clone(),
+            BatchMetrics::disabled(),
             16,
             Duration::from_millis(50),
         );
@@ -398,7 +459,13 @@ mod tests {
     fn close_drains_pending_requests() {
         let engine = engine();
         let counters = Arc::new(BatchCounters::default());
-        let batcher = Batcher::spawn(engine, counters, 16, Duration::ZERO);
+        let batcher = Batcher::spawn(
+            engine,
+            counters,
+            BatchMetrics::disabled(),
+            16,
+            Duration::ZERO,
+        );
         let answer = batcher.estimate(0.5, far_deadline()).unwrap();
         assert_eq!(answer.estimate.tau, 0.5);
         batcher.close();

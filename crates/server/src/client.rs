@@ -338,6 +338,30 @@ impl Client {
         let json = self.call_idempotent("GET", "/healthz", None)?;
         Self::field_u64(&json, "epoch")
     }
+
+    /// `GET /metrics`: the raw Prometheus text exposition (engine and
+    /// server registries concatenated). Returned untouched so callers
+    /// can feed it to a scraper or to
+    /// [`vsj_obs::validate_exposition`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let response = self.exchange("GET", "/metrics", None, true)?;
+        let text = String::from_utf8(response.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 metrics body".into()))?;
+        if response.status != 200 {
+            return Err(ClientError::Status {
+                status: response.status,
+                message: text,
+            });
+        }
+        Ok(text)
+    }
+
+    /// `GET /trace/slow`: the slow-request trace ring (`threshold_us`,
+    /// `captured`, and `traces` newest-first, each with a stage
+    /// breakdown — see `docs/OBSERVABILITY.md`).
+    pub fn slow_traces(&mut self) -> Result<Json, ClientError> {
+        self.call_idempotent("GET", "/trace/slow", None)
+    }
 }
 
 /// The wire encoding of a vector: binary vectors travel as `members`

@@ -161,17 +161,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response. `retry_after` adds a `Retry-After` header
-/// (whole seconds, rounded up) on shed responses.
+/// Writes one response. `content_type` names the body encoding
+/// (`application/json` for every protocol endpoint; the Prometheus
+/// text exposition on `/metrics` uses `text/plain; version=0.0.4`).
+/// `retry_after` adds a `Retry-After` header (whole seconds, rounded
+/// up) on shed responses.
 pub fn write_response<S: Write>(
     stream: &mut S,
     status: u16,
+    content_type: &str,
     body: &str,
     close: bool,
     retry_after: Option<std::time::Duration>,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         reason(status),
         body.len()
     );
@@ -306,6 +310,7 @@ mod tests {
         write_response(
             &mut wire,
             429,
+            "application/json",
             "{\"error\":\"shed\"}",
             false,
             Some(std::time::Duration::from_millis(1500)),

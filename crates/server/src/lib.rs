@@ -76,6 +76,7 @@ mod server;
 pub use batch::BatchedEstimate;
 pub use client::{Client, ClientError, Estimated};
 pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerStats};
+pub use vsj_obs::ObsOptions;
 
 #[cfg(test)]
 mod tests {

@@ -18,15 +18,16 @@
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vsj_core::EstimateKind;
-use vsj_service::{EstimationEngine, PersistError};
+use vsj_obs::{Counter, Gauge, Histogram, ObsOptions, Registry, Trace, TraceRing};
+use vsj_service::{EstimationEngine, FsyncPolicy, PersistError};
 use vsj_vector::SparseVector;
 
-use crate::batch::{BatchCounters, BatchRejected, Batcher};
+use crate::batch::{BatchCounters, BatchMetrics, BatchRejected, Batcher};
 use crate::http::{self, ReadError, Request};
 use crate::json::Json;
 
@@ -74,6 +75,12 @@ pub struct ServerConfig {
     /// Cut a final checkpoint during [`Server::shutdown`] when the
     /// engine is durable.
     pub checkpoint_on_shutdown: bool,
+    /// Observability knobs for the server's own registry and slow-trace
+    /// ring (histogram bucket shapes, slow-query threshold, ring
+    /// capacity). The engine carries its own copy — see
+    /// [`EstimationEngine::with_obs`](vsj_service::EstimationEngine::with_obs);
+    /// `GET /metrics` serves both registries concatenated.
+    pub obs: ObsOptions,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +96,7 @@ impl Default for ServerConfig {
             batch_gather: Duration::ZERO,
             max_body: 1 << 20,
             checkpoint_on_shutdown: false,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -171,6 +179,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Sets the server-side observability options (bucket shapes,
+    /// slow-query threshold, trace-ring capacity).
+    pub fn obs(mut self, obs: ObsOptions) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Panics
@@ -184,6 +199,7 @@ impl ServerConfigBuilder {
             "connection queue needs capacity"
         );
         assert!(c.max_queue_depth >= 1, "estimate queue needs capacity");
+        c.obs.validate();
         c
     }
 }
@@ -220,14 +236,150 @@ pub struct ServerStats {
     pub queue_depth: usize,
 }
 
-#[derive(Default)]
-struct ServerCounters {
-    requests: AtomicU64,
-    connections: AtomicU64,
-    rejected_connections: AtomicU64,
-    shed_estimates: AtomicU64,
-    shed_ingests: AtomicU64,
-    shed_wal: AtomicU64,
+/// The routes the server knows, each with a per-route counter and
+/// latency histogram under static Prometheus labels. Unknown paths
+/// aggregate under `other` so an attacker probing random URLs cannot
+/// grow the registry.
+const ROUTE_LABELS: &[(&str, &[(&str, &str)])] = &[
+    ("/estimate", &[("route", "/estimate")]),
+    ("/insert", &[("route", "/insert")]),
+    ("/remove", &[("route", "/remove")]),
+    ("/upsert", &[("route", "/upsert")]),
+    ("/publish", &[("route", "/publish")]),
+    ("/checkpoint", &[("route", "/checkpoint")]),
+    ("/stats", &[("route", "/stats")]),
+    ("/healthz", &[("route", "/healthz")]),
+    ("/metrics", &[("route", "/metrics")]),
+    ("/trace/slow", &[("route", "/trace/slow")]),
+    ("other", &[("route", "other")]),
+];
+
+/// One route's always-on instrumentation.
+struct RouteMetrics {
+    label: &'static str,
+    requests: Counter,
+    latency_us: Histogram,
+}
+
+/// The server's own metric registry and the lock-free handles the hot
+/// path records into. The engine keeps a separate registry
+/// ([`EstimationEngine::metrics`](vsj_service::EstimationEngine::metrics));
+/// `GET /metrics` concatenates the two renders (their name spaces are
+/// disjoint: `vsj_engine_*`/`vsj_wal_*` vs `vsj_server_*`).
+struct ServerMetrics {
+    registry: Registry,
+    requests: Counter,
+    connections: Counter,
+    rejected_connections: Counter,
+    shed_estimates: Counter,
+    shed_ingests: Counter,
+    shed_wal: Counter,
+    queue_depth: Gauge,
+    publish_lag: Gauge,
+    slow_traces: Counter,
+    routes: Vec<RouteMetrics>,
+    queue_wait_us: Histogram,
+    batch_wait_us: Histogram,
+    coalesce: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(obs: &ObsOptions) -> Self {
+        let registry = Registry::new();
+        let latency = obs.latency_spec();
+        let routes = ROUTE_LABELS
+            .iter()
+            .map(|&(label, labels)| RouteMetrics {
+                label,
+                requests: registry.counter_with(
+                    "vsj_server_route_requests_total",
+                    "Requests routed, by endpoint",
+                    labels,
+                ),
+                latency_us: registry.histogram_with(
+                    "vsj_server_route_latency_us",
+                    "Request handling latency by endpoint (µs, read to reply)",
+                    labels,
+                    latency,
+                ),
+            })
+            .collect();
+        Self {
+            requests: registry.counter(
+                "vsj_server_requests_total",
+                "Requests routed (any endpoint, any outcome)",
+            ),
+            connections: registry.counter(
+                "vsj_server_connections_total",
+                "Connections accepted into the queue",
+            ),
+            rejected_connections: registry.counter(
+                "vsj_server_rejected_connections_total",
+                "Connections refused because the queue was full",
+            ),
+            shed_estimates: registry.counter_with(
+                "vsj_server_shed_total",
+                "Requests shed with 429, by cause",
+                &[("cause", "estimate_queue")],
+            ),
+            shed_ingests: registry.counter_with(
+                "vsj_server_shed_total",
+                "Requests shed with 429, by cause",
+                &[("cause", "publish_lag")],
+            ),
+            shed_wal: registry.counter_with(
+                "vsj_server_shed_total",
+                "Requests shed with 429, by cause",
+                &[("cause", "wal_depth")],
+            ),
+            queue_depth: registry.gauge(
+                "vsj_server_queue_depth",
+                "Momentary batcher queue depth (set at scrape time)",
+            ),
+            publish_lag: registry.gauge(
+                "vsj_server_publish_lag",
+                "Engine publish lag: ingests not yet visible to reads (set at scrape time)",
+            ),
+            slow_traces: registry.counter(
+                "vsj_server_slow_traces_total",
+                "Requests slower than the slow-query threshold, captured into the trace ring",
+            ),
+            routes,
+            queue_wait_us: registry.histogram(
+                "vsj_server_queue_wait_us",
+                "Estimate queue wait: enqueue to batcher wake (µs)",
+                latency,
+            ),
+            batch_wait_us: registry.histogram(
+                "vsj_server_batch_wait_us",
+                "Batch gather wait: batcher wake to sampling start (µs)",
+                latency,
+            ),
+            coalesce: registry.histogram(
+                "vsj_server_batch_coalesce_size",
+                "Estimate requests coalesced per shared sampling pass",
+                obs.size_spec(),
+            ),
+            registry,
+        }
+    }
+
+    /// The metrics slot for `path` (unknown paths land on `other`).
+    fn route(&self, path: &str) -> &RouteMetrics {
+        self.routes
+            .iter()
+            .find(|r| r.label == path)
+            .unwrap_or_else(|| self.routes.last().expect("`other` route is always present"))
+    }
+
+    /// Histogram clones for the batcher thread.
+    fn batch_metrics(&self) -> BatchMetrics {
+        BatchMetrics {
+            queue_wait_us: self.queue_wait_us.clone(),
+            batch_wait_us: self.batch_wait_us.clone(),
+            coalesce: self.coalesce.clone(),
+        }
+    }
 }
 
 struct ConnectionQueue {
@@ -281,7 +433,9 @@ impl ConnectionQueue {
 struct Inner {
     engine: Arc<EstimationEngine>,
     config: ServerConfig,
-    counters: ServerCounters,
+    metrics: ServerMetrics,
+    traces: TraceRing,
+    started: Instant,
     batch_counters: Arc<BatchCounters>,
     batcher: Batcher,
     connections: ConnectionQueue,
@@ -333,18 +487,24 @@ impl Server {
             config.max_pending_connections >= 1 && config.max_queue_depth >= 1,
             "server queues need capacity"
         );
+        config.obs.validate();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new(&config.obs);
+        let traces = TraceRing::new(config.obs.trace_ring, config.obs.slow_query_threshold);
         let batch_counters = Arc::new(BatchCounters::default());
         let batcher = Batcher::spawn(
             engine.clone(),
             batch_counters.clone(),
+            metrics.batch_metrics(),
             config.max_queue_depth,
             config.batch_gather,
         );
         let inner = Arc::new(Inner {
             engine,
-            counters: ServerCounters::default(),
+            metrics,
+            traces,
+            started: Instant::now(),
             batch_counters,
             batcher,
             connections: ConnectionQueue::new(config.max_pending_connections),
@@ -438,15 +598,12 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         if inner.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.connections.inc();
         if !inner.connections.push(stream) {
             // Bounded queue full: shed the connection, never buffer it.
             // (The stream drops here; a 503 body would require blocking
             // the acceptor on a possibly-unwritable socket.)
-            inner
-                .counters
-                .rejected_connections
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected_connections.inc();
         }
     }
 }
@@ -496,15 +653,30 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
             Err(ReadError::Io(e)) => return Err(e),
             Err(ReadError::Malformed(reason)) => {
                 let body = error_body(&reason);
-                return http::write_response(&mut writer, 400, &body, true, None);
+                return http::write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    &body,
+                    true,
+                    None,
+                );
             }
             Err(ReadError::BodyTooLarge { declared, limit }) => {
                 let body = error_body(&format!("body of {declared} bytes exceeds limit {limit}"));
-                return http::write_response(&mut writer, 413, &body, true, None);
+                return http::write_response(
+                    &mut writer,
+                    413,
+                    "application/json",
+                    &body,
+                    true,
+                    None,
+                );
             }
         };
-        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.requests.inc();
         let close = request.wants_close();
+        let handling_started = Instant::now();
         // Panic isolation: a handler panic (most plausibly a durable
         // engine refusing an unlogged write after a WAL I/O failure)
         // must cost a 500, not a worker thread — a shrinking pool would
@@ -519,10 +691,27 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
                         .unwrap_or_else(|| "handler panicked".into());
                     Reply::error(500, format!("internal error: {reason}"))
                 });
+        let elapsed = handling_started.elapsed();
+        let route_metrics = inner.metrics.route(&request.path);
+        route_metrics.requests.inc();
+        route_metrics.latency_us.record_duration(elapsed);
+        // Every request carries a trace on the stack; it crosses into
+        // the ring (the only allocation/lock on this path) only when
+        // slower than the threshold. Handlers that know their pipeline
+        // attach stage timings; for the rest the total alone is kept.
+        let mut trace = reply
+            .trace
+            .map(|boxed| *boxed)
+            .unwrap_or_else(|| Trace::new(route_metrics.label));
+        trace.total_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        if inner.traces.offer(trace) {
+            inner.metrics.slow_traces.inc();
+        }
         http::write_response(
             &mut writer,
             reply.status,
-            &reply.body.encode(),
+            reply.content_type,
+            &reply.body,
             close,
             reply.retry_after,
         )?;
@@ -534,25 +723,51 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
 
 struct Reply {
     status: u16,
-    body: Json,
+    body: String,
+    content_type: &'static str,
     retry_after: Option<Duration>,
+    /// Stage timings the handler collected; the serve loop stamps the
+    /// total and offers it to the slow-trace ring. Boxed to keep the
+    /// common traceless `Reply` small (clippy::result_large_err).
+    trace: Option<Box<Trace>>,
 }
 
 impl Reply {
     fn ok(body: Json) -> Self {
         Self {
             status: 200,
-            body,
+            body: body.encode(),
+            content_type: "application/json",
             retry_after: None,
+            trace: None,
+        }
+    }
+
+    /// A non-JSON body (the Prometheus text exposition).
+    fn text(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            content_type,
+            retry_after: None,
+            trace: None,
         }
     }
 
     fn error(status: u16, message: impl AsRef<str>) -> Self {
         Self {
             status,
-            body: Json::obj([("error", Json::str(message.as_ref()))]),
+            body: Json::obj([("error", Json::str(message.as_ref()))]).encode(),
+            content_type: "application/json",
             retry_after: None,
+            trace: None,
         }
+    }
+
+    /// Attaches handler-collected stage timings.
+    fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(Box::new(trace));
+        self
     }
 
     fn shed(message: impl AsRef<str>) -> Self {
@@ -578,7 +793,11 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
         ("POST", "/remove") => handle_remove(inner, request),
         ("POST", "/upsert") => handle_upsert(inner, request),
         ("POST", "/publish") => {
-            Reply::ok(Json::obj([("epoch", Json::u64(inner.engine.publish()))]))
+            let mut trace = Trace::new("/publish");
+            let publish_started = Instant::now();
+            let epoch = inner.engine.publish();
+            trace.stage("publish", micros(publish_started.elapsed()));
+            Reply::ok(Json::obj([("epoch", Json::u64(epoch))])).with_trace(trace)
         }
         ("POST", "/checkpoint") => match inner.engine.checkpoint() {
             Ok(epoch) => Reply::ok(Json::obj([("epoch", Json::u64(epoch))])),
@@ -591,10 +810,82 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
         ("GET", "/healthz") => Reply::ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("epoch", Json::u64(inner.engine.current_epoch())),
+            ("uptime_secs", Json::u64(inner.started.elapsed().as_secs())),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            ("fsync", Json::str(fsync_str(inner.engine.fsync_policy()))),
         ])),
+        ("GET", "/metrics") => handle_metrics(inner),
+        ("GET", "/trace/slow") => handle_trace_slow(inner),
         ("GET" | "POST", _) => Reply::error(404, format!("no such endpoint {}", request.path)),
         _ => Reply::error(405, format!("method {} not supported", request.method)),
     }
+}
+
+/// Saturating whole-microseconds of a duration (trace stages).
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The engine's fsync policy as a stable string for `/healthz` and
+/// `/stats` (`none` = the engine has no storage attached).
+fn fsync_str(policy: Option<FsyncPolicy>) -> &'static str {
+    match policy {
+        None => "none",
+        Some(FsyncPolicy::Always) => "always",
+        Some(FsyncPolicy::GroupCommit { .. }) => "group_commit",
+        Some(FsyncPolicy::Never) => "never",
+    }
+}
+
+/// `GET /metrics`: the engine's and the server's registries rendered as
+/// one Prometheus text exposition. Point-in-time gauges are refreshed
+/// here, at scrape time — a gauge is a sample, not an event stream.
+fn handle_metrics(inner: &Arc<Inner>) -> Reply {
+    inner
+        .metrics
+        .queue_depth
+        .set(inner.batch_counters.queue_depth.load(Ordering::Relaxed) as u64);
+    inner.metrics.publish_lag.set(inner.engine.publish_lag());
+    let mut text = String::new();
+    inner.engine.metrics().render_into(&mut text);
+    inner.metrics.registry.render_into(&mut text);
+    Reply::text("text/plain; version=0.0.4", text)
+}
+
+/// `GET /trace/slow`: the slow-request ring as JSON, newest first, each
+/// trace with its stage-by-stage breakdown.
+fn handle_trace_slow(inner: &Arc<Inner>) -> Reply {
+    let traces = inner
+        .traces
+        .recent()
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("seq", Json::u64(t.seq)),
+                ("route", Json::str(t.label)),
+                ("total_us", Json::u64(t.total_us)),
+                (
+                    "stages",
+                    Json::Arr(
+                        t.stages()
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("stage", Json::str(s.name)),
+                                    ("us", Json::u64(s.micros)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Reply::ok(Json::obj([
+        ("threshold_us", Json::u64(inner.traces.threshold_us())),
+        ("captured", Json::u64(inner.traces.captured())),
+        ("traces", Json::Arr(traces)),
+    ]))
 }
 
 fn parse_body(request: &Request) -> Result<Json, Reply> {
@@ -664,7 +955,7 @@ fn ingest_pressure(inner: &Arc<Inner>) -> Option<Reply> {
     if let Some(limit) = inner.config.max_publish_lag {
         let lag = inner.engine.publish_lag();
         if lag >= limit {
-            inner.counters.shed_ingests.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.shed_ingests.inc();
             return Some(Reply::shed(format!(
                 "publish lag {lag} at or past the shed threshold {limit}; publish (or wait for auto-publish) and retry"
             )));
@@ -673,7 +964,7 @@ fn ingest_pressure(inner: &Arc<Inner>) -> Option<Reply> {
     if let Some(limit) = inner.config.max_wal_depth {
         let depth = inner.engine.max_wal_shard_pending();
         if depth >= limit {
-            inner.counters.shed_wal.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.shed_wal.inc();
             // Retry-After keys off how deep past the limit the worst
             // shard is: a checkpoint drains the whole backlog, so a 2×
             // overshoot roughly doubles the useful wait.
@@ -710,6 +1001,12 @@ fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
     match inner.batcher.estimate(tau, Instant::now() + deadline) {
         Ok(answer) => {
             let e = answer.estimate;
+            // The estimate pipeline's stage breakdown, as measured by
+            // the batcher: where did this request's latency go?
+            let mut trace = Trace::new("/estimate");
+            trace.stage("queue_wait", micros(answer.queue_wait));
+            trace.stage("batch_wait", micros(answer.batch_wait));
+            trace.stage("sampling", micros(answer.sampling));
             Reply::ok(Json::obj([
                 ("value", Json::Num(e.estimate.value)),
                 ("kind", Json::str(kind_str(e.estimate.kind))),
@@ -720,12 +1017,10 @@ fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
                 ("batch", Json::u64(answer.batch)),
                 ("batch_size", Json::usize(answer.batch_size)),
             ]))
+            .with_trace(trace)
         }
         Err(BatchRejected::QueueFull) => {
-            inner
-                .counters
-                .shed_estimates
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.shed_estimates.inc();
             Reply::shed(format!(
                 "estimate queue at capacity ({})",
                 inner.config.max_queue_depth
@@ -745,7 +1040,15 @@ fn handle_insert(inner: &Arc<Inner>, request: &Request) -> Reply {
         Err(reply) => return reply,
     };
     match parse_vector(&body) {
-        Ok(vector) => Reply::ok(Json::obj([("id", Json::u64(inner.engine.insert(vector)))])),
+        Ok(vector) => {
+            // On a durable engine the apply stage includes the WAL
+            // append and commit wait (fsync, under Always/GroupCommit).
+            let mut trace = Trace::new("/insert");
+            let apply_started = Instant::now();
+            let id = inner.engine.insert(vector);
+            trace.stage("apply", micros(apply_started.elapsed()));
+            Reply::ok(Json::obj([("id", Json::u64(id))])).with_trace(trace)
+        }
         Err(reason) => Reply::error(400, reason),
     }
 }
@@ -761,10 +1064,11 @@ fn handle_remove(inner: &Arc<Inner>, request: &Request) -> Reply {
     let Some(id) = body.get("id").and_then(Json::as_u64) else {
         return Reply::error(400, "remove needs a numeric id");
     };
-    Reply::ok(Json::obj([(
-        "removed",
-        Json::Bool(inner.engine.remove(id)),
-    )]))
+    let mut trace = Trace::new("/remove");
+    let apply_started = Instant::now();
+    let removed = inner.engine.remove(id);
+    trace.stage("apply", micros(apply_started.elapsed()));
+    Reply::ok(Json::obj([("removed", Json::Bool(removed))])).with_trace(trace)
 }
 
 fn handle_upsert(inner: &Arc<Inner>, request: &Request) -> Reply {
@@ -779,10 +1083,13 @@ fn handle_upsert(inner: &Arc<Inner>, request: &Request) -> Reply {
         return Reply::error(400, "upsert needs a numeric id");
     };
     match parse_vector(&body) {
-        Ok(vector) => Reply::ok(Json::obj([(
-            "replaced",
-            Json::Bool(inner.engine.upsert(id, vector)),
-        )])),
+        Ok(vector) => {
+            let mut trace = Trace::new("/upsert");
+            let apply_started = Instant::now();
+            let replaced = inner.engine.upsert(id, vector);
+            trace.stage("apply", micros(apply_started.elapsed()));
+            Reply::ok(Json::obj([("replaced", Json::Bool(replaced))])).with_trace(trace)
+        }
         Err(reason) => Reply::error(400, reason),
     }
 }
@@ -820,6 +1127,9 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
         (
             "server",
             Json::obj([
+                ("uptime_secs", Json::u64(inner.started.elapsed().as_secs())),
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                ("fsync", Json::str(fsync_str(inner.engine.fsync_policy()))),
                 ("requests", Json::u64(server.requests)),
                 ("connections", Json::u64(server.connections)),
                 (
@@ -841,19 +1151,19 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
 }
 
 fn stats_of(inner: &Inner) -> ServerStats {
-    let c = &inner.counters;
+    let m = &inner.metrics;
     let b = &inner.batch_counters;
     ServerStats {
-        requests: c.requests.load(Ordering::Relaxed),
-        connections: c.connections.load(Ordering::Relaxed),
-        rejected_connections: c.rejected_connections.load(Ordering::Relaxed),
+        requests: m.requests.get(),
+        connections: m.connections.get(),
+        rejected_connections: m.rejected_connections.get(),
         batches: b.batches.load(Ordering::Relaxed),
         batched_estimates: b.batched_estimates.load(Ordering::Relaxed),
         merged_estimates: b.merged_estimates.load(Ordering::Relaxed),
         max_batch: b.max_batch.load(Ordering::Relaxed),
-        shed_estimates: c.shed_estimates.load(Ordering::Relaxed),
-        shed_ingests: c.shed_ingests.load(Ordering::Relaxed),
-        shed_wal: c.shed_wal.load(Ordering::Relaxed),
+        shed_estimates: m.shed_estimates.get(),
+        shed_ingests: m.shed_ingests.get(),
+        shed_wal: m.shed_wal.get(),
         estimate_timeouts: b.timeouts.load(Ordering::Relaxed),
         queue_depth: b.queue_depth.load(Ordering::Relaxed),
     }

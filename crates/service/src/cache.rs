@@ -15,6 +15,10 @@
 //! estimator parameters that produced them, so a config change (e.g.
 //! paper defaults re-derived at a different `n`) never serves a stale
 //! shape of estimate.
+//!
+//! The cache is pure storage: hit/miss accounting lives on the engine's
+//! metric registry (`vsj_engine_cache_{hits,misses}_total`), recorded at
+//! the call sites that know whether an answer was actually served.
 
 use std::collections::HashMap;
 
@@ -59,45 +63,18 @@ const MAX_ENTRIES: usize = 4096;
 #[derive(Debug, Default)]
 pub(crate) struct EstimateCache {
     entries: HashMap<CacheKey, CacheEntry>,
-    hits: u64,
-    misses: u64,
 }
 
 impl EstimateCache {
-    /// Looks up an entry still within `epsilon` ingests of
-    /// `current_ingested`. Records a hit or miss.
-    pub fn lookup(
-        &mut self,
-        key: CacheKey,
-        current_ingested: u64,
-        epsilon: u64,
-    ) -> Option<CacheEntry> {
-        match self.entries.get(&key) {
-            Some(e) if current_ingested.abs_diff(e.ingested) <= epsilon => {
-                self.hits += 1;
-                Some(*e)
-            }
-            _ => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Like [`lookup`](Self::lookup) but without touching the hit/miss
-    /// counters — for multi-key fast paths that only know afterwards
-    /// whether the cache actually served the request.
-    pub fn peek(&self, key: CacheKey, current_ingested: u64, epsilon: u64) -> Option<CacheEntry> {
+    /// Returns the entry for `key` if it is still within `epsilon`
+    /// ingests of `current_ingested`. Pure read — whether it counts as
+    /// a hit or a miss is the caller's call (a multi-key fast path only
+    /// knows afterwards whether the cache actually served the request).
+    pub fn lookup(&self, key: CacheKey, current_ingested: u64, epsilon: u64) -> Option<CacheEntry> {
         self.entries
             .get(&key)
             .filter(|e| current_ingested.abs_diff(e.ingested) <= epsilon)
             .copied()
-    }
-
-    /// Bulk-records hit/miss counts (used with [`peek`](Self::peek)).
-    pub fn record(&mut self, hits: u64, misses: u64) {
-        self.hits += hits;
-        self.misses += misses;
     }
 
     /// Inserts the entry for `key`, keeping whichever of the resident
@@ -122,9 +99,9 @@ impl EstimateCache {
         self.entries.clear();
     }
 
-    /// `(hits, misses, resident entries)`.
-    pub fn stats(&self) -> (u64, u64, usize) {
-        (self.hits, self.misses, self.entries.len())
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -157,11 +134,11 @@ mod tests {
         for i in 0..(super::MAX_ENTRIES as u64 + 500) {
             c.store(CacheKey { tau_bits: i, ..KEY }, entry(0));
         }
-        let (_, _, len) = c.stats();
+        let len = c.len();
         assert!(len <= super::MAX_ENTRIES, "cache grew to {len}");
         // Updates to a resident key never evict.
         c.store(KEY, entry(1));
-        assert!(c.stats().2 <= super::MAX_ENTRIES);
+        assert!(c.len() <= super::MAX_ENTRIES);
     }
 
     #[test]
@@ -172,8 +149,7 @@ mod tests {
         assert!(c.lookup(KEY, 105, 10).is_some(), "drift 5 ≤ ε 10");
         assert!(c.lookup(KEY, 110, 10).is_some(), "drift 10 ≤ ε 10");
         assert!(c.lookup(KEY, 111, 10).is_none(), "drift 11 > ε 10");
-        let (hits, misses, len) = c.stats();
-        assert_eq!((hits, misses, len), (2, 2, 1));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

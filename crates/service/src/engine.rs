@@ -3,20 +3,22 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use vsj_core::{Estimate, LshSs, LshSsConfig};
 use vsj_lsh::{BucketHasher, Composite, MinHashFamily, SimHashFamily};
+use vsj_obs::{snapshot_ordered, Counter, Histogram, ObsOptions, Registry};
 use vsj_sampling::{RngStreams, SplitMix64, Xoshiro256};
 use vsj_vector::{Cosine, Jaccard, SparseVector};
 
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
-use crate::config::{DurabilityOptions, IndexFamily, ServiceConfig};
+use crate::config::{DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig};
 use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
 use crate::shard::{ShardDelta, ShardState, ShardStats};
 use crate::snapshot::Snapshot;
-use crate::wal::{self, WalOp, WalRecord, WalSet};
+use crate::wal::{self, WalMetrics, WalOp, WalRecord, WalSet};
 use crate::GlobalId;
 
 /// Shard whose segment chain carries publish barrier records.
@@ -48,6 +50,111 @@ struct Durability {
     /// are dropped at the next checkpoint.
     horizons: Mutex<Vec<u64>>,
     options: DurabilityOptions,
+}
+
+/// The engine's metric handles, all registered against one [`Registry`]
+/// (also the home of the WAL and, in a serving deployment, the exposure
+/// point of `GET /metrics`). The counters here *are* the engine's
+/// counters — [`EngineStats`] reads them through [`snapshot_ordered`],
+/// which is what rules out torn-snapshot inversions like
+/// `cache_misses < sampling_passes`.
+struct EngineMetrics {
+    registry: Registry,
+    /// Bucket layouts, kept so the WAL series can register lazily
+    /// (storage attaches after construction).
+    obs: ObsOptions,
+    ingests: Counter,
+    publishes: Counter,
+    delta_publishes: Counter,
+    full_publishes: Counter,
+    sampling_passes: Counter,
+    sampled_pairs: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    publish_delta_us: Histogram,
+    publish_full_us: Histogram,
+    sampling_us: Histogram,
+    pairs_per_pass: Histogram,
+    cache_hit_us: Histogram,
+    ingest_apply_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: ObsOptions) -> Self {
+        obs.validate();
+        let registry = Registry::new();
+        let latency = obs.latency_spec();
+        let size = obs.size_spec();
+        Self {
+            ingests: registry.counter(
+                "vsj_engine_ingests_total",
+                "Ingest operations (inserts + removes + upsert halves)",
+            ),
+            publishes: registry.counter("vsj_engine_publishes_total", "Snapshots published"),
+            delta_publishes: registry.counter(
+                "vsj_engine_delta_publishes_total",
+                "Publishes served by the incremental O(changed) path",
+            ),
+            full_publishes: registry.counter(
+                "vsj_engine_full_publishes_total",
+                "Publishes that fell back to the full pointer-merge",
+            ),
+            sampling_passes: registry.counter(
+                "vsj_engine_sampling_passes_total",
+                "Estimate computations that actually sampled",
+            ),
+            sampled_pairs: registry.counter(
+                "vsj_engine_sampled_pairs_total",
+                "Total pair draws across all sampling passes",
+            ),
+            cache_hits: registry.counter("vsj_engine_cache_hits_total", "Estimate-cache hits"),
+            cache_misses: registry
+                .counter("vsj_engine_cache_misses_total", "Estimate-cache misses"),
+            publish_delta_us: registry.histogram_with(
+                "vsj_engine_publish_duration_us",
+                "Snapshot publish duration in microseconds",
+                &[("kind", "delta")],
+                latency,
+            ),
+            publish_full_us: registry.histogram_with(
+                "vsj_engine_publish_duration_us",
+                "Snapshot publish duration in microseconds",
+                &[("kind", "full")],
+                latency,
+            ),
+            sampling_us: registry.histogram(
+                "vsj_engine_sampling_duration_us",
+                "Sampling-pass duration in microseconds",
+                latency,
+            ),
+            pairs_per_pass: registry.histogram(
+                "vsj_engine_sampling_pairs",
+                "Pairs drawn per sampling pass",
+                size,
+            ),
+            cache_hit_us: registry.histogram(
+                "vsj_engine_cache_hit_duration_us",
+                "Cache-served estimate latency in microseconds",
+                latency,
+            ),
+            ingest_apply_us: registry.histogram(
+                "vsj_engine_ingest_apply_duration_us",
+                "Per-shard ingest apply time under the shard lock in microseconds",
+                latency,
+            ),
+            registry,
+            obs,
+        }
+    }
+
+    /// WAL histogram handles on this registry (idempotent).
+    fn wal_metrics(&self) -> WalMetrics {
+        WalMetrics::registered(
+            &self.registry,
+            self.obs.latency_spec(),
+            self.obs.size_spec(),
+        )
+    }
 }
 
 /// One answer from the service, with the provenance a query optimizer
@@ -155,12 +262,7 @@ pub struct EstimationEngine {
     /// Serializes publishes; holds the last published epoch.
     publish_lock: Mutex<u64>,
     next_id: AtomicU64,
-    ingests: AtomicU64,
-    publishes: AtomicU64,
-    delta_publishes: AtomicU64,
-    full_publishes: AtomicU64,
-    sampling_passes: AtomicU64,
-    sampled_pairs: AtomicU64,
+    metrics: EngineMetrics,
     cache: Mutex<EstimateCache>,
     streams: RngStreams,
     /// `Some` for durable engines (see [`EstimationEngine::durable`]).
@@ -168,8 +270,17 @@ pub struct EstimationEngine {
 }
 
 impl EstimationEngine {
-    /// Builds an engine from a configuration.
+    /// Builds an engine from a configuration (default observability
+    /// bucket layout — see [`with_obs`](Self::with_obs)).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_obs(config, ObsOptions::default())
+    }
+
+    /// Builds an engine with explicit observability options (histogram
+    /// bucket layouts for the engine + WAL series). `obs` is purely
+    /// operational: it is not part of the persisted configuration and
+    /// may differ across lives of the same durable directory.
+    pub fn with_obs(config: ServiceConfig, obs: ObsOptions) -> Self {
         assert!(config.shards >= 1, "an engine needs at least one shard");
         assert!(config.k >= 1, "k must be at least 1");
         assert!(
@@ -200,12 +311,7 @@ impl EstimationEngine {
             shards,
             publish_lock: Mutex::new(0),
             next_id: AtomicU64::new(0),
-            ingests: AtomicU64::new(0),
-            publishes: AtomicU64::new(0),
-            delta_publishes: AtomicU64::new(0),
-            full_publishes: AtomicU64::new(0),
-            sampling_passes: AtomicU64::new(0),
-            sampled_pairs: AtomicU64::new(0),
+            metrics: EngineMetrics::new(obs),
             cache: Mutex::new(EstimateCache::default()),
             streams: RngStreams::new(config.seed),
             durability: None,
@@ -292,7 +398,8 @@ impl EstimationEngine {
             persist::config_fingerprint(&config),
             options.fsync,
             options.segment_bytes,
-        )?;
+        )?
+        .with_metrics(engine.metrics.wal_metrics());
         engine.durability = Some(Durability {
             dir: dir.to_path_buf(),
             wal,
@@ -401,7 +508,8 @@ impl EstimationEngine {
                 fingerprint,
                 options.fsync,
                 options.segment_bytes,
-            )?;
+            )?
+            .with_metrics(engine.metrics.wal_metrics());
             for entry in &replay.entries {
                 if entry.seq > meta.applied_seq {
                     engine.apply_replayed(&entry.record, Some(&wal), true)?;
@@ -427,6 +535,7 @@ impl EstimationEngine {
                 options.fsync,
                 options.segment_bytes,
             )?;
+            let wal = wal.with_metrics(engine.metrics.wal_metrics());
             for entry in &entries {
                 if entry.seq > meta.applied_seq {
                     // v3 logs carry every publish (explicit, auto,
@@ -505,8 +614,8 @@ impl EstimationEngine {
         ));
         *engine.publish_lock.get_mut() = meta.epoch;
         *engine.next_id.get_mut() = meta.next_id;
-        *engine.ingests.get_mut() = meta.ingested;
-        *engine.publishes.get_mut() = meta.publishes;
+        engine.metrics.ingests.store(meta.ingested);
+        engine.metrics.publishes.store(meta.publishes);
         Ok(engine)
     }
 
@@ -631,7 +740,7 @@ impl EstimationEngine {
             ingested: snapshot.ingested(),
             next_id: self.next_id.load(Ordering::SeqCst),
             applied_seq: cut_seq,
-            publishes: self.publishes.load(Ordering::SeqCst),
+            publishes: self.metrics.publishes.get(),
             config: self.config,
         };
         let result = durability.wal.sync_all().and_then(|()| {
@@ -731,7 +840,11 @@ impl EstimationEngine {
                     .append(self.shard_of(id), WalOp::Insert(id, &v))
                     .expect("WAL append failed; refusing to apply an unlogged insert");
                 durability.pending.fetch_add(1, Ordering::Relaxed);
+                let apply_started = Instant::now();
                 let fresh = shard.insert(id, v.clone());
+                self.metrics
+                    .ingest_apply_us
+                    .record_duration(apply_started.elapsed());
                 debug_assert!(fresh, "freshness checked under this shard guard");
                 break (id, ticket);
             };
@@ -749,7 +862,12 @@ impl EstimationEngine {
         loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             // See the durable arm for why a collision is possible here.
-            if self.shards[self.shard_of(id)].lock().insert(id, v.clone()) {
+            let apply_started = Instant::now();
+            let inserted = self.shards[self.shard_of(id)].lock().insert(id, v.clone());
+            self.metrics
+                .ingest_apply_us
+                .record_duration(apply_started.elapsed());
+            if inserted {
                 self.after_ingest(1);
                 return id;
             }
@@ -787,7 +905,11 @@ impl EstimationEngine {
                 .append(self.shard_of(global), WalOp::Remove(global))
                 .expect("WAL append failed; refusing to apply an unlogged remove");
             durability.pending.fetch_add(1, Ordering::Relaxed);
+            let apply_started = Instant::now();
             let removed = shard.remove(global);
+            self.metrics
+                .ingest_apply_us
+                .record_duration(apply_started.elapsed());
             debug_assert!(removed, "contains() held under the shard lock");
             drop(shard);
             let crossed = self.count_ingest(1);
@@ -801,7 +923,11 @@ impl EstimationEngine {
             }
             return true;
         }
+        let apply_started = Instant::now();
         let removed = self.shards[self.shard_of(global)].lock().remove(global);
+        self.metrics
+            .ingest_apply_us
+            .record_duration(apply_started.elapsed());
         if removed {
             self.after_ingest(1);
         }
@@ -822,8 +948,12 @@ impl EstimationEngine {
                     .append(self.shard_of(global), WalOp::Upsert(global, &v))
                     .expect("WAL append failed; refusing to apply an unlogged upsert");
                 durability.pending.fetch_add(1, Ordering::Relaxed);
+                let apply_started = Instant::now();
                 let replaced = shard.remove(global);
                 let inserted = shard.insert(global, Arc::new(v));
+                self.metrics
+                    .ingest_apply_us
+                    .record_duration(apply_started.elapsed());
                 debug_assert!(inserted, "id was just vacated");
                 (replaced, ticket)
             };
@@ -841,8 +971,12 @@ impl EstimationEngine {
         self.next_id.fetch_max(global + 1, Ordering::Relaxed);
         let replaced = {
             let mut shard = self.shards[self.shard_of(global)].lock();
+            let apply_started = Instant::now();
             let replaced = shard.remove(global);
             let inserted = shard.insert(global, Arc::new(v));
+            self.metrics
+                .ingest_apply_us
+                .record_duration(apply_started.elapsed());
             debug_assert!(inserted, "id was just vacated");
             replaced
         };
@@ -862,7 +996,7 @@ impl EstimationEngine {
     /// ([`after_ingest`](Self::after_ingest)), as a logged sequence
     /// barrier for durable ones ([`durable_publish`](Self::durable_publish)).
     fn count_ingest(&self, ops: u64) -> bool {
-        let count = self.ingests.fetch_add(ops, Ordering::Relaxed) + ops;
+        let count = self.metrics.ingests.add_fetch(ops);
         match self.config.auto_publish_every {
             // Crossing test (not `% == 0`) so multi-op ingests keep the
             // cadence even.
@@ -964,6 +1098,7 @@ impl EstimationEngine {
     /// auto-publishes (reproduced by ingest replay), checkpoint cuts
     /// (recorded in checkpoint metadata), and WAL replay itself.
     fn publish_inner(&self) -> u64 {
+        let publish_started = Instant::now();
         let mut last_epoch = self.publish_lock.lock();
         // Only publish() (serialized by the lock we hold) and recovery
         // (exclusive access) replace `current`, so this read is the
@@ -976,7 +1111,7 @@ impl EstimationEngine {
         // re-collected before any writer can slip in a mutation that
         // would otherwise straddle two epochs.
         let mut guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
-        let ingested = self.ingests.load(Ordering::SeqCst);
+        let ingested = self.metrics.ingests.get();
         let mut delta = Vec::new();
         let mut full = false;
         for g in &mut guards {
@@ -996,7 +1131,6 @@ impl EstimationEngine {
                 g.collect_live(&mut rows);
             }
             drop(guards);
-            self.full_publishes.fetch_add(1, Ordering::Relaxed);
             Arc::new(Snapshot::assemble(
                 epoch,
                 ingested,
@@ -1005,7 +1139,6 @@ impl EstimationEngine {
             ))
         } else {
             drop(guards);
-            self.delta_publishes.fetch_add(1, Ordering::Relaxed);
             Arc::new(
                 Snapshot::assemble_delta(&prev, epoch, ingested, delta)
                     .expect("append-only delta was validated under the cut"),
@@ -1013,7 +1146,22 @@ impl EstimationEngine {
         };
         *self.current.write() = snapshot;
         *last_epoch = epoch;
-        self.publishes.fetch_add(1, Ordering::Relaxed);
+        // Counter order matters for torn-read-free stats: the total is
+        // bumped before its per-kind breakdown, and stats() reads the
+        // breakdown first, so `delta + full ≤ publishes` always holds
+        // (publishes are serialized by the lock we still hold anyway).
+        self.metrics.publishes.inc();
+        if full {
+            self.metrics.full_publishes.inc();
+            self.metrics
+                .publish_full_us
+                .record_duration(publish_started.elapsed());
+        } else {
+            self.metrics.delta_publishes.inc();
+            self.metrics
+                .publish_delta_us
+                .record_duration(publish_started.elapsed());
+        }
         epoch
     }
 
@@ -1036,11 +1184,12 @@ impl EstimationEngine {
     /// both snapshot staleness and the cost of the next publish.
     /// Lock-free and O(1).
     pub fn publish_lag(&self) -> u64 {
-        // Two relaxed reads that can race a concurrent publish; the
-        // value is a momentary lag estimate either way, which is all a
+        // Two reads that can race a concurrent publish; the value is a
+        // momentary lag estimate either way, which is all a
         // load-shedding threshold needs.
-        self.ingests
-            .load(Ordering::Relaxed)
+        self.metrics
+            .ingests
+            .get()
             .saturating_sub(self.snapshot().ingested())
     }
 
@@ -1102,6 +1251,7 @@ impl EstimationEngine {
     /// snapshot, serving from the estimate cache when a previous answer
     /// is within the configured drift tolerance ε.
     pub fn estimate(&self, tau: f64) -> ServiceEstimate {
+        let started = Instant::now();
         let snapshot = self.snapshot();
         let est_config = self.estimator_config(snapshot.len());
         let key = CacheKey {
@@ -1115,6 +1265,8 @@ impl EstimationEngine {
             .lock()
             .lookup(key, now, self.config.cache_epsilon)
         {
+            self.metrics.cache_hits.inc();
+            self.metrics.cache_hit_us.record_duration(started.elapsed());
             return ServiceEstimate {
                 estimate: hit.estimate,
                 epoch: hit.epoch,
@@ -1123,9 +1275,17 @@ impl EstimationEngine {
                 cached: true,
             };
         }
+        // Miss before pass: stats() reads passes first, so it can never
+        // observe more sampling passes than cache misses.
+        self.metrics.cache_misses.inc();
+        let sampling_started = Instant::now();
         let (estimate, sampled) = self.compute(&snapshot, est_config, tau);
-        self.sampling_passes.fetch_add(1, Ordering::Relaxed);
-        self.sampled_pairs.fetch_add(sampled, Ordering::Relaxed);
+        self.metrics
+            .sampling_us
+            .record_duration(sampling_started.elapsed());
+        self.metrics.pairs_per_pass.record(sampled);
+        self.metrics.sampled_pairs.add(sampled);
+        self.metrics.sampling_passes.inc();
         self.cache.lock().store(
             key,
             CacheEntry {
@@ -1160,20 +1320,22 @@ impl EstimationEngine {
         if taus.is_empty() {
             return Vec::new();
         }
+        let started = Instant::now();
         let snapshot = self.snapshot();
         let est_config = self.estimator_config(snapshot.len());
         let config_fp = self.fingerprint();
         let now = snapshot.ingested();
         // Fast path: only when *every* threshold can be served from
-        // cache (peek first — hits are recorded only if actually served,
-        // misses only for the batch that bypasses the cache).
+        // cache (lookup is a pure read — hits are recorded only if
+        // actually served, misses only for the batch that bypasses the
+        // cache).
         {
-            let mut cache = self.cache.lock();
+            let cache = self.cache.lock();
             let hits: Option<Vec<ServiceEstimate>> = taus
                 .iter()
                 .map(|&tau| {
                     cache
-                        .peek(
+                        .lookup(
                             CacheKey {
                                 tau_bits: tau.to_bits(),
                                 config: config_fp,
@@ -1191,15 +1353,18 @@ impl EstimationEngine {
                         })
                 })
                 .collect();
+            drop(cache);
             match hits {
                 Some(all) => {
-                    cache.record(taus.len() as u64, 0);
+                    self.metrics.cache_hits.add(taus.len() as u64);
+                    self.metrics.cache_hit_us.record_duration(started.elapsed());
                     return all;
                 }
-                None => cache.record(0, taus.len() as u64),
+                None => self.metrics.cache_misses.add(taus.len() as u64),
             }
         }
         // Shared pass over the grid.
+        let sampling_started = Instant::now();
         let est = LshSs { config: est_config };
         let mut rng = self.batch_rng(snapshot.epoch());
         let curve = match self.config.family {
@@ -1227,8 +1392,12 @@ impl EstimationEngine {
         } else {
             0
         };
-        self.sampling_passes.fetch_add(1, Ordering::Relaxed);
-        self.sampled_pairs.fetch_add(sampled, Ordering::Relaxed);
+        self.metrics
+            .sampling_us
+            .record_duration(sampling_started.elapsed());
+        self.metrics.pairs_per_pass.record(sampled);
+        self.metrics.sampled_pairs.add(sampled);
+        self.metrics.sampling_passes.inc();
         let mut cache = self.cache.lock();
         taus.iter()
             .zip(curve)
@@ -1283,10 +1452,43 @@ impl EstimationEngine {
 
     // --- observability ---------------------------------------------------
 
+    /// The engine's metric [`Registry`] — every engine and WAL series
+    /// (counters, gauges, histograms), renderable as Prometheus text via
+    /// [`Registry::render`]. A serving layer merges this into its own
+    /// exposition under `GET /metrics`.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
+    /// The fsync policy of a durable engine (`None` when storage is not
+    /// attached) — operational provenance for health endpoints.
+    pub fn fsync_policy(&self) -> Option<FsyncPolicy> {
+        self.durability.as_ref().map(|d| d.options.fsync)
+    }
+
     /// Point-in-time statistics (briefly locks each shard in turn).
+    ///
+    /// Counter families are read through [`snapshot_ordered`],
+    /// downstream-first, so causally-related pairs can never invert:
+    /// `sampling_passes ≤ cache_misses` and
+    /// `delta_publishes + full_publishes ≤ publishes` hold in every
+    /// snapshot, no matter how reads race concurrent increments.
     pub fn stats(&self) -> EngineStats {
+        let m = &self.metrics;
+        let [sampling_passes, cache_misses, cache_hits, sampled_pairs] = snapshot_ordered([
+            &m.sampling_passes,
+            &m.cache_misses,
+            &m.cache_hits,
+            &m.sampled_pairs,
+        ]);
+        let [delta_publishes, full_publishes, publishes, ingests] = snapshot_ordered([
+            &m.delta_publishes,
+            &m.full_publishes,
+            &m.publishes,
+            &m.ingests,
+        ]);
         let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.lock().stats()).collect();
-        let (cache_hits, cache_misses, cache_entries) = self.cache.lock().stats();
+        let cache_entries = self.cache.lock().len();
         let wal = self.durability.as_ref().map(|d| d.wal.stats());
         EngineStats {
             wal_shard_pending: wal
@@ -1298,17 +1500,17 @@ impl EstimationEngine {
             wal_rotations: wal.as_ref().map_or(0, |w| w.rotations),
             epoch: self.current_epoch(),
             live: shards.iter().map(|s| s.live).sum(),
-            ingests: self.ingests.load(Ordering::Relaxed),
-            publish_lag: self.publish_lag(),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
-            full_publishes: self.full_publishes.load(Ordering::Relaxed),
+            ingests,
+            publish_lag: ingests.saturating_sub(self.snapshot().ingested()),
+            publishes,
+            delta_publishes,
+            full_publishes,
             shards,
             cache_hits,
             cache_misses,
             cache_entries,
-            sampling_passes: self.sampling_passes.load(Ordering::Relaxed),
-            sampled_pairs: self.sampled_pairs.load(Ordering::Relaxed),
+            sampling_passes,
+            sampled_pairs,
             wal_pending: self.wal_pending(),
         }
     }

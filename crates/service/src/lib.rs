@@ -92,6 +92,7 @@ pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
 pub use persist::{Checkpointer, PersistError};
 pub use shard::ShardStats;
 pub use snapshot::Snapshot;
+pub use vsj_obs::{ObsOptions, Registry};
 
 /// Stable identifier of a vector across the engine's lifetime (survives
 /// snapshot compaction; never reused after removal).

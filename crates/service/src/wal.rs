@@ -81,6 +81,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsj_datasets::io::{checksum64, decode_vector, encode_vector_into};
+use vsj_obs::{Histogram, HistogramSpec, Registry};
 use vsj_vector::SparseVector;
 
 use crate::config::FsyncPolicy;
@@ -567,6 +568,77 @@ pub struct WalTicket {
     ticket: u64,
 }
 
+/// Histogram handles a [`WalSet`] records its timings into — normally
+/// registered against the owning engine's metric [`Registry`]. The set
+/// keeps its own plain fsync/rotation *counts* for [`WalSetStats`]; the
+/// histograms add the latency and batch-size distributions on top
+/// (their `_count` series double as registry-side event counters).
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    /// Segment-file fsync latency, µs (group-commit leaders, seals,
+    /// checkpoint syncs).
+    pub fsync_us: Histogram,
+    /// Full [`WalSet::commit`] wait, µs — time from calling commit to
+    /// the durable acknowledgement, leader or follower. Not recorded
+    /// under [`FsyncPolicy::Never`] (commit is a no-op there).
+    pub commit_wait_us: Histogram,
+    /// Tickets covered per completed flush — the group-commit batch
+    /// size distribution.
+    pub group_batch: Histogram,
+    /// Segment rotation duration (seal fsync + next-segment create), µs.
+    pub rotation_us: Histogram,
+    /// Checkpoint truncation duration (sealed-segment unlink sweep), µs.
+    pub truncation_us: Histogram,
+}
+
+impl WalMetrics {
+    /// Handles that record nowhere — the default for a [`WalSet`] used
+    /// outside an engine (tests, tooling).
+    pub fn disabled() -> Self {
+        let none = HistogramSpec::disabled();
+        Self {
+            fsync_us: Histogram::new(none),
+            commit_wait_us: Histogram::new(none),
+            group_batch: Histogram::new(none),
+            rotation_us: Histogram::new(none),
+            truncation_us: Histogram::new(none),
+        }
+    }
+
+    /// Registers the WAL series against `registry` (idempotent — the
+    /// registry dedupes by name, so re-registration returns the same
+    /// underlying handles).
+    pub fn registered(registry: &Registry, latency: HistogramSpec, size: HistogramSpec) -> Self {
+        Self {
+            fsync_us: registry.histogram(
+                "vsj_wal_fsync_duration_us",
+                "WAL segment fsync latency in microseconds",
+                latency,
+            ),
+            commit_wait_us: registry.histogram(
+                "vsj_wal_commit_wait_us",
+                "Durable-acknowledgement wait in WAL commit in microseconds",
+                latency,
+            ),
+            group_batch: registry.histogram(
+                "vsj_wal_group_commit_batch",
+                "Tickets covered per completed WAL flush",
+                size,
+            ),
+            rotation_us: registry.histogram(
+                "vsj_wal_rotation_duration_us",
+                "WAL segment rotation duration in microseconds",
+                latency,
+            ),
+            truncation_us: registry.histogram(
+                "vsj_wal_truncation_duration_us",
+                "WAL checkpoint truncation duration in microseconds",
+                latency,
+            ),
+        }
+    }
+}
+
 /// Point-in-time counters of a [`WalSet`].
 #[derive(Debug, Clone)]
 pub struct WalSetStats {
@@ -633,6 +705,7 @@ pub struct WalSet {
     poisoned: AtomicBool,
     fsyncs: AtomicU64,
     rotations: AtomicU64,
+    metrics: WalMetrics,
 }
 
 impl std::fmt::Debug for WalSet {
@@ -743,6 +816,7 @@ impl WalSet {
             poisoned: AtomicBool::new(false),
             fsyncs: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            metrics: WalMetrics::disabled(),
         })
     }
 
@@ -911,9 +985,18 @@ impl WalSet {
                 poisoned: AtomicBool::new(false),
                 fsyncs: AtomicU64::new(0),
                 rotations: AtomicU64::new(0),
+                metrics: WalMetrics::disabled(),
             },
             entries,
         ))
+    }
+
+    /// Replaces the (default disabled) metric handles — builder-style,
+    /// called once right after [`create`](Self::create) /
+    /// [`open`](Self::open) by the owning engine.
+    pub fn with_metrics(mut self, metrics: WalMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Number of shard chains.
@@ -1026,8 +1109,16 @@ impl WalSet {
     /// ticket on this shard) and opens the next one. Called with the
     /// shard lock held.
     fn rotate(&self, shard: usize, st: &mut ShardWalState) -> Result<(), PersistError> {
+        let rotation_started = Instant::now();
         st.file.sync_data()?;
+        self.metrics
+            .fsync_us
+            .record_duration(rotation_started.elapsed());
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let covered = st.appended - st.flushed;
+        if covered > 0 {
+            self.metrics.group_batch.record(covered);
+        }
         st.flushed = st.appended;
         st.batch_opened = None;
         st.sealed.push((st.index, st.last_seq));
@@ -1038,6 +1129,9 @@ impl WalSet {
         st.offset = SEGMENT_HEADER_LEN;
         st.has_records = false;
         self.rotations.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .rotation_us
+            .record_duration(rotation_started.elapsed());
         Ok(())
     }
 
@@ -1060,10 +1154,14 @@ impl WalSet {
                 max_delay,
             } => (max_batch.max(1), max_delay),
         };
+        let wait_started = Instant::now();
         let shard_wal = &self.shards[ticket.shard];
         let mut st = shard_wal.state.lock().expect("wal shard lock");
         loop {
             if st.flushed >= ticket.ticket {
+                self.metrics
+                    .commit_wait_us
+                    .record_duration(wait_started.elapsed());
                 return Ok(());
             }
             if st.failed || self.is_poisoned() {
@@ -1091,12 +1189,20 @@ impl WalSet {
                     }
                 };
                 drop(st);
+                let fsync_started = Instant::now();
                 let result = file.sync_data();
+                self.metrics
+                    .fsync_us
+                    .record_duration(fsync_started.elapsed());
                 st = shard_wal.state.lock().expect("wal shard lock");
                 st.flushing = false;
                 match result {
                     Ok(()) => {
                         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        let batch = covers.saturating_sub(st.flushed);
+                        if batch > 0 {
+                            self.metrics.group_batch.record(batch);
+                        }
                         st.flushed = st.flushed.max(covers);
                         st.batch_opened = if st.appended > st.flushed {
                             Some(Instant::now())
@@ -1151,13 +1257,21 @@ impl WalSet {
             if st.failed {
                 return Err(self.poison_err());
             }
+            let fsync_started = Instant::now();
             if let Err(e) = st.file.sync_data() {
                 st.failed = true;
                 drop(st);
                 self.poison();
                 return Err(e.into());
             }
+            self.metrics
+                .fsync_us
+                .record_duration(fsync_started.elapsed());
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            let batch = st.appended - st.flushed;
+            if batch > 0 {
+                self.metrics.group_batch.record(batch);
+            }
             st.flushed = st.appended;
             st.batch_opened = None;
             shard_wal.flushed.notify_all();
@@ -1180,6 +1294,7 @@ impl WalSet {
     /// kept generation can roll forward through the surviving chains.
     /// Returns how many segment files were removed.
     pub fn truncate(&self, horizon: u64) -> Result<u64, PersistError> {
+        let truncation_started = Instant::now();
         let mut dropped = 0u64;
         for (shard, shard_wal) in self.shards.iter().enumerate() {
             let mut st = shard_wal.state.lock().expect("wal shard lock");
@@ -1197,6 +1312,9 @@ impl WalSet {
         if dropped > 0 {
             sync_dir(&self.dir)?;
         }
+        self.metrics
+            .truncation_us
+            .record_duration(truncation_started.elapsed());
         Ok(dropped)
     }
 

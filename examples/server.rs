@@ -10,7 +10,7 @@
 //!   clients** hammer `POST /estimate` and one publisher client cuts
 //!   epochs — every byte crossing a real TCP socket.
 //!
-//! Then the three serving-layer properties are verified:
+//! Then the serving-layer properties are verified:
 //!
 //! 1. **Offline equivalence** — the served estimate at the final epoch
 //!    equals, bit for bit, an offline `LshSs` run over a freshly built
@@ -18,7 +18,10 @@
 //!    RNG.
 //! 2. **Batching** — the stats counters show the batcher coalesced
 //!    concurrent requests into fewer shared sampling passes.
-//! 3. **Graceful shutdown + restart** — shutdown cuts a final
+//! 3. **Observability** — `GET /metrics` serves a valid Prometheus
+//!    text exposition with engine, WAL, and server series, and
+//!    `GET /trace/slow` serves the slow-request ring.
+//! 4. **Graceful shutdown + restart** — shutdown cuts a final
 //!    checkpoint; a recovered engine answers bit-identically.
 //!
 //! Run with: `cargo run --release --example server`
@@ -208,7 +211,31 @@ fn main() {
         "batching can only reduce passes"
     );
 
-    // --- 3. graceful shutdown cuts a checkpoint; restart is identical ---
+    // --- 3. observability: /metrics + /trace/slow scrape -----------------
+    let exposition = client.metrics().expect("scrape /metrics");
+    let samples = vsj::obs::validate_exposition(&exposition)
+        .expect("/metrics must serve a valid Prometheus text exposition");
+    for required in [
+        "vsj_engine_sampling_passes_total",
+        "vsj_engine_publish_duration_us_count",
+        "vsj_wal_fsync_duration_us_count",
+        "vsj_server_route_latency_us_count",
+        "vsj_server_batch_coalesce_size_count",
+        "vsj_server_publish_lag",
+    ] {
+        assert!(
+            exposition.contains(required),
+            "/metrics is missing the required series {required}"
+        );
+    }
+    let slow = client.slow_traces().expect("scrape /trace/slow");
+    let captured = slow
+        .get("captured")
+        .and_then(vsj::server::json::Json::as_u64)
+        .expect("capture counter");
+    println!("observability: {samples} metric samples exposed; {captured} slow traces captured");
+
+    // --- 4. graceful shutdown cuts a checkpoint; restart is identical ---
     let checkpointed = server
         .shutdown()
         .expect("graceful shutdown")

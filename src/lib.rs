@@ -76,6 +76,7 @@ pub use vsj_datasets as datasets;
 pub use vsj_exact as exact;
 pub use vsj_lc as lc;
 pub use vsj_lsh as lsh;
+pub use vsj_obs as obs;
 pub use vsj_sampling as sampling;
 pub use vsj_server as server;
 pub use vsj_service as service;
@@ -102,7 +103,7 @@ pub mod prelude {
     pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
         Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy, GlobalId,
-        IndexFamily, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
+        IndexFamily, ObsOptions, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,

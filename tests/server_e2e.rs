@@ -487,3 +487,168 @@ fn wal_depth_backpressure_sheds_and_checkpoint_clears_it() {
     server.shutdown().expect("shutdown");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Extracts the value of one exact sample line (name + label set) from
+/// a Prometheus text exposition.
+fn sample_value(exposition: &str, series: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let (name, value) = line.rsplit_once(' ')?;
+        (name == series).then(|| value.parse().expect("sample value parses"))
+    })
+}
+
+/// Observability satellite: `/metrics` serves a *valid* Prometheus text
+/// exposition covering all three layers, and the per-route request
+/// counter matches the client-side count exactly.
+#[test]
+fn metrics_exposition_is_valid_and_counts_requests_exactly() {
+    let dir = std::env::temp_dir().join(format!("vsj_e2e_metrics_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // A durable engine so the WAL series have real fsync samples.
+    let engine =
+        Arc::new(EstimationEngine::durable(engine_config(41), &dir).expect("durable engine"));
+    let server = Server::start(engine, ServerConfig::builder().workers(4).build()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    const INSERTS: u64 = 25;
+    const ESTIMATES: u64 = 7;
+    for i in 0..INSERTS as u32 {
+        client.insert(&members_for(i)).expect("insert");
+    }
+    client.publish().expect("publish");
+    for i in 0..ESTIMATES as usize {
+        client.estimate(TAUS[i % TAUS.len()]).expect("estimate");
+    }
+
+    let text = client.metrics().expect("scrape /metrics");
+    let samples = vsj::obs::validate_exposition(&text).expect("exposition validates");
+    assert!(samples > 50, "a real exposition has many series: {samples}");
+
+    // Exact request accounting: the scrape itself rides a different
+    // route, so the per-route counters are undisturbed by reading them.
+    assert_eq!(
+        sample_value(
+            &text,
+            "vsj_server_route_requests_total{route=\"/estimate\"}"
+        ),
+        Some(ESTIMATES as f64),
+        "estimate count on the wire == client-side count"
+    );
+    assert_eq!(
+        sample_value(&text, "vsj_server_route_requests_total{route=\"/insert\"}"),
+        Some(INSERTS as f64),
+    );
+    assert_eq!(
+        sample_value(&text, "vsj_server_requests_total"),
+        // inserts + publish + estimates + this scrape itself.
+        Some((INSERTS + 1 + ESTIMATES + 1) as f64),
+    );
+
+    // Every layer is represented: engine, WAL, server.
+    for series in [
+        "vsj_engine_publishes_total",
+        "vsj_engine_sampling_duration_us_count",
+        "vsj_engine_cache_misses_total",
+        "vsj_wal_fsync_duration_us_count",
+        "vsj_wal_group_commit_batch_count",
+        "vsj_server_batch_coalesce_size_count",
+        "vsj_server_queue_depth",
+        "vsj_server_publish_lag",
+    ] {
+        assert!(
+            sample_value(&text, series).is_some(),
+            "missing required series {series}"
+        );
+    }
+    // The engine actually sampled through the wire requests.
+    assert!(
+        sample_value(&text, "vsj_engine_sampling_passes_total").unwrap() >= 1.0,
+        "estimates must have driven sampling passes"
+    );
+
+    // A second scrape is still valid and strictly later in request
+    // counts. Route counters are stamped after the response body is
+    // rendered, so the Nth scrape reports N-1 completed scrapes.
+    let again = client.metrics().expect("second scrape");
+    vsj::obs::validate_exposition(&again).expect("still valid");
+    assert_eq!(
+        sample_value(
+            &again,
+            "vsj_server_route_requests_total{route=\"/metrics\"}"
+        ),
+        Some(1.0),
+    );
+
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Observability satellite: a request slower than the threshold shows
+/// up in `/trace/slow` with its stage-by-stage breakdown. Threshold
+/// zero makes every request an outlier, deterministically.
+#[test]
+fn slow_requests_are_traced_with_stage_breakdown() {
+    let engine = Arc::new(EstimationEngine::new(engine_config(43)));
+    for i in 0..100u32 {
+        engine.insert(members_for(i));
+    }
+    engine.publish();
+    let server = Server::start(
+        engine,
+        ServerConfig::builder()
+            .obs(ObsOptions {
+                slow_query_threshold: Duration::ZERO,
+                ..ObsOptions::default()
+            })
+            .build(),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    client.estimate(0.7).expect("estimate");
+    client.insert(&members_for(9_000)).expect("insert");
+
+    let doc = client.slow_traces().expect("scrape /trace/slow");
+    use vsj::server::json::Json;
+    assert_eq!(doc.get("threshold_us").and_then(Json::as_u64), Some(0));
+    let traces = doc
+        .get("traces")
+        .and_then(Json::as_arr)
+        .expect("traces array");
+    assert!(traces.len() >= 2, "both requests captured");
+
+    let find = |route: &str| {
+        traces
+            .iter()
+            .find(|t| t.get("route").and_then(Json::as_str) == Some(route))
+            .unwrap_or_else(|| panic!("no captured trace for {route}"))
+    };
+    // The estimate trace carries the full pipeline breakdown.
+    let estimate = find("/estimate");
+    let stages: Vec<String> = estimate
+        .get("stages")
+        .and_then(Json::as_arr)
+        .expect("stages")
+        .iter()
+        .map(|s| s.get("stage").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    assert_eq!(stages, ["queue_wait", "batch_wait", "sampling"]);
+    assert!(estimate.get("total_us").and_then(Json::as_u64).is_some());
+    assert!(estimate.get("seq").and_then(Json::as_u64).unwrap() >= 1);
+
+    // The ingest trace records its apply (engine mutation) stage.
+    let insert = find("/insert");
+    let insert_stages = insert.get("stages").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        insert_stages[0].get("stage").and_then(Json::as_str),
+        Some("apply")
+    );
+
+    // The captures surface on the metrics side too.
+    let text = client.metrics().expect("metrics");
+    assert!(
+        sample_value(&text, "vsj_server_slow_traces_total").unwrap() >= 2.0,
+        "slow-trace counter tracks ring captures"
+    );
+    server.shutdown().expect("shutdown");
+}
