@@ -1,0 +1,147 @@
+//! Cold-start latency: heap recovery (decode + rebuild) vs the mapped
+//! tier ("map + go") on the same checkpoint.
+//!
+//! Heap recovery reads the whole v3 container, decodes every payload
+//! row into owned heap vectors, and rebuilds the serving tables before
+//! the first estimate can run — O(corpus) work on the startup path.
+//! The mapped tier mmaps the container, validates section structure
+//! and checksums, and serves straight from the page cache; vector
+//! payloads materialize lazily, per row, on first touch.
+//!
+//! Claims under test:
+//!
+//! * at n = 100 000 rows, `recover_with(StorageTier::Mapped)` reaches
+//!   ready-to-serve ≥ 5× faster than `recover_with(StorageTier::Heap)`
+//!   on the identical storage directory;
+//! * both tiers answer the *same* first estimate (bit-identity is
+//!   pinned exhaustively by `tests/mapped_tier.rs`; the bench
+//!   cross-checks the one pair it computes anyway);
+//! * the deferred cost is visible, not hidden: the time from recovery
+//!   to the first estimate is reported for both tiers.
+//!
+//! Emits a JSON summary line (prefixed `COLDSTART_BENCH_JSON:`) for
+//! the perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench coldstart`
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use vsj_datasets::DblpLike;
+use vsj_service::{
+    DurabilityOptions, EstimationEngine, ServiceConfig, ServiceEstimate, StorageTier,
+};
+
+const ROWS: usize = 100_000;
+const SHARDS: usize = 4;
+const HASH_K: usize = 8;
+const SEED: u64 = 2011;
+const TAU: f64 = 0.6;
+const REPS: usize = 5;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vsj_coldstart_bench_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn options(tier: StorageTier) -> DurabilityOptions {
+    DurabilityOptions {
+        storage_tier: tier,
+        ..DurabilityOptions::default()
+    }
+}
+
+/// One timed recovery: wall-clock to ready-to-serve, then wall-clock
+/// from there to the first answered estimate.
+fn run_once(dir: &Path, tier: StorageTier) -> (f64, f64, ServiceEstimate) {
+    let start = Instant::now();
+    let engine = EstimationEngine::recover_with(dir, options(tier)).unwrap();
+    let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(engine.storage_tier(), tier, "requested tier must engage");
+    let start = Instant::now();
+    let estimate = engine.estimate(TAU);
+    let first_estimate_ms = start.elapsed().as_secs_f64() * 1e3;
+    (recover_ms, first_estimate_ms, estimate)
+}
+
+/// Median of `REPS` timed recoveries (the checkpoint is page-cache-hot
+/// after the first rep for both tiers, so the comparison is fair).
+fn run(dir: &Path, tier: StorageTier) -> (f64, f64, ServiceEstimate) {
+    let mut recoveries = Vec::with_capacity(REPS);
+    let mut firsts = Vec::with_capacity(REPS);
+    let mut estimate = None;
+    for _ in 0..REPS {
+        let (recover_ms, first_ms, e) = run_once(dir, tier);
+        recoveries.push(recover_ms);
+        firsts.push(first_ms);
+        estimate = Some(e);
+    }
+    recoveries.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    firsts.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    (
+        recoveries[REPS / 2],
+        firsts[REPS / 2],
+        estimate.expect("REPS > 0"),
+    )
+}
+
+fn main() {
+    let dir = fresh_dir("corpus");
+    let setup = Instant::now();
+    {
+        let config = ServiceConfig::builder()
+            .shards(SHARDS)
+            .k(HASH_K)
+            .seed(SEED)
+            .build();
+        let engine =
+            EstimationEngine::durable_with(config, &dir, options(StorageTier::Heap)).unwrap();
+        for (_, v) in DblpLike::with_size(ROWS).generate(SEED).iter() {
+            engine.insert(v.clone());
+        }
+        engine.checkpoint().unwrap();
+    }
+    println!(
+        "corpus: {ROWS} rows checkpointed in {:.1} s",
+        setup.elapsed().as_secs_f64()
+    );
+
+    let (heap_ms, heap_first_ms, heap_estimate) = run(&dir, StorageTier::Heap);
+    let (mapped_ms, mapped_first_ms, mapped_estimate) = run(&dir, StorageTier::Mapped);
+    assert_eq!(
+        heap_estimate, mapped_estimate,
+        "both tiers must answer the first estimate identically"
+    );
+
+    println!(
+        "{:>8} {:>14} {:>20}",
+        "tier", "recover (ms)", "first estimate (ms)"
+    );
+    println!("{:>8} {heap_ms:>14.1} {heap_first_ms:>20.1}", "heap");
+    println!("{:>8} {mapped_ms:>14.1} {mapped_first_ms:>20.1}", "mapped");
+    let speedup = heap_ms / mapped_ms;
+    println!("\nmap + go vs decode + rebuild at n={ROWS}: {speedup:.1}x faster to ready-to-serve");
+
+    println!(
+        "\nCOLDSTART_BENCH_JSON:{{\"schema\":{},\"bench\":\"coldstart\",\"rows\":{ROWS},\
+         \"shards\":{SHARDS},\"hash_k\":{HASH_K},\"reps\":{REPS},\
+         \"heap_recover_ms\":{heap_ms:.2},\"mapped_recover_ms\":{mapped_ms:.2},\
+         \"heap_first_estimate_ms\":{heap_first_ms:.2},\
+         \"mapped_first_estimate_ms\":{mapped_first_ms:.2},\"speedup\":{speedup:.3}}}",
+        vsj_bench::BENCH_SCHEMA_VERSION
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        speedup >= 5.0,
+        "map + go must reach ready-to-serve ≥5x faster than decode + rebuild \
+         at n={ROWS}: {speedup:.2}x"
+    );
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! Implements the one thing the workspace's out-of-core tier needs:
+//! a **read-only** mapping of a whole file that derefs to `&[u8]`. On
+//! Unix this is a direct `mmap(2)`/`munmap(2)` pair over the raw file
+//! descriptor (the symbols come from the libc that `std` already
+//! links — no external crate needed). Anywhere else, or whenever the
+//! syscall fails, the file is simply read into an owned buffer; the
+//! caller sees the same `&[u8]` either way and can ask
+//! [`Mmap::is_mapped`] which path it got.
+//!
+//! The mapping is private and read-only (`PROT_READ`, `MAP_PRIVATE`),
+//! so it can never write back to the file. A mapping stays valid after
+//! the underlying path is renamed or unlinked — exactly the property
+//! checkpoint rotation relies on.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::Read;
+
+/// A read-only view of an entire file: either a real memory mapping or
+/// an owned in-memory copy (the fallback). Dereferences to `&[u8]`.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(unix)]
+    Mapped(sys::Mapping),
+    Owned(Vec<u8>),
+}
+
+impl Mmap {
+    /// Maps the whole file read-only. Falls back to reading the file
+    /// into memory when mapping is unavailable (non-Unix targets,
+    /// zero-length files, or an `mmap` failure).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the metadata probe or the fallback
+    /// read. A failed `mmap` syscall itself is not an error — it
+    /// triggers the buffered fallback.
+    pub fn map(file: &File) -> std::io::Result<Self> {
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        {
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Some(mapping) = sys::Mapping::new(file, len as usize) {
+                    return Ok(Self {
+                        inner: Inner::Mapped(mapping),
+                    });
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(len.min(usize::MAX as u64) as usize);
+        let mut file = file.try_clone()?;
+        file.read_to_end(&mut buf)?;
+        Ok(Self {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// True when this view is a real `mmap(2)` mapping rather than the
+    /// owned-buffer fallback.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped(m) => m.as_slice(),
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+// The mapping is read-only and the fd is not retained, so sharing
+// across threads is safe.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    // These symbols live in the platform libc that std links on every
+    // Unix target; declaring them here avoids a registry dependency.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An owned `mmap(2)` region, unmapped on drop.
+    #[derive(Debug)]
+    pub(crate) struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    impl Mapping {
+        /// Maps `len` bytes of `file` read-only; `None` when the
+        /// syscall fails (caller falls back to a buffered read).
+        pub(crate) fn new(file: &File, len: usize) -> Option<Self> {
+            // SAFETY: fd is a valid open descriptor for the lifetime of
+            // the call, addr=null lets the kernel pick the placement,
+            // and PROT_READ|MAP_PRIVATE can never alias writable state.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                return None;
+            }
+            Some(Self { ptr, len })
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr..ptr+len is exactly the region mmap returned,
+            // mapped PROT_READ for the lifetime of self.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: exact (addr, len) pair returned by mmap, unmapped
+            // exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(bytes: &[u8]) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!(
+            "vsj-memmap-test-{}-{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        (path.clone(), File::open(&path).unwrap())
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let payload: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        let (path, file) = temp_file(&payload);
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+        #[cfg(unix)]
+        assert!(map.is_mapped());
+        // Mapping must survive unlink of the backing path.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let (path, file) = temp_file(&[]);
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -40,6 +40,37 @@
 //!
 //! A v2 collection file holds a single `COLL` section whose payload is
 //! exactly the v1 body (`n` + vectors).
+//!
+//! **v3** (mappable, written by [`ContainerWriter::finish_v3`]) — the
+//! same tag/checksum section model re-laid-out for zero-copy access
+//! through a memory mapping: a fixed-width directory up front with
+//! absolute offsets, every payload starting on an 8-byte boundary so
+//! fixed-width little-endian arrays inside sections stay aligned:
+//!
+//! ```text
+//! magic    4 bytes  "VSJC"
+//! version  u32      3
+//! sections u32      section count
+//! pad      u32      0
+//! per section (32-byte directory entry):
+//!   tag      4 bytes   ASCII section identifier
+//!   pad      u32       0
+//!   offset   u64       absolute file offset of the payload (8-aligned)
+//!   len      u64       payload length in bytes (padding excluded)
+//!   checksum u64       checksum64_v3 of the payload (chunked digest)
+//! payloads, each zero-padded to the next 8-byte boundary
+//! ```
+//!
+//! v3 section checksums use [`checksum64_v3`], the chunked digest —
+//! per-1 MiB [`checksum64`] values folded through a final
+//! [`checksum64`] — so a multi-megabyte section verifies across all
+//! cores at map time (the raw byte chain is serial by construction).
+//!
+//! [`ContainerIndex::parse`] verifies every checksum once and then hands
+//! out `offset..offset+len` ranges into the caller's buffer — no copies,
+//! which is what the mmap-backed checkpoint tier serves from.
+//! [`ContainerReader::parse`] also accepts v3 (copying payloads), so any
+//! sectioned consumer reads both layouts.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
@@ -52,6 +83,8 @@ const MAGIC: &[u8; 4] = b"VSJC";
 pub const VERSION_V1: u32 = 1;
 /// The current sectioned container version.
 pub const VERSION_V2: u32 = 2;
+/// The mappable aligned-directory container version.
+pub const VERSION_V3: u32 = 3;
 /// Section tag of the vector payload in a v2 collection container.
 pub const SECTION_COLLECTION: [u8; 4] = *b"COLL";
 
@@ -120,6 +153,83 @@ pub fn checksum64(data: &[u8]) -> u64 {
     SplitMix64::mix(h ^ data.len() as u64)
 }
 
+/// Chunk size of the v3 section checksum: small enough to fan the scan
+/// out across cores, large enough that the digest list stays trivial.
+const V3_CHECKSUM_CHUNK: usize = 1 << 20;
+
+/// Word-wise FNV-1a digest: the same xor-multiply chain as
+/// [`checksum64`] advanced one little-endian `u64` per step instead of
+/// one byte (the tail word is zero-padded; the length fold
+/// disambiguates real zero bytes from padding). One multiply per 8
+/// bytes puts the serial throughput close to memory speed, where the
+/// byte chain is latency-bound at roughly a byte per multiply.
+fn checksum64_words(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut words = data.chunks_exact(8);
+    for word in &mut words {
+        h ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut last = [0u8; 8];
+        last[..tail.len()].copy_from_slice(tail);
+        h ^= u64::from_le_bytes(last);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::mix(h ^ data.len() as u64)
+}
+
+/// The v3 section checksum: [`checksum64`] over each 1 MiB chunk's
+/// word-wise digest, in order. This sits on the mapped tier's
+/// cold-start path, where checksum validation is the dominant cost of
+/// "map + go", so it is built to scan fast: the word-wise chunk digest
+/// runs near memory speed on one core, and the chunks are independent,
+/// so a multi-megabyte section additionally verifies across all cores
+/// (the plain byte chain is serial by construction). v2 containers and
+/// WAL frames keep [`checksum64`]; their payloads are read (and paid
+/// for) in full anyway.
+pub fn checksum64_v3(data: &[u8]) -> u64 {
+    let digests = chunk_digests(data);
+    let mut bytes = Vec::with_capacity(digests.len() * 8);
+    for digest in digests {
+        bytes.extend_from_slice(&digest.to_le_bytes());
+    }
+    checksum64(&bytes)
+}
+
+/// Per-chunk [`checksum64_words`] digests of `data`, hashed on scoped
+/// worker threads when there is more than one chunk to share out.
+fn chunk_digests(data: &[u8]) -> Vec<u64> {
+    let chunks: Vec<&[u8]> = data.chunks(V3_CHECKSUM_CHUNK).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(chunks.len());
+    if workers <= 1 {
+        return chunks.into_iter().map(checksum64_words).collect();
+    }
+    // Contiguous groups keep the digests in chunk order.
+    let group = chunks.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let spawned: Vec<_> = chunks
+            .chunks(group)
+            .map(|group| {
+                scope.spawn(move || {
+                    group
+                        .iter()
+                        .map(|c| checksum64_words(c))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        spawned
+            .into_iter()
+            .flat_map(|w| w.join().expect("a checksum worker cannot panic"))
+            .collect()
+    })
+}
+
 // --- v2 sectioned container ------------------------------------------------
 
 /// Builder for a v2 sectioned container.
@@ -158,6 +268,179 @@ impl ContainerWriter {
         }
         buf.freeze()
     }
+
+    /// Assembles the container in the v3 mappable layout: fixed-width
+    /// directory up front, every payload 8-byte aligned.
+    pub fn finish_v3(&self) -> Bytes {
+        let header = 16 + self.sections.len() * 32;
+        let payload_total: usize = self.sections.iter().map(|(_, p)| (p.len() + 7) & !7).sum();
+        let mut buf = BytesMut::with_capacity(header + payload_total);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V3);
+        buf.put_u32_le(self.sections.len() as u32);
+        buf.put_u32_le(0);
+        // Directory: offsets are absolute, pre-computed from the fixed
+        // header size plus the padded lengths of preceding payloads.
+        let mut offset = header as u64;
+        for (tag, payload) in &self.sections {
+            buf.put_slice(tag);
+            buf.put_u32_le(0);
+            buf.put_u64_le(offset);
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_u64_le(checksum64_v3(payload.as_slice()));
+            offset += ((payload.len() + 7) & !7) as u64;
+        }
+        for (_, payload) in &self.sections {
+            buf.put_slice(payload.as_slice());
+            buf.put_slice(&[0u8; 8][..(8 - payload.len() % 8) % 8]);
+        }
+        buf.freeze()
+    }
+}
+
+/// Zero-copy directory of a v3 container: parsing verifies the framing
+/// and every section checksum once, then yields byte ranges into the
+/// caller's buffer (typically a memory mapping) — payloads are never
+/// copied.
+#[derive(Debug, Clone)]
+pub struct ContainerIndex {
+    entries: Vec<([u8; 4], std::ops::Range<usize>)>,
+}
+
+impl ContainerIndex {
+    /// Parses the v3 directory of `data` and verifies every section's
+    /// checksum (one linear scan over the payload bytes — no decoding,
+    /// no allocation beyond the directory itself).
+    ///
+    /// # Errors
+    /// [`IoError::BadMagic`] / [`IoError::BadVersion`] on foreign input,
+    /// [`IoError::Corrupt`] on framing violations (truncation,
+    /// misalignment, overlapping or out-of-bounds payloads), and
+    /// [`IoError::BadChecksum`] when any payload fails its checksum.
+    pub fn parse(data: &[u8]) -> Result<Self, IoError> {
+        let u32_at = |at: usize| -> u32 {
+            u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"))
+        };
+        let u64_at = |at: usize| -> u64 {
+            u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
+        };
+        if data.len() < 16 {
+            return Err(IoError::Corrupt("v3 header truncated".into()));
+        }
+        if &data[..4] != MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let version = u32_at(4);
+        if version != VERSION_V3 {
+            return Err(IoError::BadVersion(version));
+        }
+        let count = u32_at(8) as usize;
+        // Reserved/padding bytes are not covered by any section
+        // checksum, so they must be pinned to zero here — otherwise a
+        // flipped bit in them would load silently.
+        if u32_at(12) != 0 {
+            return Err(IoError::Corrupt("nonzero v3 header padding".into()));
+        }
+        let header = 16usize;
+        let dir_end = header
+            .checked_add(count.checked_mul(32).ok_or_else(overflow)?)
+            .ok_or_else(overflow)?;
+        if data.len() < dir_end {
+            return Err(IoError::Corrupt("v3 directory truncated".into()));
+        }
+        let mut entries = Vec::with_capacity(count.min(64));
+        let mut pending = Vec::with_capacity(count.min(64));
+        // Payloads must tile the tail of the file in directory order,
+        // 8-aligned — that is what makes the layout mappable.
+        let mut expected = dir_end as u64;
+        for si in 0..count {
+            let at = header + si * 32;
+            let tag: [u8; 4] = data[at..at + 4].try_into().expect("4 bytes");
+            if u32_at(at + 4) != 0 {
+                return Err(IoError::Corrupt(format!(
+                    "section {si}: nonzero directory padding"
+                )));
+            }
+            let offset = u64_at(at + 8);
+            let len = u64_at(at + 16);
+            let checksum = u64_at(at + 24);
+            if offset % 8 != 0 || offset != expected {
+                return Err(IoError::Corrupt(format!(
+                    "section {si}: payload offset {offset} violates the aligned layout"
+                )));
+            }
+            let end = offset.checked_add(len).ok_or_else(overflow)?;
+            if end > data.len() as u64 {
+                return Err(IoError::Corrupt(format!(
+                    "section {si}: payload runs past end of file"
+                )));
+            }
+            let range = offset as usize..end as usize;
+            pending.push((tag, range.clone(), checksum));
+            entries.push((tag, range));
+            let padded_end = end.checked_add((8 - len % 8) % 8).ok_or_else(overflow)?;
+            if padded_end <= data.len() as u64
+                && data[end as usize..padded_end as usize]
+                    .iter()
+                    .any(|&b| b != 0)
+            {
+                return Err(IoError::Corrupt(format!(
+                    "section {si}: nonzero payload padding"
+                )));
+            }
+            expected = padded_end;
+        }
+        if (data.len() as u64) < expected {
+            return Err(IoError::Corrupt("v3 payload truncated".into()));
+        }
+        if data.len() as u64 > expected {
+            return Err(IoError::Corrupt(format!(
+                "{} trailing bytes after last section",
+                data.len() as u64 - expected
+            )));
+        }
+        verify_section_checksums(data, &pending)?;
+        Ok(Self { entries })
+    }
+
+    /// The tags present, in file order.
+    pub fn tags(&self) -> Vec<[u8; 4]> {
+        self.entries.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Byte range of the first section with the given tag.
+    pub fn range(&self, tag: [u8; 4]) -> Option<std::ops::Range<usize>> {
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Like [`ContainerIndex::range`] but an error when absent.
+    pub fn require(&self, tag: [u8; 4]) -> Result<std::ops::Range<usize>, IoError> {
+        self.range(tag)
+            .ok_or(IoError::MissingSection { section: tag })
+    }
+}
+
+fn overflow() -> IoError {
+    IoError::Corrupt("v3 directory arithmetic overflow".into())
+}
+
+/// Verifies every section's stored [`checksum64_v3`], reporting the
+/// first mismatch in directory order. The chunked digest parallelizes
+/// internally, so big sections (the vector payload slab, in practice)
+/// verify across all cores.
+fn verify_section_checksums(
+    data: &[u8],
+    sections: &[([u8; 4], std::ops::Range<usize>, u64)],
+) -> Result<(), IoError> {
+    for (tag, range, stored) in sections {
+        if checksum64_v3(&data[range.clone()]) != *stored {
+            return Err(IoError::BadChecksum { section: *tag });
+        }
+    }
+    Ok(())
 }
 
 /// Parsed view of a v2 sectioned container: every section's checksum is
@@ -169,7 +452,9 @@ pub struct ContainerReader {
 }
 
 impl ContainerReader {
-    /// Parses and verifies a v2 container.
+    /// Parses and verifies a sectioned container, negotiating between
+    /// the v2 inline framing and the v3 aligned-directory layout (v3
+    /// payloads are copied out — use [`ContainerIndex`] for zero-copy).
     ///
     /// # Errors
     /// [`IoError::BadMagic`] / [`IoError::BadVersion`] on foreign input,
@@ -186,6 +471,27 @@ impl ContainerReader {
             return Err(IoError::BadMagic);
         }
         let version = data.get_u32_le();
+        if version == VERSION_V3 {
+            // Re-parse the original buffer through the v3 directory and
+            // materialize each payload.
+            let mut whole = BytesMut::with_capacity(8 + data.remaining());
+            whole.put_slice(MAGIC);
+            whole.put_u32_le(version);
+            whole.put_slice(data.as_slice());
+            let whole = whole.freeze();
+            let index = ContainerIndex::parse(whole.as_slice())?;
+            let sections = index
+                .entries
+                .iter()
+                .map(|(tag, range)| {
+                    (
+                        *tag,
+                        Bytes::copy_from_slice(&whole.as_slice()[range.clone()]),
+                    )
+                })
+                .collect();
+            return Ok(Self { sections });
+        }
         if version != VERSION_V2 {
             return Err(IoError::BadVersion(version));
         }
@@ -513,6 +819,66 @@ mod tests {
         assert!(matches!(
             r.require(*b"ZZZZ"),
             Err(IoError::MissingSection { section }) if &section == b"ZZZZ"
+        ));
+    }
+
+    #[test]
+    fn v3_layout_is_aligned_and_indexable() {
+        let mut w = ContainerWriter::new();
+        w.section(*b"AAAA", Bytes::from(vec![1u8, 2, 3]));
+        w.section(*b"BBBB", Bytes::from(Vec::<u8>::new()));
+        w.section(*b"CCCC", Bytes::from(vec![9u8; 300]));
+        let data = w.finish_v3();
+        let index = ContainerIndex::parse(data.as_slice()).unwrap();
+        assert_eq!(index.tags(), vec![*b"AAAA", *b"BBBB", *b"CCCC"]);
+        for tag in [*b"AAAA", *b"BBBB", *b"CCCC"] {
+            let range = index.range(tag).unwrap();
+            assert_eq!(range.start % 8, 0, "payload of {tag:?} is 8-aligned");
+        }
+        assert_eq!(&data.as_slice()[index.range(*b"AAAA").unwrap()], &[1, 2, 3]);
+        assert_eq!(index.range(*b"BBBB").unwrap().len(), 0);
+        assert_eq!(index.range(*b"CCCC").unwrap().len(), 300);
+        assert!(index.range(*b"ZZZZ").is_none());
+        assert!(matches!(
+            index.require(*b"ZZZZ"),
+            Err(IoError::MissingSection { section }) if &section == b"ZZZZ"
+        ));
+        // The copying reader negotiates v3 transparently.
+        let r = ContainerReader::parse(data).unwrap();
+        assert_eq!(r.tags(), vec![*b"AAAA", *b"BBBB", *b"CCCC"]);
+        assert_eq!(r.section(*b"AAAA").unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(r.section(*b"CCCC").unwrap().len(), 300);
+    }
+
+    #[test]
+    fn v3_flips_and_truncations_are_detected() {
+        let mut w = ContainerWriter::new();
+        w.section(
+            *b"AAAA",
+            Bytes::from((0u16..500).flat_map(u16::to_le_bytes).collect::<Vec<_>>()),
+        );
+        w.section(*b"BBBB", Bytes::from(vec![7u8; 33]));
+        let data = w.finish_v3().to_vec();
+        assert!(ContainerIndex::parse(&data).is_ok());
+        for at in (4..data.len()).step_by(41) {
+            let mut broken = data.clone();
+            broken[at] ^= 0x20;
+            assert!(
+                ContainerIndex::parse(&broken).is_err(),
+                "flip at byte {at} was not detected"
+            );
+        }
+        for cut in [0, 3, 15, 16, 40, data.len() / 2, data.len() - 1] {
+            assert!(
+                ContainerIndex::parse(&data[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+        let mut trailing = data.clone();
+        trailing.push(0);
+        assert!(matches!(
+            ContainerIndex::parse(&trailing),
+            Err(IoError::Corrupt(_))
         ));
     }
 

@@ -180,7 +180,13 @@ pub fn write_response<S: Write>(
         body.len()
     );
     if let Some(after) = retry_after {
-        head.push_str(&format!("retry-after: {}\r\n", after.as_secs().max(1)));
+        // Ceiling, not floor: `as_secs()` truncates, so a sub-second
+        // backoff (or 1.5 s) would round *down* and tell clients to
+        // retry sooner than the precise Duration in the Reply — 0 even,
+        // which some clients treat as "immediately". Never advertise
+        // less wait than was asked for.
+        let secs = after.as_secs() + u64::from(after.subsec_nanos() != 0);
+        head.push_str(&format!("retry-after: {}\r\n", secs.max(1)));
     }
     if close {
         head.push_str("connection: close\r\n");
@@ -318,10 +324,28 @@ mod tests {
         .unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
-        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"), "1.5 s rounds up to 2");
         let resp = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.body, b"{\"error\":\"shed\"}");
-        assert_eq!(resp.headers.get("retry-after").unwrap(), "1");
+        assert_eq!(resp.headers.get("retry-after").unwrap(), "2");
+    }
+
+    #[test]
+    fn retry_after_rounds_up_and_clamps_to_one() {
+        use std::time::Duration;
+        let rendered = |after: Duration| -> String {
+            let mut wire = Vec::new();
+            write_response(&mut wire, 429, "application/json", "{}", false, Some(after)).unwrap();
+            let resp = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+            resp.headers.get("retry-after").unwrap().clone()
+        };
+        // Sub-second backoffs must never collapse to 0 on the wire.
+        assert_eq!(rendered(Duration::from_millis(100)), "1");
+        assert_eq!(rendered(Duration::ZERO), "1");
+        // Fractional seconds round up, exact seconds stay exact.
+        assert_eq!(rendered(Duration::from_millis(1500)), "2");
+        assert_eq!(rendered(Duration::from_secs(2)), "2");
+        assert_eq!(rendered(Duration::from_millis(2500)), "3");
     }
 }

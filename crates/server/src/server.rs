@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use vsj_core::EstimateKind;
 use vsj_obs::{Counter, Gauge, Histogram, ObsOptions, Registry, Trace, TraceRing};
-use vsj_service::{EstimationEngine, FsyncPolicy, PersistError};
+use vsj_service::{EstimationEngine, FsyncPolicy, PersistError, StorageTier};
 use vsj_vector::SparseVector;
 
 use crate::batch::{BatchCounters, BatchMetrics, BatchRejected, Batcher};
@@ -813,6 +813,10 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
             ("uptime_secs", Json::u64(inner.started.elapsed().as_secs())),
             ("version", Json::str(env!("CARGO_PKG_VERSION"))),
             ("fsync", Json::str(fsync_str(inner.engine.fsync_policy()))),
+            (
+                "storage_tier",
+                Json::str(tier_str(inner.engine.storage_tier())),
+            ),
         ])),
         ("GET", "/metrics") => handle_metrics(inner),
         ("GET", "/trace/slow") => handle_trace_slow(inner),
@@ -834,6 +838,16 @@ fn fsync_str(policy: Option<FsyncPolicy>) -> &'static str {
         Some(FsyncPolicy::Always) => "always",
         Some(FsyncPolicy::GroupCommit { .. }) => "group_commit",
         Some(FsyncPolicy::Never) => "never",
+    }
+}
+
+/// The engine's serving tier as a stable string for `/healthz` and
+/// `/stats` (`mapped` = estimates are served from the mmapped
+/// checkpoint base plus a heap overlay; `heap` = fully materialized).
+fn tier_str(tier: StorageTier) -> &'static str {
+    match tier {
+        StorageTier::Heap => "heap",
+        StorageTier::Mapped => "mapped",
     }
 }
 
@@ -1130,6 +1144,10 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
                 ("uptime_secs", Json::u64(inner.started.elapsed().as_secs())),
                 ("version", Json::str(env!("CARGO_PKG_VERSION"))),
                 ("fsync", Json::str(fsync_str(inner.engine.fsync_policy()))),
+                (
+                    "storage_tier",
+                    Json::str(tier_str(inner.engine.storage_tier())),
+                ),
                 ("requests", Json::u64(server.requests)),
                 ("connections", Json::u64(server.connections)),
                 (

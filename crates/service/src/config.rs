@@ -42,6 +42,34 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// Which medium a recovered engine serves its checkpoint base from.
+///
+/// The tier is an *operational* choice made at [`recover`] time: the
+/// on-disk format is identical either way (the v3 mappable container),
+/// and both tiers serve bit-identical estimates at every published
+/// `(seed, epoch, τ)`.
+///
+/// [`recover`]: crate::EstimationEngine::recover
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageTier {
+    /// Decode the checkpoint and rebuild heap tables — the classic
+    /// path. Cold-start is O(corpus decode); all operations are
+    /// supported.
+    #[default]
+    Heap,
+    /// "Map + go": `mmap` the checkpoint, validate section checksums,
+    /// and serve estimates directly from the on-disk base with the WAL
+    /// tail replayed into a heap overlay. Cold-start is O(map + WAL
+    /// tail) and the base corpus never enters the heap. The mapped
+    /// tier is **append-only**: [`remove`] and [`upsert`] panic (the
+    /// mapped base rows cannot be mutated in place) — recover with
+    /// [`StorageTier::Heap`] when mutation is needed.
+    ///
+    /// [`remove`]: crate::EstimationEngine::remove
+    /// [`upsert`]: crate::EstimationEngine::upsert
+    Mapped,
+}
+
 /// Storage-layer knobs of a durable engine. Unlike [`ServiceConfig`]
 /// these are *operational*: they are not persisted in checkpoint
 /// metadata and may differ across an engine's lives.
@@ -64,6 +92,13 @@ pub struct DurabilityOptions {
     /// checkpoints (truncation drops whole sealed files); larger ones
     /// rotate less often. Must be ≥ 1 KiB.
     pub segment_bytes: u64,
+    /// Which medium recovery serves the checkpoint base from (see
+    /// [`StorageTier`]). Ignored by [`durable_with`] (a fresh engine
+    /// starts empty on the heap); honored by [`recover_with`].
+    ///
+    /// [`durable_with`]: crate::EstimationEngine::durable_with
+    /// [`recover_with`]: crate::EstimationEngine::recover_with
+    pub storage_tier: StorageTier,
 }
 
 impl Default for DurabilityOptions {
@@ -72,6 +107,7 @@ impl Default for DurabilityOptions {
             retain_checkpoints: 1,
             fsync: FsyncPolicy::default(),
             segment_bytes: 4 << 20,
+            storage_tier: StorageTier::default(),
         }
     }
 }

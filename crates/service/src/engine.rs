@@ -7,14 +7,15 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
-use vsj_core::{Estimate, LshSs, LshSsConfig};
+use vsj_core::{Estimate, IndexView, LshSs, LshSsConfig};
 use vsj_lsh::{BucketHasher, Composite, MinHashFamily, SimHashFamily};
-use vsj_obs::{snapshot_ordered, Counter, Histogram, ObsOptions, Registry};
+use vsj_obs::{snapshot_ordered, Counter, Gauge, Histogram, ObsOptions, Registry};
 use vsj_sampling::{RngStreams, SplitMix64, Xoshiro256};
 use vsj_vector::{Cosine, Jaccard, SparseVector};
 
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
-use crate::config::{DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig};
+use crate::config::{DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, StorageTier};
+use crate::mapped::MappedCheckpoint;
 use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
 use crate::shard::{ShardDelta, ShardState, ShardStats};
 use crate::snapshot::Snapshot;
@@ -77,6 +78,21 @@ struct EngineMetrics {
     pairs_per_pass: Histogram,
     cache_hit_us: Histogram,
     ingest_apply_us: Histogram,
+    /// Checkpoints served by mapping (one per mapped recovery).
+    checkpoint_maps: Counter,
+    /// Mapped recoveries that fell back to the heap tier (legacy WAL,
+    /// unmappable checkpoint, or a WAL tail with removals/upserts).
+    mapped_fallbacks: Counter,
+    /// Bytes currently served from a checkpoint mapping.
+    mapped_bytes: Gauge,
+    /// Base vectors materialized from the mapping so far (refreshed by
+    /// `stats()`).
+    mapped_materialized: Gauge,
+    /// Process major page faults (refreshed by `stats()`; the mapped
+    /// tier's "how much of the base did we actually touch" signal).
+    major_faults: Gauge,
+    coldstart_heap_us: Histogram,
+    coldstart_mapped_us: Histogram,
 }
 
 impl EngineMetrics {
@@ -140,6 +156,38 @@ impl EngineMetrics {
             ingest_apply_us: registry.histogram(
                 "vsj_engine_ingest_apply_duration_us",
                 "Per-shard ingest apply time under the shard lock in microseconds",
+                latency,
+            ),
+            checkpoint_maps: registry.counter(
+                "vsj_engine_checkpoint_maps_total",
+                "Checkpoint mappings established (mapped-tier recoveries)",
+            ),
+            mapped_fallbacks: registry.counter(
+                "vsj_engine_mapped_fallbacks_total",
+                "Mapped-tier recoveries that fell back to heap decoding",
+            ),
+            mapped_bytes: registry.gauge(
+                "vsj_engine_mapped_bytes",
+                "Bytes served from the current checkpoint mapping",
+            ),
+            mapped_materialized: registry.gauge(
+                "vsj_engine_mapped_materialized_vectors",
+                "Mapped base vectors decoded into heap cells on demand",
+            ),
+            major_faults: registry.gauge(
+                "vsj_process_major_page_faults",
+                "Major page faults of this process (mapped-tier cold reads)",
+            ),
+            coldstart_heap_us: registry.histogram_with(
+                "vsj_engine_coldstart_duration_us",
+                "Recovery time to a serving engine in microseconds",
+                &[("tier", "heap")],
+                latency,
+            ),
+            coldstart_mapped_us: registry.histogram_with(
+                "vsj_engine_coldstart_duration_us",
+                "Recovery time to a serving engine in microseconds",
+                &[("tier", "mapped")],
                 latency,
             ),
             registry,
@@ -375,6 +423,9 @@ impl EstimationEngine {
         if dir.join(CHECKPOINT_FILE).exists() {
             return Err(PersistError::AlreadyInitialized(dir.to_path_buf()));
         }
+        // A crashed previous life may have left a checkpoint temp file
+        // without ever completing a checkpoint; reclaim it.
+        persist::clean_stale_tmp(dir)?;
         let mut engine = Self::new(config);
         let meta = CheckpointMeta {
             epoch: 0,
@@ -478,11 +529,40 @@ impl EstimationEngine {
     /// file still exists).
     pub fn recover_with(dir: &Path, options: DurabilityOptions) -> Result<Self, PersistError> {
         options.validate();
+        let started = Instant::now();
+        // A crash between the checkpoint temp write and its atomic
+        // rename leaves `checkpoint.vsjc.tmp` behind; reclaim it before
+        // anything else so it can never accumulate or confuse a later
+        // directory scan.
+        if persist::clean_stale_tmp(dir)? {
+            eprintln!(
+                "vsj-service: removed a stale checkpoint temp file in {}",
+                dir.display()
+            );
+        }
+        let legacy_path = dir.join(WAL_FILE);
+        let mut mapped_fallback = false;
+        if options.storage_tier == StorageTier::Mapped {
+            if legacy_path.exists() {
+                eprintln!(
+                    "vsj-service: legacy single-file WAL present; the mapped tier needs the \
+                     segmented log — falling back to heap recovery"
+                );
+                mapped_fallback = true;
+            } else {
+                match Self::recover_mapped(dir, options, started)? {
+                    Some(engine) => return Ok(engine),
+                    None => mapped_fallback = true,
+                }
+            }
+        }
         let (meta, rows) = persist::read_checkpoint(dir)?;
         let mut engine = Self::hydrate(&meta, rows)?;
+        if mapped_fallback {
+            engine.metrics.mapped_fallbacks.inc();
+        }
         let fingerprint = persist::config_fingerprint(&meta.config);
 
-        let legacy_path = dir.join(WAL_FILE);
         let wal = if legacy_path.exists() {
             // Legacy route: the single-file log is the source of truth;
             // any v3 segments beside it are residue of an interrupted
@@ -564,7 +644,126 @@ impl EstimationEngine {
             horizons: Mutex::new(horizons),
             options,
         });
+        engine
+            .metrics
+            .coldstart_heap_us
+            .record_duration(started.elapsed());
         Ok(engine)
+    }
+
+    /// The "map + go" arm of [`recover_with`](Self::recover_with):
+    /// `mmap` the checkpoint, validate it in place, replay the WAL tail
+    /// into the heap overlay, and serve the merged view — the base
+    /// corpus is never decoded or rebuilt. Returns `Ok(None)` (the
+    /// caller falls back to heap recovery, loudly) when the checkpoint
+    /// cannot be mapped (v2 container, corruption — the heap path then
+    /// renders the authoritative error) or when the WAL tail carries
+    /// removals/upserts the append-only mapped tier cannot apply.
+    fn recover_mapped(
+        dir: &Path,
+        options: DurabilityOptions,
+        started: Instant,
+    ) -> Result<Option<Self>, PersistError> {
+        let base = match MappedCheckpoint::open(&dir.join(CHECKPOINT_FILE)) {
+            Ok(base) => {
+                if !base.is_mapped() {
+                    // Non-Unix fallback: the "mapping" is a buffered
+                    // read. Everything still works (and stays
+                    // bit-identical); only the out-of-core memory
+                    // benefit is lost, which is worth a note.
+                    eprintln!(
+                        "vsj-service: mmap unavailable; serving the checkpoint from a \
+                         buffered copy"
+                    );
+                }
+                Arc::new(base)
+            }
+            Err(e) => {
+                eprintln!(
+                    "vsj-service: cannot map the checkpoint in {} ({e}); \
+                     falling back to heap recovery",
+                    dir.display()
+                );
+                return Ok(None);
+            }
+        };
+        let meta = *base.meta();
+        let fingerprint = persist::config_fingerprint(&meta.config);
+        let (wal, entries) = WalSet::open(
+            dir,
+            meta.config.shards,
+            meta.applied_seq,
+            fingerprint,
+            options.fsync,
+            options.segment_bytes,
+        )?;
+        if entries.iter().any(|e| {
+            e.seq > meta.applied_seq
+                && matches!(
+                    e.record,
+                    WalRecord::Remove { .. } | WalRecord::Upsert { .. }
+                )
+        }) {
+            eprintln!(
+                "vsj-service: the WAL tail in {} holds removals/upserts; the mapped tier is \
+                 append-only — falling back to heap recovery",
+                dir.display()
+            );
+            // Drop the WalSet before the heap path reopens the chains.
+            drop(wal);
+            return Ok(None);
+        }
+        let mut engine = Self::new(meta.config);
+        let wal = wal.with_metrics(engine.metrics.wal_metrics());
+        // The mapped base *is* the published cut: shards start empty
+        // (they hold only post-recovery rows), and the current snapshot
+        // serves the mapping with an empty overlay.
+        *engine.current.get_mut() = Arc::new(
+            Snapshot::from_mapped(
+                meta.epoch,
+                meta.ingested,
+                meta.config.k,
+                base.clone(),
+                Vec::new(),
+            )
+            .expect("an empty overlay is trivially append-only"),
+        );
+        *engine.publish_lock.get_mut() = meta.epoch;
+        *engine.next_id.get_mut() = meta.next_id;
+        engine.metrics.ingests.store(meta.ingested);
+        engine.metrics.publishes.store(meta.publishes);
+        // Replay the tail through the normal apply path: inserts land
+        // in the shards (the future overlay), publish barriers re-fire
+        // their epochs by extending the mapped snapshot — the same
+        // epoch/ingest boundaries, hence bit-identical estimates.
+        for entry in &entries {
+            if entry.seq > meta.applied_seq {
+                engine.apply_replayed(&entry.record, None, false)?;
+            }
+        }
+        let pending = wal.last_seq().saturating_sub(meta.applied_seq);
+        let mut horizons = vec![meta.applied_seq];
+        for generation in persist::list_generations(dir) {
+            horizons.push(
+                persist::peek_checkpoint_meta(&persist::generation_path(dir, generation))?
+                    .applied_seq,
+            );
+        }
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            gate: RwLock::new(()),
+            pending: AtomicU64::new(pending),
+            horizons: Mutex::new(horizons),
+            options,
+        });
+        engine.metrics.checkpoint_maps.inc();
+        engine.metrics.mapped_bytes.set(base.file_len() as u64);
+        engine
+            .metrics
+            .coldstart_mapped_us
+            .record_duration(started.elapsed());
+        Ok(Some(engine))
     }
 
     /// Resurrects a **read-only view of a prior checkpoint generation**
@@ -754,6 +953,13 @@ impl EstimationEngine {
                 horizons.truncate(durability.options.retain_checkpoints);
                 *horizons.last().expect("at least the fresh cut")
             };
+            // Seal the record-bearing active segments at the cut:
+            // everything they hold is now covered by the checkpoint,
+            // so truncation can drop the whole files (here, or as soon
+            // as older retained generations age out) instead of every
+            // future recovery re-decoding records the checkpoint
+            // already owns.
+            durability.wal.seal_active()?;
             durability.wal.truncate(horizon)?;
             Ok(())
         });
@@ -889,8 +1095,17 @@ impl EstimationEngine {
     /// spurious record.
     ///
     /// # Panics
-    /// A durable engine panics when the WAL append fails.
+    /// A durable engine panics when the WAL append fails, and a
+    /// **mapped-tier** engine panics unconditionally: the mapped base
+    /// is immutable, and a silently dropped removal would corrupt every
+    /// later estimate. Recover with [`StorageTier::Heap`] when mutation
+    /// is needed.
     pub fn remove(&self, global: GlobalId) -> bool {
+        assert!(
+            !self.snapshot().is_mapped(),
+            "remove() is not supported on the mapped storage tier \
+             (the mapped checkpoint base is append-only; recover with StorageTier::Heap)"
+        );
         if let Some(durability) = &self.durability {
             let shared = durability.gate.read();
             // One shard guard across peek, log, and apply: only applied
@@ -937,7 +1152,18 @@ impl EstimationEngine {
     /// Inserts or replaces the vector under a caller-chosen global id.
     /// Returns `true` when an existing vector was replaced. The id is
     /// reserved against future [`insert`](Self::insert) allocations.
+    ///
+    /// # Panics
+    /// A **mapped-tier** engine panics unconditionally — an upsert can
+    /// replace a base row, which the immutable mapping cannot
+    /// represent. Recover with [`StorageTier::Heap`] when mutation is
+    /// needed.
     pub fn upsert(&self, global: GlobalId, v: SparseVector) -> bool {
+        assert!(
+            !self.snapshot().is_mapped(),
+            "upsert() is not supported on the mapped storage tier \
+             (the mapped checkpoint base is append-only; recover with StorageTier::Heap)"
+        );
         if let Some(durability) = &self.durability {
             let shared = durability.gate.read();
             self.next_id.fetch_max(global + 1, Ordering::Relaxed);
@@ -985,9 +1211,16 @@ impl EstimationEngine {
     }
 
     /// Whether a global id is currently live in the mutable index (the
-    /// current snapshot may not reflect it yet).
+    /// current snapshot may not reflect it yet). On the mapped tier the
+    /// checkpoint base counts as live even though it resides in the
+    /// mapping rather than the shards.
     pub fn contains(&self, global: GlobalId) -> bool {
-        self.shards[self.shard_of(global)].lock().contains(global)
+        if self.shards[self.shard_of(global)].lock().contains(global) {
+            return true;
+        }
+        self.snapshot()
+            .mapped_view()
+            .is_some_and(|m| m.base().contains_gid(global))
     }
 
     /// Counts `ops` ingest operations; returns whether the counter
@@ -1131,12 +1364,31 @@ impl EstimationEngine {
                 g.collect_live(&mut rows);
             }
             drop(guards);
-            Arc::new(Snapshot::assemble(
-                epoch,
-                ingested,
-                self.hasher.clone(),
-                rows,
-            ))
+            if let Some(mapped) = prev.mapped_view() {
+                // Mapped tier: the shards hold *only* post-recovery
+                // rows (the base lives in the mapping), so the live
+                // collection is the complete overlay. `Full` here only
+                // ever means a delta-buffer overflow — removals and
+                // upserts panic before reaching a shard — so the
+                // overlay is append-only by construction.
+                Arc::new(
+                    Snapshot::from_mapped(
+                        epoch,
+                        ingested,
+                        IndexView::k(prev.as_ref()),
+                        mapped.base().clone(),
+                        rows,
+                    )
+                    .expect("mapped shards only ever hold append-only rows"),
+                )
+            } else {
+                Arc::new(Snapshot::assemble(
+                    epoch,
+                    ingested,
+                    self.hasher.clone(),
+                    rows,
+                ))
+            }
         } else {
             drop(guards);
             Arc::new(
@@ -1369,25 +1621,25 @@ impl EstimationEngine {
         let mut rng = self.batch_rng(snapshot.epoch());
         let curve = match self.config.family {
             IndexFamily::SimHash => est.estimate_curve(
-                snapshot.collection(),
+                snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Cosine,
                 taus,
                 &mut rng,
             ),
             IndexFamily::MinHash => est.estimate_curve(
-                snapshot.collection(),
+                snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Jaccard,
                 taus,
                 &mut rng,
             ),
         };
-        let sampled = if snapshot.table().nh() > 0 {
+        let sampled = if IndexView::nh(snapshot.as_ref()) > 0 {
             est_config.m_h
         } else {
             0
-        } + if snapshot.table().nl() > 0 {
+        } + if IndexView::nl(snapshot.as_ref()) > 0 {
             est_config.m_l
         } else {
             0
@@ -1431,13 +1683,13 @@ impl EstimationEngine {
         let mut rng = self.estimate_rng(snapshot.epoch(), tau);
         let detailed = match self.config.family {
             IndexFamily::SimHash => {
-                est.estimate_detailed(snapshot.collection(), snapshot, &Cosine, tau, &mut rng)
+                est.estimate_detailed(snapshot, snapshot, &Cosine, tau, &mut rng)
             }
             IndexFamily::MinHash => {
-                est.estimate_detailed(snapshot.collection(), snapshot, &Jaccard, tau, &mut rng)
+                est.estimate_detailed(snapshot, snapshot, &Jaccard, tau, &mut rng)
             }
         };
-        let sampled = if snapshot.table().nh() > 0 {
+        let sampled = if IndexView::nh(snapshot) > 0 {
             est_config.m_h
         } else {
             0
@@ -1466,6 +1718,19 @@ impl EstimationEngine {
         self.durability.as_ref().map(|d| d.options.fsync)
     }
 
+    /// The storage tier the engine actually serves from:
+    /// [`StorageTier::Mapped`] when the base corpus is a checkpoint
+    /// mapping (a mapped-tier recovery that did not fall back),
+    /// [`StorageTier::Heap`] otherwise. Operational provenance for
+    /// health endpoints.
+    pub fn storage_tier(&self) -> StorageTier {
+        if self.snapshot().is_mapped() {
+            StorageTier::Mapped
+        } else {
+            StorageTier::Heap
+        }
+    }
+
     /// Point-in-time statistics (briefly locks each shard in turn).
     ///
     /// Counter families are read through [`snapshot_ordered`],
@@ -1490,6 +1755,16 @@ impl EstimationEngine {
         let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.lock().stats()).collect();
         let cache_entries = self.cache.lock().len();
         let wal = self.durability.as_ref().map(|d| d.wal.stats());
+        let snapshot = self.snapshot();
+        // The mapped base is live data the shards don't see; fold it
+        // into the live count and refresh the lazily-sampled gauges.
+        let mapped_base = snapshot.mapped_view().map(|m| m.base().clone());
+        if let Some(base) = &mapped_base {
+            self.metrics.mapped_materialized.set(base.materialized());
+        }
+        if let Some(faults) = vsj_obs::major_page_faults() {
+            self.metrics.major_faults.set(faults);
+        }
         EngineStats {
             wal_shard_pending: wal
                 .as_ref()
@@ -1498,10 +1773,11 @@ impl EstimationEngine {
             wal_segments: wal.as_ref().map_or(0, |w| w.segments),
             wal_fsyncs: wal.as_ref().map_or(0, |w| w.fsyncs),
             wal_rotations: wal.as_ref().map_or(0, |w| w.rotations),
-            epoch: self.current_epoch(),
-            live: shards.iter().map(|s| s.live).sum(),
+            epoch: snapshot.epoch(),
+            live: shards.iter().map(|s| s.live).sum::<usize>()
+                + mapped_base.as_ref().map_or(0, |b| b.len()),
             ingests,
-            publish_lag: ingests.saturating_sub(self.snapshot().ingested()),
+            publish_lag: ingests.saturating_sub(snapshot.ingested()),
             publishes,
             delta_publishes,
             full_publishes,

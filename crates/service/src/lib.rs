@@ -80,13 +80,14 @@
 mod cache;
 mod config;
 mod engine;
+mod mapped;
 pub mod persist;
 mod shard;
 mod snapshot;
 pub mod wal;
 
 pub use config::{
-    DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder,
+    DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder, StorageTier,
 };
 pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
 pub use persist::{Checkpointer, PersistError};

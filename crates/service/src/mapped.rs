@@ -1,0 +1,593 @@
+//! The out-of-core "map + go" checkpoint tier.
+//!
+//! [`MappedCheckpoint`] serves a v3 checkpoint container *directly from
+//! the on-disk file*: the container is memory-mapped, every section's
+//! checksum and the cross-section structure are validated once, and
+//! from then on bucket runs, key arrays, and vector payloads are read
+//! straight out of the mapping — the base corpus never enters the heap.
+//! Vector payloads materialize lazily (one [`OnceLock`] cell per row)
+//! the first time an estimator actually touches them, so a cold start
+//! costs O(map + validation scan) instead of O(decode + rebuild).
+//!
+//! [`MappedView`] is the index a mapped engine publishes: the mapped
+//! base plus a heap *overlay* of rows appended after the checkpoint
+//! (the replayed WAL tail and live inserts). It implements
+//! [`IndexView`] with the exact sampling streams of the heap
+//! [`LshTable`](vsj_lsh::LshTable): merged buckets are enumerated
+//! key-ascending (matching both the batch and delta heap builders), the
+//! alias table is built from the same `C(b_j, 2)` weight sequence, and
+//! every draw consumes the RNG identically — which is what makes the
+//! mapped tier bit-identical to the heap tier at every published
+//! `(seed, epoch, τ)`.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use bytes::Bytes;
+use memmap2::Mmap;
+use vsj_core::IndexView;
+use vsj_datasets::io::{self, ContainerIndex};
+use vsj_sampling::{pair_count, sample_distinct_pair, AliasTable, Rng};
+use vsj_vector::{SparseVector, VectorId};
+
+use crate::persist::{
+    decode_meta, CheckpointMeta, PersistError, SECTION_BKTK, SECTION_BMEM, SECTION_BOFF,
+    SECTION_GIDS, SECTION_KEYS, SECTION_META, SECTION_VOFF, SECTION_VPAY,
+};
+use crate::GlobalId;
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+/// A validated, memory-mapped v3 checkpoint: the base rows of a mapped
+/// engine. All integer reads go through `from_le_bytes` on mapped
+/// slices; vectors decode lazily into per-row cells on first touch.
+pub(crate) struct MappedCheckpoint {
+    map: Mmap,
+    meta: CheckpointMeta,
+    n: usize,
+    buckets: usize,
+    gids: Range<usize>,
+    keys: Range<usize>,
+    bktk: Range<usize>,
+    boff: Range<usize>,
+    bmem: Range<usize>,
+    voff: Range<usize>,
+    vpay: Range<usize>,
+    cells: Vec<OnceLock<SparseVector>>,
+    materialized: AtomicU64,
+}
+
+impl std::fmt::Debug for MappedCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCheckpoint")
+            .field("n", &self.n)
+            .field("buckets", &self.buckets)
+            .field("bytes", &self.map.len())
+            .field("mapped", &self.map.is_mapped())
+            .field("materialized", &self.materialized())
+            .finish()
+    }
+}
+
+impl MappedCheckpoint {
+    /// Maps and validates the checkpoint at `path`.
+    ///
+    /// Validation is one linear scan (the container's per-section
+    /// checksums) plus O(n) integer structure checks — no vector is
+    /// decoded, no heap table is built. Any framing, checksum, or
+    /// cross-section inconsistency fails loudly here so the serving
+    /// path can trust the mapping unconditionally.
+    pub(crate) fn open(path: &Path) -> Result<Self, PersistError> {
+        let file = std::fs::File::open(path)?;
+        let map = Mmap::map(&file)?;
+        Self::from_map(map)
+    }
+
+    fn from_map(map: Mmap) -> Result<Self, PersistError> {
+        let index = ContainerIndex::parse(&map)?;
+        let meta_range = index.require(SECTION_META)?;
+        let (meta, n64) = decode_meta(Bytes::copy_from_slice(&map[meta_range]))?;
+        if n64 > u32::MAX as u64 {
+            return Err(corrupt(format!("{n64} rows exceed the id space")));
+        }
+        let n = n64 as usize;
+        let gids = index.require(SECTION_GIDS)?;
+        let keys = index.require(SECTION_KEYS)?;
+        let bktk = index.require(SECTION_BKTK)?;
+        let boff = index.require(SECTION_BOFF)?;
+        let bmem = index.require(SECTION_BMEM)?;
+        let voff = index.require(SECTION_VOFF)?;
+        let vpay = index.require(SECTION_VPAY)?;
+        if gids.len() != n * 8 || keys.len() != n * 8 || bmem.len() != n * 4 {
+            return Err(corrupt(format!(
+                "row sections disagree with META row count {n}"
+            )));
+        }
+        if !bktk.len().is_multiple_of(8) {
+            return Err(corrupt("BKTK length not a multiple of 8"));
+        }
+        let buckets = bktk.len() / 8;
+        if boff.len() != (buckets + 1) * 8 {
+            return Err(corrupt("BOFF is not one offset per bucket plus one"));
+        }
+        if voff.len() != (n + 1) * 8 {
+            return Err(corrupt("VOFF is not one offset per row plus one"));
+        }
+        let u64_in = |r: &Range<usize>, i: usize| -> u64 {
+            let at = r.start + i * 8;
+            u64::from_le_bytes(map[at..at + 8].try_into().expect("8 bytes"))
+        };
+        let u32_in = |r: &Range<usize>, i: usize| -> u32 {
+            let at = r.start + i * 4;
+            u32::from_le_bytes(map[at..at + 4].try_into().expect("4 bytes"))
+        };
+        // GIDS: strictly ascending, below the id allocator's watermark.
+        for i in 0..n {
+            let gid = u64_in(&gids, i);
+            if i + 1 < n && gid >= u64_in(&gids, i + 1) {
+                return Err(corrupt("GIDS are not strictly ascending"));
+            }
+            if gid >= meta.next_id {
+                return Err(corrupt("a snapshot row carries an unallocated global id"));
+            }
+        }
+        // Buckets: keys strictly ascending, offsets partition exactly
+        // [0, n), members ascending within their bucket and carrying
+        // the bucket's key — with Σ sizes = n this proves the buckets
+        // exactly cover the rows.
+        if buckets > 0 {
+            for b in 0..buckets - 1 {
+                if u64_in(&bktk, b) >= u64_in(&bktk, b + 1) {
+                    return Err(corrupt("BKTK bucket keys are not strictly ascending"));
+                }
+            }
+        }
+        if u64_in(&boff, 0) != 0 || u64_in(&boff, buckets) != n as u64 {
+            return Err(corrupt("BOFF does not span exactly the row count"));
+        }
+        for b in 0..buckets {
+            let start = u64_in(&boff, b);
+            let end = u64_in(&boff, b + 1);
+            if start >= end || end > n as u64 {
+                return Err(corrupt("BOFF offsets are not strictly increasing"));
+            }
+            let bucket_key = u64_in(&bktk, b);
+            let mut prev_member: Option<u32> = None;
+            for at in start..end {
+                let member = u32_in(&bmem, at as usize);
+                if member as usize >= n {
+                    return Err(corrupt("BMEM member out of range"));
+                }
+                if prev_member.is_some_and(|p| p >= member) {
+                    return Err(corrupt("BMEM members not ascending within a bucket"));
+                }
+                prev_member = Some(member);
+                if u64_in(&keys, member as usize) != bucket_key {
+                    return Err(corrupt("BMEM member disagrees with its row key"));
+                }
+            }
+        }
+        // Payload offsets: partition the slab, and each block's nnz
+        // prefix must account for its exact length, so lazy decoding
+        // can never run off a block.
+        if u64_in(&voff, 0) != 0 || u64_in(&voff, n) != vpay.len() as u64 {
+            return Err(corrupt("VOFF does not span exactly the payload slab"));
+        }
+        for i in 0..n {
+            let start = u64_in(&voff, i);
+            let end = u64_in(&voff, i + 1);
+            if start > end || end > vpay.len() as u64 {
+                return Err(corrupt("VOFF offsets are not monotone"));
+            }
+            let len = end - start;
+            if len < 4 {
+                return Err(corrupt("VPAY block too short for an nnz prefix"));
+            }
+            let at = vpay.start + start as usize;
+            let nnz = u32::from_le_bytes(map[at..at + 4].try_into().expect("4 bytes")) as u64;
+            if len != 4 + nnz * 8 {
+                return Err(corrupt("VPAY block length disagrees with its nnz prefix"));
+            }
+        }
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, OnceLock::new);
+        Ok(Self {
+            map,
+            meta,
+            n,
+            buckets,
+            gids,
+            keys,
+            bktk,
+            boff,
+            bmem,
+            voff,
+            vpay,
+            cells,
+            materialized: AtomicU64::new(0),
+        })
+    }
+
+    #[inline]
+    fn u64_in(&self, r: &Range<usize>, i: usize) -> u64 {
+        let at = r.start + i * 8;
+        u64::from_le_bytes(self.map[at..at + 8].try_into().expect("8 bytes"))
+    }
+
+    /// The checkpoint metadata (epoch, counters, config).
+    pub(crate) fn meta(&self) -> &CheckpointMeta {
+        &self.meta
+    }
+
+    /// Number of base rows.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of base buckets.
+    #[inline]
+    pub(crate) fn num_buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Size of the mapped file in bytes.
+    pub(crate) fn file_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the view is a real `mmap(2)` mapping (false on the
+    /// buffered fallback of non-Unix targets).
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Base vectors whose payload has been decoded into the heap cell.
+    pub(crate) fn materialized(&self) -> u64 {
+        self.materialized.load(Ordering::Relaxed)
+    }
+
+    /// Global id of base row `i`.
+    #[inline]
+    pub(crate) fn gid(&self, i: usize) -> GlobalId {
+        self.u64_in(&self.gids, i)
+    }
+
+    /// Whether `global` is a base row (binary search over the ascending
+    /// GIDS section).
+    pub(crate) fn contains_gid(&self, global: GlobalId) -> bool {
+        let mut lo = 0usize;
+        let mut hi = self.n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.gid(mid).cmp(&global) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        false
+    }
+
+    /// Bucket key of base row `i`.
+    #[inline]
+    pub(crate) fn key(&self, i: usize) -> u64 {
+        self.u64_in(&self.keys, i)
+    }
+
+    /// Key of base bucket `b` (buckets are key-ascending).
+    #[inline]
+    pub(crate) fn bucket_key(&self, b: usize) -> u64 {
+        self.u64_in(&self.bktk, b)
+    }
+
+    /// `(start, len)` of bucket `b`'s member run inside the member
+    /// array.
+    #[inline]
+    pub(crate) fn bucket_members(&self, b: usize) -> (usize, usize) {
+        let start = self.u64_in(&self.boff, b) as usize;
+        let end = self.u64_in(&self.boff, b + 1) as usize;
+        (start, end - start)
+    }
+
+    /// Member at position `at` of the member array (a base-local row
+    /// id).
+    #[inline]
+    pub(crate) fn member(&self, at: usize) -> VectorId {
+        let off = self.bmem.start + at * 4;
+        u32::from_le_bytes(self.map[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// The whole payload slab (for re-encoding at checkpoint time).
+    pub(crate) fn payload_slab(&self) -> &[u8] {
+        &self.map[self.vpay.clone()]
+    }
+
+    /// Byte offset of row `i`'s payload block inside the slab.
+    #[inline]
+    pub(crate) fn payload_offset(&self, i: usize) -> u64 {
+        self.u64_in(&self.voff, i)
+    }
+
+    /// The vector of base row `i`, decoding its payload block into the
+    /// row's cell on first touch.
+    ///
+    /// # Panics
+    /// Panics if the block fails vector-invariant validation — ruled
+    /// out for disk corruption by the map-time checksums, so a panic
+    /// here means a writer bug, not bad media.
+    pub(crate) fn vector(&self, i: usize) -> &SparseVector {
+        self.cells[i].get_or_init(|| {
+            let start = self.payload_offset(i) as usize;
+            let end = self.payload_offset(i + 1) as usize;
+            let mut block =
+                Bytes::copy_from_slice(&self.map[self.vpay.start + start..self.vpay.start + end]);
+            let v = io::decode_vector(&mut block)
+                .expect("checksummed VPAY block failed vector validation");
+            self.materialized.fetch_add(1, Ordering::Relaxed);
+            v
+        })
+    }
+}
+
+/// One merged pair bucket (`C(b_j, 2) > 0`) of a [`MappedView`], in
+/// key-ascending enumeration order: a run of base members (read from
+/// the mapping) followed by a run of overlay members — which is
+/// globally id-ascending, exactly like the heap table's bucket member
+/// order.
+#[derive(Debug, Clone, Copy)]
+struct Column {
+    base_start: u64,
+    base_len: u32,
+    tail_start: u32,
+    tail_len: u32,
+}
+
+/// The published index of a mapped engine: the mapped checkpoint base
+/// plus an append-only heap overlay (replayed WAL tail and live
+/// inserts), sampling bit-identically to the equivalent heap table.
+pub(crate) struct MappedView {
+    base: Arc<MappedCheckpoint>,
+    k: usize,
+    tail_keys: Vec<u64>,
+    tail_vectors: Vec<Arc<SparseVector>>,
+    columns: Vec<Column>,
+    tail_members: Vec<VectorId>,
+    alias: Option<AliasTable>,
+    nh: u64,
+}
+
+impl std::fmt::Debug for MappedView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedView")
+            .field("base_n", &self.base.len())
+            .field("tail_n", &self.tail_keys.len())
+            .field("nh", &self.nh)
+            .finish()
+    }
+}
+
+impl MappedView {
+    /// Builds the merged view: walk base buckets (key-ascending by
+    /// layout) and overlay key groups (key-ascending by `BTreeMap`) in
+    /// a single merge, emitting every bucket with ≥ 2 merged members as
+    /// an alias column — the same column sequence and weights the heap
+    /// table's sampler derives, hence the same sampling stream.
+    pub(crate) fn new(
+        base: Arc<MappedCheckpoint>,
+        k: usize,
+        tail_keys: Vec<u64>,
+        tail_vectors: Vec<Arc<SparseVector>>,
+    ) -> Self {
+        debug_assert_eq!(tail_keys.len(), tail_vectors.len());
+        let base_n = base.len();
+        let mut tail_groups: BTreeMap<u64, Vec<VectorId>> = BTreeMap::new();
+        for (t, &key) in tail_keys.iter().enumerate() {
+            tail_groups
+                .entry(key)
+                .or_default()
+                .push((base_n + t) as VectorId);
+        }
+
+        let mut columns = Vec::new();
+        let mut weights = Vec::new();
+        let mut tail_members = Vec::new();
+        let mut nh = 0u64;
+        let mut emit = |base_start: usize, base_len: usize, tail: Option<&Vec<VectorId>>| {
+            let tail_len = tail.map_or(0, Vec::len);
+            let weight = pair_count((base_len + tail_len) as u64);
+            nh += weight;
+            if weight > 0 {
+                columns.push(Column {
+                    base_start: base_start as u64,
+                    base_len: base_len as u32,
+                    tail_start: tail_members.len() as u32,
+                    tail_len: tail_len as u32,
+                });
+                weights.push(weight as f64);
+                if let Some(members) = tail {
+                    tail_members.extend_from_slice(members);
+                }
+            }
+        };
+
+        let mut tail_iter = tail_groups.iter().peekable();
+        for b in 0..base.num_buckets() {
+            let bucket_key = base.bucket_key(b);
+            while tail_iter
+                .peek()
+                .is_some_and(|(&tail_key, _)| tail_key < bucket_key)
+            {
+                let (_, members) = tail_iter.next().expect("peeked");
+                emit(0, 0, Some(members));
+            }
+            let merged = tail_iter
+                .peek()
+                .is_some_and(|(&tail_key, _)| tail_key == bucket_key)
+                .then(|| tail_iter.next().expect("peeked").1);
+            let (start, len) = base.bucket_members(b);
+            emit(start, len, merged);
+        }
+        for (_, members) in tail_iter {
+            emit(0, 0, Some(members));
+        }
+
+        let alias = if weights.is_empty() {
+            None
+        } else {
+            Some(AliasTable::new(&weights).expect("positive C(b,2) weights"))
+        };
+        Self {
+            base,
+            k,
+            tail_keys,
+            tail_vectors,
+            columns,
+            tail_members,
+            alias,
+            nh,
+        }
+    }
+
+    /// A new view with `keys`/`vectors` appended to the overlay (the
+    /// mapped delta-publish path). The base mapping is shared; merged
+    /// columns are rebuilt in O(buckets + overlay).
+    pub(crate) fn extended(&self, keys: &[u64], vectors: &[Arc<SparseVector>]) -> Self {
+        let mut tail_keys = self.tail_keys.clone();
+        tail_keys.extend_from_slice(keys);
+        let mut tail_vectors = self.tail_vectors.clone();
+        tail_vectors.extend_from_slice(vectors);
+        Self::new(self.base.clone(), self.k, tail_keys, tail_vectors)
+    }
+
+    /// The mapped base.
+    pub(crate) fn base(&self) -> &Arc<MappedCheckpoint> {
+        &self.base
+    }
+
+    /// The overlay's bucket keys, in overlay-row order.
+    pub(crate) fn tail_keys(&self) -> &[u64] {
+        &self.tail_keys
+    }
+
+    /// The overlay's vectors, in overlay-row order.
+    pub(crate) fn tail_vectors(&self) -> &[Arc<SparseVector>] {
+        &self.tail_vectors
+    }
+
+    /// Total rows: mapped base plus heap overlay.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.base.len() + self.tail_keys.len()
+    }
+
+    /// Bucket key of a view-local row id.
+    #[inline]
+    pub(crate) fn key_of(&self, id: VectorId) -> u64 {
+        let id = id as usize;
+        if id < self.base.len() {
+            self.base.key(id)
+        } else {
+            self.tail_keys[id - self.base.len()]
+        }
+    }
+
+    /// The vector of a view-local row id (base rows materialize from
+    /// the mapping on first touch).
+    #[inline]
+    pub(crate) fn vector(&self, id: VectorId) -> &SparseVector {
+        let id = id as usize;
+        if id < self.base.len() {
+            self.base.vector(id)
+        } else {
+            &self.tail_vectors[id - self.base.len()]
+        }
+    }
+
+    #[inline]
+    fn column_member(&self, col: &Column, i: usize) -> VectorId {
+        if i < col.base_len as usize {
+            self.base.member(col.base_start as usize + i)
+        } else {
+            self.tail_members[col.tail_start as usize + (i - col.base_len as usize)]
+        }
+    }
+}
+
+impl IndexView for MappedView {
+    #[inline]
+    fn len(&self) -> usize {
+        MappedView::len(self)
+    }
+
+    #[inline]
+    fn total_pairs(&self) -> u64 {
+        pair_count(MappedView::len(self) as u64)
+    }
+
+    #[inline]
+    fn nh(&self) -> u64 {
+        self.nh
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn same_bucket(&self, a: VectorId, b: VectorId) -> bool {
+        self.key_of(a) == self.key_of(b)
+    }
+
+    fn sample_same_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        // Mirrors `LshTable::sample_same_bucket_pair` draw for draw:
+        // alias (one `below_usize` + one `next_f64`), then the in-bucket
+        // distinct pair.
+        let alias = self.alias.as_ref()?;
+        let col = self.columns[alias.sample(rng)];
+        let b = (col.base_len + col.tail_len) as usize;
+        debug_assert!(b >= 2);
+        let i = rng.below_usize(b);
+        let mut j = rng.below_usize(b - 1);
+        if j >= i {
+            j += 1;
+        }
+        Some((self.column_member(&col, i), self.column_member(&col, j)))
+    }
+
+    fn sample_cross_bucket_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(VectorId, VectorId)> {
+        if IndexView::nl(self) == 0 {
+            return None;
+        }
+        // The dense-index → id indirection of the heap sampler is the
+        // identity here: a mapped view is append-only, nothing is ever
+        // removed.
+        let n = MappedView::len(self) as u64;
+        loop {
+            let (i, j) = sample_distinct_pair(rng, n);
+            let (i, j) = (i as VectorId, j as VectorId);
+            if !IndexView::same_bucket(self, i, j) {
+                return Some((i, j));
+            }
+        }
+    }
+
+    fn sample_any_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (VectorId, VectorId, bool) {
+        let n = MappedView::len(self) as u64;
+        let (i, j) = sample_distinct_pair(rng, n);
+        let (i, j) = (i as VectorId, j as VectorId);
+        (i, j, IndexView::same_bucket(self, i, j))
+    }
+}

@@ -1,22 +1,33 @@
 //! Durable epoch checkpoints and the background checkpointer.
 //!
 //! A *checkpoint* is one file (`checkpoint.vsjc`, a
-//! [`datasets::io`](vsj_datasets::io) v2 container) holding everything
+//! [`datasets::io`](vsj_datasets::io) container) holding everything
 //! needed to resurrect an [`EstimationEngine`]
-//! at a published epoch:
+//! at a published epoch. The writer emits the **v3 mappable layout**
+//! (fixed-width, 8-byte-aligned sections — the out-of-core tier serves
+//! estimates straight from a mapping of this file); v2 checkpoints from
+//! earlier lives stay readable:
 //!
 //! | section | payload |
 //! |---|---|
 //! | `META` | epoch, ingest counter, id allocator, WAL cut, publishes, full [`ServiceConfig`] |
-//! | `GIDS` | global ids of the snapshot rows, ascending |
-//! | `KEYS` | precomputed LSH bucket keys, parallel to `GIDS` |
-//! | `VECS` | the vector payloads, written once straight from the snapshot's `Arc`-shared handles |
+//! | `GIDS` | global ids of the snapshot rows, ascending (`n × u64`) |
+//! | `KEYS` | precomputed LSH bucket keys, parallel to `GIDS` (`n × u64`) |
+//! | `BKTK` | bucket keys, strictly ascending (`B × u64`) |
+//! | `BOFF` | bucket member-run offsets (`(B+1) × u64`, `[0] = 0`, `[B] = n`) |
+//! | `BMEM` | bucket member runs: row ids grouped by bucket, ascending within (`n × u32`) |
+//! | `VOFF` | payload-slab byte offsets (`(n+1) × u64`) |
+//! | `VPAY` | concatenated per-vector wire blocks |
+//!
+//! (v2 files carry `META`/`GIDS`/`KEYS` plus a single `VECS` payload
+//! list instead of the bucket and slab sections.)
 //!
 //! Storing the bucket keys means recovery re-hashes *nothing*: shards
 //! are rebuilt through [`LshTable::insert_key`](vsj_lsh::LshTable) from
-//! parts, exactly like snapshot publication. Every section is
-//! checksummed by the container, so any flipped byte fails the load
-//! loudly instead of resurrecting a silently wrong index.
+//! parts, exactly like snapshot publication — and the mapped tier skips
+//! even that, serving buckets from `BKTK`/`BOFF`/`BMEM` directly. Every
+//! section is checksummed by the container, so any flipped byte fails
+//! the load loudly instead of resurrecting a silently wrong index.
 //!
 //! Checkpoint files are written to a temp name and atomically renamed,
 //! so a crash mid-checkpoint leaves the previous checkpoint intact. The
@@ -24,8 +35,9 @@
 //! [`EstimationEngine::checkpoint`](crate::EstimationEngine::checkpoint)
 //! for the full protocol).
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,11 +54,18 @@ use crate::GlobalId;
 pub const CHECKPOINT_FILE: &str = "checkpoint.vsjc";
 /// File name of the write-ahead log inside a storage directory.
 pub const WAL_FILE: &str = "wal.vsjw";
+/// Temp name a checkpoint is written under before its atomic rename.
+const CHECKPOINT_TMP: &str = "checkpoint.vsjc.tmp";
 
-const SECTION_META: [u8; 4] = *b"META";
-const SECTION_GIDS: [u8; 4] = *b"GIDS";
-const SECTION_KEYS: [u8; 4] = *b"KEYS";
+pub(crate) const SECTION_META: [u8; 4] = *b"META";
+pub(crate) const SECTION_GIDS: [u8; 4] = *b"GIDS";
+pub(crate) const SECTION_KEYS: [u8; 4] = *b"KEYS";
 const SECTION_VECS: [u8; 4] = *b"VECS";
+pub(crate) const SECTION_BKTK: [u8; 4] = *b"BKTK";
+pub(crate) const SECTION_BOFF: [u8; 4] = *b"BOFF";
+pub(crate) const SECTION_BMEM: [u8; 4] = *b"BMEM";
+pub(crate) const SECTION_VOFF: [u8; 4] = *b"VOFF";
+pub(crate) const SECTION_VPAY: [u8; 4] = *b"VPAY";
 
 /// Errors from the durability layer.
 #[derive(Debug)]
@@ -180,7 +199,7 @@ fn corrupt(msg: impl Into<String>) -> PersistError {
     PersistError::Corrupt(msg.into())
 }
 
-fn decode_meta(mut data: Bytes) -> Result<(CheckpointMeta, u64), PersistError> {
+pub(crate) fn decode_meta(mut data: Bytes) -> Result<(CheckpointMeta, u64), PersistError> {
     let need = |data: &mut Bytes, bytes: usize, what: &str| -> Result<(), PersistError> {
         if data.remaining() < bytes {
             Err(corrupt(format!("META truncated at {what}")))
@@ -300,9 +319,105 @@ fn decode_u64s(mut data: Bytes, what: &str) -> Result<Vec<u64>, PersistError> {
 /// vector)`, ascending by id.
 pub type SnapshotRows = Vec<(GlobalId, u64, Arc<SparseVector>)>;
 
-/// Serializes a checkpoint into container bytes (exposed for tests and
-/// tooling; the private `write_checkpoint` is the durable path).
+/// Serializes a checkpoint in the **v3 mappable layout** (exposed for
+/// tests and tooling; the private `write_checkpoint` is the durable
+/// path). Works for both storage tiers: a heap snapshot encodes its
+/// table and `Arc`-shared payloads; a mapped snapshot copies the base
+/// slab straight from its mapping and appends the overlay.
 pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
+    let n = snapshot.len();
+    // Row keys in snapshot-local id order, whichever tier holds them.
+    let keys: Vec<u64> = match snapshot.heap_parts() {
+        Some((_, table)) => table.to_parts(),
+        None => {
+            let view = snapshot
+                .mapped_view()
+                .expect("a snapshot is heap or mapped");
+            let base = view.base();
+            let mut keys = Vec::with_capacity(n);
+            for i in 0..base.len() {
+                keys.push(base.key(i));
+            }
+            keys.extend_from_slice(view.tail_keys());
+            keys
+        }
+    };
+    // Bucket runs: group rows by key (key-ascending, members in id
+    // order) — exactly the grouping `LshTable::from_keys` performs, so
+    // a mapped reader enumerates the same bucket sequence as a heap
+    // rebuild.
+    let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for (id, &key) in keys.iter().enumerate() {
+        buckets.entry(key).or_default().push(id as u32);
+    }
+    let mut boff = Vec::with_capacity(buckets.len() + 1);
+    boff.push(0u64);
+    let mut bmem = BytesMut::with_capacity(n * 4);
+    let mut covered = 0u64;
+    for members in buckets.values() {
+        covered += members.len() as u64;
+        boff.push(covered);
+        for &m in members {
+            bmem.put_u32_le(m);
+        }
+    }
+    // Payload slab + per-row offsets. Heap: serialize once, straight
+    // from the shared `Arc` handles. Mapped: byte-copy the base slab
+    // from the mapping (no decode) and append the overlay's blocks.
+    let (voff, vpay): (Vec<u64>, Bytes) = match snapshot.heap_parts() {
+        Some((collection, _)) => {
+            let mut buf = BytesMut::new();
+            let mut voff = Vec::with_capacity(n + 1);
+            voff.push(0);
+            for v in collection.iter_arcs() {
+                io::encode_vector_into(&mut buf, v.as_ref());
+                voff.push(buf.len() as u64);
+            }
+            (voff, buf.freeze())
+        }
+        None => {
+            let view = snapshot
+                .mapped_view()
+                .expect("a snapshot is heap or mapped");
+            let base = view.base();
+            let slab = base.payload_slab();
+            let mut buf = BytesMut::with_capacity(slab.len());
+            buf.put_slice(slab);
+            let mut voff = Vec::with_capacity(n + 1);
+            for i in 0..=base.len() {
+                voff.push(base.payload_offset(i));
+            }
+            for v in view.tail_vectors() {
+                io::encode_vector_into(&mut buf, v.as_ref());
+                voff.push(buf.len() as u64);
+            }
+            (voff, buf.freeze())
+        }
+    };
+
+    let mut w = ContainerWriter::new();
+    w.section(SECTION_META, encode_meta(meta, n as u64));
+    w.section(
+        SECTION_GIDS,
+        encode_u64s(snapshot.global_ids().iter().copied()),
+    );
+    w.section(SECTION_KEYS, encode_u64s(keys.into_iter()));
+    w.section(SECTION_BKTK, encode_u64s(buckets.keys().copied()));
+    w.section(SECTION_BOFF, encode_u64s(boff.into_iter()));
+    w.section(SECTION_BMEM, bmem.freeze());
+    w.section(SECTION_VOFF, encode_u64s(voff.into_iter()));
+    w.section(SECTION_VPAY, vpay);
+    w.finish_v3()
+}
+
+/// Serializes a **heap** checkpoint in the legacy v2 inline framing —
+/// kept for compatibility tooling and the cross-version equivalence
+/// tests ([`decode_checkpoint`] reads both).
+///
+/// # Panics
+/// Panics on a mapped snapshot (the v2 layout predates the mapped
+/// tier).
+pub fn encode_checkpoint_v2(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
     let mut w = ContainerWriter::new();
     w.section(SECTION_META, encode_meta(meta, snapshot.len() as u64));
     w.section(
@@ -330,7 +445,7 @@ pub(crate) fn write_checkpoint(
 ) -> Result<(), PersistError> {
     use std::io::Write;
     let bytes = encode_checkpoint(meta, snapshot);
-    let tmp = dir.join("checkpoint.vsjc.tmp");
+    let tmp = dir.join(CHECKPOINT_TMP);
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes.as_slice())?;
@@ -340,21 +455,58 @@ pub(crate) fn write_checkpoint(
     Ok(())
 }
 
+/// Decodes the v3 payload slab into owned vectors: `voff` must
+/// partition the slab exactly, and every block must decode to a valid
+/// vector with no trailing bytes.
+fn decode_payload_slab(voff: &[u64], vpay: Bytes) -> Result<Vec<SparseVector>, PersistError> {
+    let slab = vpay.as_slice();
+    if voff.first() != Some(&0) || voff.last() != Some(&(slab.len() as u64)) {
+        return Err(corrupt("VOFF does not span exactly the payload slab"));
+    }
+    let mut out = Vec::with_capacity(voff.len().saturating_sub(1));
+    for w in voff.windows(2) {
+        if w[0] > w[1] || w[1] > slab.len() as u64 {
+            return Err(corrupt("VOFF offsets are not monotone"));
+        }
+        let mut block = Bytes::copy_from_slice(&slab[w[0] as usize..w[1] as usize]);
+        let v = io::decode_vector(&mut block)?;
+        if block.has_remaining() {
+            return Err(corrupt("trailing bytes in a VPAY block"));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
 /// Decodes checkpoint bytes into metadata plus snapshot rows
 /// `(global id, bucket key, vector)`, verifying every section checksum
-/// and cross-section consistency.
+/// and cross-section consistency. Negotiates the payload layout: v2
+/// containers carry a `VECS` list, v3 containers the `VOFF`/`VPAY`
+/// slab. The heap rebuild derives its buckets from `KEYS`, but a v3
+/// container must still carry the full mappable section set — a
+/// missing (or tag-corrupted) bucket section is damage, not an
+/// optional extra, even when this path would not read it.
 pub fn decode_checkpoint(bytes: Bytes) -> Result<(CheckpointMeta, SnapshotRows), PersistError> {
     let container = ContainerReader::parse(bytes)?;
     let (meta, n) = decode_meta(container.require(SECTION_META)?)?;
     let gids = decode_u64s(container.require(SECTION_GIDS)?, "GIDS")?;
     let keys = decode_u64s(container.require(SECTION_KEYS)?, "KEYS")?;
-    let collection = io::decode_vectors(container.require(SECTION_VECS)?)?;
-    if gids.len() as u64 != n || keys.len() as u64 != n || collection.len() as u64 != n {
+    let vectors: Vec<SparseVector> = match container.section(SECTION_VECS) {
+        Some(vecs) => io::decode_vectors(vecs)?.into_vectors(),
+        None => {
+            for tag in [SECTION_BKTK, SECTION_BOFF, SECTION_BMEM] {
+                container.require(tag)?;
+            }
+            let voff = decode_u64s(container.require(SECTION_VOFF)?, "VOFF")?;
+            decode_payload_slab(&voff, container.require(SECTION_VPAY)?)?
+        }
+    };
+    if gids.len() as u64 != n || keys.len() as u64 != n || vectors.len() as u64 != n {
         return Err(corrupt(format!(
             "row count mismatch: META says {n}, sections carry {}/{}/{}",
             gids.len(),
             keys.len(),
-            collection.len()
+            vectors.len()
         )));
     }
     if gids.windows(2).any(|w| w[0] >= w[1]) {
@@ -366,7 +518,7 @@ pub fn decode_checkpoint(bytes: Bytes) -> Result<(CheckpointMeta, SnapshotRows),
     let rows = gids
         .into_iter()
         .zip(keys)
-        .zip(collection.into_vectors())
+        .zip(vectors)
         .map(|((gid, key), v)| (gid, key, Arc::new(v)))
         .collect();
     Ok((meta, rows))
@@ -412,58 +564,189 @@ pub fn read_checkpoint_generation(
 pub fn peek_checkpoint_meta(path: &Path) -> Result<CheckpointMeta, PersistError> {
     use std::io::{Read, Seek, SeekFrom};
     let mut file = std::fs::File::open(path)?;
+    // Truncation anywhere in the walk — including a zero-length file —
+    // must surface as a *structured* corruption error, never a bare
+    // EOF panic or a misleading downstream failure.
+    fn read_frame(
+        file: &mut std::fs::File,
+        buf: &mut [u8],
+        what: &str,
+    ) -> Result<(), PersistError> {
+        file.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt(format!("checkpoint truncated reading {what}"))
+            } else {
+                PersistError::Io(e)
+            }
+        })
+    }
     let mut header = [0u8; 12];
-    file.read_exact(&mut header)?;
+    read_frame(&mut file, &mut header, "the container header")?;
     if &header[0..4] != b"VSJC" {
         return Err(corrupt("not a VSJC container"));
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if version != 2 {
-        return Err(corrupt(format!("unsupported container version {version}")));
-    }
     let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
     let file_len = file.metadata()?.len();
-    let mut pos = 12u64;
-    for _ in 0..count {
-        let mut section = [0u8; 20];
-        file.read_exact(&mut section)?;
-        pos += 20;
-        let tag: [u8; 4] = section[0..4].try_into().expect("4 bytes");
-        let len = u64::from_le_bytes(section[4..12].try_into().expect("8 bytes"));
-        let checksum = u64::from_le_bytes(section[12..20].try_into().expect("8 bytes"));
-        // A corrupt length field must fail loudly, not drive a huge
-        // allocation or a wrapping seek: bound it by what the file can
-        // actually hold past this frame.
-        if len > file_len.saturating_sub(pos) {
-            return Err(corrupt(format!(
-                "section length {len} overruns the container ({file_len} bytes)"
-            )));
+    // v2 frames carry the plain byte checksum; v3 directories carry the
+    // chunked section digest.
+    let read_meta_payload = |file: &mut std::fs::File,
+                             len: u64,
+                             checksum: u64,
+                             v3: bool|
+     -> Result<CheckpointMeta, PersistError> {
+        let mut payload = vec![0u8; len as usize];
+        read_frame(file, &mut payload, "the META payload")?;
+        let computed = if v3 {
+            io::checksum64_v3(&payload)
+        } else {
+            io::checksum64(&payload)
+        };
+        if computed != checksum {
+            return Err(PersistError::Container(IoError::BadChecksum {
+                section: SECTION_META,
+            }));
         }
-        pos += len;
-        if tag == SECTION_META {
-            let mut payload = vec![0u8; len as usize];
-            file.read_exact(&mut payload)?;
-            if io::checksum64(&payload) != checksum {
-                return Err(PersistError::Container(IoError::BadChecksum {
-                    section: tag,
-                }));
+        decode_meta(Bytes::from(payload)).map(|(meta, _)| meta)
+    };
+    match version {
+        2 => {
+            let mut pos = 12u64;
+            for _ in 0..count {
+                let mut section = [0u8; 20];
+                read_frame(&mut file, &mut section, "a section frame")?;
+                pos += 20;
+                let tag: [u8; 4] = section[0..4].try_into().expect("4 bytes");
+                let len = u64::from_le_bytes(section[4..12].try_into().expect("8 bytes"));
+                let checksum = u64::from_le_bytes(section[12..20].try_into().expect("8 bytes"));
+                // A corrupt length field must fail loudly, not drive a
+                // huge allocation or a wrapping seek: bound it by what
+                // the file can actually hold past this frame.
+                if len > file_len.saturating_sub(pos) {
+                    return Err(corrupt(format!(
+                        "section length {len} overruns the container ({file_len} bytes)"
+                    )));
+                }
+                pos += len;
+                if tag == SECTION_META {
+                    return read_meta_payload(&mut file, len, checksum, false);
+                }
+                file.seek(SeekFrom::Current(len as i64))?;
             }
-            return decode_meta(Bytes::from(payload)).map(|(meta, _)| meta);
+            Err(corrupt("container has no META section"))
         }
-        file.seek(SeekFrom::Current(len as i64))?;
+        3 => {
+            // v3: 16-byte header, then 32-byte directory entries with
+            // absolute payload offsets — META is one seek away.
+            let mut pad = [0u8; 4];
+            read_frame(&mut file, &mut pad, "the v3 header")?;
+            for _ in 0..count {
+                let mut entry = [0u8; 32];
+                read_frame(&mut file, &mut entry, "a directory entry")?;
+                let tag: [u8; 4] = entry[0..4].try_into().expect("4 bytes");
+                if tag != SECTION_META {
+                    continue;
+                }
+                let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+                let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+                let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+                if offset.checked_add(len).is_none_or(|end| end > file_len) {
+                    return Err(corrupt(format!(
+                        "META payload at {offset}+{len} overruns the container ({file_len} bytes)"
+                    )));
+                }
+                file.seek(SeekFrom::Start(offset))?;
+                return read_meta_payload(&mut file, len, checksum, true);
+            }
+            Err(corrupt("container has no META section"))
+        }
+        v => Err(corrupt(format!("unsupported container version {v}"))),
     }
-    Err(corrupt("container has no META section"))
+}
+
+/// How many checkpoint-generation file names were found malformed or
+/// orphaned by [`list_generations`] over the process lifetime — the
+/// loud counterpart of what used to be a silent skip. Operators
+/// watching this counter learn that a storage directory holds files
+/// rotation will never reclaim.
+static GENERATION_WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime count of malformed or orphaned
+/// `checkpoint.vsjc.g*` names seen by [`list_generations`].
+pub fn generation_name_warnings() -> u64 {
+    GENERATION_WARNINGS.load(Ordering::Relaxed)
 }
 
 /// The prior checkpoint generations present in `dir`, ascending (`1` =
 /// most recent previous). The current checkpoint (generation 0) is not
 /// listed; a fresh directory returns an empty vector.
+///
+/// Rotation keeps `.1..` contiguous, so only the contiguous prefix is
+/// usable — but unlike the historical probe-until-gap scan, this walk
+/// reads the whole directory and makes every skipped file **loud**:
+/// unparsable `checkpoint.vsjc.*` names and orphaned generations past
+/// a gap are warned about and counted in
+/// [`generation_name_warnings`] instead of silently ignored.
 pub fn list_generations(dir: &Path) -> Vec<u64> {
-    // Rotation keeps `.1..` contiguous, so scanning until the first
-    // gap finds them all — already in ascending order.
-    (1..)
-        .take_while(|&g| generation_path(dir, g).exists())
-        .collect()
+    let prefix = format!("{CHECKPOINT_FILE}.");
+    let mut found: Vec<u64> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(suffix) = name.strip_prefix(prefix.as_str()) else {
+            continue;
+        };
+        // The writer's transient temp file is expected, not malformed
+        // (stale ones are reclaimed by `clean_stale_tmp` at startup).
+        if suffix == "tmp" {
+            continue;
+        }
+        // Canonical generation names only: `.g` with g ≥ 1 and no
+        // leading zeros or signs (`parse` would accept "+3"/"007").
+        match suffix.parse::<u64>() {
+            Ok(g) if g >= 1 && g.to_string() == suffix => found.push(g),
+            _ => {
+                GENERATION_WARNINGS.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "vsj-service: malformed checkpoint generation name {name:?} in {} \
+                     (rotation will never reclaim it)",
+                    dir.display()
+                );
+            }
+        }
+    }
+    found.sort_unstable();
+    found.dedup();
+    let mut contiguous = Vec::with_capacity(found.len());
+    for g in found {
+        if g == contiguous.len() as u64 + 1 {
+            contiguous.push(g);
+        } else {
+            GENERATION_WARNINGS.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "vsj-service: orphaned checkpoint generation {g} in {} \
+                 (gap in the rotation chain; not recoverable from)",
+                dir.display()
+            );
+        }
+    }
+    contiguous
+}
+
+/// Removes a stale checkpoint temp file left behind by a crash between
+/// the temp write and the atomic rename. Returns whether one was
+/// found. Called on every engine startup (`durable_with` / `recover`),
+/// so a crashed rotation can never leak the temp file forever.
+pub(crate) fn clean_stale_tmp(dir: &Path) -> Result<bool, PersistError> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(PersistError::Io(e)),
+    }
 }
 
 /// Rotates checkpoint generations ahead of a new checkpoint write:

@@ -1,53 +1,77 @@
 //! Epoch-consistent, immutable read views.
 //!
-//! A snapshot is a *frozen* `(collection, table)` pair assembled from a
-//! consistent cut across every shard, tagged with a monotonically
-//! increasing epoch. Readers clone an `Arc<Snapshot>` (a pointer copy)
-//! and then sample against it with zero coordination — writers can keep
-//! ingesting and publishing newer epochs; existing snapshots are never
-//! mutated and are freed when the last reader drops them.
+//! A snapshot is a *frozen* index view assembled from a consistent cut
+//! across every shard, tagged with a monotonically increasing epoch.
+//! Readers clone an `Arc<Snapshot>` (a pointer copy) and then sample
+//! against it with zero coordination — writers can keep ingesting and
+//! publishing newer epochs; existing snapshots are never mutated and
+//! are freed when the last reader drops them.
 //!
-//! **Incremental publication.** Payloads live behind `Arc`s
-//! ([`SharedVectorCollection`]), so a snapshot never copies vector
-//! data. Two assembly paths exist:
+//! **Two storage tiers** back a snapshot:
+//!
+//! * **Heap** — the classic `(collection, table)` pair. Payloads live
+//!   behind `Arc`s ([`SharedVectorCollection`]), so a snapshot never
+//!   copies vector data.
+//! * **Mapped** — a [`MappedView`](crate::mapped::MappedView): a
+//!   memory-mapped checkpoint base plus an append-only heap overlay.
+//!   The base corpus stays on disk; estimates sample straight from the
+//!   mapping.
+//!
+//! **Incremental publication.** Two assembly paths exist:
 //!
 //! * [`Snapshot::assemble_delta`] — the **O(changed)** path: when an
 //!   epoch's delta is append-only (only inserts, all with global ids
 //!   past the previous cut — the common ingest pattern), the new
 //!   snapshot extends the previous one: payload handles are shared,
-//!   and the table is built by [`LshTable::from_parts_delta`], which
-//!   `Arc`-shares every untouched bucket with the previous epoch.
+//!   and the heap table is built by [`LshTable::from_parts_delta`]
+//!   (the mapped tier extends its overlay the same way).
 //! * [`Snapshot::assemble`] — the general merge for epochs whose delta
 //!   contains removals, upserts, or out-of-order ids: an O(n log n)
 //!   re-sort of the live rows, but still pure pointer work (no payload
 //!   copies, no re-hashing).
 //!
-//! **Offline equivalence.** Both paths produce a table
-//! observationally identical to [`LshTable::build`] over the same live
-//! vectors in global-id order, so any estimator run against a snapshot
-//! returns *the same value* as an offline run over an
-//! equivalently-ordered collection with the same RNG — the property the
-//! service's tests pin down, and the reason results from the live
-//! engine are directly comparable to the paper's offline numbers.
+//! **Offline equivalence.** Every path produces a view observationally
+//! identical to [`LshTable::build`] over the same live vectors in
+//! global-id order, so any estimator run against a snapshot returns
+//! *the same value* as an offline run over an equivalently-ordered
+//! collection with the same RNG — the property the service's tests pin
+//! down, and the reason results from the live engine are directly
+//! comparable to the paper's offline numbers. The mapped tier upholds
+//! the same contract: at every published `(seed, epoch, τ)` it is
+//! bit-identical to the heap tier.
 
 use std::sync::Arc;
 
 use vsj_core::IndexView;
 use vsj_lsh::{BucketHasher, LshTable};
 use vsj_sampling::Rng;
-use vsj_vector::{SharedVectorCollection, SparseVector, VectorId};
+use vsj_vector::{SharedVectorCollection, SparseVector, VectorId, VectorStore};
 
+use crate::mapped::{MappedCheckpoint, MappedView};
 use crate::GlobalId;
+
+/// The storage backing a snapshot's index and payloads.
+// Snapshots are only ever held behind an `Arc`, so the size gap
+// between the variants never multiplies across copies.
+#[allow(clippy::large_enum_variant)]
+enum View {
+    /// Decoded, heap-resident collection and table.
+    Heap {
+        collection: SharedVectorCollection,
+        table: LshTable,
+    },
+    /// Memory-mapped checkpoint base plus heap overlay.
+    Mapped(MappedView),
+}
 
 /// An immutable epoch-consistent view of the engine's live data.
 pub struct Snapshot {
     epoch: u64,
     /// Ingest-counter value at the cut (drift reference for the cache).
     ingested: u64,
-    collection: SharedVectorCollection,
-    table: LshTable,
     /// Snapshot index → global id (ascending).
     ids: Vec<GlobalId>,
+    view: View,
 }
 
 impl Snapshot {
@@ -56,16 +80,18 @@ impl Snapshot {
         Self {
             epoch: 0,
             ingested: 0,
-            collection: SharedVectorCollection::new(),
-            table: LshTable::from_parts(hasher, Vec::new()),
             ids: Vec::new(),
+            view: View::Heap {
+                collection: SharedVectorCollection::new(),
+                table: LshTable::from_parts(hasher, Vec::new()),
+            },
         }
     }
 
-    /// Assembles a snapshot from shard rows (`global id`, precomputed
-    /// bucket key, vector). Rows may arrive in any order; they are
-    /// sorted by global id so the layout is independent of shard count
-    /// and removal history.
+    /// Assembles a heap snapshot from shard rows (`global id`,
+    /// precomputed bucket key, vector). Rows may arrive in any order;
+    /// they are sorted by global id so the layout is independent of
+    /// shard count and removal history.
     ///
     /// Cost: O(n log n) for the sort plus O(n) *pointer* work — the
     /// payloads are `Arc`-shared with the shards, never copied, and the
@@ -91,16 +117,62 @@ impl Snapshot {
         Self {
             epoch,
             ingested,
-            collection: SharedVectorCollection::from_arcs(vectors),
-            table: LshTable::from_parts(hasher, keys),
             ids,
+            view: View::Heap {
+                collection: SharedVectorCollection::from_arcs(vectors),
+                table: LshTable::from_parts(hasher, keys),
+            },
         }
+    }
+
+    /// Assembles a **mapped** snapshot: the memory-mapped checkpoint
+    /// base plus `tail` rows appended after the checkpoint cut (the
+    /// replayed WAL tail, or a full republish of the live inserts).
+    ///
+    /// Returns `None` when `tail` (after sorting by global id) is not
+    /// append-only on top of the base — mapped bases are immutable, so
+    /// a tail reaching below the base watermark cannot be represented.
+    pub(crate) fn from_mapped(
+        epoch: u64,
+        ingested: u64,
+        k: usize,
+        base: Arc<MappedCheckpoint>,
+        mut tail: Vec<(GlobalId, u64, Arc<SparseVector>)>,
+    ) -> Option<Self> {
+        tail.sort_unstable_by_key(|r| r.0);
+        let base_n = base.len();
+        let floor = base_n.checked_sub(1).map(|last| base.gid(last));
+        let append_only = tail.windows(2).all(|w| w[0].0 < w[1].0)
+            && tail
+                .first()
+                .is_none_or(|first| floor.is_none_or(|max| first.0 > max));
+        if !append_only {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(base_n + tail.len());
+        for i in 0..base_n {
+            ids.push(base.gid(i));
+        }
+        let mut keys = Vec::with_capacity(tail.len());
+        let mut arcs = Vec::with_capacity(tail.len());
+        for (global, key, v) in tail {
+            ids.push(global);
+            keys.push(key);
+            arcs.push(v);
+        }
+        Some(Self {
+            epoch,
+            ingested,
+            ids,
+            view: View::Mapped(MappedView::new(base, k, keys, arcs)),
+        })
     }
 
     /// Assembles the next epoch **incrementally** from the previous
     /// snapshot plus this epoch's delta rows — O(changed) instead of
     /// O(n): payload handles and untouched table buckets are shared
-    /// with `prev` by `Arc`; only the delta is newly indexed.
+    /// with `prev` by `Arc`; only the delta is newly indexed. On the
+    /// mapped tier the base mapping is shared and the overlay extended.
     ///
     /// Returns `None` (caller falls back to [`Snapshot::assemble`])
     /// unless the delta is *append-only*: inserts only, every global id
@@ -127,12 +199,18 @@ impl Snapshot {
             keys.push(key);
             arcs.push(v);
         }
+        let view = match &prev.view {
+            View::Heap { collection, table } => View::Heap {
+                collection: collection.extended(arcs),
+                table: LshTable::from_parts_delta(table, &keys),
+            },
+            View::Mapped(mapped) => View::Mapped(mapped.extended(&keys, &arcs)),
+        };
         Some(Self {
             epoch,
             ingested,
-            collection: prev.collection.extended(arcs),
-            table: LshTable::from_parts_delta(&prev.table, &keys),
             ids,
+            view,
         })
     }
 
@@ -177,18 +255,56 @@ impl Snapshot {
         self.ids.is_empty()
     }
 
-    /// The frozen collection (aligned with [`Snapshot::table`]). The
-    /// payloads are `Arc`-shared with the shards and, typically, with
-    /// the neighboring epochs' snapshots.
+    /// True when this snapshot serves its base from a memory-mapped
+    /// checkpoint rather than heap structures.
     #[inline]
-    pub fn collection(&self) -> &SharedVectorCollection {
-        &self.collection
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.view, View::Mapped(_))
     }
 
-    /// The frozen bucket-counted table.
+    /// The frozen heap collection (aligned with [`Snapshot::table`]).
+    /// The payloads are `Arc`-shared with the shards and, typically,
+    /// with the neighboring epochs' snapshots.
+    ///
+    /// # Panics
+    /// Panics on a mapped snapshot — the base payloads live in the
+    /// mapping, not in a heap collection. Tier-agnostic readers go
+    /// through the [`VectorStore`] impl instead.
+    #[inline]
+    pub fn collection(&self) -> &SharedVectorCollection {
+        match &self.view {
+            View::Heap { collection, .. } => collection,
+            View::Mapped(_) => panic!("mapped snapshots have no heap collection"),
+        }
+    }
+
+    /// The frozen bucket-counted heap table.
+    ///
+    /// # Panics
+    /// Panics on a mapped snapshot — the index lives in the mapping.
+    /// Tier-agnostic readers go through the [`IndexView`] impl instead.
     #[inline]
     pub fn table(&self) -> &LshTable {
-        &self.table
+        match &self.view {
+            View::Heap { table, .. } => table,
+            View::Mapped(_) => panic!("mapped snapshots have no heap table"),
+        }
+    }
+
+    /// The heap parts, when this snapshot is heap-backed.
+    pub(crate) fn heap_parts(&self) -> Option<(&SharedVectorCollection, &LshTable)> {
+        match &self.view {
+            View::Heap { collection, table } => Some((collection, table)),
+            View::Mapped(_) => None,
+        }
+    }
+
+    /// The mapped view, when this snapshot is map-backed.
+    pub(crate) fn mapped_view(&self) -> Option<&MappedView> {
+        match &self.view {
+            View::Heap { .. } => None,
+            View::Mapped(mapped) => Some(mapped),
+        }
     }
 
     /// Global id of a snapshot-local vector id.
@@ -197,7 +313,7 @@ impl Snapshot {
         self.ids[id as usize]
     }
 
-    /// All global ids, ascending (parallel to the collection).
+    /// All global ids, ascending (parallel to the view's rows).
     #[inline]
     pub fn global_ids(&self) -> &[GlobalId] {
         &self.ids
@@ -209,13 +325,15 @@ impl std::fmt::Debug for Snapshot {
         f.debug_struct("Snapshot")
             .field("epoch", &self.epoch)
             .field("n", &self.len())
-            .field("nh", &self.table.nh())
+            .field("nh", &IndexView::nh(self))
+            .field("mapped", &self.is_mapped())
             .field("ingested", &self.ingested)
             .finish()
     }
 }
 
-/// Snapshots are index views: estimators run against them directly.
+/// Snapshots are index views: estimators run against them directly,
+/// whichever tier backs them.
 impl IndexView for Snapshot {
     #[inline]
     fn len(&self) -> usize {
@@ -224,27 +342,42 @@ impl IndexView for Snapshot {
 
     #[inline]
     fn total_pairs(&self) -> u64 {
-        self.table.total_pairs()
+        match &self.view {
+            View::Heap { table, .. } => table.total_pairs(),
+            View::Mapped(mapped) => IndexView::total_pairs(mapped),
+        }
     }
 
     #[inline]
     fn nh(&self) -> u64 {
-        self.table.nh()
+        match &self.view {
+            View::Heap { table, .. } => table.nh(),
+            View::Mapped(mapped) => IndexView::nh(mapped),
+        }
     }
 
     #[inline]
     fn nl(&self) -> u64 {
-        self.table.nl()
+        match &self.view {
+            View::Heap { table, .. } => table.nl(),
+            View::Mapped(mapped) => IndexView::nl(mapped),
+        }
     }
 
     #[inline]
     fn k(&self) -> usize {
-        self.table.hasher().k()
+        match &self.view {
+            View::Heap { table, .. } => table.hasher().k(),
+            View::Mapped(mapped) => IndexView::k(mapped),
+        }
     }
 
     #[inline]
     fn same_bucket(&self, a: VectorId, b: VectorId) -> bool {
-        self.table.same_bucket(a, b)
+        match &self.view {
+            View::Heap { table, .. } => table.same_bucket(a, b),
+            View::Mapped(mapped) => IndexView::same_bucket(mapped, a, b),
+        }
     }
 
     #[inline]
@@ -252,7 +385,10 @@ impl IndexView for Snapshot {
         &self,
         rng: &mut R,
     ) -> Option<(VectorId, VectorId)> {
-        self.table.sample_same_bucket_pair(rng)
+        match &self.view {
+            View::Heap { table, .. } => table.sample_same_bucket_pair(rng),
+            View::Mapped(mapped) => mapped.sample_same_bucket_pair(rng),
+        }
     }
 
     #[inline]
@@ -260,12 +396,36 @@ impl IndexView for Snapshot {
         &self,
         rng: &mut R,
     ) -> Option<(VectorId, VectorId)> {
-        self.table.sample_cross_bucket_pair(rng)
+        match &self.view {
+            View::Heap { table, .. } => table.sample_cross_bucket_pair(rng),
+            View::Mapped(mapped) => mapped.sample_cross_bucket_pair(rng),
+        }
     }
 
     #[inline]
     fn sample_any_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (VectorId, VectorId, bool) {
-        self.table.sample_any_pair(rng)
+        match &self.view {
+            View::Heap { table, .. } => table.sample_any_pair(rng),
+            View::Mapped(mapped) => mapped.sample_any_pair(rng),
+        }
+    }
+}
+
+/// Snapshots are vector stores: similarity evaluation reads payloads
+/// from whichever tier holds them (heap `Arc`s, or lazily-materialized
+/// mapped blocks).
+impl VectorStore for Snapshot {
+    #[inline]
+    fn len(&self) -> usize {
+        Snapshot::len(self)
+    }
+
+    #[inline]
+    fn vector(&self, id: VectorId) -> &SparseVector {
+        match &self.view {
+            View::Heap { collection, .. } => collection.vector(id),
+            View::Mapped(mapped) => mapped.vector(id),
+        }
     }
 }
 
@@ -389,6 +549,7 @@ mod tests {
         let snap = Snapshot::empty(hasher());
         assert_eq!(snap.epoch(), 0);
         assert!(snap.is_empty());
+        assert!(!snap.is_mapped());
         assert_eq!(IndexView::total_pairs(&snap), 0);
     }
 }

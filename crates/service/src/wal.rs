@@ -832,8 +832,10 @@ impl WalSet {
     /// # Errors
     /// Fingerprint mismatches, missing chains or mid-chain segments,
     /// damage inside a sealed segment, duplicate or non-monotone
-    /// sequence numbers, or a history that ends before `applied_seq`
-    /// (records the checkpoint claims to cover are missing).
+    /// sequence numbers, or a non-empty history that ends before
+    /// `applied_seq` (records the checkpoint claims to cover are
+    /// missing; fully empty chains are the legal residue of a
+    /// checkpoint cut that sealed and dropped every segment).
     pub fn open(
         dir: &Path,
         shards: usize,
@@ -964,7 +966,12 @@ impl WalSet {
                 "two WAL records carry the same global sequence number".into(),
             ));
         }
-        if max_seq < applied_seq {
+        // A history that ends before the checkpoint's cut means records
+        // the checkpoint claims to cover are missing — unless every
+        // chain is empty, the legal residue of a checkpoint that sealed
+        // and dropped every segment (the whole log was covered; there
+        // is no tail to replay).
+        if max_seq < applied_seq && !entries.is_empty() {
             return Err(PersistError::Corrupt(format!(
                 "WAL ends at seq {max_seq} but the checkpoint covers {applied_seq}"
             )));
@@ -1275,6 +1282,26 @@ impl WalSet {
             st.flushed = st.appended;
             st.batch_opened = None;
             shard_wal.flushed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Seals every shard's active segment that holds records (fsync +
+    /// fresh segment), so a following [`WalSet::truncate`] can drop the
+    /// whole file the moment its records fall below the horizon.
+    /// Called at the checkpoint cut: without this, the records logged
+    /// since the last organic rotation would pin the active file — and
+    /// every recovery would re-read and re-decode all of them — until
+    /// enough new traffic rotated it out.
+    ///
+    /// # Errors
+    /// Filesystem failures sealing or opening a segment.
+    pub fn seal_active(&self) -> Result<(), PersistError> {
+        for (shard, shard_wal) in self.shards.iter().enumerate() {
+            let mut st = shard_wal.state.lock().expect("wal shard lock");
+            if st.has_records {
+                self.rotate(shard, &mut st)?;
+            }
         }
         Ok(())
     }

@@ -104,6 +104,7 @@ pub mod prelude {
     pub use vsj_service::{
         Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy, GlobalId,
         IndexFamily, ObsOptions, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
+        StorageTier,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,

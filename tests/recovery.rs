@@ -896,3 +896,130 @@ fn wal_horizon_retains_segments_for_every_kept_generation() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// --- persistence bugfix sweep: truncation, stale tmp, rotation names --------
+
+/// Truncating the checkpoint container at *any* byte boundary —
+/// including down to a zero-length file — must surface from
+/// `peek_checkpoint_meta` as a structured `PersistError`, never a
+/// panic, and never a raw `UnexpectedEof`. A prefix that still holds
+/// the full directory and META payload may legitimately succeed (META
+/// is peeked with one seek, without touching later payloads), but then
+/// it must answer the exact same meta as the intact file.
+#[test]
+fn peek_checkpoint_meta_survives_truncation_at_every_byte() {
+    let dir = fresh_dir("peek_trunc");
+    let engine = durable_for_test(config(41), &dir);
+    for i in 0..8u32 {
+        engine.insert(members(i, 3));
+    }
+    engine.checkpoint().unwrap();
+    drop(engine);
+
+    let scratch = fresh_dir("peek_scratch");
+    std::fs::create_dir_all(&scratch).unwrap();
+    // The live v3 writer output, plus the committed golden v2 fixture
+    // so the legacy walk is held to the same bar.
+    let sources = [
+        dir.join(CHECKPOINT_FILE),
+        golden_dir().join(CHECKPOINT_FILE),
+    ];
+    for source in sources {
+        let full = std::fs::read(&source).unwrap();
+        let expected = persist::peek_checkpoint_meta(&source).unwrap();
+        let cut_path = scratch.join("truncated.vsjc");
+        for cut in 0..full.len() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            match persist::peek_checkpoint_meta(&cut_path) {
+                Ok(meta) => assert_eq!(
+                    meta, expected,
+                    "a readable {cut}-byte prefix of {source:?} must answer the intact meta"
+                ),
+                Err(PersistError::Io(e)) => panic!(
+                    "prefix {cut} of {source:?} leaked a raw io error ({e}) instead of a \
+                     structured corruption error"
+                ),
+                Err(_) => {}
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// A leftover `checkpoint.vsjc.tmp` (a crash between writing the tmp
+/// and the atomic rename) must be removed on the next startup — by
+/// both the recovery path and the fresh-init path — so it can never be
+/// confused for a real checkpoint or pin disk forever.
+#[test]
+fn stale_checkpoint_tmp_is_cleaned_on_startup() {
+    // Recovery path.
+    let dir = fresh_dir("tmp_recover");
+    let engine = durable_for_test(config(43), &dir);
+    engine.insert(members(0, 3));
+    engine.checkpoint().unwrap();
+    drop(engine);
+    let tmp = dir.join("checkpoint.vsjc.tmp");
+    std::fs::write(&tmp, b"half-written checkpoint garbage").unwrap();
+    let engine = EstimationEngine::recover_with(&dir, test_options()).unwrap();
+    assert!(!tmp.exists(), "recovery must clean the stale tmp");
+    assert!(engine.contains(0), "cleanup must not disturb recovery");
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Fresh-init path: a tmp file alone does not make the directory
+    // "already initialized", and it is swept before first use.
+    let dir = fresh_dir("tmp_init");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmp = dir.join("checkpoint.vsjc.tmp");
+    std::fs::write(&tmp, b"half-written checkpoint garbage").unwrap();
+    let engine = durable_for_test(config(43), &dir);
+    assert!(!tmp.exists(), "fresh init must clean the stale tmp");
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Malformed or orphaned `checkpoint.vsjc.g*` names used to be skipped
+/// silently by `list_generations`; now every one is counted (and
+/// logged) while rotation keeps working off the contiguous prefix, so
+/// an operator learns the directory holds files rotation will never
+/// reclaim.
+#[test]
+fn malformed_generation_names_warn_loudly_and_are_skipped() {
+    let dir = fresh_dir("gen_names");
+    let options = DurabilityOptions {
+        retain_checkpoints: 3,
+        ..test_options()
+    };
+    let engine = EstimationEngine::durable_with(config(47), &dir, options).unwrap();
+    for round in 0..4u32 {
+        for i in 0..6u32 {
+            engine.insert(members(round * 6 + i, 3));
+        }
+        engine.checkpoint().unwrap();
+    }
+    assert_eq!(persist::list_generations(&dir), vec![1, 2]);
+
+    let before = persist::generation_name_warnings();
+    // Three malformed suffixes (non-canonical, signed, unparsable) and
+    // one well-formed orphan beyond the contiguous chain 1, 2.
+    for name in [
+        "checkpoint.vsjc.007",
+        "checkpoint.vsjc.+3",
+        "checkpoint.vsjc.banana",
+        "checkpoint.vsjc.9",
+    ] {
+        std::fs::write(dir.join(name), b"not a checkpoint").unwrap();
+    }
+    assert_eq!(
+        persist::list_generations(&dir),
+        vec![1, 2],
+        "rotation keeps working off the contiguous prefix"
+    );
+    assert_eq!(
+        persist::generation_name_warnings() - before,
+        4,
+        "every malformed or orphaned name must be counted, none skipped silently"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
