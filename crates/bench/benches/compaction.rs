@@ -1,0 +1,182 @@
+//! Minor compaction of the mapped tier: fold cost and serving liveness.
+//!
+//! A long-lived mapped engine accretes a heap overlay (post-checkpoint
+//! inserts) and a tombstone set (removed/replaced base rows); both are
+//! pure serving overhead — heap bytes the "map + go" tier exists to
+//! avoid, and per-read rank subtractions. `compact()` folds them into a
+//! fresh v3 container and atomically re-maps, behind the same publish
+//! barrier an ordinary epoch cut uses.
+//!
+//! Claims under test:
+//!
+//! * the fold reclaims the overlay completely: published overlay heap
+//!   bytes drop to **0** and the tombstone set empties;
+//! * serving stays live through the swap: reader threads hammering
+//!   `estimate()` during the fold all complete (no errors, no gaps) —
+//!   the swap is an `Arc` pointer flip at an epoch boundary;
+//! * the fold's wall-clock is O(base + overlay) — reported so the
+//!   perf trajectory catches regressions.
+//!
+//! Emits a JSON summary line (prefixed `COMPACTION_BENCH_JSON:`) for
+//! the perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench compaction`
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use vsj_datasets::DblpLike;
+use vsj_service::{DurabilityOptions, EstimationEngine, ServiceConfig, StorageTier};
+
+const ROWS: usize = 50_000;
+const OVERLAY_ROWS: usize = 5_000;
+const REMOVES: u64 = 2_000;
+const SHARDS: usize = 4;
+const HASH_K: usize = 8;
+const SEED: u64 = 2011;
+const TAU: f64 = 0.6;
+const READERS: usize = 2;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vsj_compaction_bench_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn main() {
+    let dir = fresh_dir("corpus");
+    let setup = Instant::now();
+    let data = DblpLike::with_size(ROWS + OVERLAY_ROWS).generate(SEED);
+    {
+        let config = ServiceConfig::builder()
+            .shards(SHARDS)
+            .k(HASH_K)
+            .seed(SEED)
+            .build();
+        let engine =
+            EstimationEngine::durable_with(config, &dir, DurabilityOptions::default()).unwrap();
+        for (_, v) in data.iter().take(ROWS) {
+            engine.insert(v.clone());
+        }
+        engine.checkpoint().unwrap();
+    }
+    println!(
+        "corpus: {ROWS} rows checkpointed in {:.1} s",
+        setup.elapsed().as_secs_f64()
+    );
+
+    let engine = Arc::new(
+        EstimationEngine::recover_with(
+            &dir,
+            DurabilityOptions {
+                storage_tier: StorageTier::Mapped,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    assert_eq!(engine.storage_tier(), StorageTier::Mapped);
+
+    // Dirty the mapping: an overlay of fresh rows plus tombstones over
+    // the base (every removed gid is a mapped base row).
+    let dirty = Instant::now();
+    for (_, v) in data.iter().skip(ROWS) {
+        engine.insert(v.clone());
+    }
+    for gid in 0..REMOVES {
+        assert!(engine.remove(gid * 7 % ROWS as u64));
+    }
+    engine.publish();
+    let dirty_s = dirty.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let overlay_before = stats.overlay_bytes;
+    let tombstones_before = stats.tombstones;
+    assert!(overlay_before > 0, "the overlay must hold heap bytes");
+    assert_eq!(tombstones_before as u64, REMOVES);
+    println!(
+        "dirtied in {dirty_s:.1} s: overlay {overlay_before} B, {tombstones_before} tombstones"
+    );
+
+    // Readers hammer the serving path through the fold; every call must
+    // complete (the API is infallible — liveness shows up as calls
+    // finishing, and the count proves the swap never blocked them).
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicUsize::new(0));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut max_us = 0u128;
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let estimate = engine.estimate(TAU + (r as f64) * 0.01);
+                    assert!(estimate.estimate.value.is_finite());
+                    max_us = max_us.max(started.elapsed().as_micros());
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+                max_us
+            })
+        })
+        .collect();
+
+    let fold = Instant::now();
+    let epoch = engine.compact().unwrap();
+    let compact_ms = fold.elapsed().as_secs_f64() * 1e3;
+    // Keep reading briefly on the folded base before stopping.
+    while served.load(Ordering::Relaxed) < READERS * 2 {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let max_read_us = readers
+        .into_iter()
+        .map(|h| h.join().expect("reader thread must not panic"))
+        .max()
+        .unwrap_or(0);
+    let served = served.load(Ordering::Relaxed);
+
+    let stats = engine.stats();
+    let overlay_after = stats.overlay_bytes;
+    let tombstones_after = stats.tombstones;
+    println!("{:>24} {:>12} {:>12}", "", "before fold", "after fold");
+    println!(
+        "{:>24} {overlay_before:>12} {overlay_after:>12}",
+        "overlay heap bytes"
+    );
+    println!(
+        "{:>24} {tombstones_before:>12} {tombstones_after:>12}",
+        "tombstoned base rows"
+    );
+    println!(
+        "\nfold: {compact_ms:.1} ms to epoch {epoch}; {served} estimates served live \
+         (max read latency {max_read_us} us), compactions={}",
+        stats.compactions
+    );
+
+    println!(
+        "\nCOMPACTION_BENCH_JSON:{{\"schema\":{},\"bench\":\"compaction\",\"rows\":{ROWS},\
+         \"overlay_rows\":{OVERLAY_ROWS},\"removes\":{REMOVES},\"shards\":{SHARDS},\
+         \"hash_k\":{HASH_K},\"readers\":{READERS},\"compact_ms\":{compact_ms:.2},\
+         \"overlay_bytes_before\":{overlay_before},\"overlay_bytes_after\":{overlay_after},\
+         \"tombstones_before\":{tombstones_before},\"tombstones_after\":{tombstones_after},\
+         \"estimates_served_during_fold\":{served},\"max_read_latency_us\":{max_read_us}}}",
+        vsj_bench::BENCH_SCHEMA_VERSION
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(overlay_after, 0, "the fold must reclaim every overlay byte");
+    assert_eq!(tombstones_after, 0, "the fold must clear the tombstone set");
+    assert_eq!(stats.compactions, 1);
+    assert!(
+        served >= READERS * 2,
+        "readers must have been served across the swap"
+    );
+}

@@ -327,6 +327,16 @@ impl Client {
         Self::field_u64(&json, "epoch")
     }
 
+    /// `POST /compact`; returns the cut epoch (`409` →
+    /// [`ClientError::Status`] when the engine is not durable). On a
+    /// mapped-tier engine this folds the overlay and tombstones into a
+    /// fresh container; on the heap tier it degenerates to a
+    /// checkpoint.
+    pub fn compact(&mut self) -> Result<u64, ClientError> {
+        let json = self.call("POST", "/compact", None)?;
+        Self::field_u64(&json, "epoch")
+    }
+
     /// `GET /stats`: the raw stats document (`engine` and `server`
     /// objects, see `docs/PROTOCOL.md`).
     pub fn stats(&mut self) -> Result<Json, ClientError> {

@@ -247,6 +247,7 @@ const ROUTE_LABELS: &[(&str, &[(&str, &str)])] = &[
     ("/upsert", &[("route", "/upsert")]),
     ("/publish", &[("route", "/publish")]),
     ("/checkpoint", &[("route", "/checkpoint")]),
+    ("/compact", &[("route", "/compact")]),
     ("/stats", &[("route", "/stats")]),
     ("/healthz", &[("route", "/healthz")]),
     ("/metrics", &[("route", "/metrics")]),
@@ -806,6 +807,13 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
             }
             Err(e) => Reply::error(500, format!("checkpoint failed: {e}")),
         },
+        ("POST", "/compact") => match inner.engine.compact() {
+            Ok(epoch) => Reply::ok(Json::obj([("epoch", Json::u64(epoch))])),
+            Err(PersistError::NotDurable) => {
+                Reply::error(409, "engine has no storage attached (not durable)")
+            }
+            Err(e) => Reply::error(500, format!("compaction failed: {e}")),
+        },
         ("GET", "/stats") => handle_stats(inner),
         ("GET", "/healthz") => Reply::ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -817,6 +825,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
                 "storage_tier",
                 Json::str(tier_str(inner.engine.storage_tier())),
             ),
+            ("compactions", Json::u64(inner.engine.stats().compactions)),
         ])),
         ("GET", "/metrics") => handle_metrics(inner),
         ("GET", "/trace/slow") => handle_trace_slow(inner),
@@ -1136,6 +1145,9 @@ fn handle_stats(inner: &Arc<Inner>) -> Reply {
                 ("wal_segments", Json::u64(engine.wal_segments)),
                 ("wal_fsyncs", Json::u64(engine.wal_fsyncs)),
                 ("wal_rotations", Json::u64(engine.wal_rotations)),
+                ("compactions", Json::u64(engine.compactions)),
+                ("overlay_bytes", Json::u64(engine.overlay_bytes)),
+                ("tombstones", Json::usize(engine.tombstones)),
             ]),
         ),
         (

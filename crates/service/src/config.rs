@@ -60,20 +60,26 @@ pub enum StorageTier {
     /// "Map + go": `mmap` the checkpoint, validate section checksums,
     /// and serve estimates directly from the on-disk base with the WAL
     /// tail replayed into a heap overlay. Cold-start is O(map + WAL
-    /// tail) and the base corpus never enters the heap. The mapped
-    /// tier is **append-only**: [`remove`] and [`upsert`] panic (the
-    /// mapped base rows cannot be mutated in place) — recover with
-    /// [`StorageTier::Heap`] when mutation is needed.
+    /// tail) and the base corpus never enters the heap. [`remove`] and
+    /// [`upsert`] of a base row *tombstone* it (the mapping is never
+    /// mutated in place); the overlay and tombstone set are folded back
+    /// into a fresh checkpoint by [`compact`] — run automatically by a
+    /// [`Compactor`](crate::Compactor) under the
+    /// [`compact_overlay_bytes`] / [`compact_tombstone_ratio`] trigger
+    /// policy — which atomically re-maps without changing any answer.
     ///
     /// [`remove`]: crate::EstimationEngine::remove
     /// [`upsert`]: crate::EstimationEngine::upsert
+    /// [`compact`]: crate::EstimationEngine::compact
+    /// [`compact_overlay_bytes`]: DurabilityOptions::compact_overlay_bytes
+    /// [`compact_tombstone_ratio`]: DurabilityOptions::compact_tombstone_ratio
     Mapped,
 }
 
 /// Storage-layer knobs of a durable engine. Unlike [`ServiceConfig`]
 /// these are *operational*: they are not persisted in checkpoint
 /// metadata and may differ across an engine's lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DurabilityOptions {
     /// How many checkpoint generations to keep: the current
     /// `checkpoint.vsjc` plus up to `retain_checkpoints - 1` prior
@@ -99,6 +105,18 @@ pub struct DurabilityOptions {
     /// [`durable_with`]: crate::EstimationEngine::durable_with
     /// [`recover_with`]: crate::EstimationEngine::recover_with
     pub storage_tier: StorageTier,
+    /// Compaction trigger: a mapped engine reports
+    /// [`compaction_due`](crate::EstimationEngine::compaction_due) once
+    /// its heap overlay holds at least this many payload bytes. `None`
+    /// (the default) disables the overlay-size trigger. Must be ≥ 1
+    /// when set. Ignored by heap engines.
+    pub compact_overlay_bytes: Option<u64>,
+    /// Compaction trigger: a mapped engine reports
+    /// [`compaction_due`](crate::EstimationEngine::compaction_due) once
+    /// `tombstones / base_rows` reaches this ratio. `None` (the
+    /// default) disables the tombstone trigger. Must be finite and in
+    /// `(0, 1]` when set. Ignored by heap engines.
+    pub compact_tombstone_ratio: Option<f64>,
 }
 
 impl Default for DurabilityOptions {
@@ -108,6 +126,8 @@ impl Default for DurabilityOptions {
             fsync: FsyncPolicy::default(),
             segment_bytes: 4 << 20,
             storage_tier: StorageTier::default(),
+            compact_overlay_bytes: None,
+            compact_tombstone_ratio: None,
         }
     }
 }
@@ -126,6 +146,18 @@ impl DurabilityOptions {
         );
         if let FsyncPolicy::GroupCommit { max_batch, .. } = self.fsync {
             assert!(max_batch >= 1, "group commit needs a batch of at least 1");
+        }
+        if let Some(bytes) = self.compact_overlay_bytes {
+            assert!(
+                bytes >= 1,
+                "compact_overlay_bytes must be at least 1 byte when set"
+            );
+        }
+        if let Some(ratio) = self.compact_tombstone_ratio {
+            assert!(
+                ratio.is_finite() && ratio > 0.0 && ratio <= 1.0,
+                "compact_tombstone_ratio must be in (0, 1] when set"
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The concurrent estimation engine.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +15,7 @@ use vsj_vector::{Cosine, Jaccard, SparseVector};
 
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
 use crate::config::{DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, StorageTier};
-use crate::mapped::MappedCheckpoint;
+use crate::mapped::{MappedCheckpoint, TombstoneSet};
 use crate::persist::{self, CheckpointMeta, PersistError, CHECKPOINT_FILE, WAL_FILE};
 use crate::shard::{ShardDelta, ShardState, ShardStats};
 use crate::snapshot::Snapshot;
@@ -78,11 +78,22 @@ struct EngineMetrics {
     pairs_per_pass: Histogram,
     cache_hit_us: Histogram,
     ingest_apply_us: Histogram,
-    /// Checkpoints served by mapping (one per mapped recovery).
+    /// Checkpoint mappings established (mapped recoveries and
+    /// compaction re-maps).
     checkpoint_maps: Counter,
-    /// Mapped recoveries that fell back to the heap tier (legacy WAL,
-    /// unmappable checkpoint, or a WAL tail with removals/upserts).
+    /// Mapped recoveries that fell back to the heap tier — only a
+    /// genuinely destructive legacy single-file WAL or an unmappable
+    /// checkpoint; removals/upserts are tombstoned in place since the
+    /// compaction tier landed.
     mapped_fallbacks: Counter,
+    /// Background compactions completed (overlay + tombstones folded
+    /// into a fresh mapped base).
+    compactions: Counter,
+    compaction_us: Histogram,
+    /// Encoded bytes of the published mapped-tier heap overlay.
+    overlay_bytes: Gauge,
+    /// Tombstoned mapped base rows awaiting compaction.
+    tombstone_rows: Gauge,
     /// Bytes currently served from a checkpoint mapping.
     mapped_bytes: Gauge,
     /// Base vectors materialized from the mapping so far (refreshed by
@@ -165,6 +176,23 @@ impl EngineMetrics {
             mapped_fallbacks: registry.counter(
                 "vsj_engine_mapped_fallbacks_total",
                 "Mapped-tier recoveries that fell back to heap decoding",
+            ),
+            compactions: registry.counter(
+                "vsj_engine_compactions_total",
+                "Background compactions folding overlay + tombstones into a fresh mapped base",
+            ),
+            compaction_us: registry.histogram(
+                "vsj_engine_compaction_duration_us",
+                "Compaction duration (cut + fold + re-map) in microseconds",
+                latency,
+            ),
+            overlay_bytes: registry.gauge(
+                "vsj_engine_overlay_bytes",
+                "Encoded bytes of the published mapped-tier heap overlay",
+            ),
+            tombstone_rows: registry.gauge(
+                "vsj_engine_tombstones",
+                "Tombstoned mapped base rows awaiting compaction",
             ),
             mapped_bytes: registry.gauge(
                 "vsj_engine_mapped_bytes",
@@ -271,6 +299,15 @@ pub struct EngineStats {
     pub wal_fsyncs: u64,
     /// Segment rotations (seal + fresh segment).
     pub wal_rotations: u64,
+    /// Background compactions completed (mapped tier; see
+    /// [`EstimationEngine::compact`]).
+    pub compactions: u64,
+    /// Encoded bytes of the published mapped-tier heap overlay (0 on
+    /// the heap tier, and again right after a compaction folds the
+    /// overlay into the base).
+    pub overlay_bytes: u64,
+    /// Tombstoned mapped base rows awaiting compaction.
+    pub tombstones: usize,
 }
 
 /// A long-lived, concurrently usable VSJ size-estimation service.
@@ -313,6 +350,18 @@ pub struct EstimationEngine {
     metrics: EngineMetrics,
     cache: Mutex<EstimateCache>,
     streams: RngStreams,
+    /// Mapped-tier removal state: base-row indices removed (or replaced
+    /// by an upsert) since the current mapping's cut, sorted ascending.
+    /// Mutated only under the owning gid's shard lock (the established
+    /// shard → tombstones lock order), cloned into every mapped cut,
+    /// reset when a compaction folds it into a fresh base. Always empty
+    /// on the heap tier.
+    tombstones: Mutex<Vec<u32>>,
+    /// Latched across [`checkpoint`](Self::checkpoint)/
+    /// [`compact`](Self::compact) so the trigger policy
+    /// ([`compaction_due`](Self::compaction_due)) never fires into an
+    /// in-flight cut.
+    checkpoint_in_flight: AtomicBool,
     /// `Some` for durable engines (see [`EstimationEngine::durable`]).
     durability: Option<Durability>,
 }
@@ -362,6 +411,8 @@ impl EstimationEngine {
             metrics: EngineMetrics::new(obs),
             cache: Mutex::new(EstimateCache::default()),
             streams: RngStreams::new(config.seed),
+            tombstones: Mutex::new(Vec::new()),
+            checkpoint_in_flight: AtomicBool::new(false),
             durability: None,
         }
     }
@@ -653,12 +704,12 @@ impl EstimationEngine {
 
     /// The "map + go" arm of [`recover_with`](Self::recover_with):
     /// `mmap` the checkpoint, validate it in place, replay the WAL tail
-    /// into the heap overlay, and serve the merged view — the base
-    /// corpus is never decoded or rebuilt. Returns `Ok(None)` (the
-    /// caller falls back to heap recovery, loudly) when the checkpoint
+    /// into the heap overlay (removals and upserts of base rows land in
+    /// the tombstone set), and serve the merged view — the base corpus
+    /// is never decoded or rebuilt. Returns `Ok(None)` (the caller
+    /// falls back to heap recovery, loudly) only when the checkpoint
     /// cannot be mapped (v2 container, corruption — the heap path then
-    /// renders the authoritative error) or when the WAL tail carries
-    /// removals/upserts the append-only mapped tier cannot apply.
+    /// renders the authoritative error).
     fn recover_mapped(
         dir: &Path,
         options: DurabilityOptions,
@@ -697,22 +748,6 @@ impl EstimationEngine {
             options.fsync,
             options.segment_bytes,
         )?;
-        if entries.iter().any(|e| {
-            e.seq > meta.applied_seq
-                && matches!(
-                    e.record,
-                    WalRecord::Remove { .. } | WalRecord::Upsert { .. }
-                )
-        }) {
-            eprintln!(
-                "vsj-service: the WAL tail in {} holds removals/upserts; the mapped tier is \
-                 append-only — falling back to heap recovery",
-                dir.display()
-            );
-            // Drop the WalSet before the heap path reopens the chains.
-            drop(wal);
-            return Ok(None);
-        }
         let mut engine = Self::new(meta.config);
         let wal = wal.with_metrics(engine.metrics.wal_metrics());
         // The mapped base *is* the published cut: shards start empty
@@ -725,16 +760,18 @@ impl EstimationEngine {
                 meta.config.k,
                 base.clone(),
                 Vec::new(),
+                Arc::new(TombstoneSet::empty()),
             )
-            .expect("an empty overlay is trivially append-only"),
+            .expect("an empty overlay over a fresh mapping is trivially consistent"),
         );
         *engine.publish_lock.get_mut() = meta.epoch;
         *engine.next_id.get_mut() = meta.next_id;
         engine.metrics.ingests.store(meta.ingested);
         engine.metrics.publishes.store(meta.publishes);
         // Replay the tail through the normal apply path: inserts land
-        // in the shards (the future overlay), publish barriers re-fire
-        // their epochs by extending the mapped snapshot — the same
+        // in the shards (the future overlay), removals/upserts of base
+        // rows land in the tombstone set, publish barriers re-fire
+        // their epochs against the merged mapped snapshot — the same
         // epoch/ingest boundaries, hence bit-identical estimates.
         for entry in &entries {
             if entry.seq > meta.applied_seq {
@@ -854,7 +891,12 @@ impl EstimationEngine {
                 if let Some(wal) = relog {
                     wal.append(self.shard_of(*id), WalOp::Remove(*id))?;
                 }
-                let removed = self.shards[self.shard_of(*id)].lock().remove(*id);
+                // Mirror the live path: a shard row is removed in
+                // place; a live mapped base row is tombstoned.
+                let removed = {
+                    let mut shard = self.shards[self.shard_of(*id)].lock();
+                    shard.remove(*id) || self.tombstone_base_row(*id)
+                };
                 if !removed {
                     return Err(PersistError::Corrupt(format!(
                         "WAL replays remove of non-live id {id}"
@@ -869,7 +911,10 @@ impl EstimationEngine {
                 self.next_id.fetch_max(id + 1, Ordering::Relaxed);
                 let replaced = {
                     let mut shard = self.shards[self.shard_of(*id)].lock();
-                    let replaced = shard.remove(*id);
+                    // Mirror the live path: replacing a live mapped
+                    // base row tombstones it; the fresh vector lands in
+                    // the shard (the overlay).
+                    let replaced = shard.remove(*id) || self.tombstone_base_row(*id);
                     let inserted = shard.insert(*id, Arc::new(vector.clone()));
                     debug_assert!(inserted, "id was just vacated");
                     replaced
@@ -926,7 +971,90 @@ impl EstimationEngine {
     /// durable ingest fails loudly instead of being acknowledged and
     /// lost.
     pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        self.cut(false)
+    }
+
+    /// A **minor compaction**: a [`checkpoint`](Self::checkpoint) that,
+    /// on the mapped tier, additionally folds the heap overlay and the
+    /// tombstone set into the freshly written v3 checkpoint, re-maps
+    /// it, and swaps the serving view to the bare new base — overlay
+    /// heap bytes return to ~0 and the tombstone set empties.
+    ///
+    /// The swap happens **at the epoch boundary the cut just
+    /// published** and changes no answer: the checkpoint writer emits
+    /// exactly the live rows in global-id order (the view's dense id
+    /// space), so the folded view has the same buckets, the same
+    /// `C(b,2)` weight sequence, and the same sampling streams —
+    /// estimates at every `(seed, epoch, τ)` are bit-identical before,
+    /// during, and after the fold. Readers holding older snapshots keep
+    /// the old mapping alive (the inode survives the rename) until they
+    /// drop.
+    ///
+    /// On a heap-tier engine this degenerates to a plain checkpoint.
+    /// Usually driven by a [`Compactor`](crate::Compactor) thread via
+    /// [`compaction_due`](Self::compaction_due); safe to call directly.
+    ///
+    /// # Errors
+    /// As [`checkpoint`](Self::checkpoint): [`PersistError::NotDurable`]
+    /// without storage, otherwise filesystem failures (which poison the
+    /// WAL). A crash at any phase — tmp write, rename, WAL truncation,
+    /// re-map — recovers to a consistent generation: the fold is
+    /// *disk-first*, so the in-memory swap happens only after the
+    /// checkpoint is durable.
+    pub fn compact(&self) -> Result<u64, PersistError> {
+        self.cut(true)
+    }
+
+    /// Whether the compaction trigger policy says a
+    /// [`compact`](Self::compact) is worthwhile now: the engine is
+    /// durable and mapped, no checkpoint/compaction is already in
+    /// flight, and a [`DurabilityOptions`] threshold is crossed —
+    /// `compact_overlay_bytes` against the published overlay's encoded
+    /// size, or `compact_tombstone_ratio` against the tombstoned
+    /// fraction of the base. `false` when both knobs are `None`.
+    pub fn compaction_due(&self) -> bool {
+        let Some(durability) = &self.durability else {
+            return false;
+        };
+        if self.checkpoint_in_flight.load(Ordering::SeqCst) {
+            return false;
+        }
+        let snapshot = self.snapshot();
+        let Some(view) = snapshot.mapped_view() else {
+            return false;
+        };
+        let options = &durability.options;
+        let overlay = options
+            .compact_overlay_bytes
+            .is_some_and(|limit| view.tail_bytes() >= limit);
+        let ratio = options.compact_tombstone_ratio.is_some_and(|limit| {
+            let base_n = view.base().len();
+            base_n > 0 && self.tombstones.lock().len() as f64 >= limit * base_n as f64
+        });
+        overlay || ratio
+    }
+
+    /// The shared cut machinery of [`checkpoint`](Self::checkpoint) and
+    /// [`compact`](Self::compact): barrier, publish, container write,
+    /// WAL truncation, then (when `fold` and the engine is mapped) the
+    /// re-map swap. Returns the cut epoch.
+    fn cut(&self, fold: bool) -> Result<u64, PersistError> {
         let durability = self.durability.as_ref().ok_or(PersistError::NotDurable)?;
+        let started = Instant::now();
+        self.checkpoint_in_flight.store(true, Ordering::SeqCst);
+        let result = self.cut_inner(durability, fold);
+        self.checkpoint_in_flight.store(false, Ordering::SeqCst);
+        let (epoch, remapped) = result?;
+        if remapped {
+            self.metrics.compactions.inc();
+            self.metrics
+                .compaction_us
+                .record_duration(started.elapsed());
+        }
+        Ok(epoch)
+    }
+
+    fn cut_inner(&self, durability: &Durability, fold: bool) -> Result<(u64, bool), PersistError> {
         let _quiesced = durability.gate.write();
         durability.wal.append(PUBLISH_SHARD, WalOp::Publish)?;
         durability.pending.fetch_add(1, Ordering::Relaxed);
@@ -961,18 +1089,72 @@ impl EstimationEngine {
             // already owns.
             durability.wal.seal_active()?;
             durability.wal.truncate(horizon)?;
-            Ok(())
+            // The fold: the container just written holds the merged
+            // live rows, so the overlay and tombstones it absorbed can
+            // be dropped by re-mapping it as the new bare base. Disk
+            // state is already final — a crash from here on recovers
+            // straight onto the compacted generation.
+            if fold && snapshot.is_mapped() {
+                self.remap(durability, &meta)?;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
         });
-        if let Err(e) = result {
-            // A deployment that cannot persist must not keep
-            // acknowledging writes it may lose: latch the failure so
-            // every subsequent durable ingest fails loudly.
-            durability.wal.poison();
-            return Err(e);
+        match result {
+            Err(e) => {
+                // A deployment that cannot persist must not keep
+                // acknowledging writes it may lose: latch the failure so
+                // every subsequent durable ingest fails loudly.
+                durability.wal.poison();
+                Err(e)
+            }
+            Ok(remapped) => {
+                durability.wal.mark_cut();
+                durability.pending.store(0, Ordering::Relaxed);
+                Ok((epoch, remapped))
+            }
         }
-        durability.wal.mark_cut();
-        durability.pending.store(0, Ordering::Relaxed);
-        Ok(epoch)
+    }
+
+    /// The in-memory half of a compaction: map the just-written
+    /// checkpoint, verify nothing changed observationally, and swap it
+    /// in as the bare base — shards and tombstones reset (their
+    /// contents now live in the mapping). Runs under the exclusive
+    /// apply gate, so no write is in flight; readers keep sampling old
+    /// snapshots and see the new view only at the swap, which by
+    /// construction answers identically at this epoch.
+    fn remap(&self, durability: &Durability, meta: &CheckpointMeta) -> Result<(), PersistError> {
+        let base = Arc::new(MappedCheckpoint::open(
+            &durability.dir.join(CHECKPOINT_FILE),
+        )?);
+        let fresh = Snapshot::from_mapped(
+            meta.epoch,
+            meta.ingested,
+            meta.config.k,
+            base.clone(),
+            Vec::new(),
+            Arc::new(TombstoneSet::empty()),
+        )
+        .expect("an empty overlay over a fresh mapping is trivially consistent");
+        let last_epoch = self.publish_lock.lock();
+        debug_assert_eq!(*last_epoch, meta.epoch, "remap raced a publish");
+        let mut guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+        debug_assert_eq!(
+            self.current.read().global_ids(),
+            fresh.global_ids(),
+            "the folded base must present exactly the live id set"
+        );
+        for g in guards.iter_mut() {
+            **g = ShardState::new(self.hasher.clone());
+        }
+        self.tombstones.lock().clear();
+        *self.current.write() = Arc::new(fresh);
+        drop(guards);
+        drop(last_epoch);
+        self.metrics.checkpoint_maps.inc();
+        self.metrics.mapped_bytes.set(base.file_len() as u64);
+        Ok(())
     }
 
     /// Whether the engine has storage attached.
@@ -1094,38 +1276,59 @@ impl EstimationEngine {
     /// *applied* removes are WAL-logged, so replay never sees a
     /// spurious record.
     ///
+    /// Works on **both storage tiers**: a shard (heap or overlay) row
+    /// is removed in place; a live mapped base row is *tombstoned* —
+    /// excluded from every later cut — and physically dropped by the
+    /// next [`compact`](Self::compact).
+    ///
     /// # Panics
-    /// A durable engine panics when the WAL append fails, and a
-    /// **mapped-tier** engine panics unconditionally: the mapped base
-    /// is immutable, and a silently dropped removal would corrupt every
-    /// later estimate. Recover with [`StorageTier::Heap`] when mutation
-    /// is needed.
+    /// A durable engine panics when the WAL append fails — accepting a
+    /// removal that would silently reappear on restart is worse than
+    /// refusing it.
     pub fn remove(&self, global: GlobalId) -> bool {
-        assert!(
-            !self.snapshot().is_mapped(),
-            "remove() is not supported on the mapped storage tier \
-             (the mapped checkpoint base is append-only; recover with StorageTier::Heap)"
-        );
         if let Some(durability) = &self.durability {
             let shared = durability.gate.read();
             // One shard guard across peek, log, and apply: only applied
             // removes reach the WAL, with no window for liveness to
-            // change in between.
+            // change in between. The guard also covers the tombstone
+            // decision — upserts of this gid mutate the tombstone set
+            // under the same shard lock, so shard row and base row are
+            // judged against one consistent state.
             let mut shard = self.shards[self.shard_of(global)].lock();
-            if !shard.contains(global) {
-                return false;
-            }
-            let ticket = durability
-                .wal
-                .append(self.shard_of(global), WalOp::Remove(global))
-                .expect("WAL append failed; refusing to apply an unlogged remove");
-            durability.pending.fetch_add(1, Ordering::Relaxed);
-            let apply_started = Instant::now();
-            let removed = shard.remove(global);
-            self.metrics
-                .ingest_apply_us
-                .record_duration(apply_started.elapsed());
-            debug_assert!(removed, "contains() held under the shard lock");
+            let ticket = if shard.contains(global) {
+                let ticket = durability
+                    .wal
+                    .append(self.shard_of(global), WalOp::Remove(global))
+                    .expect("WAL append failed; refusing to apply an unlogged remove");
+                durability.pending.fetch_add(1, Ordering::Relaxed);
+                let apply_started = Instant::now();
+                let removed = shard.remove(global);
+                self.metrics
+                    .ingest_apply_us
+                    .record_duration(apply_started.elapsed());
+                debug_assert!(removed, "contains() held under the shard lock");
+                ticket
+            } else {
+                let Some(row) = self.live_base_row(global) else {
+                    return false;
+                };
+                let ticket = durability
+                    .wal
+                    .append(self.shard_of(global), WalOp::Remove(global))
+                    .expect("WAL append failed; refusing to apply an unlogged remove");
+                durability.pending.fetch_add(1, Ordering::Relaxed);
+                let apply_started = Instant::now();
+                let mut tombstones = self.tombstones.lock();
+                let at = tombstones
+                    .binary_search(&row)
+                    .expect_err("live_base_row() held under the shard lock");
+                tombstones.insert(at, row);
+                drop(tombstones);
+                self.metrics
+                    .ingest_apply_us
+                    .record_duration(apply_started.elapsed());
+                ticket
+            };
             drop(shard);
             let crossed = self.count_ingest(1);
             drop(shared);
@@ -1139,7 +1342,10 @@ impl EstimationEngine {
             return true;
         }
         let apply_started = Instant::now();
-        let removed = self.shards[self.shard_of(global)].lock().remove(global);
+        let removed = {
+            let mut shard = self.shards[self.shard_of(global)].lock();
+            shard.remove(global) || self.tombstone_base_row(global)
+        };
         self.metrics
             .ingest_apply_us
             .record_duration(apply_started.elapsed());
@@ -1149,21 +1355,55 @@ impl EstimationEngine {
         removed
     }
 
+    /// The base row currently holding `global` as **live** data: in the
+    /// mapped view and not yet tombstoned. Callers hold the gid's shard
+    /// lock, which serializes this against the tombstone mutations of
+    /// concurrent removes/upserts of the same gid.
+    fn live_base_row(&self, global: GlobalId) -> Option<u32> {
+        let snapshot = self.snapshot();
+        let row = snapshot.mapped_view()?.base().find_gid(global)? as u32;
+        self.tombstones
+            .lock()
+            .binary_search(&row)
+            .is_err()
+            .then_some(row)
+    }
+
+    /// Tombstones the live base row holding `global`, if any; `true`
+    /// when a row was tombstoned. Must run under the gid's shard lock
+    /// (the shard → tombstones lock order every mutation path uses).
+    fn tombstone_base_row(&self, global: GlobalId) -> bool {
+        let snapshot = self.snapshot();
+        let Some(row) = snapshot
+            .mapped_view()
+            .and_then(|m| m.base().find_gid(global))
+        else {
+            return false;
+        };
+        let row = row as u32;
+        let mut tombstones = self.tombstones.lock();
+        match tombstones.binary_search(&row) {
+            Ok(_) => false,
+            Err(at) => {
+                tombstones.insert(at, row);
+                true
+            }
+        }
+    }
+
     /// Inserts or replaces the vector under a caller-chosen global id.
     /// Returns `true` when an existing vector was replaced. The id is
     /// reserved against future [`insert`](Self::insert) allocations.
     ///
+    /// Works on **both storage tiers**: replacing a live mapped base
+    /// row tombstones it and the fresh vector joins the heap overlay
+    /// under the same gid, folded back into one base row by the next
+    /// [`compact`](Self::compact).
+    ///
     /// # Panics
-    /// A **mapped-tier** engine panics unconditionally — an upsert can
-    /// replace a base row, which the immutable mapping cannot
-    /// represent. Recover with [`StorageTier::Heap`] when mutation is
-    /// needed.
+    /// A durable engine panics when the WAL append fails, exactly like
+    /// [`insert`](Self::insert).
     pub fn upsert(&self, global: GlobalId, v: SparseVector) -> bool {
-        assert!(
-            !self.snapshot().is_mapped(),
-            "upsert() is not supported on the mapped storage tier \
-             (the mapped checkpoint base is append-only; recover with StorageTier::Heap)"
-        );
         if let Some(durability) = &self.durability {
             let shared = durability.gate.read();
             self.next_id.fetch_max(global + 1, Ordering::Relaxed);
@@ -1175,7 +1415,11 @@ impl EstimationEngine {
                     .expect("WAL append failed; refusing to apply an unlogged upsert");
                 durability.pending.fetch_add(1, Ordering::Relaxed);
                 let apply_started = Instant::now();
-                let replaced = shard.remove(global);
+                // A live mapped base row under this gid is replaced by
+                // tombstoning it (checked only when no shard row was —
+                // an earlier upsert of the same gid already tombstoned
+                // the base row when it created the shard row).
+                let replaced = shard.remove(global) || self.tombstone_base_row(global);
                 let inserted = shard.insert(global, Arc::new(v));
                 self.metrics
                     .ingest_apply_us
@@ -1198,7 +1442,7 @@ impl EstimationEngine {
         let replaced = {
             let mut shard = self.shards[self.shard_of(global)].lock();
             let apply_started = Instant::now();
-            let replaced = shard.remove(global);
+            let replaced = shard.remove(global) || self.tombstone_base_row(global);
             let inserted = shard.insert(global, Arc::new(v));
             self.metrics
                 .ingest_apply_us
@@ -1211,16 +1455,12 @@ impl EstimationEngine {
     }
 
     /// Whether a global id is currently live in the mutable index (the
-    /// current snapshot may not reflect it yet). On the mapped tier the
-    /// checkpoint base counts as live even though it resides in the
-    /// mapping rather than the shards.
+    /// current snapshot may not reflect it yet). On the mapped tier a
+    /// checkpoint base row counts as live unless it has been tombstoned
+    /// by a [`remove`](Self::remove)/[`upsert`](Self::upsert).
     pub fn contains(&self, global: GlobalId) -> bool {
-        if self.shards[self.shard_of(global)].lock().contains(global) {
-            return true;
-        }
-        self.snapshot()
-            .mapped_view()
-            .is_some_and(|m| m.base().contains_gid(global))
+        let shard = self.shards[self.shard_of(global)].lock();
+        shard.contains(global) || self.live_base_row(global).is_some()
     }
 
     /// Counts `ops` ingest operations; returns whether the counter
@@ -1353,6 +1593,18 @@ impl EstimationEngine {
                 ShardDelta::Full => full = true,
             }
         }
+        // A mapped cut freezes the tombstone state under the same
+        // guards as the shard deltas (every tombstone mutation holds a
+        // shard lock, all of which we hold). The shard delta logs don't
+        // see tombstones, so any change since the published set forces
+        // the full path.
+        let tombstone_cut = prev.is_mapped().then(|| self.tombstones.lock().clone());
+        if !full {
+            if let Some(cut) = &tombstone_cut {
+                let published = prev.mapped_view().expect("is_mapped() held").tombstones();
+                full = cut.len() != published.len();
+            }
+        }
         if !full {
             delta.sort_unstable_by_key(|r| r.0);
             full = !Snapshot::is_append_only(&prev, &delta);
@@ -1365,12 +1617,16 @@ impl EstimationEngine {
             }
             drop(guards);
             if let Some(mapped) = prev.mapped_view() {
-                // Mapped tier: the shards hold *only* post-recovery
-                // rows (the base lives in the mapping), so the live
-                // collection is the complete overlay. `Full` here only
-                // ever means a delta-buffer overflow — removals and
-                // upserts panic before reaching a shard — so the
-                // overlay is append-only by construction.
+                // Mapped tier: the shards hold *only* post-cut rows (the
+                // base lives in the mapping), so the live collection is
+                // the complete overlay; the frozen tombstone set
+                // subtracts the base rows removed or replaced since the
+                // mapping's cut. Every overlay gid landing on a base row
+                // tombstoned that row when it was written, so the
+                // combination is always representable.
+                let tombstones = Arc::new(TombstoneSet::from_rows(
+                    tombstone_cut.expect("mapped prev froze its tombstones"),
+                ));
                 Arc::new(
                     Snapshot::from_mapped(
                         epoch,
@@ -1378,8 +1634,9 @@ impl EstimationEngine {
                         IndexView::k(prev.as_ref()),
                         mapped.base().clone(),
                         rows,
+                        tombstones,
                     )
-                    .expect("mapped shards only ever hold append-only rows"),
+                    .expect("overlay rows never collide with live base rows"),
                 )
             } else {
                 Arc::new(Snapshot::assemble(
@@ -1757,11 +2014,20 @@ impl EstimationEngine {
         let wal = self.durability.as_ref().map(|d| d.wal.stats());
         let snapshot = self.snapshot();
         // The mapped base is live data the shards don't see; fold it
-        // into the live count and refresh the lazily-sampled gauges.
+        // (minus its tombstoned rows) into the live count and refresh
+        // the lazily-sampled gauges.
         let mapped_base = snapshot.mapped_view().map(|m| m.base().clone());
+        let overlay_bytes = snapshot.mapped_view().map_or(0, |m| m.tail_bytes());
+        let tombstones = if mapped_base.is_some() {
+            self.tombstones.lock().len()
+        } else {
+            0
+        };
         if let Some(base) = &mapped_base {
             self.metrics.mapped_materialized.set(base.materialized());
         }
+        self.metrics.overlay_bytes.set(overlay_bytes);
+        self.metrics.tombstone_rows.set(tombstones as u64);
         if let Some(faults) = vsj_obs::major_page_faults() {
             self.metrics.major_faults.set(faults);
         }
@@ -1775,8 +2041,12 @@ impl EstimationEngine {
             wal_rotations: wal.as_ref().map_or(0, |w| w.rotations),
             epoch: snapshot.epoch(),
             live: shards.iter().map(|s| s.live).sum::<usize>()
-                + mapped_base.as_ref().map_or(0, |b| b.len()),
+                + mapped_base.as_ref().map_or(0, |b| b.len())
+                - tombstones,
             ingests,
+            compactions: self.metrics.compactions.get(),
+            overlay_bytes,
+            tombstones,
             publish_lag: ingests.saturating_sub(snapshot.ingested()),
             publishes,
             delta_publishes,
@@ -1801,5 +2071,63 @@ impl std::fmt::Debug for EstimationEngine {
             .field("live", &stats.live)
             .field("ingests", &stats.ingests)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped_engine_with_dirty_overlay(dir: &std::path::Path) -> EstimationEngine {
+        let config = ServiceConfig::builder()
+            .shards(2)
+            .k(8)
+            .seed(5)
+            .family(IndexFamily::MinHash)
+            .build();
+        let seed = EstimationEngine::durable_with(config, dir, crate::DurabilityOptions::default())
+            .unwrap();
+        for i in 0..6u32 {
+            seed.insert(SparseVector::binary_from_members(vec![i, i + 1, i + 2]));
+        }
+        seed.checkpoint().unwrap();
+        drop(seed);
+        let engine = EstimationEngine::recover_with(
+            dir,
+            crate::DurabilityOptions {
+                storage_tier: crate::StorageTier::Mapped,
+                compact_overlay_bytes: Some(1),
+                ..crate::DurabilityOptions::default()
+            },
+        )
+        .unwrap();
+        engine.insert(SparseVector::binary_from_members(vec![9, 10, 11]));
+        engine.publish();
+        engine
+    }
+
+    /// The trigger must stay quiet while a checkpoint or compaction is
+    /// already cutting — the flag set by [`EstimationEngine::cut`] —
+    /// even when a threshold is crossed, so a polling [`Compactor`]
+    /// never stacks a second cut behind an in-flight one.
+    #[test]
+    fn trigger_is_suppressed_while_a_checkpoint_is_in_flight() {
+        let dir = std::env::temp_dir().join(format!("vsj_engine_inflight_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let engine = mapped_engine_with_dirty_overlay(&dir);
+        assert!(engine.compaction_due(), "the 1-byte threshold is crossed");
+        engine.checkpoint_in_flight.store(true, Ordering::SeqCst);
+        assert!(
+            !engine.compaction_due(),
+            "an in-flight cut must suppress the trigger"
+        );
+        engine.checkpoint_in_flight.store(false, Ordering::SeqCst);
+        assert!(engine.compaction_due(), "clearing the flag re-arms it");
+        engine.compact().unwrap();
+        assert!(
+            !engine.compaction_due(),
+            "the fold emptied the overlay below the threshold"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

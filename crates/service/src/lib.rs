@@ -90,7 +90,7 @@ pub use config::{
     DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder, StorageTier,
 };
 pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
-pub use persist::{Checkpointer, PersistError};
+pub use persist::{Checkpointer, Compactor, PersistError};
 pub use shard::ShardStats;
 pub use snapshot::Snapshot;
 pub use vsj_obs::{ObsOptions, Registry};

@@ -10,15 +10,19 @@
 //! costs O(map + validation scan) instead of O(decode + rebuild).
 //!
 //! [`MappedView`] is the index a mapped engine publishes: the mapped
-//! base plus a heap *overlay* of rows appended after the checkpoint
-//! (the replayed WAL tail and live inserts). It implements
-//! [`IndexView`] with the exact sampling streams of the heap
-//! [`LshTable`](vsj_lsh::LshTable): merged buckets are enumerated
-//! key-ascending (matching both the batch and delta heap builders), the
-//! alias table is built from the same `C(b_j, 2)` weight sequence, and
-//! every draw consumes the RNG identically — which is what makes the
-//! mapped tier bit-identical to the heap tier at every published
-//! `(seed, epoch, τ)`.
+//! base, minus a [`TombstoneSet`] of removed base rows, plus a heap
+//! *overlay* of rows ingested after the checkpoint (the replayed WAL
+//! tail and live inserts — including upserts that replace a tombstoned
+//! base row). The view presents one **dense id space** `[0, n_live)`
+//! in global-id order — exactly the id space the heap
+//! [`LshTable`](vsj_lsh::LshTable) would assign to the same live rows —
+//! and implements [`IndexView`] with the exact sampling streams of the
+//! heap table: merged buckets are enumerated key-ascending, the alias
+//! table is built from the same `C(b_j, 2)` weight sequence, and every
+//! draw consumes the RNG identically. That is what makes the mapped
+//! tier bit-identical to the heap tier at every published
+//! `(seed, epoch, τ)` — before, during, and after a background
+//! compaction folds the overlay and tombstones into a fresh base.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -41,6 +45,61 @@ use crate::GlobalId;
 
 fn corrupt(msg: impl Into<String>) -> PersistError {
     PersistError::Corrupt(msg.into())
+}
+
+/// The set of base rows removed (or replaced by an upsert) since the
+/// mapped checkpoint was cut: sorted, deduplicated base-row indices.
+/// The merged view subtracts these rows from every enumeration, which
+/// is what lets `remove`/`upsert` work on a mapped engine without
+/// mutating the immutable mapping — compaction later folds the set
+/// into a fresh checkpoint and it resets to empty.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TombstoneSet {
+    rows: Vec<u32>,
+}
+
+impl TombstoneSet {
+    /// The empty set (a freshly mapped or just-compacted base).
+    pub(crate) fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds the set from sorted, deduplicated base-row indices (the
+    /// engine's tombstone state is kept sorted by insertion).
+    pub(crate) fn from_rows(rows: Vec<u32>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows sorted + unique");
+        Self { rows }
+    }
+
+    /// Number of tombstoned base rows.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no base row is tombstoned.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether base row `row` is tombstoned.
+    #[inline]
+    pub(crate) fn contains(&self, row: u32) -> bool {
+        self.rows.binary_search(&row).is_ok()
+    }
+
+    /// Number of tombstoned rows with index strictly below `row`.
+    #[inline]
+    pub(crate) fn rank_below(&self, row: u32) -> usize {
+        self.rows.partition_point(|&d| d < row)
+    }
+
+    /// The sorted row indices.
+    #[inline]
+    pub(crate) fn rows(&self) -> &[u32] {
+        &self.rows
+    }
 }
 
 /// A validated, memory-mapped v3 checkpoint: the base rows of a mapped
@@ -258,20 +317,21 @@ impl MappedCheckpoint {
         self.u64_in(&self.gids, i)
     }
 
-    /// Whether `global` is a base row (binary search over the ascending
-    /// GIDS section).
-    pub(crate) fn contains_gid(&self, global: GlobalId) -> bool {
+    /// Base row holding `global`, if any (binary search over the
+    /// ascending GIDS section). Whether that row is *live* is the
+    /// caller's tombstone check.
+    pub(crate) fn find_gid(&self, global: GlobalId) -> Option<usize> {
         let mut lo = 0usize;
         let mut hi = self.n;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             match self.gid(mid).cmp(&global) {
-                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Equal => return Some(mid),
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
             }
         }
-        false
+        None
     }
 
     /// Bucket key of base row `i`.
@@ -335,29 +395,62 @@ impl MappedCheckpoint {
     }
 }
 
-/// One merged pair bucket (`C(b_j, 2) > 0`) of a [`MappedView`], in
-/// key-ascending enumeration order: a run of base members (read from
-/// the mapping) followed by a run of overlay members — which is
-/// globally id-ascending, exactly like the heap table's bucket member
-/// order.
-#[derive(Debug, Clone, Copy)]
-struct Column {
-    base_start: u64,
-    base_len: u32,
-    tail_start: u32,
-    tail_len: u32,
+/// Where a dense view id resolves: a live base row of the mapping, or
+/// an overlay row on the heap. The checkpoint writer walks dense ids
+/// through this to byte-copy base payload blocks and re-encode only the
+/// overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MappedRow {
+    /// Base row index into the mapped checkpoint.
+    Base(usize),
+    /// Overlay row index into the view's tail.
+    Tail(usize),
 }
 
-/// The published index of a mapped engine: the mapped checkpoint base
-/// plus an append-only heap overlay (replayed WAL tail and live
-/// inserts), sampling bit-identically to the equivalent heap table.
+/// One merged pair bucket (`C(b_j, 2) > 0`) of a [`MappedView`], in
+/// key-ascending enumeration order. Members are **dense view ids**
+/// (global-id ascending), matching the heap table's bucket member
+/// order exactly.
+#[derive(Debug, Clone, Copy)]
+enum Column {
+    /// The common shape: no tombstoned member, and every overlay member
+    /// sorts after every base member (append-only buckets). Base
+    /// members are read from the mapping and converted to dense ids at
+    /// sample time; overlay members are a run of `tail_members`.
+    Direct {
+        base_start: u64,
+        base_len: u32,
+        tail_start: u32,
+        tail_len: u32,
+    },
+    /// A bucket touched by a tombstone or an interleaving upsert: its
+    /// live members were merged explicitly into a run of `patched`.
+    Patched { start: u32, len: u32 },
+}
+
+/// The published index of a mapped engine: the mapped checkpoint base,
+/// minus its tombstoned rows, plus a heap overlay — presented as one
+/// dense id space in global-id order, sampling bit-identically to the
+/// equivalent heap table.
 pub(crate) struct MappedView {
     base: Arc<MappedCheckpoint>,
     k: usize,
+    tombstones: Arc<TombstoneSet>,
+    tail_gids: Vec<GlobalId>,
     tail_keys: Vec<u64>,
     tail_vectors: Vec<Arc<SparseVector>>,
+    /// Dense view id of each overlay row (ascending — overlay rows are
+    /// gid-sorted).
+    tail_dense: Vec<VectorId>,
+    /// Encoded size of the overlay's payload blocks — the "heap bytes
+    /// a compaction would fold away" trigger signal.
+    tail_bytes: u64,
+    /// Fast path: no tombstones and the whole overlay sorts after the
+    /// whole base, so dense ids are the identity over base rows.
+    plain: bool,
     columns: Vec<Column>,
     tail_members: Vec<VectorId>,
+    patched: Vec<VectorId>,
     alias: Option<AliasTable>,
     nh: u64,
 }
@@ -366,6 +459,7 @@ impl std::fmt::Debug for MappedView {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MappedView")
             .field("base_n", &self.base.len())
+            .field("tombstones", &self.tombstones.len())
             .field("tail_n", &self.tail_keys.len())
             .field("nh", &self.nh)
             .finish()
@@ -373,46 +467,159 @@ impl std::fmt::Debug for MappedView {
 }
 
 impl MappedView {
-    /// Builds the merged view: walk base buckets (key-ascending by
-    /// layout) and overlay key groups (key-ascending by `BTreeMap`) in
-    /// a single merge, emitting every bucket with ≥ 2 merged members as
-    /// an alias column — the same column sequence and weights the heap
-    /// table's sampler derives, hence the same sampling stream.
+    /// Builds the merged view from the base, the tombstone set, and the
+    /// overlay rows (`(gid, key, vector)`, strictly ascending by gid,
+    /// never colliding with a live base gid — the caller validates).
+    ///
+    /// Walks base buckets (key-ascending by layout) and overlay key
+    /// groups (key-ascending by `BTreeMap`) in a single merge, emitting
+    /// every bucket with ≥ 2 live merged members as an alias column —
+    /// the same column sequence and weights the heap table's sampler
+    /// derives over the live rows, hence the same sampling stream. Only
+    /// buckets actually touched by a tombstone or an interleaving
+    /// overlay row pay an explicit member merge; the append-only rest
+    /// stays O(1) per bucket.
     pub(crate) fn new(
         base: Arc<MappedCheckpoint>,
         k: usize,
-        tail_keys: Vec<u64>,
-        tail_vectors: Vec<Arc<SparseVector>>,
+        tombstones: Arc<TombstoneSet>,
+        tail: Vec<(GlobalId, u64, Arc<SparseVector>)>,
     ) -> Self {
-        debug_assert_eq!(tail_keys.len(), tail_vectors.len());
+        debug_assert!(tail.windows(2).all(|w| w[0].0 < w[1].0), "tail gid-sorted");
         let base_n = base.len();
-        let mut tail_groups: BTreeMap<u64, Vec<VectorId>> = BTreeMap::new();
+        let mut tail_gids = Vec::with_capacity(tail.len());
+        let mut tail_keys = Vec::with_capacity(tail.len());
+        let mut tail_vectors = Vec::with_capacity(tail.len());
+        let mut tail_bytes = 0u64;
+        for (gid, key, v) in tail {
+            tail_gids.push(gid);
+            tail_keys.push(key);
+            tail_bytes += 4 + 8 * v.nnz() as u64;
+            tail_vectors.push(v);
+        }
+        let plain = tombstones.is_empty()
+            && (tail_gids.is_empty() || base_n == 0 || tail_gids[0] > base.gid(base_n - 1));
+
+        // Dense id of each overlay row: live base rows with a smaller
+        // gid, plus earlier overlay rows (gid-sorted, so exactly `t`).
+        let dead = tombstones.rows();
+        let live_base_below_gid = |gid: GlobalId| -> usize {
+            let mut lo = 0usize;
+            let mut hi = base_n;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if base.gid(mid) < gid {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo - dead.partition_point(|&d| (d as usize) < lo)
+        };
+        let tail_dense: Vec<VectorId> = tail_gids
+            .iter()
+            .enumerate()
+            .map(|(t, &gid)| (live_base_below_gid(gid) + t) as VectorId)
+            .collect();
+        let dense_of_row = |row: VectorId| -> VectorId {
+            if plain {
+                return row;
+            }
+            let live_rank = row as usize - dead.partition_point(|&d| d < row);
+            let below = tail_gids.partition_point(|&g| g < base.gid(row as usize));
+            (live_rank + below) as VectorId
+        };
+
+        // Buckets a tombstone touches, found by key lookup: only these
+        // pay the explicit member merge.
+        let mut dead_in_bucket: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for &row in dead {
+            let key = base.key(row as usize);
+            let mut lo = 0usize;
+            let mut hi = base.num_buckets();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if base.bucket_key(mid) < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            debug_assert!(lo < base.num_buckets() && base.bucket_key(lo) == key);
+            dead_in_bucket.entry(lo).or_default().push(row);
+        }
+
+        let mut tail_groups: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
         for (t, &key) in tail_keys.iter().enumerate() {
-            tail_groups
-                .entry(key)
-                .or_default()
-                .push((base_n + t) as VectorId);
+            tail_groups.entry(key).or_default().push(t as u32);
         }
 
         let mut columns = Vec::new();
         let mut weights = Vec::new();
-        let mut tail_members = Vec::new();
+        let mut tail_members: Vec<VectorId> = Vec::new();
+        let mut patched: Vec<VectorId> = Vec::new();
         let mut nh = 0u64;
-        let mut emit = |base_start: usize, base_len: usize, tail: Option<&Vec<VectorId>>| {
-            let tail_len = tail.map_or(0, Vec::len);
-            let weight = pair_count((base_len + tail_len) as u64);
+        let empty_dead: Vec<u32> = Vec::new();
+        let mut emit = |bucket: Option<usize>, group: Option<&Vec<u32>>| {
+            let (start, len, bucket_dead) = match bucket {
+                Some(b) => {
+                    let (s, l) = base.bucket_members(b);
+                    (s, l, dead_in_bucket.get(&b).unwrap_or(&empty_dead))
+                }
+                None => (0, 0, &empty_dead),
+            };
+            let live_len = len - bucket_dead.len();
+            let tail_len = group.map_or(0, Vec::len);
+            let weight = pair_count((live_len + tail_len) as u64);
             nh += weight;
-            if weight > 0 {
-                columns.push(Column {
-                    base_start: base_start as u64,
-                    base_len: base_len as u32,
-                    tail_start: tail_members.len() as u32,
+            if weight == 0 {
+                return;
+            }
+            weights.push(weight as f64);
+            // Direct needs dense-ascending concatenation: all base
+            // members live, and the first overlay gid past the last
+            // base member's gid.
+            let interleaved = live_len > 0 && tail_len > 0 && {
+                let last_row = base.member(start + len - 1);
+                tail_gids[group.expect("tail_len > 0")[0] as usize] < base.gid(last_row as usize)
+            };
+            if bucket_dead.is_empty() && !interleaved {
+                let tail_start = tail_members.len() as u32;
+                if let Some(group) = group {
+                    tail_members.extend(group.iter().map(|&t| tail_dense[t as usize]));
+                }
+                columns.push(Column::Direct {
+                    base_start: start as u64,
+                    base_len: len as u32,
+                    tail_start,
                     tail_len: tail_len as u32,
                 });
-                weights.push(weight as f64);
-                if let Some(members) = tail {
-                    tail_members.extend_from_slice(members);
+            } else {
+                let p_start = patched.len() as u32;
+                let live: Vec<VectorId> = (0..len)
+                    .map(|off| base.member(start + off))
+                    .filter(|row| bucket_dead.binary_search(row).is_err())
+                    .map(dense_of_row)
+                    .collect();
+                let tail_ds: Vec<VectorId> = group
+                    .map(|g| g.iter().map(|&t| tail_dense[t as usize]).collect())
+                    .unwrap_or_default();
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < live.len() && b < tail_ds.len() {
+                    if live[a] < tail_ds[b] {
+                        patched.push(live[a]);
+                        a += 1;
+                    } else {
+                        patched.push(tail_ds[b]);
+                        b += 1;
+                    }
                 }
+                patched.extend_from_slice(&live[a..]);
+                patched.extend_from_slice(&tail_ds[b..]);
+                columns.push(Column::Patched {
+                    start: p_start,
+                    len: (live_len + tail_len) as u32,
+                });
             }
         };
 
@@ -424,17 +631,16 @@ impl MappedView {
                 .is_some_and(|(&tail_key, _)| tail_key < bucket_key)
             {
                 let (_, members) = tail_iter.next().expect("peeked");
-                emit(0, 0, Some(members));
+                emit(None, Some(members));
             }
             let merged = tail_iter
                 .peek()
                 .is_some_and(|(&tail_key, _)| tail_key == bucket_key)
                 .then(|| tail_iter.next().expect("peeked").1);
-            let (start, len) = base.bucket_members(b);
-            emit(start, len, merged);
+            emit(Some(b), merged);
         }
         for (_, members) in tail_iter {
-            emit(0, 0, Some(members));
+            emit(None, Some(members));
         }
 
         let alias = if weights.is_empty() {
@@ -445,24 +651,35 @@ impl MappedView {
         Self {
             base,
             k,
+            tombstones,
+            tail_gids,
             tail_keys,
             tail_vectors,
+            tail_dense,
+            tail_bytes,
+            plain,
             columns,
             tail_members,
+            patched,
             alias,
             nh,
         }
     }
 
-    /// A new view with `keys`/`vectors` appended to the overlay (the
-    /// mapped delta-publish path). The base mapping is shared; merged
-    /// columns are rebuilt in O(buckets + overlay).
-    pub(crate) fn extended(&self, keys: &[u64], vectors: &[Arc<SparseVector>]) -> Self {
-        let mut tail_keys = self.tail_keys.clone();
-        tail_keys.extend_from_slice(keys);
-        let mut tail_vectors = self.tail_vectors.clone();
-        tail_vectors.extend_from_slice(vectors);
-        Self::new(self.base.clone(), self.k, tail_keys, tail_vectors)
+    /// A new view with `rows` appended to the overlay (the mapped
+    /// delta-publish path — tombstones unchanged by construction). The
+    /// base mapping and tombstone set are shared; merged columns are
+    /// rebuilt in O(buckets + overlay).
+    pub(crate) fn extended(&self, rows: &[(GlobalId, u64, Arc<SparseVector>)]) -> Self {
+        let mut tail: Vec<(GlobalId, u64, Arc<SparseVector>)> = self
+            .tail_gids
+            .iter()
+            .zip(&self.tail_keys)
+            .zip(&self.tail_vectors)
+            .map(|((&g, &k), v)| (g, k, v.clone()))
+            .collect();
+        tail.extend_from_slice(rows);
+        Self::new(self.base.clone(), self.k, self.tombstones.clone(), tail)
     }
 
     /// The mapped base.
@@ -470,9 +687,9 @@ impl MappedView {
         &self.base
     }
 
-    /// The overlay's bucket keys, in overlay-row order.
-    pub(crate) fn tail_keys(&self) -> &[u64] {
-        &self.tail_keys
+    /// The tombstone set this view was published with.
+    pub(crate) fn tombstones(&self) -> &Arc<TombstoneSet> {
+        &self.tombstones
     }
 
     /// The overlay's vectors, in overlay-row order.
@@ -480,41 +697,111 @@ impl MappedView {
         &self.tail_vectors
     }
 
-    /// Total rows: mapped base plus heap overlay.
+    /// Encoded bytes of the overlay's payload blocks — the heap-resident
+    /// weight a compaction folds back into the mapping.
+    #[inline]
+    pub(crate) fn tail_bytes(&self) -> u64 {
+        self.tail_bytes
+    }
+
+    /// Live rows: base minus tombstones plus overlay.
     #[inline]
     pub(crate) fn len(&self) -> usize {
-        self.base.len() + self.tail_keys.len()
+        self.base.len() - self.tombstones.len() + self.tail_keys.len()
     }
 
-    /// Bucket key of a view-local row id.
+    /// Resolves a dense view id to its backing row.
+    pub(crate) fn row_of_dense(&self, id: VectorId) -> MappedRow {
+        if self.plain {
+            let id = id as usize;
+            return if id < self.base.len() {
+                MappedRow::Base(id)
+            } else {
+                MappedRow::Tail(id - self.base.len())
+            };
+        }
+        match self.tail_dense.binary_search(&id) {
+            Ok(t) => MappedRow::Tail(t),
+            Err(t) => {
+                // `id` is the (id - t)-th live base row; select it by
+                // binary search over the live-rank prefix function.
+                let live_rank = id as usize - t;
+                let dead = self.tombstones.rows();
+                let mut lo = 0usize;
+                let mut hi = self.base.len();
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let live_through = mid + 1 - dead.partition_point(|&d| (d as usize) <= mid);
+                    if live_through <= live_rank {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                debug_assert!(lo < self.base.len() && !self.tombstones.contains(lo as u32));
+                MappedRow::Base(lo)
+            }
+        }
+    }
+
+    /// Bucket key of a dense view id.
     #[inline]
     pub(crate) fn key_of(&self, id: VectorId) -> u64 {
-        let id = id as usize;
-        if id < self.base.len() {
-            self.base.key(id)
-        } else {
-            self.tail_keys[id - self.base.len()]
+        match self.row_of_dense(id) {
+            MappedRow::Base(row) => self.base.key(row),
+            MappedRow::Tail(t) => self.tail_keys[t],
         }
     }
 
-    /// The vector of a view-local row id (base rows materialize from
-    /// the mapping on first touch).
+    /// The vector of a dense view id (base rows materialize from the
+    /// mapping on first touch).
     #[inline]
     pub(crate) fn vector(&self, id: VectorId) -> &SparseVector {
-        let id = id as usize;
-        if id < self.base.len() {
-            self.base.vector(id)
-        } else {
-            &self.tail_vectors[id - self.base.len()]
+        match self.row_of_dense(id) {
+            MappedRow::Base(row) => self.base.vector(row),
+            MappedRow::Tail(t) => &self.tail_vectors[t],
         }
+    }
+
+    /// Dense view id of a live base row.
+    #[inline]
+    fn dense_of_base_row(&self, row: VectorId) -> VectorId {
+        if self.plain {
+            return row;
+        }
+        let live_rank = row as usize - self.tombstones.rank_below(row);
+        let below = self
+            .tail_gids
+            .partition_point(|&g| g < self.base.gid(row as usize));
+        (live_rank + below) as VectorId
     }
 
     #[inline]
     fn column_member(&self, col: &Column, i: usize) -> VectorId {
-        if i < col.base_len as usize {
-            self.base.member(col.base_start as usize + i)
-        } else {
-            self.tail_members[col.tail_start as usize + (i - col.base_len as usize)]
+        match *col {
+            Column::Direct {
+                base_start,
+                base_len,
+                tail_start,
+                ..
+            } => {
+                if i < base_len as usize {
+                    self.dense_of_base_row(self.base.member(base_start as usize + i))
+                } else {
+                    self.tail_members[tail_start as usize + (i - base_len as usize)]
+                }
+            }
+            Column::Patched { start, .. } => self.patched[start as usize + i],
+        }
+    }
+
+    #[inline]
+    fn column_len(col: &Column) -> usize {
+        match *col {
+            Column::Direct {
+                base_len, tail_len, ..
+            } => (base_len + tail_len) as usize,
+            Column::Patched { len, .. } => len as usize,
         }
     }
 }
@@ -554,7 +841,7 @@ impl IndexView for MappedView {
         // distinct pair.
         let alias = self.alias.as_ref()?;
         let col = self.columns[alias.sample(rng)];
-        let b = (col.base_len + col.tail_len) as usize;
+        let b = Self::column_len(&col);
         debug_assert!(b >= 2);
         let i = rng.below_usize(b);
         let mut j = rng.below_usize(b - 1);
@@ -571,9 +858,9 @@ impl IndexView for MappedView {
         if IndexView::nl(self) == 0 {
             return None;
         }
-        // The dense-index → id indirection of the heap sampler is the
-        // identity here: a mapped view is append-only, nothing is ever
-        // removed.
+        // The heap sampler's dense-index → id indirection is over live
+        // rows in global-id order — exactly this view's dense id space,
+        // so drawing dense ids directly consumes the RNG identically.
         let n = MappedView::len(self) as u64;
         loop {
             let (i, j) = sample_distinct_pair(rng, n);

@@ -47,6 +47,7 @@ use vsj_vector::SparseVector;
 
 use crate::config::{IndexFamily, ServiceConfig};
 use crate::engine::EstimationEngine;
+use crate::mapped::MappedRow;
 use crate::snapshot::Snapshot;
 use crate::GlobalId;
 
@@ -322,8 +323,11 @@ pub type SnapshotRows = Vec<(GlobalId, u64, Arc<SparseVector>)>;
 /// Serializes a checkpoint in the **v3 mappable layout** (exposed for
 /// tests and tooling; the private `write_checkpoint` is the durable
 /// path). Works for both storage tiers: a heap snapshot encodes its
-/// table and `Arc`-shared payloads; a mapped snapshot copies the base
-/// slab straight from its mapping and appends the overlay.
+/// table and `Arc`-shared payloads; a mapped snapshot walks its dense
+/// id space — tombstoned base rows are *dropped* and overlay rows are
+/// interleaved in global-id order, so the file a compaction writes is
+/// exactly the file a from-scratch build over the live rows would
+/// write.
 pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
     let n = snapshot.len();
     // Row keys in snapshot-local id order, whichever tier holds them.
@@ -333,13 +337,7 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
             let view = snapshot
                 .mapped_view()
                 .expect("a snapshot is heap or mapped");
-            let base = view.base();
-            let mut keys = Vec::with_capacity(n);
-            for i in 0..base.len() {
-                keys.push(base.key(i));
-            }
-            keys.extend_from_slice(view.tail_keys());
-            keys
+            (0..n as u32).map(|d| view.key_of(d)).collect()
         }
     };
     // Bucket runs: group rows by key (key-ascending, members in id
@@ -362,8 +360,10 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
         }
     }
     // Payload slab + per-row offsets. Heap: serialize once, straight
-    // from the shared `Arc` handles. Mapped: byte-copy the base slab
-    // from the mapping (no decode) and append the overlay's blocks.
+    // from the shared `Arc` handles. Mapped: base rows are byte-copied
+    // straight from the mapping's slab (no decode — the wire blocks are
+    // position-independent) and overlay rows are re-encoded in place,
+    // all in dense-id order.
     let (voff, vpay): (Vec<u64>, Bytes) = match snapshot.heap_parts() {
         Some((collection, _)) => {
             let mut buf = BytesMut::new();
@@ -382,13 +382,19 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
             let base = view.base();
             let slab = base.payload_slab();
             let mut buf = BytesMut::with_capacity(slab.len());
-            buf.put_slice(slab);
             let mut voff = Vec::with_capacity(n + 1);
-            for i in 0..=base.len() {
-                voff.push(base.payload_offset(i));
-            }
-            for v in view.tail_vectors() {
-                io::encode_vector_into(&mut buf, v.as_ref());
+            voff.push(0);
+            for d in 0..n {
+                match view.row_of_dense(d as u32) {
+                    MappedRow::Base(row) => {
+                        let lo = base.payload_offset(row) as usize;
+                        let hi = base.payload_offset(row + 1) as usize;
+                        buf.put_slice(&slab[lo..hi]);
+                    }
+                    MappedRow::Tail(t) => {
+                        io::encode_vector_into(&mut buf, view.tail_vectors()[t].as_ref());
+                    }
+                }
                 voff.push(buf.len() as u64);
             }
             (voff, buf.freeze())
@@ -854,6 +860,80 @@ impl Checkpointer {
 }
 
 impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A background thread that *compacts* a durable mapped engine whenever
+/// its trigger policy says the overlay is worth folding — the component
+/// that keeps a long-lived mapped engine's heap overlay and tombstone
+/// set bounded without putting compaction latency on the write path.
+///
+/// Each poll asks [`EstimationEngine::compaction_due`] (overlay-bytes /
+/// tombstone-ratio knobs on
+/// [`DurabilityOptions`](crate::DurabilityOptions)) and, when due, runs
+/// [`EstimationEngine::compact`]: publish barrier, fold into a fresh v3
+/// checkpoint, atomic re-map. Estimates are bit-identical across the
+/// swap, so the thread is safe to run under live reads and writes.
+///
+/// Stopping (explicitly via [`Compactor::stop`] or by dropping) joins
+/// the thread; it does **not** take a final compaction.
+#[derive(Debug)]
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Compactor {
+    /// Spawns the compactor, polling the engine's trigger policy every
+    /// `poll`.
+    ///
+    /// # Panics
+    /// Panics if the engine is not durable. The background thread
+    /// panics if a compaction fails (the panic resurfaces from
+    /// [`Compactor::stop`]); as with a failed checkpoint, the engine
+    /// does not keep silently accepting writes — a failed fold poisons
+    /// the WAL writer, so subsequent durable ingests fail loudly.
+    pub fn spawn(engine: Arc<EstimationEngine>, poll: Duration) -> Self {
+        assert!(engine.is_durable(), "Compactor requires a durable engine");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut taken = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                if engine.compaction_due() {
+                    engine
+                        .compact()
+                        .expect("background compaction failed; refusing to continue unlogged");
+                    taken += 1;
+                }
+                std::thread::sleep(poll);
+            }
+            taken
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread and joins it, returning how many compactions
+    /// it took.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("compactor joined twice")
+            .join()
+            .expect("compactor thread panicked")
+    }
+}
+
+impl Drop for Compactor {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {

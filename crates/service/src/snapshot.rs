@@ -13,9 +13,11 @@
 //!   behind `Arc`s ([`SharedVectorCollection`]), so a snapshot never
 //!   copies vector data.
 //! * **Mapped** — a [`MappedView`](crate::mapped::MappedView): a
-//!   memory-mapped checkpoint base plus an append-only heap overlay.
-//!   The base corpus stays on disk; estimates sample straight from the
-//!   mapping.
+//!   memory-mapped checkpoint base, minus a tombstone set of removed
+//!   base rows, plus a heap overlay. The base corpus stays on disk;
+//!   estimates sample straight from the mapping. A background
+//!   compaction periodically folds overlay + tombstones into a fresh
+//!   checkpoint and the view resets to a bare base.
 //!
 //! **Incremental publication.** Two assembly paths exist:
 //!
@@ -47,7 +49,7 @@ use vsj_lsh::{BucketHasher, LshTable};
 use vsj_sampling::Rng;
 use vsj_vector::{SharedVectorCollection, SparseVector, VectorId, VectorStore};
 
-use crate::mapped::{MappedCheckpoint, MappedView};
+use crate::mapped::{MappedCheckpoint, MappedView, TombstoneSet};
 use crate::GlobalId;
 
 /// The storage backing a snapshot's index and payloads.
@@ -126,45 +128,64 @@ impl Snapshot {
     }
 
     /// Assembles a **mapped** snapshot: the memory-mapped checkpoint
-    /// base plus `tail` rows appended after the checkpoint cut (the
-    /// replayed WAL tail, or a full republish of the live inserts).
+    /// base, minus `tombstones` (removed base rows), plus `tail` rows
+    /// ingested after the checkpoint cut (the replayed WAL tail, or a
+    /// full republish of the live shard rows).
     ///
-    /// Returns `None` when `tail` (after sorting by global id) is not
-    /// append-only on top of the base — mapped bases are immutable, so
-    /// a tail reaching below the base watermark cannot be represented.
+    /// The tail may interleave *below* the base gid watermark — an
+    /// upsert replacing a tombstoned base row lands there — but it must
+    /// be duplicate-free and never collide with a **live** base row.
+    /// Returns `None` when that (or the tombstone bound) is violated;
+    /// the engine's write paths make violations impossible, so `None`
+    /// means a logic bug upstream, surfaced loudly by the caller.
     pub(crate) fn from_mapped(
         epoch: u64,
         ingested: u64,
         k: usize,
         base: Arc<MappedCheckpoint>,
         mut tail: Vec<(GlobalId, u64, Arc<SparseVector>)>,
+        tombstones: Arc<TombstoneSet>,
     ) -> Option<Self> {
         tail.sort_unstable_by_key(|r| r.0);
         let base_n = base.len();
-        let floor = base_n.checked_sub(1).map(|last| base.gid(last));
-        let append_only = tail.windows(2).all(|w| w[0].0 < w[1].0)
-            && tail
-                .first()
-                .is_none_or(|first| floor.is_none_or(|max| first.0 > max));
-        if !append_only {
+        if tombstones
+            .rows()
+            .last()
+            .is_some_and(|&r| r as usize >= base_n)
+        {
             return None;
         }
-        let mut ids = Vec::with_capacity(base_n + tail.len());
+        if !tail.windows(2).all(|w| w[0].0 < w[1].0) {
+            return None;
+        }
+        for (gid, _, _) in &tail {
+            if base
+                .find_gid(*gid)
+                .is_some_and(|row| !tombstones.contains(row as u32))
+            {
+                return None;
+            }
+        }
+        // Merge live base gids with tail gids, ascending — the view's
+        // dense id order.
+        let mut ids = Vec::with_capacity(base_n - tombstones.len() + tail.len());
+        let mut next_tail = tail.iter().map(|r| r.0).peekable();
         for i in 0..base_n {
-            ids.push(base.gid(i));
+            if tombstones.contains(i as u32) {
+                continue;
+            }
+            let gid = base.gid(i);
+            while next_tail.peek().is_some_and(|&t| t < gid) {
+                ids.push(next_tail.next().expect("peeked"));
+            }
+            ids.push(gid);
         }
-        let mut keys = Vec::with_capacity(tail.len());
-        let mut arcs = Vec::with_capacity(tail.len());
-        for (global, key, v) in tail {
-            ids.push(global);
-            keys.push(key);
-            arcs.push(v);
-        }
+        ids.extend(next_tail);
         Some(Self {
             epoch,
             ingested,
             ids,
-            view: View::Mapped(MappedView::new(base, k, keys, arcs)),
+            view: View::Mapped(MappedView::new(base, k, tombstones, tail)),
         })
     }
 
@@ -192,19 +213,21 @@ impl Snapshot {
         }
         let mut ids = Vec::with_capacity(prev.ids.len() + delta.len());
         ids.extend_from_slice(&prev.ids);
-        let mut keys = Vec::with_capacity(delta.len());
-        let mut arcs = Vec::with_capacity(delta.len());
-        for (global, key, v) in delta {
-            ids.push(global);
-            keys.push(key);
-            arcs.push(v);
-        }
+        ids.extend(delta.iter().map(|r| r.0));
         let view = match &prev.view {
-            View::Heap { collection, table } => View::Heap {
-                collection: collection.extended(arcs),
-                table: LshTable::from_parts_delta(table, &keys),
-            },
-            View::Mapped(mapped) => View::Mapped(mapped.extended(&keys, &arcs)),
+            View::Heap { collection, table } => {
+                let mut keys = Vec::with_capacity(delta.len());
+                let mut arcs = Vec::with_capacity(delta.len());
+                for (_, key, v) in delta {
+                    keys.push(key);
+                    arcs.push(v);
+                }
+                View::Heap {
+                    collection: collection.extended(arcs),
+                    table: LshTable::from_parts_delta(table, &keys),
+                }
+            }
+            View::Mapped(mapped) => View::Mapped(mapped.extended(&delta)),
         };
         Some(Self {
             epoch,

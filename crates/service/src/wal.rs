@@ -1586,6 +1586,52 @@ mod tests {
     }
 
     #[test]
+    fn seal_and_truncate_at_head_drop_every_sealed_segment_idempotently() {
+        // The compaction cut: seal every active chain, then truncate at
+        // the head sequence. Every sealed file is covered, so exactly
+        // one fresh (empty) active segment per shard survives and a
+        // reopen replays zero records — recovery after a fold must
+        // never re-decode a covered record.
+        let dir = tmp_dir("seg_cut");
+        let wal = small_set(&dir, 2, FsyncPolicy::Never);
+        let payload: Vec<u32> = (0..40).collect();
+        for i in 0..30 {
+            append_commit(&wal, (i % 2) as usize, WalOp::Insert(i, &v(&payload)));
+        }
+        append_commit(&wal, 0, WalOp::Remove(3));
+        let last = append_commit(&wal, 0, WalOp::Publish);
+        wal.seal_active().unwrap();
+        let dropped = wal.truncate(last).unwrap();
+        assert!(dropped >= 2, "every sealed segment sits below the head");
+        for shard in 0..2 {
+            let files = segment_files(&dir, shard);
+            assert_eq!(
+                files.len(),
+                1,
+                "shard {shard}: only the fresh active survives"
+            );
+            assert!(
+                read_segment(&files[0]).unwrap().entries.is_empty(),
+                "shard {shard}: the surviving segment must carry no covered record"
+            );
+        }
+        // Truncation at the same horizon again is a no-op: the sealed
+        // lists were pruned, nothing is double-unlinked.
+        assert_eq!(wal.truncate(last).unwrap(), 0);
+        wal.sync_all().unwrap();
+        drop(wal);
+        let (wal, entries) = WalSet::open(&dir, 2, last, 0xFEED, FsyncPolicy::Never, 1024).unwrap();
+        assert!(entries.is_empty(), "reopen replays nothing past the cut");
+        // The reopened set keeps sequencing from the cut, so post-fold
+        // traffic lands strictly above the horizon.
+        assert_eq!(
+            append_commit(&wal, 1, WalOp::Insert(99, &v(&[7]))),
+            last + 1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn torn_tail_on_last_segment_recovers_prefix_but_sealed_damage_is_loud() {
         let dir = tmp_dir("seg_torn");
         let wal = small_set(&dir, 1, FsyncPolicy::Never);

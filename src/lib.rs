@@ -102,8 +102,8 @@ pub mod prelude {
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
     pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
-        Checkpointer, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy, GlobalId,
-        IndexFamily, ObsOptions, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
+        Checkpointer, Compactor, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy,
+        GlobalId, IndexFamily, ObsOptions, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
         StorageTier,
     };
     pub use vsj_vector::{

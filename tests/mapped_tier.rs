@@ -8,11 +8,13 @@
 //!   (seed, epoch, τ) — including when a non-empty WAL tail is replayed
 //!   onto the mapped base, and after further post-recovery inserts and
 //!   publishes on both tiers. Pinned by the property test below.
-//! * **Append-only discipline** — `remove` / `upsert` on a mapped
-//!   engine panic before touching the WAL; a WAL tail that contains a
-//!   remove or upsert makes mapped recovery fall back to heap loudly
-//!   (counted in `vsj_engine_mapped_fallbacks_total`) rather than
-//!   serve a wrong index.
+//! * **Tombstoned mutation** — `remove` / `upsert` of a mapped base
+//!   row tombstone it instead of panicking: the row disappears from
+//!   (or is replaced in) the next published snapshot, bit-identically
+//!   to the heap tier doing the same. A WAL tail containing removes or
+//!   upserts recovers *mapped* (the tail replays into tombstones +
+//!   overlay); only a legacy single-file WAL still forces the loud
+//!   heap fallback counted in `vsj_engine_mapped_fallbacks_total`.
 //! * **Serving parity** — `contains`, `stats().live`, epoch counters,
 //!   and `storage_tier()` reporting all see base (mapped) rows exactly
 //!   as the heap tier sees its materialized rows.
@@ -190,29 +192,49 @@ fn mapped_engine_keeps_ingesting_and_publishing() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-// --- append-only discipline -------------------------------------------------
+// --- tombstoned mutation ----------------------------------------------------
 
 #[test]
-#[should_panic(expected = "append-only")]
-fn remove_panics_on_mapped_tier() {
+fn remove_tombstones_base_row_on_mapped_tier() {
     let dir = fresh_dir("remove");
     seed_dir(&dir, 17, 6, 0);
     let mapped = recover(&dir, StorageTier::Mapped);
-    mapped.remove(0);
+    let heap = recover(&dir, StorageTier::Heap);
+
+    assert!(mapped.remove(0), "base row 0 is live");
+    assert!(heap.remove(0));
+    assert!(!mapped.remove(0), "a second remove finds nothing");
+    assert!(!mapped.contains(0), "tombstone is visible pre-publish");
+    assert_eq!(heap.publish(), mapped.publish());
+
+    assert_eq!(mapped.storage_tier(), StorageTier::Mapped, "still mapped");
+    assert_eq!(mapped.stats().tombstones, 1);
+    assert_eq!(mapped.stats().live, 5);
+    assert_tiers_equivalent(&heap, &mapped, "tombstoned remove");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-#[should_panic(expected = "append-only")]
-fn upsert_panics_on_mapped_tier() {
+fn upsert_replaces_base_row_on_mapped_tier() {
     let dir = fresh_dir("upsert");
     seed_dir(&dir, 19, 6, 0);
     let mapped = recover(&dir, StorageTier::Mapped);
-    mapped.upsert(0, members(1, 3));
+    let heap = recover(&dir, StorageTier::Heap);
+
+    assert!(mapped.upsert(0, members(1, 3)), "base row 0 is replaced");
+    assert!(heap.upsert(0, members(1, 3)));
+    assert!(mapped.contains(0), "an upserted row stays visible");
+    assert_eq!(heap.publish(), mapped.publish());
+
+    assert_eq!(mapped.storage_tier(), StorageTier::Mapped, "still mapped");
+    assert_eq!(mapped.stats().live, 6, "replacement, not growth");
+    assert_tiers_equivalent(&heap, &mapped, "tombstoned upsert");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn wal_tail_with_remove_falls_back_to_heap() {
-    let dir = fresh_dir("fallback");
+fn wal_tail_with_remove_recovers_mapped() {
+    let dir = fresh_dir("tail_remove");
     {
         let engine =
             EstimationEngine::durable_with(config(23), &dir, options(StorageTier::Heap)).unwrap();
@@ -222,17 +244,66 @@ fn wal_tail_with_remove_falls_back_to_heap() {
         engine.checkpoint().unwrap();
         engine.insert(members(9, 3));
         assert!(engine.remove(2), "tail remove under test");
+        assert!(engine.upsert(4, members(11, 2)), "tail upsert under test");
         engine.publish();
     }
 
-    // The mapped tier cannot honor a destructive tail: recovery must
-    // fall back to the heap path, loudly, and still be exactly right.
-    let fallen = recover(&dir, StorageTier::Mapped);
-    assert_eq!(fallen.storage_tier(), StorageTier::Heap);
-    assert!(!fallen.contains(2), "the tail remove must have applied");
+    // A destructive tail replays into tombstones + overlay: recovery
+    // stays on the mapped tier and the fallback counter stays silent.
+    let mapped = recover(&dir, StorageTier::Mapped);
+    assert_eq!(mapped.storage_tier(), StorageTier::Mapped);
+    assert!(!mapped.contains(2), "the tail remove must have applied");
+    assert!(mapped.contains(4), "the tail upsert must have applied");
+    assert_eq!(mapped.stats().tombstones, 2, "remove + upsert tombstone");
+    assert!(
+        !mapped
+            .metrics()
+            .render()
+            .contains("vsj_engine_mapped_fallbacks_total 1"),
+        "no heap fallback for a destructive segmented tail"
+    );
 
     let heap = recover(&dir, StorageTier::Heap);
-    assert_tiers_equivalent(&heap, &fallen, "heap fallback");
+    assert_tiers_equivalent(&heap, &mapped, "destructive tail");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_wal_still_falls_back_to_heap_loudly() {
+    use vsj::service::persist::{config_fingerprint, peek_checkpoint_meta};
+    use vsj::service::wal::{WalOp, WalWriter};
+
+    let dir = fresh_dir("legacy_fallback");
+    seed_dir(&dir, 29, 8, 0);
+
+    // Regress the directory to the pre-segmented era: a legacy
+    // single-file WAL carrying a destructive record. The mapped tier
+    // cannot serve it (migration rewrites the log), so recovery must
+    // fall back to heap, loudly, and still be exactly right.
+    let meta = peek_checkpoint_meta(&dir.join("checkpoint.vsjc")).unwrap();
+    let mut legacy = WalWriter::create(
+        &dir.join("wal.vsjw"),
+        meta.applied_seq,
+        config_fingerprint(&meta.config),
+    )
+    .unwrap();
+    legacy.append(WalOp::Remove(2)).unwrap();
+    legacy.sync().unwrap();
+    drop(legacy);
+
+    let fallen = recover(&dir, StorageTier::Mapped);
+    assert_eq!(fallen.storage_tier(), StorageTier::Heap);
+    assert!(!fallen.contains(2), "the legacy remove must have applied");
+    assert!(
+        fallen
+            .metrics()
+            .render()
+            .contains("vsj_engine_mapped_fallbacks_total 1"),
+        "legacy fallback must be counted"
+    );
+
+    let heap = recover(&dir, StorageTier::Heap);
+    assert_tiers_equivalent(&heap, &fallen, "legacy fallback");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -652,3 +652,102 @@ fn slow_requests_are_traced_with_stage_breakdown() {
     );
     server.shutdown().expect("shutdown");
 }
+
+/// Satellite: the compaction surface over the wire — a mapped-tier
+/// server accepts removals (tombstoned, never a panic or fallback),
+/// `POST /compact` folds the overlay while the server keeps answering,
+/// and `/stats` + `/healthz` expose the fold.
+#[test]
+fn mapped_server_compacts_over_the_wire() {
+    use vsj::server::json::Json;
+    let dir = std::env::temp_dir().join(format!("vsj_e2e_compact_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // Seed a mappable base, then serve it mapped.
+    {
+        let seed = EstimationEngine::durable(engine_config(53), &dir).expect("durable engine");
+        for i in 0..20u32 {
+            seed.insert(members_for(i));
+        }
+        seed.checkpoint().expect("seed checkpoint");
+    }
+    let engine = Arc::new(
+        EstimationEngine::recover_with(
+            &dir,
+            DurabilityOptions {
+                storage_tier: StorageTier::Mapped,
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("mapped recovery"),
+    );
+    assert_eq!(engine.storage_tier(), StorageTier::Mapped);
+    let server = Server::start(engine, ServerConfig::builder().workers(2).build()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Wire mutations against the mapped base: overlay + tombstones.
+    for i in 100..106u32 {
+        client.insert(&members_for(i)).expect("overlay insert");
+    }
+    assert!(client.remove(3).expect("tombstone a base row"));
+    assert!(!client.remove(3).expect("idempotent second remove"));
+    client.publish().expect("publish");
+    let before = client.estimate(0.5).expect("estimate before the fold");
+    let stats = client.stats().expect("stats");
+    let engine_stats = stats.get("engine").expect("engine object");
+    assert!(
+        engine_stats
+            .get("overlay_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert_eq!(
+        engine_stats.get("tombstones").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        engine_stats.get("compactions").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // The fold, over the wire. The cut is a publish barrier, so the
+    // epoch advances by exactly one and the server keeps serving.
+    let folded = client.compact().expect("POST /compact");
+    assert_eq!(folded, before.epoch + 1);
+    // The fold changed no answer, so the drift-tolerant estimate cache
+    // may legitimately serve the pre-fold pass; the value must match.
+    let after = client.estimate(0.5).expect("estimate after the fold");
+    assert_eq!(after.value.to_bits(), before.value.to_bits());
+    let stats = client.stats().expect("stats after fold");
+    let engine_stats = stats.get("engine").expect("engine object");
+    assert_eq!(
+        engine_stats.get("overlay_bytes").and_then(Json::as_u64),
+        Some(0),
+        "the fold reclaimed the overlay"
+    );
+    assert_eq!(
+        engine_stats.get("tombstones").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        engine_stats.get("compactions").and_then(Json::as_u64),
+        Some(1)
+    );
+    // Drift past the cache: the next pass samples the folded base.
+    client.insert(&members_for(200)).expect("post-fold insert");
+    client.publish().expect("post-fold publish");
+    let fresh = client
+        .estimate(0.5)
+        .expect("fresh estimate on the folded base");
+    assert_eq!(fresh.epoch, folded + 1);
+    assert!(!fresh.cached);
+
+    // The fold surfaces on the metrics side too.
+    let text = client.metrics().expect("metrics");
+    assert!(
+        sample_value(&text, "vsj_engine_compactions_total").unwrap() >= 1.0,
+        "the compaction counter must appear in the exposition"
+    );
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
