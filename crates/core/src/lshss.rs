@@ -26,8 +26,27 @@
 use crate::estimate::{clamp_estimate, Estimate, EstimateKind};
 use crate::view::IndexView;
 use vsj_sampling::Rng;
-use vsj_sampling::{AdaptiveOutcome, AdaptiveSampler};
+use vsj_sampling::{AdaptiveOutcome, AdaptiveSampler, Summary};
 use vsj_vector::{Similarity, VectorStore};
+
+/// Variance of the scaled stratum estimate `(N/m)·X` from the Welford
+/// accumulator over the per-draw indicator contributions.
+///
+/// With `X ~ Binomial(m, p)`, `Var((N/m)·X) = N²·p(1−p)/m`. The success
+/// rate is read back from the accumulated mean with a Jeffreys-style
+/// `+½` smoothing, so a degenerate sample (0 or `m` positives) still
+/// reports the sampling uncertainty it carries instead of a zero-width
+/// interval — the point estimate itself never uses the smoothed rate.
+fn stratum_variance(acc: &Summary, stratum: u64) -> f64 {
+    let m = acc.count() as f64;
+    if acc.count() == 0 || stratum == 0 {
+        return 0.0;
+    }
+    let positives = acc.mean() * m;
+    let p = (positives + 0.5) / (m + 1.0);
+    let n = stratum as f64;
+    n * n * p * (1.0 - p) / m
+}
 
 /// Scale-up policy for an exhausted `SampleL` (fewer than `δ` true pairs
 /// within the budget).
@@ -98,6 +117,14 @@ pub struct LshSsEstimate {
     pub total_pairs: u64,
     /// Which policy produced `jl` when unreliable.
     pub dampening: Dampening,
+    /// Normal-approximation variance of `Ĵ_H` (`N_H²·p̂(1−p̂)/m_H`,
+    /// Jeffreys-smoothed rate). Zero when stratum H is empty.
+    pub h_variance: f64,
+    /// Normal-approximation variance of `Ĵ_L` over the draws SampleL
+    /// consumed. When SampleL exhausted its budget the spread is that of
+    /// the *fully scaled* estimator at the full budget — deliberately
+    /// conservative around the lower-bound / dampened point value.
+    pub l_variance: f64,
 }
 
 impl LshSsEstimate {
@@ -115,6 +142,45 @@ impl LshSsEstimate {
             value: clamp_estimate(self.jh + self.jl, self.total_pairs),
             kind,
         }
+    }
+
+    /// Combined variance of `Ĵ` — the strata are sampled independently,
+    /// so the components add.
+    pub fn variance(&self) -> f64 {
+        self.h_variance + self.l_variance
+    }
+
+    /// Standard error `√Var(Ĵ)` — the half-width unit of a
+    /// normal-approximation confidence interval around the estimate.
+    pub fn std_err(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// One point of a detailed threshold curve: the per-τ estimate together
+/// with its variance decomposition, from
+/// [`LshSs::estimate_curve_detailed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveEstimate {
+    /// The join-size estimate at this τ.
+    pub estimate: Estimate,
+    /// Normal-approximation variance of the stratum-H component.
+    pub h_variance: f64,
+    /// Normal-approximation variance of the stratum-L component (see
+    /// [`LshSsEstimate::l_variance`] for the exhausted-budget
+    /// convention).
+    pub l_variance: f64,
+}
+
+impl CurveEstimate {
+    /// Combined variance (the strata are sampled independently).
+    pub fn variance(&self) -> f64 {
+        self.h_variance + self.l_variance
+    }
+
+    /// Standard error `√Var(Ĵ)`.
+    pub fn std_err(&self) -> f64 {
+        self.variance().sqrt()
     }
 }
 
@@ -174,8 +240,8 @@ impl LshSs {
             "table must index exactly this collection"
         );
         let total_pairs = table.total_pairs();
-        let (jh, h_positives) = self.sample_h(collection, table, measure, tau, rng);
-        let (jl, l_positives, l_samples, l_reliable) =
+        let (jh, h_positives, h_variance) = self.sample_h(collection, table, measure, tau, rng);
+        let (jl, l_positives, l_samples, l_reliable, l_variance) =
             self.sample_l(collection, table, measure, tau, rng);
         LshSsEstimate {
             jh,
@@ -186,6 +252,8 @@ impl LshSs {
             l_reliable,
             total_pairs,
             dampening: self.config.dampening,
+            h_variance,
+            l_variance,
         }
     }
 
@@ -210,6 +278,30 @@ impl LshSs {
         taus: &[f64],
         rng: &mut R,
     ) -> Vec<Estimate>
+    where
+        C: VectorStore + ?Sized,
+        V: IndexView + ?Sized,
+        S: Similarity,
+        R: Rng + ?Sized,
+    {
+        self.estimate_curve_detailed(collection, table, measure, taus, rng)
+            .into_iter()
+            .map(|point| point.estimate)
+            .collect()
+    }
+
+    /// [`Self::estimate_curve`] with the per-τ variance decomposition
+    /// attached to every point. Consumes the RNG identically to
+    /// `estimate_curve` (the variance is pure arithmetic over the same
+    /// recorded draws), so the point estimates are bit-identical.
+    pub fn estimate_curve_detailed<C, V, S, R>(
+        &self,
+        collection: &C,
+        table: &V,
+        measure: &S,
+        taus: &[f64],
+        rng: &mut R,
+    ) -> Vec<CurveEstimate>
     where
         C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
@@ -248,7 +340,7 @@ impl LshSs {
         };
         taus.iter()
             .map(|&tau| {
-                self.replay(
+                self.replay_detailed(
                     &h_sims,
                     &l_sims,
                     table.nh(),
@@ -260,8 +352,9 @@ impl LshSs {
             .collect()
     }
 
-    /// Per-τ accounting over recorded similarities (shared by
-    /// [`Self::estimate_curve`]; separated for direct testing).
+    /// Per-τ accounting over recorded similarities, estimate only
+    /// (separated for direct testing of the replay semantics).
+    #[cfg(test)]
     fn replay(
         &self,
         h_sims: &[f64],
@@ -271,21 +364,54 @@ impl LshSs {
         tau: f64,
         total_pairs: u64,
     ) -> Estimate {
+        self.replay_detailed(h_sims, l_sims, nh, nl, tau, total_pairs)
+            .estimate
+    }
+
+    /// Per-τ accounting over recorded similarities (shared by
+    /// [`Self::estimate_curve_detailed`]): the point estimate plus the
+    /// per-stratum variance, accumulated by Welford over the indicator
+    /// contributions of the draws this τ consumed.
+    fn replay_detailed(
+        &self,
+        h_sims: &[f64],
+        l_sims: &[f64],
+        nh: u64,
+        nl: u64,
+        tau: f64,
+        total_pairs: u64,
+    ) -> CurveEstimate {
         // SampleH: plain scaled count.
-        let jh = if h_sims.is_empty() {
-            0.0
+        let (jh, h_variance) = if h_sims.is_empty() {
+            (0.0, 0.0)
         } else {
-            let positives = h_sims.iter().filter(|&&s| s >= tau).count() as f64;
-            positives * (nh as f64 / h_sims.len() as f64)
+            let mut acc = Summary::new();
+            let mut positives = 0u64;
+            for &s in h_sims {
+                let hit = s >= tau;
+                acc.push(if hit { 1.0 } else { 0.0 });
+                if hit {
+                    positives += 1;
+                }
+            }
+            (
+                positives as f64 * (nh as f64 / h_sims.len() as f64),
+                stratum_variance(&acc, nh),
+            )
         };
-        // SampleL: replay the adaptive rule over the draw order.
-        let (jl, reliable) = if l_sims.is_empty() {
-            (0.0, true)
+        // SampleL: replay the adaptive rule over the draw order. The
+        // Welford accumulator sees exactly the draws this τ consumed —
+        // up to the adaptive stop, or the whole budget on exhaustion.
+        let (jl, reliable, l_variance) = if l_sims.is_empty() {
+            (0.0, true, 0.0)
         } else {
+            let mut acc = Summary::new();
             let mut positives = 0u64;
             let mut stopped_at = None;
             for (i, &s) in l_sims.iter().enumerate() {
-                if s >= tau {
+                let hit = s >= tau;
+                acc.push(if hit { 1.0 } else { 0.0 });
+                if hit {
                     positives += 1;
                     if positives >= self.config.delta && self.config.delta > 0 {
                         stopped_at = Some(i as u64 + 1);
@@ -293,8 +419,9 @@ impl LshSs {
                     }
                 }
             }
+            let l_variance = stratum_variance(&acc, nl);
             match stopped_at {
-                Some(i) => (positives as f64 * (nl as f64 / i as f64), true),
+                Some(i) => (positives as f64 * (nl as f64 / i as f64), true, l_variance),
                 None => {
                     let jl = match self.config.dampening {
                         Dampening::SafeLowerBound => positives as f64,
@@ -314,7 +441,7 @@ impl LshSs {
                                 .max(positives as f64)
                         }
                     };
-                    (jl, false)
+                    (jl, false, l_variance)
                 }
             }
         };
@@ -326,9 +453,13 @@ impl LshSs {
                 _ => EstimateKind::Dampened,
             }
         };
-        Estimate {
-            value: clamp_estimate(jh + jl, total_pairs),
-            kind,
+        CurveEstimate {
+            estimate: Estimate {
+                value: clamp_estimate(jh + jl, total_pairs),
+                kind,
+            },
+            h_variance,
+            l_variance,
         }
     }
 
@@ -341,7 +472,7 @@ impl LshSs {
         measure: &S,
         tau: f64,
         rng: &mut R,
-    ) -> (f64, u64)
+    ) -> (f64, u64, f64)
     where
         C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
@@ -349,20 +480,24 @@ impl LshSs {
         R: Rng + ?Sized,
     {
         if table.nh() == 0 || self.config.m_h == 0 {
-            return (0.0, 0);
+            return (0.0, 0, 0.0);
         }
+        let mut acc = Summary::new();
         let mut positives = 0u64;
         for _ in 0..self.config.m_h {
             let (u, v) = table
                 .sample_same_bucket_pair(rng)
                 .expect("nh > 0 guarantees a same-bucket pair");
-            if collection.sim(measure, u, v) >= tau {
+            let hit = collection.sim(measure, u, v) >= tau;
+            acc.push(if hit { 1.0 } else { 0.0 });
+            if hit {
                 positives += 1;
             }
         }
         (
             positives as f64 * (table.nh() as f64 / self.config.m_h as f64),
             positives,
+            stratum_variance(&acc, table.nh()),
         )
     }
 
@@ -375,7 +510,7 @@ impl LshSs {
         measure: &S,
         tau: f64,
         rng: &mut R,
-    ) -> (f64, u64, u64, bool)
+    ) -> (f64, u64, u64, bool, f64)
     where
         C: VectorStore + ?Sized,
         V: IndexView + ?Sized,
@@ -384,14 +519,17 @@ impl LshSs {
     {
         let nl = table.nl();
         if nl == 0 || self.config.m_l == 0 {
-            return (0.0, 0, 0, true);
+            return (0.0, 0, 0, true, 0.0);
         }
+        let mut acc = Summary::new();
         let sampler = AdaptiveSampler::new(self.config.delta, self.config.m_l);
         let outcome = sampler.run(nl, || {
             let (u, v) = table
                 .sample_cross_bucket_pair(rng)
                 .expect("nl > 0 guarantees a cross-bucket pair");
-            collection.sim(measure, u, v) >= tau
+            let hit = collection.sim(measure, u, v) >= tau;
+            acc.push(if hit { 1.0 } else { 0.0 });
+            hit
         });
         let reliable = outcome.is_reliable();
         let jl = match (&outcome, self.config.dampening) {
@@ -411,7 +549,13 @@ impl LshSs {
                     .max(*positives as f64)
             }
         };
-        (jl, outcome.positives(), outcome.samples(), reliable)
+        (
+            jl,
+            outcome.positives(),
+            outcome.samples(),
+            reliable,
+            stratum_variance(&acc, nl),
+        )
     }
 }
 
@@ -783,6 +927,85 @@ mod tests {
         // bound contributes the raw count 1.
         let e = est.replay(&h_sims, &l_sims, nh, nl, 0.65, m);
         assert!((e.value - (50.0 + 1.0)).abs() < 1e-9, "{}", e.value);
+    }
+
+    #[test]
+    fn replay_variance_pins() {
+        // Same crafted fixture as curve_replay_semantics, now pinning the
+        // variance components (Jeffreys-smoothed p̃ = (k + ½)/(m + 1)).
+        let est = LshSs {
+            config: LshSsConfig {
+                m_h: 4,
+                m_l: 6,
+                delta: 2,
+                dampening: Dampening::SafeLowerBound,
+            },
+        };
+        let h_sims = [0.9, 0.2, 0.9, 0.5];
+        let l_sims = [0.1, 0.6, 0.1, 0.7, 0.1, 0.1];
+        let (nh, nl, m) = (100u64, 1000u64, 10_000u64);
+
+        // τ = 0.5: SampleH sees 3/4 -> p̃ = 3.5/5 = 0.7,
+        // var_h = 100² · 0.7 · 0.3 / 4 = 525. SampleL stops at draw 4
+        // with 2 positives -> p̃ = 2.5/5 = 0.5,
+        // var_l = 1000² · 0.25 / 4 = 62500.
+        let d = est.replay_detailed(&h_sims, &l_sims, nh, nl, 0.5, m);
+        assert!((d.h_variance - 525.0).abs() < 1e-9, "{}", d.h_variance);
+        assert!((d.l_variance - 62_500.0).abs() < 1e-9, "{}", d.l_variance);
+        assert!((d.variance() - 63_025.0).abs() < 1e-9);
+        assert!((d.std_err() - 63_025.0_f64.sqrt()).abs() < 1e-9);
+
+        // τ = 0.8: SampleL exhausts all 6 draws with 0 positives. The
+        // smoothing keeps the interval open: p̃ = 0.5/7,
+        // var_l = 1000² · p̃(1 − p̃) / 6 > 0 even on a degenerate sample.
+        let d = est.replay_detailed(&h_sims, &l_sims, nh, nl, 0.8, m);
+        let p = 0.5 / 7.0;
+        let want = 1000.0 * 1000.0 * p * (1.0 - p) / 6.0;
+        assert!((d.l_variance - want).abs() < 1e-6, "{}", d.l_variance);
+        assert!(d.std_err() > 0.0, "degenerate sample must keep CI open");
+
+        // Empty strata contribute zero variance.
+        let d = est.replay_detailed(&[], &l_sims, 0, nl, 0.5, m);
+        assert_eq!(d.h_variance, 0.0);
+        let d = est.replay_detailed(&h_sims, &[], nh, 0, 0.5, m);
+        assert_eq!(d.l_variance, 0.0);
+    }
+
+    #[test]
+    fn curve_detailed_is_bit_identical_to_curve() {
+        // estimate_curve is a thin wrapper over estimate_curve_detailed;
+        // the point estimates must agree bit-for-bit from equal RNG state.
+        let coll = corpus(400, 41);
+        let table = minhash_table(&coll, 8, 43);
+        let est = LshSs::with_defaults(coll.len());
+        let taus = [0.2, 0.5, 0.8, 0.95];
+        let mut rng_a = Xoshiro256::seeded(77);
+        let mut rng_b = Xoshiro256::seeded(77);
+        let curve = est.estimate_curve(&coll, &table, &Jaccard, &taus, &mut rng_a);
+        let detailed = est.estimate_curve_detailed(&coll, &table, &Jaccard, &taus, &mut rng_b);
+        assert_eq!(curve.len(), detailed.len());
+        for (e, d) in curve.iter().zip(&detailed) {
+            assert_eq!(e.value.to_bits(), d.estimate.value.to_bits());
+            assert_eq!(e.kind, d.estimate.kind);
+            assert!(d.h_variance >= 0.0 && d.l_variance >= 0.0);
+            assert!(d.std_err().is_finite());
+        }
+    }
+
+    #[test]
+    fn estimate_detailed_variance_is_positive_on_real_corpora() {
+        let coll = corpus(300, 47);
+        let table = minhash_table(&coll, 8, 53);
+        let est = LshSs::with_defaults(coll.len());
+        let mut rng = Xoshiro256::seeded(91);
+        let d = est.estimate_detailed(&coll, &table, &Jaccard, 0.7, &mut rng);
+        assert!(d.h_variance >= 0.0);
+        assert!(d.l_variance >= 0.0);
+        assert!(
+            d.std_err() > 0.0,
+            "a sampled estimate on a non-degenerate corpus carries spread"
+        );
+        assert!((d.variance() - (d.h_variance + d.l_variance)).abs() < 1e-12);
     }
 
     #[test]

@@ -710,64 +710,117 @@ impl Registry {
     }
 
     /// Renders into an existing buffer (lets callers concatenate
-    /// several registries into one exposition).
+    /// several registries into one exposition — but see
+    /// [`render_registries`], which also guards against the same metric
+    /// name living in more than one registry).
     pub fn render_into(&self, out: &mut String) {
-        use std::fmt::Write as _;
         let mut entries: Vec<Entry> = self.entries.lock().expect("registry poisoned").clone();
         entries.sort_by(|a, b| a.name.cmp(b.name).then_with(|| a.labels.cmp(b.labels)));
-        let mut previous: Option<&'static str> = None;
-        for entry in &entries {
-            if previous != Some(entry.name) {
-                previous = Some(entry.name);
-                let kind = match entry.metric {
-                    Metric::Counter(_) => "counter",
-                    Metric::Gauge(_) => "gauge",
-                    Metric::Histogram(_) => "histogram",
-                };
-                let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
-                let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+        render_entries(&entries, out);
+    }
+}
+
+/// Renders sorted entries in Prometheus text exposition format, `#
+/// HELP`/`# TYPE` once per metric name (shared by
+/// [`Registry::render_into`] and [`render_registries`]).
+fn render_entries(entries: &[Entry], out: &mut String) {
+    use std::fmt::Write as _;
+    let mut previous: Option<&'static str> = None;
+    for entry in entries {
+        if previous != Some(entry.name) {
+            previous = Some(entry.name);
+            let kind = match entry.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+        }
+        match &entry.metric {
+            Metric::Counter(c) => {
+                out.push_str(entry.name);
+                write_labels(out, entry.labels, None);
+                let _ = writeln!(out, " {}", c.get());
             }
-            match &entry.metric {
-                Metric::Counter(c) => {
-                    out.push_str(entry.name);
-                    write_labels(out, entry.labels, None);
-                    let _ = writeln!(out, " {}", c.get());
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(entry.name);
-                    write_labels(out, entry.labels, None);
-                    let _ = writeln!(out, " {}", g.get());
-                }
-                Metric::Histogram(h) => {
-                    let spec = h.spec();
-                    let mut cumulative = 0u64;
-                    for i in 0..spec.buckets {
-                        cumulative += h.inner.buckets[i].load(Ordering::Relaxed);
-                        let _ = write!(out, "{}_bucket", entry.name);
-                        let le = if i + 1 == spec.buckets {
-                            None
-                        } else {
-                            Some(h.bound(i))
-                        };
-                        write_labels(out, entry.labels, Some(le));
-                        let _ = writeln!(out, " {cumulative}");
-                    }
-                    if spec.buckets == 0 {
-                        // Disabled histogram: still a well-formed series.
-                        let _ = write!(out, "{}_bucket", entry.name);
-                        write_labels(out, entry.labels, Some(None));
-                        let _ = writeln!(out, " 0");
-                    }
-                    let _ = write!(out, "{}_sum", entry.name);
-                    write_labels(out, entry.labels, None);
-                    let _ = writeln!(out, " {}", h.sum());
-                    let _ = write!(out, "{}_count", entry.name);
-                    write_labels(out, entry.labels, None);
+            Metric::Gauge(g) => {
+                out.push_str(entry.name);
+                write_labels(out, entry.labels, None);
+                let _ = writeln!(out, " {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let spec = h.spec();
+                let mut cumulative = 0u64;
+                for i in 0..spec.buckets {
+                    cumulative += h.inner.buckets[i].load(Ordering::Relaxed);
+                    let _ = write!(out, "{}_bucket", entry.name);
+                    let le = if i + 1 == spec.buckets {
+                        None
+                    } else {
+                        Some(h.bound(i))
+                    };
+                    write_labels(out, entry.labels, Some(le));
                     let _ = writeln!(out, " {cumulative}");
                 }
+                if spec.buckets == 0 {
+                    // Disabled histogram: still a well-formed series.
+                    let _ = write!(out, "{}_bucket", entry.name);
+                    write_labels(out, entry.labels, Some(None));
+                    let _ = writeln!(out, " 0");
+                }
+                let _ = write!(out, "{}_sum", entry.name);
+                write_labels(out, entry.labels, None);
+                let _ = writeln!(out, " {}", h.sum());
+                let _ = write!(out, "{}_count", entry.name);
+                write_labels(out, entry.labels, None);
+                let _ = writeln!(out, " {cumulative}");
             }
         }
     }
+}
+
+/// Renders several registries into **one** exposition, guarding the
+/// seam naive concatenation leaves open: a metric name registered in
+/// more than one registry would emit two `# TYPE` blocks and fail
+/// [`validate_exposition`] (and confuse any Prometheus scraper).
+/// Entries whose name already appeared in an earlier registry are
+/// dropped (first registry wins) with a loud stderr warning, and the
+/// always-emitted `vsj_obs_duplicate_metric_names` gauge carries the
+/// drop count so dashboards can alert on a non-zero value. Same-name
+/// entries *within* one registry (label variants of one series) are
+/// untouched. Returns the number of dropped entries.
+pub fn render_registries(registries: &[&Registry], out: &mut String) -> usize {
+    use std::fmt::Write as _;
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut seen: std::collections::HashSet<&'static str> = std::collections::HashSet::new();
+    let mut duplicates = 0usize;
+    for registry in registries {
+        let snapshot: Vec<Entry> = registry.entries.lock().expect("registry poisoned").clone();
+        let mut names_here: Vec<&'static str> = Vec::new();
+        for entry in snapshot {
+            if seen.contains(entry.name) {
+                duplicates += 1;
+                eprintln!(
+                    "vsj-obs: metric name {} registered in more than one registry; \
+                     keeping the first registration",
+                    entry.name
+                );
+                continue;
+            }
+            names_here.push(entry.name);
+            entries.push(entry);
+        }
+        seen.extend(names_here);
+    }
+    entries.sort_by(|a, b| a.name.cmp(b.name).then_with(|| a.labels.cmp(b.labels)));
+    render_entries(&entries, out);
+    let _ = writeln!(
+        out,
+        "# HELP vsj_obs_duplicate_metric_names Metric entries dropped because their name was registered in more than one concatenated registry"
+    );
+    let _ = writeln!(out, "# TYPE vsj_obs_duplicate_metric_names gauge");
+    let _ = writeln!(out, "vsj_obs_duplicate_metric_names {duplicates}");
+    duplicates
 }
 
 /// Writes `{k="v",...}` (plus an optional `le` bound, `None` inside
@@ -1352,5 +1405,101 @@ mod tests {
         stub.validate();
         assert_eq!(stub.latency_spec().buckets, 0);
         assert_eq!(Histogram::new(stub.latency_spec()).count(), 0);
+    }
+    #[test]
+    #[should_panic(expected = "cannot merge histograms with different specs")]
+    fn merge_rejects_mismatched_specs() {
+        let a = Histogram::new(HistogramSpec {
+            first_bound: 1,
+            buckets: 8,
+        });
+        let b = Histogram::new(HistogramSpec {
+            first_bound: 1,
+            buckets: 16,
+        });
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge histograms with different specs")]
+    fn merge_rejects_mismatched_first_bound() {
+        let a = Histogram::new(HistogramSpec {
+            first_bound: 1,
+            buckets: 8,
+        });
+        let b = Histogram::new(HistogramSpec {
+            first_bound: 2,
+            buckets: 8,
+        });
+        a.merge(&b);
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        let h = Histogram::new(HistogramSpec {
+            first_bound: 1,
+            buckets: 8,
+        });
+        // Empty: every quantile (including the boundaries) is 0.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        for v in [1, 2, 4, 100] {
+            h.record(v);
+        }
+        // q = 0.0: rank clamps to 1 — the smallest observation's bucket.
+        assert_eq!(h.quantile(0.0), 1);
+        // q = 1.0: rank = count — here the overflow-adjacent max wins.
+        assert_eq!(h.quantile(1.0), 100);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn render_registries_dedupes_across_registries() {
+        let engine = Registry::new();
+        let server = Registry::new();
+        let a = engine.counter("dup_total", "claimed by the engine");
+        a.add(3);
+        // Same name in the second registry: naive concatenation would
+        // emit two TYPE blocks and fail validation.
+        let b = server.counter("dup_total", "claimed by the server");
+        b.add(9);
+        server.counter("only_server_total", "unique").inc();
+
+        let mut naive = String::new();
+        engine.render_into(&mut naive);
+        server.render_into(&mut naive);
+        assert!(
+            validate_exposition(&naive).is_err(),
+            "naive concatenation of a shared name must fail validation"
+        );
+
+        let mut merged = String::new();
+        let dropped = render_registries(&[&engine, &server], &mut merged);
+        assert_eq!(dropped, 1);
+        validate_exposition(&merged).expect("merged exposition must validate");
+        assert!(merged.contains("dup_total 3"), "first registry wins");
+        assert!(!merged.contains("dup_total 9"));
+        assert!(merged.contains("only_server_total 1"));
+        assert!(
+            merged.contains("vsj_obs_duplicate_metric_names 1"),
+            "the warning series must carry the drop count"
+        );
+    }
+
+    #[test]
+    fn render_registries_keeps_label_variants_within_one_registry() {
+        let r = Registry::new();
+        r.counter_with("family_total", "labelled", &[("kind", "a")])
+            .inc();
+        r.counter_with("family_total", "labelled", &[("kind", "b")])
+            .add(2);
+        let mut out = String::new();
+        let dropped = render_registries(&[&r], &mut out);
+        assert_eq!(dropped, 0, "label variants of one series are not dupes");
+        validate_exposition(&out).expect("must validate");
+        assert!(out.contains("family_total{kind=\"a\"} 1"));
+        assert!(out.contains("family_total{kind=\"b\"} 2"));
+        assert!(out.contains("vsj_obs_duplicate_metric_names 0"));
     }
 }

@@ -81,6 +81,14 @@ pub struct Estimated {
     pub batch: u64,
     /// Requests that rode in that pass.
     pub batch_size: usize,
+    /// Standard error of the estimate — present only when the request
+    /// asked for intervals ([`Client::estimate_with_ci`]).
+    pub std_err: Option<f64>,
+    /// ~95% confidence interval, low edge (requires `estimate_with_ci`).
+    pub ci_low: Option<f64>,
+    /// ~95% confidence interval, high edge (requires
+    /// `estimate_with_ci`).
+    pub ci_high: Option<f64>,
 }
 
 /// Blocking protocol client over one keep-alive connection.
@@ -241,7 +249,7 @@ impl Client {
 
     /// `POST /estimate` with the server's default deadline.
     pub fn estimate(&mut self, tau: f64) -> Result<Estimated, ClientError> {
-        self.estimate_request(tau, None)
+        self.estimate_request(tau, None, false)
     }
 
     /// `POST /estimate` with an explicit deadline.
@@ -250,17 +258,28 @@ impl Client {
         tau: f64,
         deadline: Duration,
     ) -> Result<Estimated, ClientError> {
-        self.estimate_request(tau, Some(deadline))
+        self.estimate_request(tau, Some(deadline), false)
+    }
+
+    /// `POST /estimate` asking for the interval fields: the returned
+    /// [`Estimated`] carries `std_err`/`ci_low`/`ci_high` (a ~95%
+    /// normal-approximation interval around the point estimate).
+    pub fn estimate_with_ci(&mut self, tau: f64) -> Result<Estimated, ClientError> {
+        self.estimate_request(tau, None, true)
     }
 
     fn estimate_request(
         &mut self,
         tau: f64,
         deadline: Option<Duration>,
+        with_ci: bool,
     ) -> Result<Estimated, ClientError> {
         let mut body = vec![("tau", Json::Num(tau))];
         if let Some(deadline) = deadline {
             body.push(("deadline_ms", Json::u64(deadline.as_millis() as u64)));
+        }
+        if with_ci {
+            body.push(("ci", Json::Bool(true)));
         }
         let body = Json::Obj(body.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
         // Deterministic per (epoch, τ): safe to replay on a dead
@@ -277,6 +296,9 @@ impl Client {
             cached: Self::field_bool(&json, "cached")?,
             batch: Self::field_u64(&json, "batch")?,
             batch_size: Self::field_u64(&json, "batch_size")? as usize,
+            std_err: json.get("std_err").and_then(Json::as_f64),
+            ci_low: json.get("ci_low").and_then(Json::as_f64),
+            ci_high: json.get("ci_high").and_then(Json::as_f64),
         })
     }
 
@@ -371,6 +393,13 @@ impl Client {
     /// breakdown — see `docs/OBSERVABILITY.md`).
     pub fn slow_traces(&mut self) -> Result<Json, ClientError> {
         self.call_idempotent("GET", "/trace/slow", None)
+    }
+
+    /// `GET /quality`: the estimator-quality audit summary (CI-coverage
+    /// counters, signed-relative-error summary, worst-calibrated ring —
+    /// see `docs/OBSERVABILITY.md`).
+    pub fn quality(&mut self) -> Result<Json, ClientError> {
+        self.call_idempotent("GET", "/quality", None)
     }
 }
 

@@ -23,8 +23,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vsj_core::EstimateKind;
-use vsj_obs::{Counter, Gauge, Histogram, ObsOptions, Registry, Trace, TraceRing};
-use vsj_service::{EstimationEngine, FsyncPolicy, PersistError, StorageTier};
+use vsj_obs::{
+    render_registries, Counter, Gauge, Histogram, ObsOptions, Registry, Trace, TraceRing,
+};
+use vsj_service::{AuditRecord, EstimationEngine, FsyncPolicy, PersistError, StorageTier};
 use vsj_vector::SparseVector;
 
 use crate::batch::{BatchCounters, BatchMetrics, BatchRejected, Batcher};
@@ -251,6 +253,7 @@ const ROUTE_LABELS: &[(&str, &[(&str, &str)])] = &[
     ("/stats", &[("route", "/stats")]),
     ("/healthz", &[("route", "/healthz")]),
     ("/metrics", &[("route", "/metrics")]),
+    ("/quality", &[("route", "/quality")]),
     ("/trace/slow", &[("route", "/trace/slow")]),
     ("other", &[("route", "other")]),
 ];
@@ -435,7 +438,7 @@ struct Inner {
     engine: Arc<EstimationEngine>,
     config: ServerConfig,
     metrics: ServerMetrics,
-    traces: TraceRing,
+    traces: Arc<TraceRing>,
     started: Instant,
     batch_counters: Arc<BatchCounters>,
     batcher: Batcher,
@@ -492,7 +495,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = ServerMetrics::new(&config.obs);
-        let traces = TraceRing::new(config.obs.trace_ring, config.obs.slow_query_threshold);
+        let traces = Arc::new(TraceRing::new(
+            config.obs.trace_ring,
+            config.obs.slow_query_threshold,
+        ));
         let batch_counters = Arc::new(BatchCounters::default());
         let batcher = Batcher::spawn(
             engine.clone(),
@@ -543,6 +549,16 @@ impl Server {
     /// The engine this server fronts.
     pub fn engine(&self) -> &Arc<EstimationEngine> {
         &self.inner.engine
+    }
+
+    /// The slow-trace ring `GET /trace/slow` serves. Hand a clone to
+    /// [`Checkpointer::spawn_traced`](vsj_service::Checkpointer::spawn_traced),
+    /// [`Compactor::spawn_traced`](vsj_service::Compactor::spawn_traced),
+    /// or [`Auditor::spawn_traced`](vsj_service::Auditor::spawn_traced)
+    /// so background maintenance cycles land in the same ring as slow
+    /// requests (told apart by the `op` field).
+    pub fn trace_ring(&self) -> Arc<TraceRing> {
+        self.inner.traces.clone()
     }
 
     /// Point-in-time server statistics.
@@ -828,6 +844,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Reply {
             ("compactions", Json::u64(inner.engine.stats().compactions)),
         ])),
         ("GET", "/metrics") => handle_metrics(inner),
+        ("GET", "/quality") => handle_quality(inner),
         ("GET", "/trace/slow") => handle_trace_slow(inner),
         ("GET" | "POST", _) => Reply::error(404, format!("no such endpoint {}", request.path)),
         _ => Reply::error(405, format!("method {} not supported", request.method)),
@@ -863,6 +880,13 @@ fn tier_str(tier: StorageTier) -> &'static str {
 /// `GET /metrics`: the engine's and the server's registries rendered as
 /// one Prometheus text exposition. Point-in-time gauges are refreshed
 /// here, at scrape time — a gauge is a sample, not an event stream.
+/// [`render_registries`] merges the two with cross-registry name
+/// deduplication, so a name accidentally registered in both (their
+/// namespaces are disjoint by convention, not by construction) cannot
+/// produce an exposition that fails
+/// [`validate_exposition`](vsj_obs::validate_exposition); the
+/// `vsj_obs_duplicate_metric_names` gauge it always emits makes such a
+/// collision loud instead of silent.
 fn handle_metrics(inner: &Arc<Inner>) -> Reply {
     inner
         .metrics
@@ -870,9 +894,71 @@ fn handle_metrics(inner: &Arc<Inner>) -> Reply {
         .set(inner.batch_counters.queue_depth.load(Ordering::Relaxed) as u64);
     inner.metrics.publish_lag.set(inner.engine.publish_lag());
     let mut text = String::new();
-    inner.engine.metrics().render_into(&mut text);
-    inner.metrics.registry.render_into(&mut text);
+    render_registries(
+        &[inner.engine.metrics(), &inner.metrics.registry],
+        &mut text,
+    );
     Reply::text("text/plain; version=0.0.4", text)
+}
+
+/// `GET /quality`: the engine's estimator-quality audit summary —
+/// CI-coverage counters, the signed-relative-error summary, and the
+/// worst-calibrated ring (see `docs/OBSERVABILITY.md`).
+fn handle_quality(inner: &Arc<Inner>) -> Reply {
+    let report = inner.engine.quality_report();
+    let coverage = report.coverage.map_or(Json::Null, Json::Num);
+    let error_mean = if report.errors.count() == 0 {
+        Json::Null
+    } else {
+        Json::Num(report.errors.mean())
+    };
+    let error_std = if report.errors.count() < 2 {
+        Json::Null
+    } else {
+        Json::Num(report.errors.std())
+    };
+    Reply::ok(Json::obj([
+        ("cycles", Json::u64(report.cycles)),
+        ("skipped", Json::u64(report.skipped)),
+        ("within_ci", Json::u64(report.within_ci)),
+        ("outside_ci", Json::u64(report.outside_ci)),
+        ("coverage", coverage),
+        ("error_count", Json::u64(report.errors.count())),
+        ("error_mean", error_mean),
+        ("error_std", error_std),
+        ("served_taus", Json::usize(report.served_taus)),
+        (
+            "worst",
+            Json::Arr(report.worst.iter().map(audit_record_json).collect()),
+        ),
+    ]))
+}
+
+/// One [`AuditRecord`] as protocol JSON (the `worst` array of
+/// `GET /quality`).
+fn audit_record_json(r: &AuditRecord) -> Json {
+    // +∞ (truth 0, estimate not) has no JSON number; travel it as null.
+    let signed_error = if r.signed_error.is_finite() {
+        Json::Num(r.signed_error)
+    } else {
+        Json::Null
+    };
+    Json::obj([
+        ("tau", Json::Num(r.tau)),
+        ("epoch", Json::u64(r.epoch)),
+        ("n", Json::usize(r.n)),
+        ("audited_n", Json::usize(r.audited_n)),
+        ("estimate", Json::Num(r.estimate)),
+        ("std_err", Json::Num(r.std_err)),
+        ("ci_low", Json::Num(r.ci_low)),
+        ("ci_high", Json::Num(r.ci_high)),
+        ("truth", Json::Num(r.truth)),
+        ("signed_error", signed_error),
+        ("within_ci", Json::Bool(r.within_ci)),
+        ("cached", Json::Bool(r.cached)),
+        ("serve_us", Json::u64(r.serve_us)),
+        ("exact_us", Json::u64(r.exact_us)),
+    ])
 }
 
 /// `GET /trace/slow`: the slow-request ring as JSON, newest first, each
@@ -886,6 +972,7 @@ fn handle_trace_slow(inner: &Arc<Inner>) -> Reply {
             Json::obj([
                 ("seq", Json::u64(t.seq)),
                 ("route", Json::str(t.label)),
+                ("op", Json::str(op_str(t.label))),
                 ("total_us", Json::u64(t.total_us)),
                 (
                     "stages",
@@ -909,6 +996,18 @@ fn handle_trace_slow(inner: &Arc<Inner>) -> Reply {
         ("captured", Json::u64(inner.traces.captured())),
         ("traces", Json::Arr(traces)),
     ]))
+}
+
+/// Classifies a trace label for the `op` field of `GET /trace/slow`:
+/// background maintenance cycles (checkpoint/compaction/audit) keep
+/// their cycle name, everything else is a served request.
+fn op_str(label: &str) -> &'static str {
+    match label {
+        "checkpoint" => "checkpoint",
+        "compaction" => "compaction",
+        "audit" => "audit",
+        _ => "request",
+    }
 }
 
 fn parse_body(request: &Request) -> Result<Json, Reply> {
@@ -1021,6 +1120,16 @@ fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
             None => return Reply::error(400, "deadline_ms must be a non-negative integer"),
         },
     };
+    // Opt-in interval fields: responses without `"ci": true` stay
+    // byte-identical to the pre-interval protocol, so old clients (and
+    // byte-level response pins) are unaffected.
+    let with_ci = match body.get("ci") {
+        None => false,
+        Some(flag) => match flag.as_bool() {
+            Some(flag) => flag,
+            None => return Reply::error(400, "ci must be a boolean"),
+        },
+    };
     match inner.batcher.estimate(tau, Instant::now() + deadline) {
         Ok(answer) => {
             let e = answer.estimate;
@@ -1030,7 +1139,7 @@ fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
             trace.stage("queue_wait", micros(answer.queue_wait));
             trace.stage("batch_wait", micros(answer.batch_wait));
             trace.stage("sampling", micros(answer.sampling));
-            Reply::ok(Json::obj([
+            let mut fields = vec![
                 ("value", Json::Num(e.estimate.value)),
                 ("kind", Json::str(kind_str(e.estimate.kind))),
                 ("epoch", Json::u64(e.epoch)),
@@ -1039,7 +1148,18 @@ fn handle_estimate(inner: &Arc<Inner>, request: &Request) -> Reply {
                 ("cached", Json::Bool(e.cached)),
                 ("batch", Json::u64(answer.batch)),
                 ("batch_size", Json::usize(answer.batch_size)),
-            ]))
+            ];
+            if with_ci {
+                fields.push(("std_err", Json::Num(e.std_err)));
+                fields.push(("ci_low", Json::Num(e.ci_low())));
+                fields.push(("ci_high", Json::Num(e.ci_high())));
+            }
+            Reply::ok(Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ))
             .with_trace(trace)
         }
         Err(BatchRejected::QueueFull) => {

@@ -43,6 +43,10 @@ pub(crate) struct CacheKey {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CacheEntry {
     pub estimate: Estimate,
+    /// Standard error of the estimate (same sampling pass as the value),
+    /// carried so a cache-served answer replays its interval, not just
+    /// its point.
+    pub std_err: f64,
     /// Epoch the estimate was computed at.
     pub epoch: u64,
     /// Engine ingest counter at computation time (drift reference).
@@ -116,6 +120,7 @@ mod tests {
                 value: 42.0,
                 kind: EstimateKind::Scaled,
             },
+            std_err: 3.5,
             epoch: 1,
             ingested,
             n: 100,
@@ -172,6 +177,14 @@ mod tests {
         };
         c.store(KEY, newest);
         assert_eq!(c.lookup(KEY, 60, u64::MAX).unwrap().epoch, 6);
+    }
+
+    #[test]
+    fn cached_entries_replay_their_interval() {
+        let mut c = EstimateCache::default();
+        c.store(KEY, entry(0));
+        let hit = c.lookup(KEY, 0, 0).unwrap();
+        assert_eq!(hit.std_err, 3.5, "std_err must survive the round trip");
     }
 
     #[test]

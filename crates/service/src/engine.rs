@@ -8,11 +8,13 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use vsj_core::{Estimate, IndexView, LshSs, LshSsConfig};
+use vsj_exact::ExactJoin;
 use vsj_lsh::{BucketHasher, Composite, MinHashFamily, SimHashFamily};
 use vsj_obs::{snapshot_ordered, Counter, Gauge, Histogram, ObsOptions, Registry};
-use vsj_sampling::{RngStreams, SplitMix64, Xoshiro256};
-use vsj_vector::{Cosine, Jaccard, SparseVector};
+use vsj_sampling::{signed_relative_error, Rng, RngStreams, SplitMix64, Xoshiro256};
+use vsj_vector::{pairs_of, Cosine, Jaccard, SparseVector, VectorCollection, VectorStore};
 
+use crate::audit::{AuditOptions, AuditRecord, AuditState, QualityReport};
 use crate::cache::{CacheEntry, CacheKey, EstimateCache};
 use crate::config::{DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, StorageTier};
 use crate::mapped::{MappedCheckpoint, TombstoneSet};
@@ -239,6 +241,11 @@ impl EngineMetrics {
 pub struct ServiceEstimate {
     /// The join-size estimate (value + how it was formed).
     pub estimate: Estimate,
+    /// Standard error of the estimate: the square root of the summed
+    /// per-stratum variances the same sampling pass accumulated (see
+    /// [`vsj_core::LshSsEstimate::std_err`]). Cache-served answers
+    /// replay the std_err recorded when they were computed.
+    pub std_err: f64,
     /// Epoch of the snapshot it was computed on.
     pub epoch: u64,
     /// Live vectors in that snapshot.
@@ -248,6 +255,43 @@ pub struct ServiceEstimate {
     /// Whether the answer came from the estimate cache (no sampling
     /// performed by this call).
     pub cached: bool,
+}
+
+/// Normal-approximation z for the served ~95% confidence interval.
+const CI_Z: f64 = 1.96;
+
+/// `b` distinct indices drawn uniformly from `0..n` (partial
+/// Fisher–Yates over a sparse swap map: O(b) time and space, no O(n)
+/// permutation) — the audit loop's bounded-stratum selection.
+fn sample_distinct_indices(n: usize, b: usize, rng: &mut Xoshiro256) -> Vec<usize> {
+    debug_assert!(b <= n);
+    let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(b);
+    for i in 0..b {
+        let j = i + rng.below((n - i) as u64) as usize;
+        let pick = *swaps.get(&j).unwrap_or(&j);
+        let at_i = *swaps.get(&i).unwrap_or(&i);
+        swaps.insert(j, at_i);
+        out.push(pick);
+    }
+    out
+}
+
+impl ServiceEstimate {
+    /// Lower edge of the ~95% normal-approximation confidence interval,
+    /// clamped to `[0, value]` — a join size is never negative, and the
+    /// interval always contains the point estimate.
+    pub fn ci_low(&self) -> f64 {
+        (self.estimate.value - CI_Z * self.std_err)
+            .max(0.0)
+            .min(self.estimate.value)
+    }
+
+    /// Upper edge of the ~95% normal-approximation confidence interval
+    /// (always ≥ the point estimate).
+    pub fn ci_high(&self) -> f64 {
+        (self.estimate.value + CI_Z * self.std_err).max(self.estimate.value)
+    }
 }
 
 /// Point-in-time engine statistics.
@@ -364,6 +408,10 @@ pub struct EstimationEngine {
     checkpoint_in_flight: AtomicBool,
     /// `Some` for durable engines (see [`EstimationEngine::durable`]).
     durability: Option<Durability>,
+    /// Estimator-quality audit state: the recently-served threshold
+    /// ring, the `vsj_audit_*` series (on the engine registry), and the
+    /// worst-calibrated ring (see [`crate::Auditor`]).
+    audit: AuditState,
 }
 
 impl EstimationEngine {
@@ -401,6 +449,8 @@ impl EstimationEngine {
         let shards = (0..config.shards)
             .map(|_| Mutex::new(ShardState::new(hasher.clone())))
             .collect();
+        let metrics = EngineMetrics::new(obs);
+        let audit = AuditState::new(&metrics.registry, &metrics.obs);
         Self {
             config,
             current: RwLock::new(Arc::new(Snapshot::empty(hasher.clone()))),
@@ -408,7 +458,8 @@ impl EstimationEngine {
             shards,
             publish_lock: Mutex::new(0),
             next_id: AtomicU64::new(0),
-            metrics: EngineMetrics::new(obs),
+            metrics,
+            audit,
             cache: Mutex::new(EstimateCache::default()),
             streams: RngStreams::new(config.seed),
             tombstones: Mutex::new(Vec::new()),
@@ -1776,8 +1827,10 @@ impl EstimationEngine {
         {
             self.metrics.cache_hits.inc();
             self.metrics.cache_hit_us.record_duration(started.elapsed());
+            self.audit.note_served(tau);
             return ServiceEstimate {
                 estimate: hit.estimate,
+                std_err: hit.std_err,
                 epoch: hit.epoch,
                 n: hit.n,
                 tau,
@@ -1788,7 +1841,7 @@ impl EstimationEngine {
         // observe more sampling passes than cache misses.
         self.metrics.cache_misses.inc();
         let sampling_started = Instant::now();
-        let (estimate, sampled) = self.compute(&snapshot, est_config, tau);
+        let (estimate, std_err, sampled) = self.compute(&snapshot, est_config, tau);
         self.metrics
             .sampling_us
             .record_duration(sampling_started.elapsed());
@@ -1799,13 +1852,16 @@ impl EstimationEngine {
             key,
             CacheEntry {
                 estimate,
+                std_err,
                 epoch: snapshot.epoch(),
                 ingested: now,
                 n: snapshot.len(),
             },
         );
+        self.audit.note_served(tau);
         ServiceEstimate {
             estimate,
+            std_err,
             epoch: snapshot.epoch(),
             n: snapshot.len(),
             tau,
@@ -1855,6 +1911,7 @@ impl EstimationEngine {
                         )
                         .map(|hit| ServiceEstimate {
                             estimate: hit.estimate,
+                            std_err: hit.std_err,
                             epoch: hit.epoch,
                             n: hit.n,
                             tau,
@@ -1867,6 +1924,9 @@ impl EstimationEngine {
                 Some(all) => {
                     self.metrics.cache_hits.add(taus.len() as u64);
                     self.metrics.cache_hit_us.record_duration(started.elapsed());
+                    for &tau in taus {
+                        self.audit.note_served(tau);
+                    }
                     return all;
                 }
                 None => self.metrics.cache_misses.add(taus.len() as u64),
@@ -1877,14 +1937,14 @@ impl EstimationEngine {
         let est = LshSs { config: est_config };
         let mut rng = self.batch_rng(snapshot.epoch());
         let curve = match self.config.family {
-            IndexFamily::SimHash => est.estimate_curve(
+            IndexFamily::SimHash => est.estimate_curve_detailed(
                 snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Cosine,
                 taus,
                 &mut rng,
             ),
-            IndexFamily::MinHash => est.estimate_curve(
+            IndexFamily::MinHash => est.estimate_curve_detailed(
                 snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Jaccard,
@@ -1908,9 +1968,12 @@ impl EstimationEngine {
         self.metrics.sampled_pairs.add(sampled);
         self.metrics.sampling_passes.inc();
         let mut cache = self.cache.lock();
-        taus.iter()
+        let answers: Vec<ServiceEstimate> = taus
+            .iter()
             .zip(curve)
-            .map(|(&tau, estimate)| {
+            .map(|(&tau, point)| {
+                let estimate = point.estimate;
+                let std_err = point.std_err();
                 cache.store(
                     CacheKey {
                         tau_bits: tau.to_bits(),
@@ -1919,6 +1982,7 @@ impl EstimationEngine {
                     },
                     CacheEntry {
                         estimate,
+                        std_err,
                         epoch: snapshot.epoch(),
                         ingested: now,
                         n: snapshot.len(),
@@ -1926,16 +1990,27 @@ impl EstimationEngine {
                 );
                 ServiceEstimate {
                     estimate,
+                    std_err,
                     epoch: snapshot.epoch(),
                     n: snapshot.len(),
                     tau,
                     cached: false,
                 }
             })
-            .collect()
+            .collect();
+        drop(cache);
+        for &tau in taus {
+            self.audit.note_served(tau);
+        }
+        answers
     }
 
-    fn compute(&self, snapshot: &Snapshot, est_config: LshSsConfig, tau: f64) -> (Estimate, u64) {
+    fn compute(
+        &self,
+        snapshot: &Snapshot,
+        est_config: LshSsConfig,
+        tau: f64,
+    ) -> (Estimate, f64, u64) {
         let est = LshSs { config: est_config };
         let mut rng = self.estimate_rng(snapshot.epoch(), tau);
         let detailed = match self.config.family {
@@ -1951,7 +2026,7 @@ impl EstimationEngine {
         } else {
             0
         } + detailed.l_samples;
-        (detailed.estimate(), sampled)
+        (detailed.estimate(), detailed.std_err(), sampled)
     }
 
     /// Drops every cached estimate (forces recomputation).
@@ -1967,6 +2042,114 @@ impl EstimationEngine {
     /// exposition under `GET /metrics`.
     pub fn metrics(&self) -> &Registry {
         &self.metrics.registry
+    }
+
+    /// Runs one estimator-quality audit cycle: picks the next threshold
+    /// from the recently-served ring (deterministic rotation), re-asks
+    /// the engine for it — the answer a client would get right now,
+    /// cached or freshly sampled, with its interval — computes exact
+    /// ground truth on a bounded stratum via [`vsj_exact::ExactJoin`],
+    /// and folds the verdict into the `vsj_audit_*` series and the
+    /// worst-calibrated ring.
+    ///
+    /// Returns `None` (counting `vsj_audit_skipped_total`) when nothing
+    /// has been served yet or the snapshot holds fewer than two
+    /// vectors. Corpora larger than [`AuditOptions::max_exact_n`] are
+    /// audited on a deterministic uniform subset, with truth scaled by
+    /// `C(n,2)/C(b,2)` — unbiased over the subset draw, at bounded
+    /// cost. The served answer may be up to cache-ε stale relative to
+    /// the snapshot the truth is computed on; that is exactly the
+    /// staleness the drift tolerance already accepts, and miscalibration
+    /// it causes is precisely what the audit series exist to surface.
+    ///
+    /// Usually driven by a background [`crate::Auditor`]; callable
+    /// directly for synchronous audits in tests and tools.
+    pub fn audit_once(&self, options: &AuditOptions) -> Option<AuditRecord> {
+        options.validate();
+        let Some(tau) = self.audit.next_tau() else {
+            self.audit.skipped.inc();
+            return None;
+        };
+        let snapshot = self.snapshot();
+        let n = snapshot.len();
+        if n < 2 {
+            self.audit.skipped.inc();
+            return None;
+        }
+        let serve_started = Instant::now();
+        let served = self.estimate(tau);
+        let serve_us = u64::try_from(serve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+        // The audited stratum: the whole corpus when it fits the exact
+        // budget (truth is exact), otherwise a deterministic uniform
+        // subset with pair-count rescaling. Vectors are cloned through
+        // `VectorStore`, which serves both the heap and mapped tiers.
+        let bound = options.max_exact_n;
+        let (vectors, scale): (Vec<SparseVector>, f64) = if n <= bound {
+            let all = (0..n).map(|i| snapshot.vector(i as u32).clone()).collect();
+            (all, 1.0)
+        } else {
+            let cycle = self.audit.cycles.get();
+            let mut rng = self
+                .streams
+                .subfamily(snapshot.epoch())
+                .stream(0xA0D1_7EA5 ^ cycle);
+            let picked = sample_distinct_indices(n, bound, &mut rng);
+            let subset = picked
+                .iter()
+                .map(|&i| snapshot.vector(i as u32).clone())
+                .collect();
+            let scale = pairs_of(n as u64) as f64 / pairs_of(bound as u64) as f64;
+            (subset, scale)
+        };
+        let audited_n = vectors.len();
+        let coll = VectorCollection::from_vectors(vectors);
+        let exact_started = Instant::now();
+        let raw = match self.config.family {
+            IndexFamily::SimHash => ExactJoin::new(&coll, Cosine)
+                .with_threads(options.exact_threads)
+                .count(tau),
+            IndexFamily::MinHash => ExactJoin::new(&coll, Jaccard)
+                .with_threads(options.exact_threads)
+                .count(tau),
+        };
+        let exact_us = u64::try_from(exact_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.audit.exact_us.record(exact_us);
+
+        let truth = raw as f64 * scale;
+        let record = AuditRecord {
+            tau,
+            epoch: served.epoch,
+            n,
+            audited_n,
+            estimate: served.estimate.value,
+            std_err: served.std_err,
+            ci_low: served.ci_low(),
+            ci_high: served.ci_high(),
+            truth,
+            signed_error: signed_relative_error(served.estimate.value, truth),
+            within_ci: served.ci_low() <= truth && truth <= served.ci_high(),
+            cached: served.cached,
+            serve_us,
+            exact_us,
+        };
+        self.audit.record(record);
+        Some(record)
+    }
+
+    /// Point-in-time audit summary: scored/skipped cycle counts, the
+    /// CI-coverage ratio, a Welford summary of the signed relative
+    /// errors, and the worst-calibrated audited queries. The data a
+    /// serving layer renders under `GET /quality`.
+    pub fn quality_report(&self) -> QualityReport {
+        self.audit.report()
+    }
+
+    /// The thresholds currently in the recently-served ring — the pool
+    /// [`audit_once`](Self::audit_once) rotates over (bounded,
+    /// deduplicated; most useful for tests and tools).
+    pub fn recently_served(&self) -> Vec<f64> {
+        self.audit.served_taus()
     }
 
     /// The fsync policy of a durable engine (`None` when storage is not

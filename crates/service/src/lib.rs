@@ -77,6 +77,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod cache;
 mod config;
 mod engine;
@@ -86,6 +87,7 @@ mod shard;
 mod snapshot;
 pub mod wal;
 
+pub use audit::{AuditOptions, AuditRecord, Auditor, QualityReport, WORST_CAPACITY};
 pub use config::{
     DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder, StorageTier,
 };

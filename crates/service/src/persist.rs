@@ -39,10 +39,11 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsj_datasets::io::{self, ContainerReader, ContainerWriter, IoError};
+use vsj_obs::{Trace, TraceRing};
 use vsj_vector::SparseVector;
 
 use crate::config::{IndexFamily, ServiceConfig};
@@ -822,6 +823,28 @@ impl Checkpointer {
     /// checkpoint poisons the WAL writer, so every subsequent durable
     /// ingest fails loudly instead of being acknowledged and lost.
     pub fn spawn(engine: Arc<EstimationEngine>, min_pending_records: u64, poll: Duration) -> Self {
+        Self::spawn_inner(engine, min_pending_records, poll, None)
+    }
+
+    /// [`spawn`](Self::spawn), additionally offering a `Trace` labeled
+    /// `"checkpoint"` (stage `cut`) to `traces` after every checkpoint
+    /// taken — the same ring a serving layer exposes under
+    /// `/trace/slow`, so background cuts show up next to slow requests.
+    pub fn spawn_traced(
+        engine: Arc<EstimationEngine>,
+        min_pending_records: u64,
+        poll: Duration,
+        traces: Arc<TraceRing>,
+    ) -> Self {
+        Self::spawn_inner(engine, min_pending_records, poll, Some(traces))
+    }
+
+    fn spawn_inner(
+        engine: Arc<EstimationEngine>,
+        min_pending_records: u64,
+        poll: Duration,
+        traces: Option<Arc<TraceRing>>,
+    ) -> Self {
         assert!(
             engine.is_durable(),
             "Checkpointer requires a durable engine"
@@ -832,10 +855,14 @@ impl Checkpointer {
             let mut taken = 0u64;
             while !stop_flag.load(Ordering::Relaxed) {
                 if engine.wal_pending() >= min_pending_records.max(1) {
+                    let started = Instant::now();
                     engine
                         .checkpoint()
                         .expect("background checkpoint failed; refusing to continue unlogged");
                     taken += 1;
+                    if let Some(ring) = &traces {
+                        offer_op_trace(ring, "checkpoint", "cut", started.elapsed());
+                    }
                 }
                 std::thread::sleep(poll);
             }
@@ -899,6 +926,26 @@ impl Compactor {
     /// does not keep silently accepting writes — a failed fold poisons
     /// the WAL writer, so subsequent durable ingests fail loudly.
     pub fn spawn(engine: Arc<EstimationEngine>, poll: Duration) -> Self {
+        Self::spawn_inner(engine, poll, None)
+    }
+
+    /// [`spawn`](Self::spawn), additionally offering a `Trace` labeled
+    /// `"compaction"` (stage `fold`) to `traces` after every compaction
+    /// taken — the same ring a serving layer exposes under
+    /// `/trace/slow`.
+    pub fn spawn_traced(
+        engine: Arc<EstimationEngine>,
+        poll: Duration,
+        traces: Arc<TraceRing>,
+    ) -> Self {
+        Self::spawn_inner(engine, poll, Some(traces))
+    }
+
+    fn spawn_inner(
+        engine: Arc<EstimationEngine>,
+        poll: Duration,
+        traces: Option<Arc<TraceRing>>,
+    ) -> Self {
         assert!(engine.is_durable(), "Compactor requires a durable engine");
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
@@ -906,10 +953,14 @@ impl Compactor {
             let mut taken = 0u64;
             while !stop_flag.load(Ordering::Relaxed) {
                 if engine.compaction_due() {
+                    let started = Instant::now();
                     engine
                         .compact()
                         .expect("background compaction failed; refusing to continue unlogged");
                     taken += 1;
+                    if let Some(ring) = &traces {
+                        offer_op_trace(ring, "compaction", "fold", started.elapsed());
+                    }
                 }
                 std::thread::sleep(poll);
             }
@@ -940,4 +991,20 @@ impl Drop for Compactor {
             let _ = handle.join();
         }
     }
+}
+
+/// Offers a one-stage background-operation trace to a slow-trace ring
+/// (shared by the traced checkpointer/compactor spawns; the
+/// [`Auditor`](crate::Auditor) builds its two-stage trace inline).
+pub(crate) fn offer_op_trace(
+    ring: &TraceRing,
+    label: &'static str,
+    stage: &'static str,
+    took: Duration,
+) {
+    let micros = u64::try_from(took.as_micros()).unwrap_or(u64::MAX);
+    let mut trace = Trace::new(label);
+    trace.stage(stage, micros);
+    trace.total_us = micros;
+    ring.offer(trace);
 }

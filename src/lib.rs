@@ -102,9 +102,9 @@ pub mod prelude {
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
     pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
-        Checkpointer, Compactor, DurabilityOptions, EngineStats, EstimationEngine, FsyncPolicy,
-        GlobalId, IndexFamily, ObsOptions, PersistError, ServiceConfig, ServiceEstimate, Snapshot,
-        StorageTier,
+        AuditOptions, AuditRecord, Auditor, Checkpointer, Compactor, DurabilityOptions,
+        EngineStats, EstimationEngine, FsyncPolicy, GlobalId, IndexFamily, ObsOptions,
+        PersistError, QualityReport, ServiceConfig, ServiceEstimate, Snapshot, StorageTier,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,
