@@ -1,0 +1,196 @@
+//! Data-parallel hot paths: the vsj-pool speedups behind index hashing,
+//! checkpoint encoding, and the batch estimate fan-out.
+//!
+//! Three serial-vs-pooled pairs, every pair **bit-identical** by
+//! construction (the pooled paths are pinned against the serial ones by
+//! `tests/parallel_determinism.rs` and per-crate unit tests — this
+//! bench re-checks the bytes/bits on the measured runs anyway):
+//!
+//! * **hashing** — `LshTable::build_with_pool` over a DBLP-like corpus:
+//!   per-vector composite-`g` keys fanned out with ordered collection;
+//! * **encode** — `persist::encode_checkpoint_with`: per-row block
+//!   lengths, prefix-summed offsets, disjoint-slice parallel slab fill;
+//! * **estimate_batch** — the per-τ replay fan-out of a pooled LSH-SS
+//!   curve (reported, not asserted: replay cost is a small fraction of
+//!   a pass, so its scaling is the shallowest of the three).
+//!
+//! Claims under test (asserted only on hosts with ≥ 4 cores — the
+//! speedups are data parallelism and cannot exist on fewer; the run
+//! reports them either way):
+//!
+//! * pooled hashing ≥ 2× serial at `min(cores, 8)` threads;
+//! * pooled checkpoint encode ≥ 2× serial at `min(cores, 8)` threads.
+//!
+//! Emits a JSON summary line (prefixed `PARALLEL_BENCH_JSON:`) for the
+//! perf-trajectory tooling, plus a human-readable table.
+//!
+//! Run with: `cargo bench -p vsj-bench --bench parallel`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vsj_core::LshSs;
+use vsj_datasets::DblpLike;
+use vsj_lsh::{BucketHasher, Composite, LshTable, MinHashFamily};
+use vsj_pool::WorkPool;
+use vsj_service::persist::{self, CheckpointMeta};
+use vsj_service::{EstimationEngine, ServiceConfig};
+use vsj_vector::{Cosine, SparseVector};
+
+const SEED: u64 = 23;
+const HASH_K: usize = 16;
+const CORPUS: usize = 20_000;
+const REPS: usize = 5;
+const TAUS: [f64; 32] = [
+    0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.23, 0.26, 0.29, 0.32, 0.35, 0.38, 0.41, 0.44, 0.47, 0.50,
+    0.53, 0.56, 0.59, 0.62, 0.65, 0.68, 0.71, 0.74, 0.77, 0.80, 0.83, 0.86, 0.89, 0.92, 0.95, 0.98,
+];
+
+/// Best-of-REPS wall time of `f` in seconds.
+fn time_best<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn engine_with(pool_threads: usize, vectors: &[SparseVector]) -> EstimationEngine {
+    let config = ServiceConfig::builder()
+        .shards(4)
+        .k(HASH_K)
+        .seed(SEED)
+        .pool_threads(pool_threads)
+        .build();
+    let engine = EstimationEngine::new(config);
+    engine.insert_batch(vectors.to_vec());
+    engine.publish();
+    engine
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores.clamp(2, 8);
+    let collection = DblpLike::with_size(CORPUS).generate(3);
+    let vectors = collection.vectors().to_vec();
+
+    // --- hashing: serial vs pooled table build ---------------------------
+    let hasher: Arc<dyn BucketHasher> =
+        Arc::new(Composite::derive(MinHashFamily::new(), SEED, 0, HASH_K));
+    let serial_pool = WorkPool::new(1);
+    let wide_pool = WorkPool::new(threads);
+    let hash_serial =
+        time_best(|| LshTable::build_with_pool(&collection, hasher.clone(), &serial_pool));
+    let hash_pooled =
+        time_best(|| LshTable::build_with_pool(&collection, hasher.clone(), &wide_pool));
+    let serial_table = LshTable::build_with_pool(&collection, hasher.clone(), &serial_pool);
+    let pooled_table = LshTable::build_with_pool(&collection, hasher.clone(), &wide_pool);
+    assert_eq!(
+        serial_table.to_parts(),
+        pooled_table.to_parts(),
+        "pooled hashing must be bit-identical"
+    );
+    let hash_speedup = hash_serial / hash_pooled;
+
+    // --- encode: serial vs pooled checkpoint serialization ---------------
+    let engine = engine_with(1, &vectors);
+    let snapshot = engine.snapshot();
+    let meta = CheckpointMeta {
+        epoch: snapshot.epoch(),
+        ingested: vectors.len() as u64,
+        next_id: vectors.len() as u64,
+        applied_seq: 0,
+        publishes: 1,
+        config: *engine.config(),
+    };
+    let enc_serial = time_best(|| persist::encode_checkpoint(&meta, &snapshot));
+    let enc_pooled = time_best(|| persist::encode_checkpoint_with(&meta, &snapshot, &wide_pool));
+    let serial_bytes = persist::encode_checkpoint(&meta, &snapshot);
+    let pooled_bytes = persist::encode_checkpoint_with(&meta, &snapshot, &wide_pool);
+    assert_eq!(
+        serial_bytes.as_slice(),
+        pooled_bytes.as_slice(),
+        "pooled encode must be byte-identical"
+    );
+    let enc_speedup = enc_serial / enc_pooled;
+
+    // --- estimate_batch: serial vs pooled curve fan-out ------------------
+    // Timed on the underlying LSH-SS curve (the engine front door would
+    // serve reps 2..REPS from its estimate cache): same snapshot, same
+    // per-epoch RNG, serial vs pooled sims + per-τ replay.
+    let est = LshSs::with_defaults(snapshot.len());
+    let epoch = snapshot.epoch();
+    let batch_serial = time_best(|| {
+        let mut rng = engine.batch_rng(epoch);
+        est.estimate_curve_detailed(
+            snapshot.as_ref(),
+            snapshot.as_ref(),
+            &Cosine,
+            &TAUS,
+            &mut rng,
+        )
+    });
+    let batch_pooled = time_best(|| {
+        let mut rng = engine.batch_rng(epoch);
+        est.estimate_curve_detailed_pooled(
+            snapshot.as_ref(),
+            snapshot.as_ref(),
+            &Cosine,
+            &TAUS,
+            &mut rng,
+            &wide_pool,
+        )
+    });
+    let batch_speedup = batch_serial / batch_pooled;
+
+    println!(
+        "{:>16} {:>12} {:>12} {:>9}",
+        "path", "serial_ms", "pooled_ms", "speedup"
+    );
+    for (path, serial, pooled, speedup) in [
+        ("hashing", hash_serial, hash_pooled, hash_speedup),
+        ("encode", enc_serial, enc_pooled, enc_speedup),
+        ("estimate_batch", batch_serial, batch_pooled, batch_speedup),
+    ] {
+        println!(
+            "{path:>16} {:>12.2} {:>12.2} {speedup:>8.2}x",
+            serial * 1e3,
+            pooled * 1e3
+        );
+    }
+    println!(
+        "\npool: {threads} thread(s) on {cores} core(s); corpus {CORPUS} vectors, k={HASH_K}, \
+         {} τ points",
+        TAUS.len()
+    );
+
+    println!(
+        "\nPARALLEL_BENCH_JSON:{{\"schema\":{},\"bench\":\"parallel_hot_paths\",\"corpus\":{CORPUS},\
+         \"hash_k\":{HASH_K},\"taus\":{},\"reps\":{REPS},\"cores\":{cores},\"threads\":{threads},\
+         \"hash_serial_s\":{hash_serial:.6},\"hash_pooled_s\":{hash_pooled:.6},\
+         \"hash_speedup\":{hash_speedup:.3},\
+         \"encode_serial_s\":{enc_serial:.6},\"encode_pooled_s\":{enc_pooled:.6},\
+         \"encode_speedup\":{enc_speedup:.3},\
+         \"batch_serial_s\":{batch_serial:.6},\"batch_pooled_s\":{batch_pooled:.6},\
+         \"batch_speedup\":{batch_speedup:.3}}}",
+        vsj_bench::BENCH_SCHEMA_VERSION,
+        TAUS.len()
+    );
+
+    if cores >= 4 {
+        assert!(
+            hash_speedup >= 2.0,
+            "pooled hashing must be ≥2x serial on a ≥4-core host: {hash_speedup:.2}x"
+        );
+        assert!(
+            enc_speedup >= 2.0,
+            "pooled checkpoint encode must be ≥2x serial on a ≥4-core host: {enc_speedup:.2}x"
+        );
+    } else {
+        println!("SKIPPED: the ≥2x hashing/encode assertions need ≥4 cores (host has {cores})");
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::estimate::{clamp_estimate, Estimate, EstimateKind};
 use crate::view::IndexView;
+use vsj_pool::WorkPool;
 use vsj_sampling::Rng;
 use vsj_sampling::{AdaptiveOutcome, AdaptiveSampler, Summary};
 use vsj_vector::{Similarity, VectorStore};
@@ -350,6 +351,74 @@ impl LshSs {
                 )
             })
             .collect()
+    }
+
+    /// [`Self::estimate_curve_detailed`] with the similarity evaluations
+    /// and per-τ replays fanned out across `pool`, **bit-identical** to
+    /// the serial pass at any thread count.
+    ///
+    /// Why this is safe to parallelize: only the pair *draws* consume the
+    /// RNG; evaluating `sim(u, v)` and replaying the recorded draws at a
+    /// threshold are pure. So the draws run serially here in exactly the
+    /// serial method's order (same RNG consumption, same pairs), while
+    /// the expensive parts — one similarity per drawn pair, one replay
+    /// per τ — are mapped on the pool with ordered collection. A
+    /// one-thread pool delegates to the serial method outright.
+    pub fn estimate_curve_detailed_pooled<C, V, S, R>(
+        &self,
+        collection: &C,
+        table: &V,
+        measure: &S,
+        taus: &[f64],
+        rng: &mut R,
+        pool: &WorkPool,
+    ) -> Vec<CurveEstimate>
+    where
+        C: VectorStore + Sync + ?Sized,
+        V: IndexView + ?Sized,
+        S: Similarity + Sync,
+        R: Rng + ?Sized,
+    {
+        if pool.threads() <= 1 {
+            return self.estimate_curve_detailed(collection, table, measure, taus, rng);
+        }
+        assert_eq!(
+            collection.len(),
+            table.len(),
+            "table must index exactly this collection"
+        );
+        // Serial draw pass: consumes the RNG exactly like the serial
+        // method (similarity evaluation never touches the generator).
+        let h_pairs: Vec<_> = if table.nh() == 0 {
+            Vec::new()
+        } else {
+            (0..self.config.m_h)
+                .map(|_| {
+                    table
+                        .sample_same_bucket_pair(rng)
+                        .expect("nh > 0 guarantees a same-bucket pair")
+                })
+                .collect()
+        };
+        let l_pairs: Vec<_> = if table.nl() == 0 {
+            Vec::new()
+        } else {
+            (0..self.config.m_l)
+                .map(|_| {
+                    table
+                        .sample_cross_bucket_pair(rng)
+                        .expect("nl > 0 guarantees a cross-bucket pair")
+                })
+                .collect()
+        };
+        let h_sims =
+            pool.parallel_map_indexed(&h_pairs, |_, &(u, v)| collection.sim(measure, u, v));
+        let l_sims =
+            pool.parallel_map_indexed(&l_pairs, |_, &(u, v)| collection.sim(measure, u, v));
+        let (nh, nl, total_pairs) = (table.nh(), table.nl(), table.total_pairs());
+        pool.parallel_map_indexed(taus, |_, &tau| {
+            self.replay_detailed(&h_sims, &l_sims, nh, nl, tau, total_pairs)
+        })
     }
 
     /// Per-τ accounting over recorded similarities, estimate only
@@ -989,6 +1058,43 @@ mod tests {
             assert_eq!(e.kind, d.estimate.kind);
             assert!(d.h_variance >= 0.0 && d.l_variance >= 0.0);
             assert!(d.std_err().is_finite());
+        }
+    }
+
+    #[test]
+    fn pooled_curve_is_bit_identical_to_serial() {
+        // The pool must not change a single bit of any curve point — the
+        // whole parallel estimate path rests on this equivalence. Checked
+        // at several thread counts, RNG states, and a τ grid wide enough
+        // to exercise both strata and the adaptive stop.
+        let coll = corpus(500, 61);
+        let table = minhash_table(&coll, 6, 67);
+        let est = LshSs::with_defaults(coll.len());
+        let taus = [0.05, 0.2, 0.5, 0.8, 0.95, 1.0];
+        for seed in [7u64, 77, 777] {
+            let mut serial_rng = Xoshiro256::seeded(seed);
+            let serial =
+                est.estimate_curve_detailed(&coll, &table, &Jaccard, &taus, &mut serial_rng);
+            for threads in [1usize, 2, 8] {
+                let pool = vsj_pool::WorkPool::new(threads);
+                let mut rng = Xoshiro256::seeded(seed);
+                let pooled = est.estimate_curve_detailed_pooled(
+                    &coll, &table, &Jaccard, &taus, &mut rng, &pool,
+                );
+                // The pooled pass consumes the RNG identically.
+                assert_eq!(rng, serial_rng, "threads={threads} seed={seed}");
+                assert_eq!(pooled.len(), serial.len());
+                for (p, s) in pooled.iter().zip(&serial) {
+                    assert_eq!(
+                        p.estimate.value.to_bits(),
+                        s.estimate.value.to_bits(),
+                        "threads={threads} seed={seed}"
+                    );
+                    assert_eq!(p.estimate.kind, s.estimate.kind);
+                    assert_eq!(p.h_variance.to_bits(), s.h_variance.to_bits());
+                    assert_eq!(p.l_variance.to_bits(), s.l_variance.to_bits());
+                }
+            }
         }
     }
 

@@ -198,36 +198,13 @@ pub fn checksum64_v3(data: &[u8]) -> u64 {
     checksum64(&bytes)
 }
 
-/// Per-chunk [`checksum64_words`] digests of `data`, hashed on scoped
-/// worker threads when there is more than one chunk to share out.
+/// Per-chunk [`checksum64_words`] digests of `data`, fanned out across
+/// the process-wide work pool when there is more than one chunk to share
+/// out. `parallel_map_indexed` returns digests in chunk order, so the
+/// folded checksum is identical at any thread count.
 fn chunk_digests(data: &[u8]) -> Vec<u64> {
     let chunks: Vec<&[u8]> = data.chunks(V3_CHECKSUM_CHUNK).collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(chunks.len());
-    if workers <= 1 {
-        return chunks.into_iter().map(checksum64_words).collect();
-    }
-    // Contiguous groups keep the digests in chunk order.
-    let group = chunks.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let spawned: Vec<_> = chunks
-            .chunks(group)
-            .map(|group| {
-                scope.spawn(move || {
-                    group
-                        .iter()
-                        .map(|c| checksum64_words(c))
-                        .collect::<Vec<u64>>()
-                })
-            })
-            .collect();
-        spawned
-            .into_iter()
-            .flat_map(|w| w.join().expect("a checksum worker cannot panic"))
-            .collect()
-    })
+    vsj_pool::global().parallel_map_indexed(&chunks, |_, chunk| checksum64_words(chunk))
 }
 
 // --- v2 sectioned container ------------------------------------------------
@@ -563,6 +540,35 @@ pub fn encode_vector_into(buf: &mut BytesMut, v: &SparseVector) {
     }
 }
 
+/// Exact wire size of one vector's block: `4 + nnz × 8` bytes. Pairing
+/// this with [`encode_vector_into_slice`] lets writers prefix-sum the
+/// payload layout up front and fill disjoint slices in parallel.
+#[inline]
+pub fn encoded_vector_len(v: &SparseVector) -> usize {
+    4 + v.nnz() * 8
+}
+
+/// Encodes one vector's wire block into an exactly-sized slice —
+/// byte-identical to [`encode_vector_into`] on a fresh buffer.
+///
+/// # Panics
+/// Panics if `out.len() != encoded_vector_len(v)`.
+pub fn encode_vector_into_slice(out: &mut [u8], v: &SparseVector) {
+    assert_eq!(
+        out.len(),
+        encoded_vector_len(v),
+        "slice must be exactly sized"
+    );
+    out[..4].copy_from_slice(&(v.nnz() as u32).to_le_bytes());
+    let (idx_bytes, val_bytes) = out[4..].split_at_mut(v.nnz() * 4);
+    for (slot, &i) in idx_bytes.chunks_exact_mut(4).zip(v.indices()) {
+        slot.copy_from_slice(&i.to_le_bytes());
+    }
+    for (slot, &w) in val_bytes.chunks_exact_mut(4).zip(v.values()) {
+        slot.copy_from_slice(&w.to_le_bytes());
+    }
+}
+
 /// Decodes one vector's wire block (inverse of [`encode_vector_into`]),
 /// re-validating the vector invariants.
 pub fn decode_vector(data: &mut Bytes) -> Result<SparseVector, IoError> {
@@ -730,6 +736,18 @@ mod tests {
         assert_eq!(coll.len(), decoded.len());
         for (a, b) in coll.vectors().iter().zip(decoded.vectors()) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn slice_encoder_matches_buffer_encoder() {
+        let coll = sample();
+        for v in coll.vectors() {
+            let mut reference = BytesMut::new();
+            encode_vector_into(&mut reference, v);
+            let mut slab = vec![0u8; encoded_vector_len(v)];
+            encode_vector_into_slice(&mut slab, v);
+            assert_eq!(reference.freeze().as_slice(), slab.as_slice());
         }
     }
 

@@ -114,16 +114,38 @@ pub struct SignatureMatrix {
 
 impl SignatureMatrix {
     /// Computes signatures for every vector in the collection.
-    pub fn build<F: LshFamily>(
-        collection: &VectorCollection,
-        family: F,
-        seed: u64,
-        k: usize,
-    ) -> Self {
+    ///
+    /// Rows are independent pure hashes, so large collections fan out
+    /// across the process-wide work pool; each task fills a disjoint
+    /// row range of the matrix, making the result bit-identical to the
+    /// serial loop at any thread count.
+    pub fn build<F>(collection: &VectorCollection, family: F, seed: u64, k: usize) -> Self
+    where
+        F: LshFamily + Sync,
+        F::Func: Sync,
+    {
         let composite = Composite::derive(family, seed, 0, k);
-        let mut data = vec![0u64; collection.len() * k];
-        for (i, v) in collection.vectors().iter().enumerate() {
-            composite.signature_into(v, &mut data[i * k..(i + 1) * k]);
+        let n = collection.len();
+        let mut data = vec![0u64; n * k];
+        let vectors = collection.vectors();
+        let pool = vsj_pool::global();
+        if pool.threads() == 1 || n < 1024 {
+            for (i, v) in vectors.iter().enumerate() {
+                composite.signature_into(v, &mut data[i * k..(i + 1) * k]);
+            }
+        } else {
+            let chunk_rows = n.div_ceil((pool.threads() * 4).min(n));
+            pool.scope(|scope| {
+                for (ci, slab) in data.chunks_mut(chunk_rows * k).enumerate() {
+                    let start = ci * chunk_rows;
+                    let composite = &composite;
+                    scope.spawn(move || {
+                        for (row, out) in slab.chunks_mut(k).enumerate() {
+                            composite.signature_into(&vectors[start + row], out);
+                        }
+                    });
+                }
+            });
         }
         Self { k, data }
     }

@@ -13,7 +13,8 @@
 //! `O(nnz)` per function.
 
 use crate::family::{LshFamily, LshFunction};
-use vsj_sampling::gauss::gaussian_at;
+use vsj_sampling::gauss::gaussian_at_base;
+use vsj_sampling::SplitMix64;
 use vsj_vector::{AngularKernel, SparseVector};
 
 /// The random-hyperplane family. Stateless: all randomness comes from the
@@ -29,10 +30,14 @@ impl SimHashFamily {
 }
 
 /// One hyperplane function `h(u) = sign(r·u)`, output in `{0, 1}`.
+///
+/// The `(seed, id)` half of the coordinate hash is precomputed at
+/// construction ([`SplitMix64::mix3_base`]), so realizing `r_i` inside
+/// the projection sweep costs two mixes instead of four — bit-identical
+/// to [`gaussian_at`](vsj_sampling::gauss::gaussian_at) on the fused triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimHashFunction {
-    seed: u64,
-    id: u64,
+    base: u64,
 }
 
 impl SimHashFunction {
@@ -40,7 +45,7 @@ impl SimHashFunction {
     pub fn projection(&self, v: &SparseVector) -> f64 {
         let mut acc = 0.0f64;
         for (dim, val) in v.iter() {
-            acc += f64::from(val) * gaussian_at(self.seed, self.id, u64::from(dim));
+            acc += f64::from(val) * gaussian_at_base(self.base, u64::from(dim));
         }
         acc
     }
@@ -59,7 +64,9 @@ impl LshFamily for SimHashFamily {
     type Func = SimHashFunction;
 
     fn function(&self, seed: u64, id: u64) -> SimHashFunction {
-        SimHashFunction { seed, id }
+        SimHashFunction {
+            base: SplitMix64::mix3_base(seed, id),
+        }
     }
 
     #[inline]

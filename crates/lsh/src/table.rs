@@ -32,6 +32,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::family::BucketHasher;
+use vsj_pool::WorkPool;
 use vsj_sampling::{AliasTable, Rng};
 use vsj_vector::{pairs_of, SparseVector, VectorCollection, VectorId};
 
@@ -329,41 +330,35 @@ impl PairAlias {
 }
 
 impl LshTable {
-    /// Builds the table, hashing vectors across `threads` threads
-    /// (`None` = all available cores).
+    /// Builds the table, hashing vectors on a work pool sized by
+    /// `threads` (`None` = the process-wide [`vsj_pool::global`] pool,
+    /// `Some(1)` = fully serial).
     pub fn build(
         collection: &VectorCollection,
         hasher: Arc<dyn BucketHasher>,
         threads: Option<usize>,
     ) -> Self {
-        let n = collection.len();
-        let mut vector_keys = vec![0u64; n];
-
-        let threads = threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
-            .max(1);
-        let chunk = n.div_ceil(threads).max(1);
-        if threads == 1 || n < 1024 {
-            for (i, v) in collection.vectors().iter().enumerate() {
-                vector_keys[i] = hasher.key(v);
-            }
-        } else {
-            let vectors = collection.vectors();
-            crossbeam::thread::scope(|scope| {
-                for (slot_chunk, vec_chunk) in
-                    vector_keys.chunks_mut(chunk).zip(vectors.chunks(chunk))
-                {
-                    let hasher = &hasher;
-                    scope.spawn(move |_| {
-                        for (slot, v) in slot_chunk.iter_mut().zip(vec_chunk) {
-                            *slot = hasher.key(v);
-                        }
-                    });
-                }
-            })
-            .expect("hashing threads must not panic");
+        match threads {
+            None => Self::build_with_pool(collection, hasher, vsj_pool::global()),
+            Some(n) => Self::build_with_pool(collection, hasher, &WorkPool::new(n)),
         }
+    }
 
+    /// [`LshTable::build`] on an explicit pool. Per-vector key hashing is
+    /// pure, so fanning it out with ordered collection yields exactly the
+    /// serial key vector — the table is bit-identical at any thread
+    /// count. Small inputs skip the pool entirely.
+    pub fn build_with_pool(
+        collection: &VectorCollection,
+        hasher: Arc<dyn BucketHasher>,
+        pool: &WorkPool,
+    ) -> Self {
+        let vectors = collection.vectors();
+        let vector_keys = if pool.threads() == 1 || vectors.len() < 1024 {
+            vectors.iter().map(|v| hasher.key(v)).collect()
+        } else {
+            pool.parallel_map_indexed(vectors, |_, v| hasher.key(v))
+        };
         Self::from_keys(hasher, vector_keys)
     }
 

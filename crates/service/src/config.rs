@@ -162,6 +162,36 @@ impl DurabilityOptions {
     }
 }
 
+/// Data-parallelism knobs of an engine. Like [`DurabilityOptions`]
+/// these are *operational*: they are not persisted in checkpoint
+/// metadata, excluded from the config fingerprint, and may differ
+/// across an engine's lives — the pool is forbidden (and tested) from
+/// changing any answer or any checkpoint byte, so two engines that
+/// differ only here are indistinguishable on the wire and on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Parallelism degree of the engine's work pool, used by batch
+    /// estimate fan-out, batch-ingest key hashing, and checkpoint /
+    /// compaction encoding. `1` runs the exact legacy serial path (no
+    /// worker threads at all). Defaults to `VSJ_POOL_THREADS` when set,
+    /// else [`std::thread::available_parallelism`].
+    pub pool_threads: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self {
+            pool_threads: vsj_pool::default_threads(),
+        }
+    }
+}
+
+impl ParallelOptions {
+    pub(crate) fn validate(&self) {
+        assert!(self.pool_threads >= 1, "pool_threads must be at least 1");
+    }
+}
+
 /// Which LSH family the engine's shards hash with (and therefore which
 /// similarity measure estimates are computed under — the pairing the
 /// paper evaluates).
@@ -208,6 +238,9 @@ pub struct ServiceConfig {
     /// Fixed LSH-SS parameters, or `None` to use the paper's defaults
     /// (`m_H = m_L = n`, `δ = log₂ n`) at each snapshot's live size `n`.
     pub estimator: Option<LshSsConfig>,
+    /// Work-pool sizing (see [`ParallelOptions`]). Operational — never
+    /// persisted, never part of the fingerprint, never answer-changing.
+    pub parallel: ParallelOptions,
 }
 
 impl Default for ServiceConfig {
@@ -220,6 +253,7 @@ impl Default for ServiceConfig {
             cache_epsilon: 0,
             auto_publish_every: None,
             estimator: None,
+            parallel: ParallelOptions::default(),
         }
     }
 }
@@ -284,6 +318,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the work-pool parallelism degree (≥ 1; `1` = serial legacy
+    /// path). The default follows `VSJ_POOL_THREADS` / available cores.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.parallel.pool_threads = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Panics
@@ -296,6 +337,7 @@ impl ServiceConfigBuilder {
             c.auto_publish_every != Some(0),
             "auto_publish_every must be at least 1"
         );
+        c.parallel.validate();
         c
     }
 }
@@ -327,6 +369,19 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ServiceConfig::builder().shards(0).build();
+    }
+
+    #[test]
+    fn pool_threads_builder_and_default() {
+        assert!(ParallelOptions::default().pool_threads >= 1);
+        let c = ServiceConfig::builder().pool_threads(3).build();
+        assert_eq!(c.parallel.pool_threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool_threads must be")]
+    fn zero_pool_threads_rejected() {
+        ServiceConfig::builder().pool_threads(0).build();
     }
 
     #[test]

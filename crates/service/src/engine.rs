@@ -11,6 +11,7 @@ use vsj_core::{Estimate, IndexView, LshSs, LshSsConfig};
 use vsj_exact::ExactJoin;
 use vsj_lsh::{BucketHasher, Composite, MinHashFamily, SimHashFamily};
 use vsj_obs::{snapshot_ordered, Counter, Gauge, Histogram, ObsOptions, Registry};
+use vsj_pool::WorkPool;
 use vsj_sampling::{signed_relative_error, Rng, RngStreams, SplitMix64, Xoshiro256};
 use vsj_vector::{pairs_of, Cosine, Jaccard, SparseVector, VectorCollection, VectorStore};
 
@@ -106,6 +107,16 @@ struct EngineMetrics {
     major_faults: Gauge,
     coldstart_heap_us: Histogram,
     coldstart_mapped_us: Histogram,
+    /// Tasks executed by the engine's work pool (refreshed by
+    /// `stats()`).
+    pool_tasks: Counter,
+    /// Tasks a pool worker stole from another worker's queue
+    /// (refreshed by `stats()`).
+    pool_steals: Counter,
+    /// Tasks currently queued in the pool (refreshed by `stats()`).
+    pool_queue_depth: Gauge,
+    /// Per-task pool execution latency (fed live by the pool observer).
+    pool_task_us: Histogram,
 }
 
 impl EngineMetrics {
@@ -218,6 +229,23 @@ impl EngineMetrics {
                 "vsj_engine_coldstart_duration_us",
                 "Recovery time to a serving engine in microseconds",
                 &[("tier", "mapped")],
+                latency,
+            ),
+            pool_tasks: registry.counter(
+                "vsj_pool_tasks_total",
+                "Tasks executed by the engine work pool",
+            ),
+            pool_steals: registry.counter(
+                "vsj_pool_steal_total",
+                "Pool tasks stolen from another worker's queue",
+            ),
+            pool_queue_depth: registry.gauge(
+                "vsj_pool_queue_depth",
+                "Tasks currently queued in the engine work pool",
+            ),
+            pool_task_us: registry.histogram(
+                "vsj_pool_task_duration_us",
+                "Work-pool task execution time in microseconds",
                 latency,
             ),
             registry,
@@ -352,6 +380,16 @@ pub struct EngineStats {
     pub overlay_bytes: u64,
     /// Tombstoned mapped base rows awaiting compaction.
     pub tombstones: usize,
+    /// Worker threads in the engine's data-parallel pool (1 means the
+    /// pool is disabled and every hot path runs its serial legacy
+    /// route).
+    pub pool_threads: usize,
+    /// Tasks executed by the pool since engine construction.
+    pub pool_tasks: u64,
+    /// Pool tasks stolen from another worker's queue — the load-skew
+    /// signal (stealing is scheduling only; results are always joined
+    /// in submission order).
+    pub pool_steals: u64,
 }
 
 /// A long-lived, concurrently usable VSJ size-estimation service.
@@ -412,6 +450,13 @@ pub struct EstimationEngine {
     /// ring, the `vsj_audit_*` series (on the engine registry), and the
     /// worst-calibrated ring (see [`crate::Auditor`]).
     audit: AuditState,
+    /// The engine's work pool for data-parallel hot paths (batch
+    /// hashing, `estimate_batch` fan-out, checkpoint encode). Sized by
+    /// [`crate::ParallelOptions::pool_threads`]; one thread means the
+    /// pool spawns no workers and every hot path takes its exact serial
+    /// legacy route. Every pooled path is bit-identical to serial at
+    /// any thread count (see the crate docs of `vsj_pool`).
+    pool: Arc<WorkPool>,
 }
 
 impl EstimationEngine {
@@ -432,6 +477,7 @@ impl EstimationEngine {
             config.auto_publish_every != Some(0),
             "auto_publish_every must be at least 1"
         );
+        config.parallel.validate();
         let hasher: Arc<dyn BucketHasher> = match config.family {
             IndexFamily::SimHash => Arc::new(Composite::derive(
                 SimHashFamily::new(),
@@ -451,6 +497,9 @@ impl EstimationEngine {
             .collect();
         let metrics = EngineMetrics::new(obs);
         let audit = AuditState::new(&metrics.registry, &metrics.obs);
+        let pool = Arc::new(WorkPool::new(config.parallel.pool_threads));
+        let task_us = metrics.pool_task_us.clone();
+        pool.set_observer(Some(Arc::new(move |d| task_us.record_duration(d))));
         Self {
             config,
             current: RwLock::new(Arc::new(Snapshot::empty(hasher.clone()))),
@@ -465,6 +514,7 @@ impl EstimationEngine {
             tombstones: Mutex::new(Vec::new()),
             checkpoint_in_flight: AtomicBool::new(false),
             durability: None,
+            pool,
         }
     }
 
@@ -537,7 +587,7 @@ impl EstimationEngine {
             publishes: 0,
             config,
         };
-        persist::write_checkpoint(dir, &meta, &engine.snapshot())?;
+        persist::write_checkpoint(dir, &meta, &engine.snapshot(), &engine.pool)?;
         // A stray legacy log without a checkpoint is meaningless —
         // remove it so a later recover() cannot mispair it.
         let legacy = dir.join(WAL_FILE);
@@ -1123,7 +1173,7 @@ impl EstimationEngine {
         };
         let result = durability.wal.sync_all().and_then(|()| {
             persist::rotate_generations(&durability.dir, durability.options.retain_checkpoints)?;
-            persist::write_checkpoint(&durability.dir, &meta, &snapshot)?;
+            persist::write_checkpoint(&durability.dir, &meta, &snapshot, &self.pool)?;
             // The generation set just rotated: the new cut is [0], the
             // old horizons shift back, pruned ones fall off the window.
             let horizon = {
@@ -1258,7 +1308,16 @@ impl EstimationEngine {
     /// A durable engine panics when the WAL append fails — accepting a
     /// write that would vanish on restart is worse than refusing it.
     pub fn insert(&self, v: SparseVector) -> GlobalId {
-        let v = Arc::new(v);
+        self.insert_arc(Arc::new(v), None)
+    }
+
+    /// Shared insert body. `key` is `Some` when the bucket key was
+    /// precomputed off the shard lock (the [`insert_batch`] pool
+    /// pre-hash); the hasher is deterministic per vector, so a
+    /// precomputed key is bit-identical to hashing under the lock.
+    ///
+    /// [`insert_batch`]: Self::insert_batch
+    fn insert_arc(&self, v: Arc<SparseVector>, key: Option<u64>) -> GlobalId {
         if let Some(durability) = &self.durability {
             let shared = durability.gate.read();
             let (id, ticket) = loop {
@@ -1280,7 +1339,10 @@ impl EstimationEngine {
                     .expect("WAL append failed; refusing to apply an unlogged insert");
                 durability.pending.fetch_add(1, Ordering::Relaxed);
                 let apply_started = Instant::now();
-                let fresh = shard.insert(id, v.clone());
+                let fresh = match key {
+                    Some(key) => shard.insert_precomputed(id, key, v.clone()),
+                    None => shard.insert(id, v.clone()),
+                };
                 self.metrics
                     .ingest_apply_us
                     .record_duration(apply_started.elapsed());
@@ -1302,7 +1364,13 @@ impl EstimationEngine {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             // See the durable arm for why a collision is possible here.
             let apply_started = Instant::now();
-            let inserted = self.shards[self.shard_of(id)].lock().insert(id, v.clone());
+            let inserted = {
+                let mut shard = self.shards[self.shard_of(id)].lock();
+                match key {
+                    Some(key) => shard.insert_precomputed(id, key, v.clone()),
+                    None => shard.insert(id, v.clone()),
+                }
+            };
             self.metrics
                 .ingest_apply_us
                 .record_duration(apply_started.elapsed());
@@ -1315,11 +1383,33 @@ impl EstimationEngine {
 
     /// Ingests a batch, returning the assigned ids (one auto-publish
     /// check per vector, same as sequential inserts).
+    ///
+    /// When the engine's [work pool](crate::ParallelOptions) has more
+    /// than one thread, the bucket keys of the whole batch are hashed
+    /// in parallel *before* any shard lock is taken, and each insert
+    /// applies its precomputed key. Hashing consumes no RNG and is a
+    /// pure function of the vector, so ids, shard contents, and every
+    /// later estimate are bit-identical to the sequential path.
     pub fn insert_batch<I>(&self, vectors: I) -> Vec<GlobalId>
     where
         I: IntoIterator<Item = SparseVector>,
     {
-        vectors.into_iter().map(|v| self.insert(v)).collect()
+        let vectors: Vec<Arc<SparseVector>> = vectors.into_iter().map(Arc::new).collect();
+        if self.pool.threads() <= 1 || vectors.len() < 2 {
+            return vectors
+                .into_iter()
+                .map(|v| self.insert_arc(v, None))
+                .collect();
+        }
+        let hasher = &self.hasher;
+        let keys = self
+            .pool
+            .parallel_map_indexed(&vectors, |_, v| hasher.key(v));
+        vectors
+            .into_iter()
+            .zip(keys)
+            .map(|(v, key)| self.insert_arc(v, Some(key)))
+            .collect()
     }
 
     /// Removes a vector by global id; `false` when absent (or already
@@ -1936,20 +2026,27 @@ impl EstimationEngine {
         let sampling_started = Instant::now();
         let est = LshSs { config: est_config };
         let mut rng = self.batch_rng(snapshot.epoch());
+        // Pooled: pair draws stay serial on `rng`, similarity scoring
+        // and the per-τ replays fan out over the engine pool — bit-
+        // identical to the serial curve at any thread count (pinned by
+        // `pooled_curve_is_bit_identical_to_serial` in vsj-core and the
+        // parallel determinism battery).
         let curve = match self.config.family {
-            IndexFamily::SimHash => est.estimate_curve_detailed(
+            IndexFamily::SimHash => est.estimate_curve_detailed_pooled(
                 snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Cosine,
                 taus,
                 &mut rng,
+                &self.pool,
             ),
-            IndexFamily::MinHash => est.estimate_curve_detailed(
+            IndexFamily::MinHash => est.estimate_curve_detailed_pooled(
                 snapshot.as_ref(),
                 snapshot.as_ref(),
                 &Jaccard,
                 taus,
                 &mut rng,
+                &self.pool,
             ),
         };
         let sampled = if IndexView::nh(snapshot.as_ref()) > 0 {
@@ -2214,6 +2311,12 @@ impl EstimationEngine {
         if let Some(faults) = vsj_obs::major_page_faults() {
             self.metrics.major_faults.set(faults);
         }
+        // Pool series follow the refreshed-by-stats() convention of the
+        // other lazily-sampled gauges above.
+        let pool_stats = self.pool.stats();
+        self.metrics.pool_tasks.store(pool_stats.tasks_total);
+        self.metrics.pool_steals.store(pool_stats.steals_total);
+        self.metrics.pool_queue_depth.set(pool_stats.queued);
         EngineStats {
             wal_shard_pending: wal
                 .as_ref()
@@ -2241,6 +2344,9 @@ impl EstimationEngine {
             sampling_passes,
             sampled_pairs,
             wal_pending: self.wal_pending(),
+            pool_threads: pool_stats.threads,
+            pool_tasks: pool_stats.tasks_total,
+            pool_steals: pool_stats.steals_total,
         }
     }
 }
@@ -2312,5 +2418,91 @@ mod tests {
             "the fold emptied the overlay below the threshold"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn assert_pooled_encode_matches(engine: &EstimationEngine, what: &str) {
+        let snapshot = engine.snapshot();
+        let meta = CheckpointMeta {
+            epoch: snapshot.epoch(),
+            ingested: snapshot.ingested(),
+            next_id: engine.next_id.load(Ordering::SeqCst),
+            applied_seq: 0,
+            publishes: 1,
+            config: *engine.config(),
+        };
+        let serial = persist::encode_checkpoint(&meta, &snapshot);
+        for threads in [1usize, 2, 8] {
+            let pool = WorkPool::new(threads);
+            let pooled = persist::encode_checkpoint_with(&meta, &snapshot, &pool);
+            assert_eq!(
+                serial.as_slice(),
+                pooled.as_slice(),
+                "{what}: pooled encode diverged at {threads} threads"
+            );
+        }
+    }
+
+    /// The pooled checkpoint encoder must produce the exact bytes of
+    /// the serial one — on the heap tier (Arc payload re-encode) and on
+    /// the mapped tier (base byte-copy interleaved with overlay
+    /// re-encode, tombstoned rows dropped) — at every thread count.
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        let config = ServiceConfig::builder().shards(3).k(8).seed(42).build();
+        let engine = EstimationEngine::new(config);
+        let ids: Vec<GlobalId> =
+            engine.insert_batch((0..257u32).map(|i| {
+                SparseVector::binary_from_members(vec![i, i * 7 % 97, i * 13 % 101 + 200])
+            }));
+        engine.remove(ids[3]);
+        engine.publish();
+        assert_pooled_encode_matches(&engine, "heap");
+
+        let dir = std::env::temp_dir().join(format!("vsj_engine_parenc_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mapped = mapped_engine_with_dirty_overlay(&dir);
+        assert!(mapped.remove(2), "base row 2 is live");
+        mapped.publish();
+        assert_pooled_encode_matches(&mapped, "mapped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `insert_batch`'s pool pre-hash must assign the same ids and
+    /// build the same index as sequential inserts — same estimates,
+    /// same stats — and the pool counters must surface through
+    /// `stats()`.
+    #[test]
+    fn pooled_insert_batch_matches_sequential_inserts() {
+        let mk = |threads: usize| {
+            ServiceConfig::builder()
+                .shards(2)
+                .k(8)
+                .seed(11)
+                .pool_threads(threads)
+                .build()
+        };
+        let vectors: Vec<SparseVector> = (0..300u32)
+            .map(|i| SparseVector::binary_from_members(vec![i % 50, i % 51 + 60, i % 7 + 120]))
+            .collect();
+        let serial = EstimationEngine::new(mk(1));
+        let serial_ids: Vec<GlobalId> = vectors.iter().map(|v| serial.insert(v.clone())).collect();
+        serial.publish();
+        let pooled = EstimationEngine::new(mk(4));
+        let pooled_ids = pooled.insert_batch(vectors.clone());
+        pooled.publish();
+        assert_eq!(serial_ids, pooled_ids, "id assignment must not change");
+        let taus = [0.2, 0.5, 0.9];
+        let a = serial.estimate_batch(&taus);
+        let b = pooled.estimate_batch(&taus);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.estimate.value.to_bits(), y.estimate.value.to_bits());
+            assert_eq!(x.std_err.to_bits(), y.std_err.to_bits());
+        }
+        let stats = pooled.stats();
+        assert_eq!(stats.pool_threads, 4);
+        assert!(
+            stats.pool_tasks > 0,
+            "the batch pre-hash must run on the pool"
+        );
     }
 }

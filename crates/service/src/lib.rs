@@ -89,7 +89,8 @@ pub mod wal;
 
 pub use audit::{AuditOptions, AuditRecord, Auditor, QualityReport, WORST_CAPACITY};
 pub use config::{
-    DurabilityOptions, FsyncPolicy, IndexFamily, ServiceConfig, ServiceConfigBuilder, StorageTier,
+    DurabilityOptions, FsyncPolicy, IndexFamily, ParallelOptions, ServiceConfig,
+    ServiceConfigBuilder, StorageTier,
 };
 pub use engine::{EngineStats, EstimationEngine, ServiceEstimate};
 pub use persist::{Checkpointer, Compactor, PersistError};

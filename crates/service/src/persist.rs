@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsj_datasets::io::{self, ContainerReader, ContainerWriter, IoError};
 use vsj_obs::{Trace, TraceRing};
+use vsj_pool::WorkPool;
 use vsj_vector::SparseVector;
 
 use crate::config::{IndexFamily, ServiceConfig};
@@ -274,6 +275,10 @@ pub(crate) fn decode_meta(mut data: Bytes) -> Result<(CheckpointMeta, u64), Pers
     if shards == 0 || k == 0 || auto_publish_every == Some(0) {
         return Err(corrupt("META carries an invalid engine configuration"));
     }
+    // `parallel` is operational (like DurabilityOptions): never encoded
+    // into META, so a recovered engine picks up this process's default —
+    // the pool is proven answer- and byte-neutral, so this cannot change
+    // what the engine serves.
     let config = ServiceConfig {
         shards,
         k,
@@ -282,6 +287,7 @@ pub(crate) fn decode_meta(mut data: Bytes) -> Result<(CheckpointMeta, u64), Pers
         cache_epsilon,
         auto_publish_every,
         estimator,
+        parallel: crate::config::ParallelOptions::default(),
     };
     Ok((
         CheckpointMeta {
@@ -330,6 +336,73 @@ pub type SnapshotRows = Vec<(GlobalId, u64, Arc<SparseVector>)>;
 /// exactly the file a from-scratch build over the live rows would
 /// write.
 pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
+    encode_checkpoint_inner(meta, snapshot, None)
+}
+
+/// [`encode_checkpoint`] with the `VPAY` payload slab filled in
+/// parallel on `pool`: per-row block lengths are computed first (a pool
+/// map), a prefix sum pre-sizes the slab and fixes every row's offset,
+/// and contiguous row chunks are serialized into disjoint `&mut` slices
+/// concurrently. Offsets are a pure function of the rows, so the bytes
+/// are **identical** to the serial encoding at any thread count (pinned
+/// by `parallel_encode_is_byte_identical` below and the checkpoint legs
+/// of `tests/parallel_determinism.rs`). A one-thread pool takes the
+/// exact serial path.
+pub fn encode_checkpoint_with(
+    meta: &CheckpointMeta,
+    snapshot: &Snapshot,
+    pool: &WorkPool,
+) -> Bytes {
+    if pool.threads() <= 1 {
+        encode_checkpoint_inner(meta, snapshot, None)
+    } else {
+        encode_checkpoint_inner(meta, snapshot, Some(pool))
+    }
+}
+
+/// Serializes contiguous row chunks of a pre-sized payload slab in
+/// parallel: chunk `r..e` owns the disjoint byte range
+/// `voff[r]..voff[e]`, handed out by `split_at_mut`, and `encode_row`
+/// fills each row's exact-length cell.
+fn fill_payload_parallel(
+    pool: &WorkPool,
+    voff: &[u64],
+    slab: &mut [u8],
+    encode_row: impl Fn(usize, &mut [u8]) + Sync,
+) {
+    let n = voff.len() - 1;
+    if n == 0 {
+        return;
+    }
+    let chunk_rows = n.div_ceil((pool.threads() * 4).min(n));
+    let encode_row = &encode_row;
+    pool.scope(|scope| {
+        let mut rest = slab;
+        let mut row = 0usize;
+        while row < n {
+            let end = (row + chunk_rows).min(n);
+            let bytes = (voff[end] - voff[row]) as usize;
+            let (chunk, tail) = rest.split_at_mut(bytes);
+            rest = tail;
+            scope.spawn(move || {
+                let mut out = chunk;
+                for r in row..end {
+                    let len = (voff[r + 1] - voff[r]) as usize;
+                    let (cell, after) = out.split_at_mut(len);
+                    encode_row(r, cell);
+                    out = after;
+                }
+            });
+            row = end;
+        }
+    });
+}
+
+fn encode_checkpoint_inner(
+    meta: &CheckpointMeta,
+    snapshot: &Snapshot,
+    pool: Option<&WorkPool>,
+) -> Bytes {
     let n = snapshot.len();
     // Row keys in snapshot-local id order, whichever tier holds them.
     let keys: Vec<u64> = match snapshot.heap_parts() {
@@ -365,8 +438,8 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
     // straight from the mapping's slab (no decode — the wire blocks are
     // position-independent) and overlay rows are re-encoded in place,
     // all in dense-id order.
-    let (voff, vpay): (Vec<u64>, Bytes) = match snapshot.heap_parts() {
-        Some((collection, _)) => {
+    let (voff, vpay): (Vec<u64>, Bytes) = match (snapshot.heap_parts(), pool) {
+        (Some((collection, _)), None) => {
             let mut buf = BytesMut::new();
             let mut voff = Vec::with_capacity(n + 1);
             voff.push(0);
@@ -376,29 +449,87 @@ pub fn encode_checkpoint(meta: &CheckpointMeta, snapshot: &Snapshot) -> Bytes {
             }
             (voff, buf.freeze())
         }
-        None => {
+        (Some((collection, _)), Some(pool)) => {
+            let vectors: Vec<&Arc<SparseVector>> = collection.iter_arcs().collect();
+            let lens = pool
+                .parallel_map_indexed(&vectors, |_, v| io::encoded_vector_len(v.as_ref()) as u64);
+            let mut voff = Vec::with_capacity(n + 1);
+            voff.push(0u64);
+            let mut total = 0u64;
+            for len in lens {
+                total += len;
+                voff.push(total);
+            }
+            let mut slab = vec![0u8; total as usize];
+            fill_payload_parallel(pool, &voff, &mut slab, |r, out| {
+                io::encode_vector_into_slice(out, vectors[r].as_ref());
+            });
+            (voff, Bytes::from(slab))
+        }
+        (None, maybe_pool) => {
             let view = snapshot
                 .mapped_view()
                 .expect("a snapshot is heap or mapped");
             let base = view.base();
             let slab = base.payload_slab();
-            let mut buf = BytesMut::with_capacity(slab.len());
-            let mut voff = Vec::with_capacity(n + 1);
-            voff.push(0);
-            for d in 0..n {
-                match view.row_of_dense(d as u32) {
-                    MappedRow::Base(row) => {
-                        let lo = base.payload_offset(row) as usize;
-                        let hi = base.payload_offset(row + 1) as usize;
-                        buf.put_slice(&slab[lo..hi]);
+            match maybe_pool {
+                None => {
+                    let mut buf = BytesMut::with_capacity(slab.len());
+                    let mut voff = Vec::with_capacity(n + 1);
+                    voff.push(0);
+                    for d in 0..n {
+                        match view.row_of_dense(d as u32) {
+                            MappedRow::Base(row) => {
+                                let lo = base.payload_offset(row) as usize;
+                                let hi = base.payload_offset(row + 1) as usize;
+                                buf.put_slice(&slab[lo..hi]);
+                            }
+                            MappedRow::Tail(t) => {
+                                io::encode_vector_into(&mut buf, view.tail_vectors()[t].as_ref());
+                            }
+                        }
+                        voff.push(buf.len() as u64);
                     }
-                    MappedRow::Tail(t) => {
-                        io::encode_vector_into(&mut buf, view.tail_vectors()[t].as_ref());
-                    }
+                    (voff, buf.freeze())
                 }
-                voff.push(buf.len() as u64);
+                Some(pool) => {
+                    // Base rows contribute their slab block verbatim
+                    // (length from the offset table, no decode); tail
+                    // rows their re-encoded length — both pure reads,
+                    // so length and fill passes parallelize freely.
+                    let rows: Vec<u32> = (0..n as u32).collect();
+                    let lens =
+                        pool.parallel_map_indexed(&rows, |_, &d| match view.row_of_dense(d) {
+                            MappedRow::Base(row) => {
+                                base.payload_offset(row + 1) - base.payload_offset(row)
+                            }
+                            MappedRow::Tail(t) => {
+                                io::encoded_vector_len(view.tail_vectors()[t].as_ref()) as u64
+                            }
+                        });
+                    let mut voff = Vec::with_capacity(n + 1);
+                    voff.push(0u64);
+                    let mut total = 0u64;
+                    for len in lens {
+                        total += len;
+                        voff.push(total);
+                    }
+                    let mut out_slab = vec![0u8; total as usize];
+                    fill_payload_parallel(pool, &voff, &mut out_slab, |r, out| {
+                        match view.row_of_dense(r as u32) {
+                            MappedRow::Base(row) => {
+                                let lo = base.payload_offset(row) as usize;
+                                let hi = base.payload_offset(row + 1) as usize;
+                                out.copy_from_slice(&slab[lo..hi]);
+                            }
+                            MappedRow::Tail(t) => {
+                                io::encode_vector_into_slice(out, view.tail_vectors()[t].as_ref());
+                            }
+                        }
+                    });
+                    (voff, Bytes::from(out_slab))
+                }
             }
-            (voff, buf.freeze())
         }
     };
 
@@ -449,9 +580,10 @@ pub(crate) fn write_checkpoint(
     dir: &Path,
     meta: &CheckpointMeta,
     snapshot: &Snapshot,
+    pool: &WorkPool,
 ) -> Result<(), PersistError> {
     use std::io::Write;
-    let bytes = encode_checkpoint(meta, snapshot);
+    let bytes = encode_checkpoint_with(meta, snapshot, pool);
     let tmp = dir.join(CHECKPOINT_TMP);
     {
         let mut file = std::fs::File::create(&tmp)?;

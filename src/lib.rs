@@ -77,6 +77,7 @@ pub use vsj_exact as exact;
 pub use vsj_lc as lc;
 pub use vsj_lsh as lsh;
 pub use vsj_obs as obs;
+pub use vsj_pool as pool;
 pub use vsj_sampling as sampling;
 pub use vsj_server as server;
 pub use vsj_service as service;
@@ -99,12 +100,14 @@ pub mod prelude {
     pub use vsj_lsh::{
         LshIndex, LshParams, LshTable, MinHashFamily, SimHashFamily, SimilaritySearcher,
     };
+    pub use vsj_pool::WorkPool;
     pub use vsj_sampling::{Rng, RngStreams, SplitMix64, Xoshiro256};
     pub use vsj_server::{Client, ClientError, Estimated, Server, ServerConfig, ServerStats};
     pub use vsj_service::{
         AuditOptions, AuditRecord, Auditor, Checkpointer, Compactor, DurabilityOptions,
         EngineStats, EstimationEngine, FsyncPolicy, GlobalId, IndexFamily, ObsOptions,
-        PersistError, QualityReport, ServiceConfig, ServiceEstimate, Snapshot, StorageTier,
+        ParallelOptions, PersistError, QualityReport, ServiceConfig, ServiceEstimate, Snapshot,
+        StorageTier,
     };
     pub use vsj_vector::{
         Cosine, Jaccard, Similarity, SparseVector, SparseVectorBuilder, VectorCollection,
